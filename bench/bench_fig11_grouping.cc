@@ -1,0 +1,78 @@
+// Reproduces paper Figure 11 (appendix): the full grouped-effectiveness
+// matrix — AR, MR and RR per query-length group G1..G4, for t2vec, DTW and
+// Frechet, on the Porto-like and Harbin-like datasets.
+#include <cstdio>
+#include <vector>
+
+#include "algo/sizes.h"
+#include "algo/splitting.h"
+#include "common.h"
+#include "eval/experiment.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace simsub;
+
+  int trajectories = 100;
+  int pairs = 20;
+  int episodes = 4000;
+  int t2vec_pairs = 800;
+  util::FlagSet flags("Figure 11: grouped AR/MR/RR across datasets/measures");
+  flags.AddInt("trajectories", &trajectories, "dataset size");
+  flags.AddInt("pairs", &pairs, "pairs per group");
+  flags.AddInt("episodes", &episodes, "RLS training episodes");
+  flags.AddInt("t2vec_pairs", &t2vec_pairs, "t2vec training pairs");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintBanner("bench_fig11_grouping",
+                     "Figure 11 (a)-(r): grouped effectiveness",
+                     "trajectories=" + std::to_string(trajectories) +
+                         " pairs/group=" + std::to_string(pairs));
+
+  for (auto kind : {data::DatasetKind::kPorto, data::DatasetKind::kHarbin}) {
+    data::Dataset dataset = data::GenerateDataset(kind, trajectories, 2300);
+    for (std::string measure_name : {"t2vec", "dtw", "frechet"}) {
+      bench::MeasureBundle bundle = bench::MakeMeasureBundle(
+          measure_name, dataset, t2vec_pairs, 2301);
+      const similarity::SimilarityMeasure* measure = bundle.measure.get();
+      rl::TrainedPolicy rls_policy = bench::TrainPolicy(
+          measure, dataset, episodes,
+          bench::DefaultEnvOptions(measure_name, 0), 2302);
+      rl::TrainedPolicy skip_policy = bench::TrainPolicy(
+          measure, dataset, episodes,
+          bench::DefaultEnvOptions(measure_name, 3), 2303);
+      algo::SizeS sizes(measure, 5);
+      algo::PssSearch pss(measure);
+      algo::PosSearch pos(measure);
+      algo::PosDSearch posd(measure, 5);
+      algo::RlsSearch rls(measure, rls_policy);
+      algo::RlsSearch rls_skip(measure, skip_policy, "RLS-Skip");
+      std::vector<const algo::SubtrajectorySearch*> algorithms = {
+          &sizes, &pss, &pos, &posd, &rls, &rls_skip};
+
+      std::printf("--- %s, %s ---\n", data::DatasetKindName(kind),
+                  measure_name.c_str());
+      util::TablePrinter table(
+          {"Group", "Algorithm", "AR", "MR", "RR"});
+      for (const data::LengthGroup& group : data::PaperLengthGroups()) {
+        auto workload =
+            data::SampleWorkloadWithQueryLength(dataset, pairs, group, 2400);
+        auto rows = eval::EvaluateAlgorithms(algorithms, *measure, dataset,
+                                             workload);
+        for (const auto& r : rows) {
+          table.AddRow({group.label, r.algorithm,
+                        util::TablePrinter::Fmt(r.mean_ar, 3),
+                        util::TablePrinter::Fmt(r.mean_mr, 1),
+                        util::TablePrinter::FmtPercent(r.mean_rr, 1)});
+        }
+      }
+      table.Print();
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

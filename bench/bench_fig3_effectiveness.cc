@@ -1,0 +1,81 @@
+// Reproduces paper Figure 3: effectiveness (AR, MR, RR) of the approximate
+// algorithms — SizeS, PSS, POS, POS-D, RLS, RLS-Skip — under t2vec, DTW and
+// Frechet on the Porto-like and Harbin-like datasets.
+//
+// Expected shape (paper): RLS and RLS-Skip dominate the non-learning
+// algorithms on all three metrics; PSS is the best heuristic for DTW and
+// Frechet; SizeS is not competitive.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "algo/sizes.h"
+#include "algo/splitting.h"
+#include "common.h"
+#include "eval/experiment.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace simsub;
+
+  int trajectories = 120;
+  int pairs = 40;
+  int episodes = 6000;
+  int t2vec_pairs = 1200;
+  util::FlagSet flags("Figure 3: effectiveness across measures and datasets");
+  flags.AddInt("trajectories", &trajectories, "dataset size");
+  flags.AddInt("pairs", &pairs, "(data, query) pairs per cell");
+  flags.AddInt("episodes", &episodes, "RLS training episodes");
+  flags.AddInt("t2vec_pairs", &t2vec_pairs, "t2vec training pairs");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintBanner(
+      "bench_fig3_effectiveness", "Figure 3 (a)-(i): AR / MR / RR",
+      "trajectories=" + std::to_string(trajectories) +
+          " pairs=" + std::to_string(pairs) +
+          " episodes=" + std::to_string(episodes));
+
+  for (auto kind : {data::DatasetKind::kPorto, data::DatasetKind::kHarbin}) {
+    data::Dataset dataset = data::GenerateDataset(kind, trajectories, 1000);
+    auto workload = data::SampleWorkload(dataset, pairs, 2000);
+    for (std::string measure_name : {"t2vec", "dtw", "frechet"}) {
+      bench::MeasureBundle bundle = bench::MakeMeasureBundle(
+          measure_name, dataset, t2vec_pairs, 3000);
+      const similarity::SimilarityMeasure* measure = bundle.measure.get();
+
+      rl::TrainedPolicy rls_policy = bench::TrainPolicy(
+          measure, dataset, episodes,
+          bench::DefaultEnvOptions(measure_name, /*skip_count=*/0), 4000);
+      rl::TrainedPolicy skip_policy = bench::TrainPolicy(
+          measure, dataset, episodes,
+          bench::DefaultEnvOptions(measure_name, /*skip_count=*/3), 4001);
+
+      algo::SizeS sizes(measure, 5);
+      algo::PssSearch pss(measure);
+      algo::PosSearch pos(measure);
+      algo::PosDSearch posd(measure, 5);
+      algo::RlsSearch rls(measure, rls_policy);
+      algo::RlsSearch rls_skip(measure, skip_policy, "RLS-Skip");
+      auto rows = eval::EvaluateAlgorithms(
+          {&sizes, &pss, &pos, &posd, &rls, &rls_skip}, *measure, dataset,
+          workload);
+
+      std::printf("--- %s, %s ---\n", data::DatasetKindName(kind),
+                  measure_name.c_str());
+      util::TablePrinter table({"Algorithm", "AR", "MR", "RR", "time(ms)"});
+      for (const auto& row : rows) {
+        table.AddRow({row.algorithm, util::TablePrinter::Fmt(row.mean_ar, 3),
+                      util::TablePrinter::Fmt(row.mean_mr, 1),
+                      util::TablePrinter::FmtPercent(row.mean_rr, 1),
+                      util::TablePrinter::Fmt(row.mean_time_ms, 2)});
+      }
+      table.Print();
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

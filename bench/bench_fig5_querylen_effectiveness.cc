@@ -1,0 +1,85 @@
+// Reproduces paper Figure 5 (and the AR/MR panels of appendix Figure 11 for
+// Porto): effectiveness vs query length groups G1 = [30,45) ... G4 = [75,90)
+// under t2vec, DTW and Frechet.
+//
+// Expected shape (paper): all algorithms except SizeS stay stable across
+// groups; SizeS fluctuates because the optimal subtrajectory length need
+// not match the query length.
+#include <cstdio>
+#include <vector>
+
+#include "algo/sizes.h"
+#include "algo/splitting.h"
+#include "common.h"
+#include "eval/experiment.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace simsub;
+
+  int trajectories = 120;
+  int pairs = 25;
+  int episodes = 5000;
+  int t2vec_pairs = 1000;
+  util::FlagSet flags("Figure 5: effectiveness vs query length group");
+  flags.AddInt("trajectories", &trajectories, "dataset size");
+  flags.AddInt("pairs", &pairs, "pairs per group");
+  flags.AddInt("episodes", &episodes, "RLS training episodes");
+  flags.AddInt("t2vec_pairs", &t2vec_pairs, "t2vec training pairs");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintBanner("bench_fig5_querylen_effectiveness",
+                     "Figure 5 (a)-(c): RR vs query length group G1..G4",
+                     "trajectories=" + std::to_string(trajectories) +
+                         " pairs/group=" + std::to_string(pairs));
+
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, trajectories, 500);
+
+  for (std::string measure_name : {"t2vec", "dtw", "frechet"}) {
+    bench::MeasureBundle bundle =
+        bench::MakeMeasureBundle(measure_name, dataset, t2vec_pairs, 600);
+    const similarity::SimilarityMeasure* measure = bundle.measure.get();
+    rl::TrainedPolicy rls_policy = bench::TrainPolicy(
+        measure, dataset, episodes,
+        bench::DefaultEnvOptions(measure_name, 0), 700);
+    rl::TrainedPolicy skip_policy = bench::TrainPolicy(
+        measure, dataset, episodes,
+        bench::DefaultEnvOptions(measure_name, 3), 701);
+
+    algo::SizeS sizes(measure, 5);
+    algo::PssSearch pss(measure);
+    algo::PosSearch pos(measure);
+    algo::PosDSearch posd(measure, 5);
+    algo::RlsSearch rls(measure, rls_policy);
+    algo::RlsSearch rls_skip(measure, skip_policy, "RLS-Skip");
+    std::vector<const algo::SubtrajectorySearch*> algorithms = {
+        &sizes, &pss, &pos, &posd, &rls, &rls_skip};
+
+    std::printf("--- Porto, %s: RR by query-length group ---\n",
+                measure_name.c_str());
+    std::vector<std::string> header = {"Group"};
+    for (const auto* a : algorithms) header.push_back(a->name());
+    util::TablePrinter table(header);
+    for (const data::LengthGroup& group : data::PaperLengthGroups()) {
+      auto workload =
+          data::SampleWorkloadWithQueryLength(dataset, pairs, group, 800);
+      auto rows = eval::EvaluateAlgorithms(algorithms, *measure, dataset,
+                                           workload);
+      std::vector<std::string> row = {std::string(group.label) + " [" +
+                                      std::to_string(group.lo) + "," +
+                                      std::to_string(group.hi) + ")"};
+      for (const auto& r : rows) {
+        row.push_back(util::TablePrinter::FmtPercent(r.mean_rr, 1));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

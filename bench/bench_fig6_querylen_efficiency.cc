@@ -1,0 +1,85 @@
+// Reproduces paper Figure 6: per-search running time vs query length group
+// G1..G4 under t2vec, DTW and Frechet on Porto.
+//
+// Expected shape (paper): t2vec times are flat in the query length (Phi_inc
+// is O(1)); DTW/Frechet times grow with the query length (Phi_inc = O(m));
+// ExactS dominates the cost everywhere.
+#include <cstdio>
+#include <vector>
+
+#include "algo/exacts.h"
+#include "algo/sizes.h"
+#include "algo/splitting.h"
+#include "common.h"
+#include "eval/experiment.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace simsub;
+
+  int trajectories = 120;
+  int pairs = 25;
+  int episodes = 800;
+  util::FlagSet flags("Figure 6: efficiency vs query length group");
+  flags.AddInt("trajectories", &trajectories, "dataset size");
+  flags.AddInt("pairs", &pairs, "pairs per group");
+  flags.AddInt("episodes", &episodes, "RLS training episodes");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintBanner("bench_fig6_querylen_efficiency",
+                     "Figure 6 (a)-(c): time vs query length group G1..G4",
+                     "trajectories=" + std::to_string(trajectories) +
+                         " pairs/group=" + std::to_string(pairs));
+
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, trajectories, 501);
+
+  for (std::string measure_name : {"t2vec", "dtw", "frechet"}) {
+    bench::MeasureBundle bundle =
+        measure_name == "t2vec"
+            ? bench::MakeUntrainedT2Vec(dataset, 601)  // timing only
+            : bench::MakeMeasureBundle(measure_name, dataset, 0, 601);
+    const similarity::SimilarityMeasure* measure = bundle.measure.get();
+    rl::TrainedPolicy rls_policy = bench::TrainPolicy(
+        measure, dataset, episodes,
+        bench::DefaultEnvOptions(measure_name, 0), 702);
+    rl::TrainedPolicy skip_policy = bench::TrainPolicy(
+        measure, dataset, episodes,
+        bench::DefaultEnvOptions(measure_name, 3), 703);
+
+    algo::ExactS exact(measure);
+    algo::SizeS sizes(measure, 5);
+    algo::PssSearch pss(measure);
+    algo::PosSearch pos(measure);
+    algo::PosDSearch posd(measure, 5);
+    algo::RlsSearch rls(measure, rls_policy);
+    algo::RlsSearch rls_skip(measure, skip_policy, "RLS-Skip");
+    std::vector<const algo::SubtrajectorySearch*> algorithms = {
+        &exact, &sizes, &pss, &pos, &posd, &rls, &rls_skip};
+
+    std::printf("--- Porto, %s: mean search time (ms) by group ---\n",
+                measure_name.c_str());
+    std::vector<std::string> header = {"Group"};
+    for (const auto* a : algorithms) header.push_back(a->name());
+    util::TablePrinter table(header);
+    for (const data::LengthGroup& group : data::PaperLengthGroups()) {
+      auto workload =
+          data::SampleWorkloadWithQueryLength(dataset, pairs, group, 801);
+      auto rows = eval::EvaluateAlgorithms(algorithms, *measure, dataset,
+                                           workload,
+                                           /*compute_rank_metrics=*/false);
+      std::vector<std::string> row = {group.label};
+      for (const auto& r : rows) {
+        row.push_back(util::TablePrinter::Fmt(r.mean_time_ms, 3));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Reproduces paper Table 1: time complexities Phi / Phi_inc / Phi_ini of
+// computing similarity for t2vec, DTW and Frechet. Google-benchmark
+// micro-benchmarks; the *scaling* across the n/m arguments demonstrates the
+// claimed complexity classes:
+//   Phi     : t2vec O(n+m), DTW/Frechet O(n*m)
+//   Phi_inc : t2vec O(1),   DTW/Frechet O(m)
+//   Phi_ini : t2vec O(1),   DTW/Frechet O(m)
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "data/generator.h"
+#include "geo/ops.h"
+#include "similarity/dtw.h"
+#include "similarity/frechet.h"
+#include "t2vec/t2vec_measure.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace simsub;
+
+// Shared fixtures: one synthetic corpus, one untrained t2vec (weights do
+// not change the cost model), resampled to requested lengths.
+const data::Dataset& Corpus() {
+  static data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, 20, 1);
+  return dataset;
+}
+
+geo::Trajectory OfLength(int n, int which) {
+  const auto& t =
+      Corpus().trajectories[static_cast<size_t>(which) %
+                            Corpus().trajectories.size()];
+  return geo::ResampleToSize(t, n);
+}
+
+const similarity::SimilarityMeasure& T2Vec() {
+  static auto grid = std::make_shared<t2vec::Grid>(
+      Corpus().Extent().Inflated(200.0), 32, 32);
+  static util::Rng rng(7);
+  static auto encoder = std::make_shared<t2vec::TrajectoryEncoder>(
+      grid->vocab_size(), 16, 32, rng);
+  static t2vec::T2VecMeasure measure(encoder, grid);
+  return measure;
+}
+
+const similarity::SimilarityMeasure& Measure(int id) {
+  static similarity::DtwMeasure dtw;
+  static similarity::FrechetMeasure frechet;
+  switch (id) {
+    case 0:
+      return T2Vec();
+    case 1:
+      return dtw;
+    default:
+      return frechet;
+  }
+}
+
+// Phi: whole-trajectory distance from scratch.
+void BM_Phi(benchmark::State& state) {
+  const auto& measure = Measure(static_cast<int>(state.range(0)));
+  geo::Trajectory a = OfLength(static_cast<int>(state.range(1)), 0);
+  geo::Trajectory b = OfLength(static_cast<int>(state.range(2)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure.Distance(a.View(), b.View()));
+  }
+  state.SetLabel(measure.name() + " n=" + std::to_string(state.range(1)) +
+                 " m=" + std::to_string(state.range(2)));
+}
+
+// Phi_inc: one Extend step amortized over a full incremental pass.
+void BM_PhiInc(benchmark::State& state) {
+  const auto& measure = Measure(static_cast<int>(state.range(0)));
+  geo::Trajectory a = OfLength(static_cast<int>(state.range(1)), 0);
+  geo::Trajectory b = OfLength(static_cast<int>(state.range(2)), 1);
+  auto eval = measure.NewEvaluator(b.View());
+  int64_t steps = 0;
+  for (auto _ : state) {
+    eval->Start(a[0]);
+    for (int i = 1; i < a.size(); ++i) {
+      benchmark::DoNotOptimize(eval->Extend(a[i]));
+    }
+    steps += a.size() - 1;
+  }
+  state.SetItemsProcessed(steps);
+  state.SetLabel(measure.name() + " per-Extend, m=" +
+                 std::to_string(state.range(2)));
+}
+
+// Phi_ini: Start() on a fresh subtrajectory.
+void BM_PhiIni(benchmark::State& state) {
+  const auto& measure = Measure(static_cast<int>(state.range(0)));
+  geo::Trajectory a = OfLength(64, 0);
+  geo::Trajectory b = OfLength(static_cast<int>(state.range(2)), 1);
+  auto eval = measure.NewEvaluator(b.View());
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval->Start(a[i]));
+    i = (i + 1) % a.size();
+  }
+  state.SetLabel(measure.name() + " m=" + std::to_string(state.range(2)));
+}
+
+void PhiArgs(benchmark::internal::Benchmark* b) {
+  for (int measure : {0, 1, 2}) {
+    for (int n : {64, 128, 256}) {
+      for (int m : {32, 64, 128}) {
+        b->Args({measure, n, m});
+      }
+    }
+  }
+}
+
+void IncArgs(benchmark::internal::Benchmark* b) {
+  for (int measure : {0, 1, 2}) {
+    for (int m : {32, 64, 128, 256}) {
+      b->Args({measure, 256, m});
+    }
+  }
+}
+
+BENCHMARK(BM_Phi)->Apply(PhiArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PhiInc)->Apply(IncArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PhiIni)->Apply(IncArgs)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Reproduces paper Table 2 empirically: algorithm running time as a
+// function of the data-trajectory length n, demonstrating the complexity
+// classes — ExactS grows ~quadratically in n (x m for DTW/Frechet), SizeS
+// ~linearly with a (m + xi) factor, and the splitting-based algorithms
+// (PSS/POS/POS-D/RLS/RLS-Skip) ~linearly.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "algo/exacts.h"
+#include "algo/rls.h"
+#include "algo/sizes.h"
+#include "algo/splitting.h"
+#include "data/generator.h"
+#include "geo/ops.h"
+#include "rl/trainer.h"
+#include "similarity/dtw.h"
+#include "t2vec/t2vec_measure.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace simsub;
+
+const data::Dataset& Corpus() {
+  static data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, 8, 2);
+  return dataset;
+}
+
+geo::Trajectory OfLength(int n, int which) {
+  return geo::ResampleToSize(
+      Corpus().trajectories[static_cast<size_t>(which) %
+                            Corpus().trajectories.size()],
+      n);
+}
+
+const similarity::SimilarityMeasure& MeasureById(int id) {
+  static similarity::DtwMeasure dtw;
+  static auto grid = std::make_shared<t2vec::Grid>(
+      Corpus().Extent().Inflated(200.0), 32, 32);
+  static util::Rng rng(5);
+  static auto encoder = std::make_shared<t2vec::TrajectoryEncoder>(
+      grid->vocab_size(), 16, 32, rng);
+  static t2vec::T2VecMeasure t2v(encoder, grid);
+  return id == 0 ? static_cast<const similarity::SimilarityMeasure&>(t2v)
+                 : dtw;
+}
+
+// Policies are untrained — decision latency, not quality, is measured here.
+rl::TrainedPolicy UntrainedPolicy(const similarity::SimilarityMeasure* measure,
+                                  rl::EnvOptions env) {
+  rl::RlsTrainOptions options;
+  options.episodes = 1;
+  options.env = env;
+  options.seed = 13;
+  rl::RlsTrainer trainer(measure, options);
+  return trainer.Train(Corpus().trajectories, Corpus().trajectories);
+}
+
+std::unique_ptr<algo::SubtrajectorySearch> MakeAlgorithm(
+    int algo_id, const similarity::SimilarityMeasure* measure) {
+  switch (algo_id) {
+    case 0:
+      return std::make_unique<algo::ExactS>(measure);
+    case 1:
+      return std::make_unique<algo::SizeS>(measure, 5);
+    case 2:
+      return std::make_unique<algo::PssSearch>(measure);
+    case 3:
+      return std::make_unique<algo::PosSearch>(measure);
+    case 4:
+      return std::make_unique<algo::PosDSearch>(measure, 5);
+    case 5: {
+      rl::EnvOptions env;
+      env.use_suffix = measure->name() != "t2vec";
+      return std::make_unique<algo::RlsSearch>(
+          measure, UntrainedPolicy(measure, env));
+    }
+    default: {
+      rl::EnvOptions env;
+      env.skip_count = 3;
+      env.use_suffix = measure->name() != "t2vec";
+      return std::make_unique<algo::RlsSearch>(
+          measure, UntrainedPolicy(measure, env));
+    }
+  }
+}
+
+void BM_Algorithm(benchmark::State& state) {
+  const auto& measure = MeasureById(static_cast<int>(state.range(0)));
+  auto algorithm = MakeAlgorithm(static_cast<int>(state.range(1)), &measure);
+  int n = static_cast<int>(state.range(2));
+  geo::Trajectory data = OfLength(n, 0);
+  geo::Trajectory query = OfLength(32, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithm->Search(data, query));
+  }
+  state.SetLabel(algorithm->name() + "/" + measure.name() +
+                 " n=" + std::to_string(n));
+}
+
+void ScalingArgs(benchmark::internal::Benchmark* b) {
+  for (int measure : {0, 1}) {  // t2vec, dtw
+    for (int algorithm = 0; algorithm <= 6; ++algorithm) {
+      for (int n : {64, 128, 256, 512}) {
+        b->Args({measure, algorithm, n});
+      }
+    }
+  }
+}
+
+BENCHMARK(BM_Algorithm)->Apply(ScalingArgs)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

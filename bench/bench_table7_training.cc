@@ -1,0 +1,60 @@
+// Reproduces paper Table 7: training time of the RLS and RLS-Skip models on
+// each dataset x measure combination. Absolute hours from the paper's
+// Keras/GPU stack become seconds here; the *ordering* is what reproduces:
+// RLS-Skip trains faster than RLS (same episode count, fewer maintained
+// states), and the long/high-rate Sports dataset is the most expensive.
+#include <cstdio>
+
+#include "common.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace simsub;
+
+  int trajectories = 60;
+  int episodes = 400;
+  int t2vec_pairs = 500;
+  util::FlagSet flags("Table 7: RLS / RLS-Skip training time");
+  flags.AddInt("trajectories", &trajectories, "dataset size");
+  flags.AddInt("episodes", &episodes, "training episodes per model");
+  flags.AddInt("t2vec_pairs", &t2vec_pairs, "t2vec training pairs");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintBanner("bench_table7_training",
+                     "Table 7: training time (seconds here, hours in paper)",
+                     "trajectories=" + std::to_string(trajectories) +
+                         " episodes=" + std::to_string(episodes));
+
+  util::TablePrinter table(
+      {"Dataset", "Measure", "RLS (s)", "RLS-Skip (s)", "t2vec prep (s)"});
+  for (auto kind : {data::DatasetKind::kPorto, data::DatasetKind::kHarbin,
+                    data::DatasetKind::kSports}) {
+    data::Dataset dataset = data::GenerateDataset(kind, trajectories, 1900);
+    for (std::string measure_name : {"t2vec", "dtw", "frechet"}) {
+      bench::MeasureBundle bundle = bench::MakeMeasureBundle(
+          measure_name, dataset, t2vec_pairs, 1901);
+      const similarity::SimilarityMeasure* measure = bundle.measure.get();
+      double rls_seconds = 0.0;
+      bench::TrainPolicy(measure, dataset, episodes,
+                         bench::DefaultEnvOptions(measure_name, 0), 1902,
+                         &rls_seconds);
+      double skip_seconds = 0.0;
+      bench::TrainPolicy(measure, dataset, episodes,
+                         bench::DefaultEnvOptions(measure_name, 3), 1903,
+                         &skip_seconds);
+      table.AddRow({data::DatasetKindName(kind), measure_name,
+                    util::TablePrinter::Fmt(rls_seconds, 2),
+                    util::TablePrinter::Fmt(skip_seconds, 2),
+                    util::TablePrinter::Fmt(bundle.train_seconds, 2)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check vs paper Table 7: RLS-Skip < RLS per cell; Sports is\n"
+      "the slowest dataset (longest trajectories).\n");
+  return 0;
+}

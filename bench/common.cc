@@ -1,0 +1,90 @@
+#include "common.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace simsub::bench {
+
+MeasureBundle MakeMeasureBundle(const std::string& name,
+                                const data::Dataset& corpus, int t2vec_pairs,
+                                uint64_t seed) {
+  MeasureBundle bundle;
+  bundle.name = name;
+  if (name == "t2vec") {
+    bundle.grid = std::make_shared<t2vec::Grid>(
+        corpus.Extent().Inflated(200.0), 32, 32);
+    t2vec::T2VecTrainOptions options;
+    options.pairs = t2vec_pairs;
+    options.seed = seed;
+    t2vec::T2VecTrainer trainer(bundle.grid, options);
+    util::Stopwatch timer;
+    bundle.encoder = trainer.Train(corpus.trajectories);
+    bundle.train_seconds = timer.ElapsedSeconds();
+    bundle.measure =
+        std::make_unique<t2vec::T2VecMeasure>(bundle.encoder, bundle.grid);
+    return bundle;
+  }
+  auto made = similarity::MakeMeasure(name);
+  SIMSUB_CHECK(made.ok()) << made.status();
+  bundle.measure = std::move(made).value();
+  return bundle;
+}
+
+MeasureBundle MakeUntrainedT2Vec(const data::Dataset& corpus, uint64_t seed) {
+  MeasureBundle bundle;
+  bundle.name = "t2vec";
+  bundle.grid =
+      std::make_shared<t2vec::Grid>(corpus.Extent().Inflated(200.0), 32, 32);
+  util::Rng rng(seed);
+  bundle.encoder = std::make_shared<t2vec::TrajectoryEncoder>(
+      bundle.grid->vocab_size(), 16, 32, rng);
+  bundle.measure =
+      std::make_unique<t2vec::T2VecMeasure>(bundle.encoder, bundle.grid);
+  return bundle;
+}
+
+rl::TrainedPolicy TrainPolicy(const similarity::SimilarityMeasure* measure,
+                              const data::Dataset& dataset, int episodes,
+                              rl::EnvOptions env, uint64_t seed,
+                              double* train_seconds) {
+  rl::RlsTrainOptions options;
+  options.episodes = episodes;
+  options.env = env;
+  options.seed = seed;
+  // Skip actions compress time: future rewards arrive in fewer steps, so a
+  // discount < 1 structurally favors skipping and the policy can collapse
+  // into over-skipping. A discount closer to 1 removes that bias for the
+  // skip variants while the paper's 0.95 remains best for plain RLS.
+  options.dqn.gamma = env.skip_count > 0 ? 0.99 : 0.95;
+  rl::RlsTrainer trainer(measure, options);
+  rl::TrainedPolicy policy =
+      trainer.Train(dataset.trajectories, dataset.trajectories);
+  if (train_seconds != nullptr) {
+    *train_seconds = trainer.report().train_seconds;
+  }
+  return policy;
+}
+
+rl::EnvOptions DefaultEnvOptions(const std::string& measure_name,
+                                 int skip_count) {
+  rl::EnvOptions env;
+  env.skip_count = skip_count;
+  // Paper Section 6.1: for t2vec the Θsuf state component is dropped.
+  env.use_suffix = measure_name != "t2vec";
+  return env;
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_artifact,
+                 const std::string& config) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_artifact.c_str());
+  std::printf("Config: %s\n", config.c_str());
+  std::printf(
+      "Note: synthetic datasets + scaled-down defaults; compare *shape*\n"
+      "with the paper, not absolute numbers (see DESIGN.md / "
+      "EXPERIMENTS.md).\n\n");
+}
+
+}  // namespace simsub::bench

@@ -1,0 +1,61 @@
+// Shared plumbing for the per-table/per-figure bench binaries: dataset
+// construction, measure bundles (including the trained t2vec measure), and
+// RLS policy training with consistent seeds and scaled-down defaults.
+//
+// Every bench runs with NO arguments using these defaults and prints the
+// configuration it used; flags scale the workload toward the paper's.
+#ifndef SIMSUB_BENCH_COMMON_H_
+#define SIMSUB_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/rls.h"
+#include "data/generator.h"
+#include "data/workload.h"
+#include "rl/trainer.h"
+#include "similarity/measure.h"
+#include "similarity/registry.h"
+#include "t2vec/t2vec_measure.h"
+#include "t2vec/trainer.h"
+
+namespace simsub::bench {
+
+/// A measure plus whatever it needed to exist (grid/encoder for t2vec).
+struct MeasureBundle {
+  std::string name;
+  std::unique_ptr<similarity::SimilarityMeasure> measure;
+  std::shared_ptr<const t2vec::Grid> grid;
+  std::shared_ptr<const t2vec::TrajectoryEncoder> encoder;
+  double train_seconds = 0.0;
+};
+
+/// Builds "dtw", "frechet", or a trained "t2vec" measure over `corpus`.
+MeasureBundle MakeMeasureBundle(const std::string& name,
+                                const data::Dataset& corpus, int t2vec_pairs,
+                                uint64_t seed);
+
+/// Builds a t2vec bundle with an UNtrained encoder — weights do not affect
+/// timing, so pure-efficiency benches skip the training cost.
+MeasureBundle MakeUntrainedT2Vec(const data::Dataset& corpus, uint64_t seed);
+
+/// Trains an RLS/RLS-Skip policy for `measure` on `dataset`.
+/// When t2vec is the measure, callers should pass env.use_suffix = false
+/// (the paper drops Θsuf for t2vec).
+rl::TrainedPolicy TrainPolicy(const similarity::SimilarityMeasure* measure,
+                              const data::Dataset& dataset, int episodes,
+                              rl::EnvOptions env, uint64_t seed,
+                              double* train_seconds = nullptr);
+
+/// Default env options for a measure name (drops the suffix for t2vec).
+rl::EnvOptions DefaultEnvOptions(const std::string& measure_name,
+                                 int skip_count);
+
+/// Prints a "=== <title> ===" banner plus a reproduction note.
+void PrintBanner(const std::string& title, const std::string& paper_artifact,
+                 const std::string& config);
+
+}  // namespace simsub::bench
+
+#endif  // SIMSUB_BENCH_COMMON_H_

@@ -1,0 +1,90 @@
+// Detour route detection — the paper's second motivating application
+// (Section 1): given a reported detour route, search a taxi-trip database
+// for subtrajectories similar to it. Full pipeline: synthetic city, query
+// engine with an R-tree, a trained RLS policy, and a comparison against the
+// exact scan.
+//
+//   $ ./detour_detection [--trips=300] [--episodes=800] [--topk=5]
+#include <algorithm>
+#include <cstdio>
+
+#include "algo/exacts.h"
+#include "algo/rls.h"
+#include "algo/splitting.h"
+#include "data/generator.h"
+#include "geo/ops.h"
+#include "engine/engine.h"
+#include "rl/trainer.h"
+#include "similarity/dtw.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace simsub;
+
+  int trips = 300;
+  int episodes = 800;
+  int topk = 5;
+  util::FlagSet flags("Detour detection over a synthetic taxi-trip database");
+  flags.AddInt("trips", &trips, "number of taxi trips in the database");
+  flags.AddInt("episodes", &episodes, "RLS training episodes");
+  flags.AddInt("topk", &topk, "number of detour candidates to return");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Generating %d Porto-like taxi trips...\n", trips);
+  data::Dataset city =
+      data::GenerateDataset(data::DatasetKind::kPorto, trips, /*seed=*/4242);
+
+  // The "reported detour": a slice of some trip, perturbed — i.e. another
+  // vehicle drove almost the same stretch.
+  util::Rng rng(7);
+  const geo::Trajectory& victim = city.trajectories[17];
+  int m = std::min(victim.size() - 1, 25);
+  geo::Trajectory detour = victim.Slice(geo::SubRange(5, 4 + m));
+  detour = geo::AddGaussianNoise(detour, 20.0, rng);
+  std::printf("Reported detour route: %d points\n\n", detour.size());
+
+  similarity::DtwMeasure dtw;
+
+  std::printf("Training RLS splitting policy (%d episodes)...\n", episodes);
+  rl::RlsTrainOptions train_options;
+  train_options.episodes = episodes;
+  train_options.seed = 99;
+  rl::RlsTrainer trainer(&dtw, train_options);
+  util::Stopwatch train_timer;
+  rl::TrainedPolicy policy =
+      trainer.Train(city.trajectories, city.trajectories);
+  std::printf("  trained in %.1f s (%lld gradient steps)\n\n",
+              train_timer.ElapsedSeconds(),
+              trainer.report().gradient_steps);
+
+  engine::SimSubEngine engine(city.trajectories);
+  engine.BuildIndex();
+
+  algo::ExactS exact(&dtw);
+  algo::RlsSearch rls(&dtw, policy);
+
+  for (const algo::SubtrajectorySearch* search :
+       std::initializer_list<const algo::SubtrajectorySearch*>{&exact, &rls}) {
+    util::Stopwatch timer;
+    engine::QueryReport report =
+        engine.Query(detour.View(), *search, topk, /*use_index=*/true);
+    std::printf("%s: top-%d matches in %.1f ms (%lld scanned, %lld pruned)\n",
+                search->name().c_str(), topk, timer.ElapsedMillis(),
+                static_cast<long long>(report.trajectories_scanned),
+                static_cast<long long>(report.trajectories_pruned));
+    for (const auto& hit : report.results) {
+      std::printf("  trip %4lld  subtrajectory [%3d, %3d]  DTW %.1f\n",
+                  static_cast<long long>(hit.trajectory_id), hit.range.start,
+                  hit.range.end, hit.distance);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Trip 17 should top both lists: the detour was cut from it. RLS scans\n"
+      "each trajectory once instead of enumerating all O(n^2) candidates.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: the SimSub problem in ~60 lines.
+//
+// Builds a tiny data trajectory and a query, then runs the exact algorithm
+// and the fast splitting heuristics side by side — the worked example of
+// the paper's Tables 3-4 in runnable form.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "algo/exacts.h"
+#include "algo/splitting.h"
+#include "geo/trajectory.h"
+#include "similarity/dtw.h"
+#include "similarity/measure.h"
+
+int main() {
+  using namespace simsub;
+
+  // A data trajectory with an embedded segment that matches the query, plus
+  // a leading outlier that tricks greedy splitting (see Table 3).
+  geo::Trajectory data(std::vector<geo::Point>{
+      {10, 0}, {0, 0}, {4, 0}, {20, 0}, {30, 0}});
+  geo::Trajectory query(std::vector<geo::Point>{{0, 0}, {4, 0}});
+
+  similarity::DtwMeasure dtw;
+  algo::ExactS exact(&dtw);
+  algo::PssSearch pss(&dtw);
+  algo::PosSearch pos(&dtw);
+  algo::PosDSearch posd(&dtw, /*delay=*/2);
+
+  std::printf("SimSub quickstart: data |T| = %d, query |Tq| = %d (DTW)\n\n",
+              data.size(), query.size());
+  std::printf("%-8s %-12s %-12s %-10s\n", "algo", "range", "distance",
+              "similarity");
+  for (const algo::SubtrajectorySearch* search :
+       std::initializer_list<const algo::SubtrajectorySearch*>{
+           &exact, &pss, &pos, &posd}) {
+    algo::SearchResult r = search->Search(data, query);
+    std::printf("%-8s [%d, %d]%*s %-12.3f %-10.3f\n", search->name().c_str(),
+                r.best.start, r.best.end, 8, "", r.distance,
+                similarity::ToSimilarity(r.distance));
+  }
+
+  std::printf(
+      "\nExactS finds T[1,2] = <(0,0), (4,0)> with distance 0 — the exact\n"
+      "match to the query. The greedy heuristics split too early and return\n"
+      "a worse answer, which is precisely the gap the paper's reinforcement\n"
+      "learning policy (RLS) closes; see examples/detour_detection.cpp for\n"
+      "a trained policy in action.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Sports play retrieval — the paper's first motivating application
+// (Section 1): find the segment of a tracked soccer play most similar to a
+// query movement pattern. Exercises the Sports-like generator, the Frechet
+// measure, and the comparison between SimSub and whole-trajectory search
+// (SimTra), reproducing the Table 6 story on one query.
+//
+//   $ ./sports_play_retrieval [--plays=150]
+#include <cstdio>
+
+#include "algo/exacts.h"
+#include "algo/simtra.h"
+#include "algo/splitting.h"
+#include "data/generator.h"
+#include "data/workload.h"
+#include "eval/metrics.h"
+#include "geo/ops.h"
+#include "similarity/frechet.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace simsub;
+
+  int plays = 150;
+  util::FlagSet flags("Soccer play retrieval with Frechet similarity");
+  flags.AddInt("plays", &plays, "number of tracked plays in the database");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Generating %d soccer player/ball tracks (10 Hz)...\n", plays);
+  data::Dataset pitch =
+      data::GenerateDataset(data::DatasetKind::kSports, plays, /*seed=*/31);
+
+  // The query play: a short off-the-ball run cut from one track.
+  util::Rng rng(3);
+  const geo::Trajectory& source = pitch.trajectories[42];
+  geo::Trajectory play = source.Slice(geo::SubRange(40, 79));
+  play = geo::AddGaussianNoise(play, 0.5, rng);  // half-meter tracking noise
+  std::printf("Query play: %d samples (%.1f s of movement)\n\n", play.size(),
+              play.size() / 10.0);
+
+  similarity::FrechetMeasure frechet;
+  algo::ExactS exact(&frechet);
+  algo::PssSearch pss(&frechet);
+  algo::SimTraSearch simtra(&frechet);
+
+  std::printf("Searching play segments in track 42 and 9 neighbours:\n\n");
+  std::printf("%-8s %-10s %-14s %-12s %-10s %-8s\n", "algo", "track", "range",
+              "frechet(m)", "rank", "ms");
+  for (int track : {42, 7, 11, 23, 55, 81, 99, 100, 120, 140}) {
+    const geo::Trajectory& t = pitch.trajectories[static_cast<size_t>(track)];
+    for (const algo::SubtrajectorySearch* search :
+         std::initializer_list<const algo::SubtrajectorySearch*>{
+             &exact, &pss, &simtra}) {
+      util::Stopwatch timer;
+      algo::SearchResult r = search->Search(t, play);
+      double ms = timer.ElapsedMillis();
+      eval::RankEvaluation rank =
+          eval::EvaluateRank(frechet, t.View(), play.View(), r.best);
+      std::printf("%-8s %-10d [%4d, %4d]  %-12.2f %-10lld %-8.2f\n",
+                  search->name().c_str(), track, r.best.start, r.best.end,
+                  rank.returned_distance, static_cast<long long>(rank.rank),
+                  ms);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "On track 42 the exact search recovers the original segment\n"
+      "[40, 79] within tracking noise. SimTra (whole-trajectory search)\n"
+      "ranks orders of magnitude worse — the paper's Table 6 in miniature.\n");
+  return 0;
+}

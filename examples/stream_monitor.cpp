@@ -1,0 +1,78 @@
+// Stream monitoring with SPRING: watch an unbounded GPS feed for segments
+// similar to a pattern trajectory, reporting matches as they complete —
+// the original use case of Sakurai et al.'s algorithm and a natural
+// deployment mode for detour detection (see detour_detection.cpp for the
+// batch variant).
+//
+//   $ ./stream_monitor [--minutes=30] [--threshold=400]
+#include <cstdio>
+
+#include "algo/spring_stream.h"
+#include "data/generator.h"
+#include "geo/ops.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace simsub;
+
+  int minutes = 30;
+  double threshold = 400.0;
+  util::FlagSet flags("Online subtrajectory monitoring over a GPS stream");
+  flags.AddInt("minutes", &minutes, "stream duration to simulate");
+  flags.AddDouble("threshold", &threshold,
+                  "DTW alert threshold (meters, accumulated)");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // The watched pattern: a stretch of road cut from one synthetic trip.
+  util::Rng rng(77);
+  data::Dataset city =
+      data::GenerateDataset(data::DatasetKind::kPorto, 40, /*seed=*/20);
+  geo::Trajectory pattern =
+      city.trajectories[13].Slice(geo::SubRange(10, 24));
+  std::printf("Watching for a %d-point pattern (threshold DTW <= %.0f m)\n\n",
+              pattern.size(), threshold);
+
+  // The stream: hours of driving; the pattern stretch is re-driven (with
+  // GPS noise) at two known times.
+  data::TaxiModel model = data::PortoModel();
+  std::vector<geo::Point> stream;
+  auto append_trip = [&](const geo::Trajectory& t) {
+    for (const geo::Point& p : t.points()) stream.push_back(p);
+  };
+  int points_per_minute = static_cast<int>(60.0 / model.sample_interval);
+  int target_points = minutes * points_per_minute;
+  int64_t id = 1000;
+  // Keep streaming until the duration target is met AND the pattern has
+  // been planted twice (after the 2nd and 4th trips).
+  while (static_cast<int>(stream.size()) < target_points || id < 1005) {
+    append_trip(data::GenerateTaxiTrajectory(model, rng, id++));
+    if (id == 1002 || id == 1004) {
+      append_trip(geo::AddGaussianNoise(pattern, 8.0, rng));
+    }
+  }
+
+  algo::SpringStream monitor(pattern.View());
+  int alerts = 0;
+  bool in_match = false;  // edge-triggered: one alert per threshold crossing
+  for (size_t i = 0; i < stream.size(); ++i) {
+    monitor.Push(stream[i]);
+    bool below = monitor.current_tail_distance() <= threshold;
+    if (below && !in_match) {
+      geo::SubRange match = monitor.current_tail_range();
+      std::printf("t=%6zu  ALERT match stream[%d..%d] (%d pts) DTW %.1f m\n",
+                  i, match.start, match.end, match.size(),
+                  monitor.current_tail_distance());
+      ++alerts;
+    }
+    in_match = below;
+  }
+  std::printf(
+      "\nStream of %zu points scanned in O(|pattern|) per point; %d alerts\n"
+      "(the pattern was planted twice). Batch algorithms would re-scan the\n"
+      "whole history at every arrival.\n",
+      stream.size(), alerts);
+  return 0;
+}

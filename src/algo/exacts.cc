@@ -1,0 +1,55 @@
+#include "algo/exacts.h"
+
+#include "util/logging.h"
+
+namespace simsub::algo {
+
+ExactS::ExactS(const similarity::SimilarityMeasure* measure)
+    : measure_(measure) {
+  SIMSUB_CHECK(measure != nullptr);
+}
+
+SearchResult ExactS::DoSearch(std::span<const geo::Point> data,
+                            std::span<const geo::Point> query) const {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  SearchResult result;
+  const int n = static_cast<int>(data.size());
+  auto eval = measure_->NewEvaluator(query);
+  for (int i = 0; i < n; ++i) {
+    double d = eval->Start(data[static_cast<size_t>(i)]);
+    ++result.stats.start_calls;
+    ++result.stats.candidates;
+    if (d < result.distance) {
+      result.distance = d;
+      result.best = geo::SubRange(i, i);
+    }
+    for (int j = i + 1; j < n; ++j) {
+      d = eval->Extend(data[static_cast<size_t>(j)]);
+      ++result.stats.extend_calls;
+      ++result.stats.candidates;
+      if (d < result.distance) {
+        result.distance = d;
+        result.best = geo::SubRange(i, j);
+      }
+    }
+  }
+  return result;
+}
+
+void ExactS::EnumerateAll(
+    std::span<const geo::Point> data, std::span<const geo::Point> query,
+    const std::function<void(geo::SubRange, double)>& visit) const {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  const int n = static_cast<int>(data.size());
+  auto eval = measure_->NewEvaluator(query);
+  for (int i = 0; i < n; ++i) {
+    visit(geo::SubRange(i, i), eval->Start(data[static_cast<size_t>(i)]));
+    for (int j = i + 1; j < n; ++j) {
+      visit(geo::SubRange(i, j), eval->Extend(data[static_cast<size_t>(j)]));
+    }
+  }
+}
+
+}  // namespace simsub::algo

@@ -1,0 +1,39 @@
+// ExactS (paper Algorithm 1): exhaustive enumeration of all n(n+1)/2
+// subtrajectories with incremental similarity computation.
+// Complexity O(n * (Phi_ini + n * Phi_inc)).
+#ifndef SIMSUB_ALGO_EXACTS_H_
+#define SIMSUB_ALGO_EXACTS_H_
+
+#include <functional>
+
+#include "algo/search.h"
+#include "similarity/measure.h"
+
+namespace simsub::algo {
+
+/// Exact SimSub solver for an abstract similarity measurement.
+class ExactS : public SubtrajectorySearch {
+ public:
+  explicit ExactS(const similarity::SimilarityMeasure* measure);
+
+  std::string name() const override { return "ExactS"; }
+
+  /// Visits every subtrajectory range and its distance in the same
+  /// enumeration order as Search (rows of fixed start, growing end). Used by
+  /// the evaluation ranker and by the top-k machinery.
+  void EnumerateAll(
+      std::span<const geo::Point> data, std::span<const geo::Point> query,
+      const std::function<void(geo::SubRange, double)>& visit) const;
+
+ protected:
+  // (see SubtrajectorySearch::Search)
+  SearchResult DoSearch(std::span<const geo::Point> data,
+                        std::span<const geo::Point> query) const override;
+
+ private:
+  const similarity::SimilarityMeasure* measure_;
+};
+
+}  // namespace simsub::algo
+
+#endif  // SIMSUB_ALGO_EXACTS_H_

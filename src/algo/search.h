@@ -1,0 +1,74 @@
+// The SubtrajectorySearch interface: every SimSub algorithm (Problem 1 of
+// the paper) maps a (data trajectory, query trajectory) pair to the
+// subtrajectory of the data trajectory most similar to the query.
+#ifndef SIMSUB_ALGO_SEARCH_H_
+#define SIMSUB_ALGO_SEARCH_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+
+#include "geo/point.h"
+#include "geo/trajectory.h"
+
+namespace simsub::algo {
+
+/// Instrumentation counters reported by every search.
+struct SearchStats {
+  /// Number of candidate subtrajectories whose distance was examined.
+  int64_t candidates = 0;
+  /// Number of split operations performed (splitting-based algorithms).
+  int64_t splits = 0;
+  /// Number of points skipped without state maintenance (RLS-Skip).
+  int64_t points_skipped = 0;
+  /// Number of incremental similarity updates (Phi_inc invocations).
+  int64_t extend_calls = 0;
+  /// Number of from-scratch similarity initializations (Phi_ini).
+  int64_t start_calls = 0;
+};
+
+/// Outcome of one SimSub search.
+struct SearchResult {
+  /// The returned subtrajectory T[best.start .. best.end], 0-based inclusive.
+  geo::SubRange best;
+  /// Dissimilarity of the returned subtrajectory to the query. For RLS-Skip
+  /// this is the simplified-prefix estimate (distance_exact == false); the
+  /// evaluation harness re-scores returned ranges with the true measure.
+  double distance = std::numeric_limits<double>::infinity();
+  bool distance_exact = true;
+  SearchStats stats;
+};
+
+/// Abstract SimSub solver. Implementations are immutable after construction
+/// and safe to reuse across many (data, query) pairs.
+class SubtrajectorySearch {
+ public:
+  virtual ~SubtrajectorySearch() = default;
+
+  /// Algorithm identifier as used in the paper ("ExactS", "PSS", ...).
+  virtual std::string name() const = 0;
+
+  /// Finds (an approximation of) argmin over subtrajectories of `data` of
+  /// the dissimilarity to `query`. Both spans must be non-empty.
+  SearchResult Search(std::span<const geo::Point> data,
+                      std::span<const geo::Point> query) const {
+    return DoSearch(data, query);
+  }
+
+  /// Convenience overload on whole trajectories.
+  SearchResult Search(const geo::Trajectory& data,
+                      const geo::Trajectory& query) const {
+    return DoSearch(data.View(), query.View());
+  }
+
+ protected:
+  /// Implementation hook (non-virtual interface: both public Search
+  /// overloads dispatch here, so derived classes never hide one of them).
+  virtual SearchResult DoSearch(std::span<const geo::Point> data,
+                                std::span<const geo::Point> query) const = 0;
+};
+
+}  // namespace simsub::algo
+
+#endif  // SIMSUB_ALGO_SEARCH_H_

@@ -1,0 +1,55 @@
+#include "algo/sizes.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace simsub::algo {
+
+SizeS::SizeS(const similarity::SimilarityMeasure* measure, int xi)
+    : measure_(measure), xi_(xi) {
+  SIMSUB_CHECK(measure != nullptr);
+  SIMSUB_CHECK_GE(xi, 0);
+}
+
+SearchResult SizeS::DoSearch(std::span<const geo::Point> data,
+                           std::span<const geo::Point> query) const {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  SearchResult result;
+  const int n = static_cast<int>(data.size());
+  const int m = static_cast<int>(query.size());
+  // Clamp the window so at least one candidate is always admissible, even
+  // when the data trajectory is shorter than m - xi.
+  const int min_size = std::max(1, std::min(m - xi_, n));
+  const int max_size = m + xi_;
+  auto eval = measure_->NewEvaluator(query);
+  for (int i = 0; i < n; ++i) {
+    if (i + min_size > n) break;  // No admissible subtrajectory starts here.
+    double d = eval->Start(data[static_cast<size_t>(i)]);
+    ++result.stats.start_calls;
+    int size = 1;
+    if (size >= min_size) {
+      ++result.stats.candidates;
+      if (d < result.distance) {
+        result.distance = d;
+        result.best = geo::SubRange(i, i);
+      }
+    }
+    for (int j = i + 1; j < n && size < max_size; ++j) {
+      d = eval->Extend(data[static_cast<size_t>(j)]);
+      ++result.stats.extend_calls;
+      ++size;
+      if (size >= min_size) {
+        ++result.stats.candidates;
+        if (d < result.distance) {
+          result.distance = d;
+          result.best = geo::SubRange(i, j);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace simsub::algo

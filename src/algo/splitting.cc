@@ -1,0 +1,147 @@
+#include "algo/splitting.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace simsub::algo {
+
+PssSearch::PssSearch(const similarity::SimilarityMeasure* measure)
+    : measure_(measure) {
+  SIMSUB_CHECK(measure != nullptr);
+}
+
+SearchResult PssSearch::DoSearch(std::span<const geo::Point> data,
+                               std::span<const geo::Point> query) const {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  SearchResult result;
+  const int n = static_cast<int>(data.size());
+
+  // Suffix distances dist(T[i..n-1]^R, Tq^R) in one backward pass
+  // (Algorithm 2, lines 2-3).
+  std::vector<double> suffix =
+      similarity::ComputeSuffixDistances(*measure_, data, query);
+  result.stats.start_calls += 1;
+  result.stats.extend_calls += n - 1;
+
+  auto eval = measure_->NewEvaluator(query);
+  int h = 0;  // Start of the current segment.
+  for (int i = 0; i < n; ++i) {
+    double pre = (i == h) ? eval->Start(data[static_cast<size_t>(i)])
+                          : eval->Extend(data[static_cast<size_t>(i)]);
+    if (i == h) {
+      ++result.stats.start_calls;
+    } else {
+      ++result.stats.extend_calls;
+    }
+    double suf = suffix[static_cast<size_t>(i)];
+    result.stats.candidates += 2;
+    // Greater similarity == smaller distance, so the paper's
+    // "max similarity > best" test becomes "min distance < best".
+    double cand = std::min(pre, suf);
+    if (cand < result.distance) {
+      result.distance = cand;
+      bool prefix_wins = pre <= suf;
+      result.best =
+          prefix_wins ? geo::SubRange(h, i) : geo::SubRange(i, n - 1);
+      // For learned measures the suffix distance is computed in reversed
+      // space and is only an approximation of the forward distance
+      // (paper Section 4.3).
+      result.distance_exact =
+          prefix_wins || measure_->ReversalPreservesDistance();
+      h = i + 1;
+      ++result.stats.splits;
+    }
+  }
+  return result;
+}
+
+PosSearch::PosSearch(const similarity::SimilarityMeasure* measure)
+    : measure_(measure) {
+  SIMSUB_CHECK(measure != nullptr);
+}
+
+SearchResult PosSearch::DoSearch(std::span<const geo::Point> data,
+                               std::span<const geo::Point> query) const {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  SearchResult result;
+  const int n = static_cast<int>(data.size());
+  auto eval = measure_->NewEvaluator(query);
+  int h = 0;
+  for (int i = 0; i < n; ++i) {
+    double pre = (i == h) ? eval->Start(data[static_cast<size_t>(i)])
+                          : eval->Extend(data[static_cast<size_t>(i)]);
+    if (i == h) {
+      ++result.stats.start_calls;
+    } else {
+      ++result.stats.extend_calls;
+    }
+    ++result.stats.candidates;
+    if (pre < result.distance) {
+      result.distance = pre;
+      result.best = geo::SubRange(h, i);
+      h = i + 1;
+      ++result.stats.splits;
+    }
+  }
+  return result;
+}
+
+PosDSearch::PosDSearch(const similarity::SimilarityMeasure* measure, int delay)
+    : measure_(measure), delay_(delay) {
+  SIMSUB_CHECK(measure != nullptr);
+  SIMSUB_CHECK_GE(delay, 0);
+}
+
+SearchResult PosDSearch::DoSearch(std::span<const geo::Point> data,
+                                std::span<const geo::Point> query) const {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  SearchResult result;
+  const int n = static_cast<int>(data.size());
+  auto eval = measure_->NewEvaluator(query);
+  int h = 0;
+  int i = h;
+  while (i < n) {
+    double pre = (i == h) ? eval->Start(data[static_cast<size_t>(i)])
+                          : eval->Extend(data[static_cast<size_t>(i)]);
+    if (i == h) {
+      ++result.stats.start_calls;
+    } else {
+      ++result.stats.extend_calls;
+    }
+    ++result.stats.candidates;
+    if (pre < result.distance) {
+      // Trigger: look ahead up to `delay_` more points and split where the
+      // prefix is the most similar among these D + 1 positions.
+      double best_d = pre;
+      int best_i = i;
+      int lookahead_end = std::min(n - 1, i + delay_);
+      for (int j = i + 1; j <= lookahead_end; ++j) {
+        double d = eval->Extend(data[static_cast<size_t>(j)]);
+        ++result.stats.extend_calls;
+        ++result.stats.candidates;
+        if (d < best_d) {
+          best_d = d;
+          best_i = j;
+        }
+      }
+      result.distance = best_d;
+      result.best = geo::SubRange(h, best_i);
+      h = best_i + 1;
+      ++result.stats.splits;
+      // Points after best_i within the lookahead window are re-scanned as
+      // part of the new segment (the paper notes the in-practice cost is
+      // "slightly higher" while the asymptotic complexity is unchanged).
+      i = h;
+    } else {
+      ++i;
+    }
+  }
+  return result;
+}
+
+}  // namespace simsub::algo

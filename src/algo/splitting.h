@@ -1,0 +1,70 @@
+// The three heuristic splitting-based algorithms of paper Section 4.3:
+//   PSS   - Prefix-Suffix Search (Algorithm 2): greedy split whenever the
+//           current prefix or suffix beats the best-known similarity.
+//   POS   - Prefix-Only Search: PSS without the suffix component.
+//   POS-D - Prefix-Only Search with Delay: defers the split for up to D
+//           points and splits where the prefix was most similar.
+// All run in O(n1 * Phi_ini + n * Phi_inc) with n1 = number of splits.
+#ifndef SIMSUB_ALGO_SPLITTING_H_
+#define SIMSUB_ALGO_SPLITTING_H_
+
+#include "algo/search.h"
+#include "similarity/measure.h"
+
+namespace simsub::algo {
+
+/// Prefix-Suffix Search (paper Algorithm 2).
+class PssSearch : public SubtrajectorySearch {
+ public:
+  explicit PssSearch(const similarity::SimilarityMeasure* measure);
+
+  std::string name() const override { return "PSS"; }
+
+  // (see SubtrajectorySearch::Search)
+ protected:
+  SearchResult DoSearch(std::span<const geo::Point> data,
+                        std::span<const geo::Point> query) const override;
+
+ private:
+  const similarity::SimilarityMeasure* measure_;
+};
+
+/// Prefix-Only Search.
+class PosSearch : public SubtrajectorySearch {
+ public:
+  explicit PosSearch(const similarity::SimilarityMeasure* measure);
+
+  std::string name() const override { return "POS"; }
+
+  // (see SubtrajectorySearch::Search)
+ protected:
+  SearchResult DoSearch(std::span<const geo::Point> data,
+                        std::span<const geo::Point> query) const override;
+
+ private:
+  const similarity::SimilarityMeasure* measure_;
+};
+
+/// Prefix-Only Search with Delay.
+class PosDSearch : public SubtrajectorySearch {
+ public:
+  /// `delay` is the paper's D parameter (default 5 in the experiments).
+  PosDSearch(const similarity::SimilarityMeasure* measure, int delay);
+
+  std::string name() const override { return "POS-D"; }
+
+  int delay() const { return delay_; }
+
+  // (see SubtrajectorySearch::Search)
+ protected:
+  SearchResult DoSearch(std::span<const geo::Point> data,
+                        std::span<const geo::Point> query) const override;
+
+ private:
+  const similarity::SimilarityMeasure* measure_;
+  int delay_;
+};
+
+}  // namespace simsub::algo
+
+#endif  // SIMSUB_ALGO_SPLITTING_H_

@@ -1,0 +1,82 @@
+#include "algo/spring_stream.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace simsub::algo {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+SpringStream::SpringStream(std::span<const geo::Point> query)
+    : query_(query),
+      d_(query.size(), kInf),
+      s_(query.size(), 0),
+      d_prev_(query.size(), kInf),
+      s_prev_(query.size(), 0) {
+  SIMSUB_CHECK(!query.empty());
+}
+
+void SpringStream::Reset() {
+  std::fill(d_.begin(), d_.end(), kInf);
+  std::fill(d_prev_.begin(), d_prev_.end(), kInf);
+  count_ = 0;
+  best_distance_ = kInf;
+  best_range_ = geo::SubRange();
+}
+
+void SpringStream::Push(const geo::Point& p) {
+  const size_t m = query_.size();
+  d_.swap(d_prev_);
+  s_.swap(s_prev_);
+  int64_t row = count_;
+  for (size_t j = 0; j < m; ++j) {
+    double dist = geo::Distance(p, query_[j]);
+    double best;
+    int64_t start;
+    if (j == 0) {
+      // Star column: a match may begin at this stream position.
+      best = 0.0;
+      start = row;
+    } else {
+      best = d_[j - 1];
+      start = s_[j - 1];
+      if (d_prev_[j] < best) {
+        best = d_prev_[j];
+        start = s_prev_[j];
+      }
+      if (d_prev_[j - 1] < best) {
+        best = d_prev_[j - 1];
+        start = s_prev_[j - 1];
+      }
+    }
+    if (best == kInf) {
+      d_[j] = kInf;
+      s_[j] = start;
+    } else {
+      d_[j] = dist + best;
+      s_[j] = start;
+    }
+  }
+  ++count_;
+  if (d_.back() < best_distance_) {
+    best_distance_ = d_.back();
+    best_range_ = geo::SubRange(static_cast<int>(s_.back()),
+                                static_cast<int>(row));
+  }
+}
+
+double SpringStream::current_tail_distance() const {
+  SIMSUB_CHECK_GT(count_, 0) << "no points pushed";
+  return d_.back();
+}
+
+geo::SubRange SpringStream::current_tail_range() const {
+  SIMSUB_CHECK_GT(count_, 0) << "no points pushed";
+  return geo::SubRange(static_cast<int>(s_.back()),
+                       static_cast<int>(count_ - 1));
+}
+
+}  // namespace simsub::algo

@@ -1,0 +1,59 @@
+// Streaming SPRING (Sakurai, Faloutsos & Yamamuro, ICDE 2007): the original
+// algorithm is designed for monitoring a *stream* — each arriving point
+// costs O(m) and the matcher reports the best DTW subsequence seen so far.
+// This class exposes that streaming interface (the batch SpringSearch in
+// spring.h wraps the same recurrence for stored trajectories).
+#ifndef SIMSUB_ALGO_SPRING_STREAM_H_
+#define SIMSUB_ALGO_SPRING_STREAM_H_
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/trajectory.h"
+
+namespace simsub::algo {
+
+/// Online DTW subsequence matcher over an unbounded point stream.
+class SpringStream {
+ public:
+  /// `query` must outlive the matcher.
+  explicit SpringStream(std::span<const geo::Point> query);
+
+  /// Feeds the next stream point; O(|query|).
+  void Push(const geo::Point& p);
+
+  /// Number of points consumed so far.
+  int64_t size() const { return count_; }
+
+  /// Best match ending at or before the current point: stream indices
+  /// [start, end] (0-based) and its DTW distance. Valid once size() >= 1.
+  geo::SubRange best_range() const { return best_range_; }
+  double best_distance() const { return best_distance_; }
+
+  /// DTW distance of the best warping path ending exactly at the current
+  /// point (the last STWM column) — the paper's "report when dist <= eps"
+  /// stream-monitoring hook.
+  double current_tail_distance() const;
+
+  /// Stream range of that path: [match start, current point].
+  geo::SubRange current_tail_range() const;
+
+  /// Resets to the empty stream.
+  void Reset();
+
+ private:
+  std::span<const geo::Point> query_;
+  std::vector<double> d_;       // STWM costs for the current row
+  std::vector<int64_t> s_;      // match start per cell
+  std::vector<double> d_prev_;
+  std::vector<int64_t> s_prev_;
+  int64_t count_ = 0;
+  double best_distance_ = std::numeric_limits<double>::infinity();
+  geo::SubRange best_range_;
+};
+
+}  // namespace simsub::algo
+
+#endif  // SIMSUB_ALGO_SPRING_STREAM_H_

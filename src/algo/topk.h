@@ -1,0 +1,59 @@
+// Top-k subtrajectory search within one data trajectory. Paper Section 3.1:
+// "the techniques for the setting k = 1 ... could be adapted to general
+// settings of k by simply maintaining the k most similar subtrajectories" —
+// this module is that adaptation, for the exact enumeration.
+#ifndef SIMSUB_ALGO_TOPK_H_
+#define SIMSUB_ALGO_TOPK_H_
+
+#include <span>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/trajectory.h"
+#include "similarity/measure.h"
+
+namespace simsub::algo {
+
+/// One ranked candidate subtrajectory.
+struct RankedCandidate {
+  geo::SubRange range;
+  double distance = 0.0;
+};
+
+/// Bounded collector of the k smallest-distance candidates.
+///
+/// Offer() is O(log k); Sorted() returns ascending by distance (ties by
+/// range position for determinism).
+class TopKCollector {
+ public:
+  explicit TopKCollector(int k);
+
+  void Offer(geo::SubRange range, double distance);
+
+  bool full() const { return static_cast<int>(heap_.size()) >= k_; }
+  /// Largest distance currently kept (+infinity until full).
+  double worst() const;
+  int k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+
+  /// Extracts the collected candidates in ascending distance order.
+  std::vector<RankedCandidate> Sorted() const;
+
+ private:
+  int k_;
+  // Max-heap by distance (worst on top).
+  std::vector<RankedCandidate> heap_;
+};
+
+/// Exact top-k: enumerates all n(n+1)/2 subtrajectories incrementally
+/// (same cost as ExactS) and keeps the k best. With `min_size` > 1,
+/// candidates shorter than min_size points are excluded — useful because
+/// the raw top-k is otherwise dominated by near-duplicates of the optimum.
+std::vector<RankedCandidate> TopKExact(
+    const similarity::SimilarityMeasure& measure,
+    std::span<const geo::Point> data, std::span<const geo::Point> query,
+    int k, int min_size = 1);
+
+}  // namespace simsub::algo
+
+#endif  // SIMSUB_ALGO_TOPK_H_

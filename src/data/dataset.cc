@@ -1,0 +1,81 @@
+#include "data/dataset.h"
+
+#include <charconv>
+#include <map>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace simsub::data {
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kPorto:
+      return "porto";
+    case DatasetKind::kHarbin:
+      return "harbin";
+    case DatasetKind::kSports:
+      return "sports";
+  }
+  return "unknown";
+}
+
+util::Result<DatasetKind> DatasetKindFromName(const std::string& name) {
+  if (name == "porto") return DatasetKind::kPorto;
+  if (name == "harbin") return DatasetKind::kHarbin;
+  if (name == "sports") return DatasetKind::kSports;
+  return util::Status::InvalidArgument("unknown dataset kind: " + name);
+}
+
+geo::Mbr Dataset::Extent() const {
+  geo::Mbr mbr;
+  for (const auto& t : trajectories) {
+    for (const geo::Point& p : t.points()) mbr.Extend(p);
+  }
+  return mbr;
+}
+
+util::Status SaveCsv(const Dataset& dataset, const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(static_cast<size_t>(dataset.TotalPoints()) + 1);
+  rows.push_back({"trajectory_id", "x", "y", "t"});
+  for (const auto& traj : dataset.trajectories) {
+    for (const geo::Point& p : traj.points()) {
+      rows.push_back({std::to_string(traj.id()), std::to_string(p.x),
+                      std::to_string(p.y), std::to_string(p.t)});
+    }
+  }
+  return util::WriteCsvFile(path, rows);
+}
+
+util::Result<Dataset> LoadCsv(const std::string& path, const std::string& name,
+                              DatasetKind kind) {
+  auto rows = util::ReadCsvFile(path);
+  if (!rows.ok()) return rows.status();
+  Dataset dataset;
+  dataset.name = name;
+  dataset.kind = kind;
+  // Preserve first-appearance order of trajectory ids.
+  std::map<int64_t, size_t> id_to_index;
+  for (size_t r = 0; r < rows->size(); ++r) {
+    const auto& row = (*rows)[r];
+    if (r == 0 && !row.empty() && row[0] == "trajectory_id") continue;
+    if (row.size() != 4) {
+      return util::Status::IOError("bad dataset row " + std::to_string(r) +
+                                   " in " + path);
+    }
+    char* end = nullptr;
+    int64_t id = std::strtoll(row[0].c_str(), &end, 10);
+    double x = std::strtod(row[1].c_str(), nullptr);
+    double y = std::strtod(row[2].c_str(), nullptr);
+    double t = std::strtod(row[3].c_str(), nullptr);
+    auto [it, inserted] = id_to_index.try_emplace(id, dataset.trajectories.size());
+    if (inserted) {
+      dataset.trajectories.emplace_back(std::vector<geo::Point>{}, id);
+    }
+    dataset.trajectories[it->second].Append(geo::Point(x, y, t));
+  }
+  return dataset;
+}
+
+}  // namespace simsub::data

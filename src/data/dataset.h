@@ -1,0 +1,57 @@
+// Dataset container and CSV persistence for trajectory collections.
+#ifndef SIMSUB_DATA_DATASET_H_
+#define SIMSUB_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/mbr.h"
+#include "geo/trajectory.h"
+#include "util/status.h"
+
+namespace simsub::data {
+
+/// The three evaluation domains of the paper. Real Porto/Harbin/Sports
+/// datasets are unavailable offline; the generators in generator.h emit
+/// synthetic equivalents matching their published statistics (DESIGN.md §2).
+enum class DatasetKind { kPorto, kHarbin, kSports };
+
+const char* DatasetKindName(DatasetKind kind);
+
+/// Parses "porto" / "harbin" / "sports" (case-sensitive).
+util::Result<DatasetKind> DatasetKindFromName(const std::string& name);
+
+/// A named collection of trajectories plus its spatial extent.
+struct Dataset {
+  std::string name;
+  DatasetKind kind = DatasetKind::kPorto;
+  std::vector<geo::Trajectory> trajectories;
+
+  int64_t TotalPoints() const {
+    int64_t total = 0;
+    for (const auto& t : trajectories) total += t.size();
+    return total;
+  }
+
+  double MeanLength() const {
+    if (trajectories.empty()) return 0.0;
+    return static_cast<double>(TotalPoints()) /
+           static_cast<double>(trajectories.size());
+  }
+
+  /// MBR over every point of every trajectory.
+  geo::Mbr Extent() const;
+};
+
+/// Persists one point per row: trajectory_id,x,y,t.
+util::Status SaveCsv(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset written by SaveCsv. `kind`/`name` are caller-supplied
+/// (they are not stored in the CSV).
+util::Result<Dataset> LoadCsv(const std::string& path, const std::string& name,
+                              DatasetKind kind);
+
+}  // namespace simsub::data
+
+#endif  // SIMSUB_DATA_DATASET_H_

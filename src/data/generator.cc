@@ -1,0 +1,199 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simsub::data {
+
+TaxiModel PortoModel() {
+  TaxiModel m;
+  m.mean_length = 60.0;
+  m.sample_interval = 15.0;
+  m.sample_jitter = 0.0;
+  return m;
+}
+
+TaxiModel HarbinModel() {
+  TaxiModel m;
+  m.mean_length = 120.0;
+  m.sample_interval = 17.5;  // mid-point of the 5..30 s range
+  m.sample_jitter = 0.7;     // non-uniform sampling rates
+  return m;
+}
+
+SportsModel DefaultSportsModel() { return SportsModel{}; }
+
+namespace {
+
+/// Draws a trajectory length from a log-normal centred at mean_length.
+int DrawLength(double mean_length, double sigma, int min_len, int max_len,
+               util::Rng& rng) {
+  // For LogNormal(mu, sigma), mean = exp(mu + sigma^2/2).
+  double mu = std::log(mean_length) - sigma * sigma / 2.0;
+  int len = static_cast<int>(std::lround(rng.LogNormal(mu, sigma)));
+  return std::clamp(len, min_len, max_len);
+}
+
+}  // namespace
+
+geo::Trajectory GenerateTaxiTrajectory(const TaxiModel& model, util::Rng& rng,
+                                       int64_t id) {
+  const int target = DrawLength(model.mean_length, model.length_sigma,
+                                model.min_length, model.max_length, rng);
+  // Start at a random road intersection.
+  const int blocks =
+      static_cast<int>(2.0 * model.city_half_extent / model.block);
+  auto snap = [&](int b) {
+    return -model.city_half_extent + b * model.block;
+  };
+  int bx = static_cast<int>(rng.UniformInt(0, blocks));
+  int by = static_cast<int>(rng.UniformInt(0, blocks));
+  double x = snap(bx);
+  double y = snap(by);
+  // Heading: 0=E, 1=N, 2=W, 3=S.
+  int heading = static_cast<int>(rng.UniformInt(0, 3));
+  double to_next_node = model.block;  // distance to the next intersection
+
+  std::vector<geo::Point> pts;
+  pts.reserve(static_cast<size_t>(target));
+  double t = 0.0;
+  for (int k = 0; k < target; ++k) {
+    pts.emplace_back(x + rng.Normal(0.0, model.gps_noise),
+                     y + rng.Normal(0.0, model.gps_noise), t);
+    // Advance along the road network for one sampling interval.
+    double interval = model.sample_interval;
+    if (model.sample_jitter > 0.0) {
+      interval *= rng.Uniform(1.0 - model.sample_jitter,
+                              1.0 + model.sample_jitter);
+    }
+    t += interval;
+    double speed = std::max(1.5, rng.Normal(model.mean_speed,
+                                            model.speed_stddev));
+    double remaining = speed * interval;
+    while (remaining > 0.0) {
+      double step = std::min(remaining, to_next_node);
+      switch (heading) {
+        case 0: x += step; break;
+        case 1: y += step; break;
+        case 2: x -= step; break;
+        case 3: y -= step; break;
+      }
+      remaining -= step;
+      to_next_node -= step;
+      if (to_next_node <= 0.0) {
+        to_next_node = model.block;
+        // At an intersection: possibly turn (never a U-turn), and always
+        // turn back toward the city when at the boundary.
+        if (rng.Bernoulli(model.turn_prob)) {
+          heading = rng.Bernoulli(0.5) ? (heading + 1) % 4 : (heading + 3) % 4;
+        }
+        if (x >= model.city_half_extent && heading == 0) heading = 2;
+        if (x <= -model.city_half_extent && heading == 2) heading = 0;
+        if (y >= model.city_half_extent && heading == 1) heading = 3;
+        if (y <= -model.city_half_extent && heading == 3) heading = 1;
+      }
+    }
+  }
+  return geo::Trajectory(std::move(pts), id);
+}
+
+geo::Trajectory GenerateSportsTrajectory(const SportsModel& model,
+                                         util::Rng& rng, int64_t id) {
+  const int target = DrawLength(model.mean_length, model.length_sigma,
+                                model.min_length, model.max_length, rng);
+  const bool is_ball = rng.Bernoulli(model.ball_fraction);
+  const double max_speed = is_ball ? model.ball_speed : model.player_speed;
+  const double dt = model.sample_interval;
+
+  // Waypoint-seeking motion with momentum: velocity relaxes toward the
+  // waypoint direction; a new waypoint is drawn when close. Players hover
+  // around a formation anchor; the ball roams the whole pitch.
+  double ax = rng.Uniform(0.15 * model.pitch_x, 0.85 * model.pitch_x);
+  double ay = rng.Uniform(0.2 * model.pitch_y, 0.8 * model.pitch_y);
+  double roam = is_ball ? std::max(model.pitch_x, model.pitch_y)
+                        : rng.Uniform(8.0, 25.0);
+  double x = ax;
+  double y = ay;
+  double vx = 0.0;
+  double vy = 0.0;
+  double wx = x;
+  double wy = y;
+
+  auto new_waypoint = [&]() {
+    wx = std::clamp(ax + rng.Normal(0.0, roam), 0.0, model.pitch_x);
+    wy = std::clamp(ay + rng.Normal(0.0, roam), 0.0, model.pitch_y);
+  };
+  new_waypoint();
+
+  std::vector<geo::Point> pts;
+  pts.reserve(static_cast<size_t>(target));
+  double t = 0.0;
+  for (int k = 0; k < target; ++k) {
+    pts.emplace_back(x, y, t);
+    double dx = wx - x;
+    double dy = wy - y;
+    double dist = std::hypot(dx, dy);
+    if (dist < 1.0) {
+      new_waypoint();
+      dx = wx - x;
+      dy = wy - y;
+      dist = std::hypot(dx, dy);
+    }
+    // Steering: accelerate toward the waypoint, capped at max_speed, with
+    // light stochastic perturbation for natural jitter.
+    double accel = is_ball ? 30.0 : 12.0;
+    if (dist > 1e-9) {
+      vx += accel * dt * dx / dist;
+      vy += accel * dt * dy / dist;
+    }
+    vx += rng.Normal(0.0, 0.3);
+    vy += rng.Normal(0.0, 0.3);
+    double speed = std::hypot(vx, vy);
+    if (speed > max_speed) {
+      vx *= max_speed / speed;
+      vy *= max_speed / speed;
+    }
+    x = std::clamp(x + vx * dt, 0.0, model.pitch_x);
+    y = std::clamp(y + vy * dt, 0.0, model.pitch_y);
+    t += dt;
+  }
+  return geo::Trajectory(std::move(pts), id);
+}
+
+Dataset GenerateDataset(DatasetKind kind, int count, uint64_t seed) {
+  SIMSUB_CHECK_GT(count, 0);
+  util::Rng rng(seed);
+  Dataset dataset;
+  dataset.kind = kind;
+  dataset.name = DatasetKindName(kind);
+  dataset.trajectories.reserve(static_cast<size_t>(count));
+  switch (kind) {
+    case DatasetKind::kPorto: {
+      TaxiModel model = PortoModel();
+      for (int i = 0; i < count; ++i) {
+        dataset.trajectories.push_back(GenerateTaxiTrajectory(model, rng, i));
+      }
+      break;
+    }
+    case DatasetKind::kHarbin: {
+      TaxiModel model = HarbinModel();
+      for (int i = 0; i < count; ++i) {
+        dataset.trajectories.push_back(GenerateTaxiTrajectory(model, rng, i));
+      }
+      break;
+    }
+    case DatasetKind::kSports: {
+      SportsModel model = DefaultSportsModel();
+      for (int i = 0; i < count; ++i) {
+        dataset.trajectories.push_back(
+            GenerateSportsTrajectory(model, rng, i));
+      }
+      break;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace simsub::data

@@ -1,0 +1,67 @@
+// Synthetic trajectory generators standing in for the paper's datasets
+// (DESIGN.md §2 documents the substitution):
+//
+//   Porto-like  — taxi trips on a Manhattan road grid, fixed 15 s sampling,
+//                 log-normal length centred at ~60 points;
+//   Harbin-like — same road model, non-uniform 5..30 s sampling, length
+//                 centred at ~120 points;
+//   Sports-like — soccer player/ball motion on a 105 x 68 m pitch at 10 Hz,
+//                 length centred at ~170 points.
+//
+// All generators are fully deterministic given the seed.
+#ifndef SIMSUB_DATA_GENERATOR_H_
+#define SIMSUB_DATA_GENERATOR_H_
+
+#include "data/dataset.h"
+#include "geo/trajectory.h"
+#include "util/random.h"
+
+namespace simsub::data {
+
+/// Tunables for the taxi (Porto/Harbin) generator.
+struct TaxiModel {
+  double city_half_extent = 7500.0;  ///< city is a 15 km square
+  double block = 250.0;              ///< road-grid block size (meters)
+  double mean_speed = 10.0;          ///< m/s
+  double speed_stddev = 2.5;
+  double gps_noise = 5.0;            ///< per-sample Gaussian noise (meters)
+  double turn_prob = 0.35;           ///< chance to turn at an intersection
+  double mean_length = 60.0;         ///< target mean point count
+  double length_sigma = 0.35;        ///< log-normal shape
+  int min_length = 20;
+  int max_length = 400;
+  double sample_interval = 15.0;     ///< seconds (fixed when jitter = 0)
+  double sample_jitter = 0.0;        ///< fraction: interval ~ U[(1-j), (1+j)]*base
+};
+
+/// Tunables for the sports generator.
+struct SportsModel {
+  double pitch_x = 105.0;
+  double pitch_y = 68.0;
+  double player_speed = 7.0;        ///< max m/s
+  double ball_speed = 18.0;
+  double ball_fraction = 0.1;       ///< fraction of trajectories that are ball tracks
+  double mean_length = 170.0;
+  double length_sigma = 0.3;
+  int min_length = 50;
+  int max_length = 600;
+  double sample_interval = 0.1;     ///< 10 Hz
+};
+
+/// Default models matching the paper's dataset statistics.
+TaxiModel PortoModel();
+TaxiModel HarbinModel();
+SportsModel DefaultSportsModel();
+
+/// Single-trajectory generators.
+geo::Trajectory GenerateTaxiTrajectory(const TaxiModel& model, util::Rng& rng,
+                                       int64_t id);
+geo::Trajectory GenerateSportsTrajectory(const SportsModel& model,
+                                         util::Rng& rng, int64_t id);
+
+/// Generates a dataset of `count` trajectories of the given kind.
+Dataset GenerateDataset(DatasetKind kind, int count, uint64_t seed);
+
+}  // namespace simsub::data
+
+#endif  // SIMSUB_DATA_GENERATOR_H_

@@ -1,0 +1,45 @@
+// Query workload sampling, mirroring the paper's experimental protocol:
+// random (data, query) trajectory pairs (Section 6.2 experiment 1) and
+// length-grouped query sets G1..G4 (experiment 5).
+#ifndef SIMSUB_DATA_WORKLOAD_H_
+#define SIMSUB_DATA_WORKLOAD_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "geo/trajectory.h"
+
+namespace simsub::data {
+
+/// One evaluation unit: a data trajectory (by dataset index) and an owned
+/// query trajectory.
+struct WorkloadPair {
+  int data_index = 0;
+  geo::Trajectory query;
+};
+
+/// Samples `count` pairs of distinct trajectories; the query of each pair is
+/// another full trajectory from the dataset, as in the paper.
+std::vector<WorkloadPair> SampleWorkload(const Dataset& dataset, int count,
+                                         uint64_t seed);
+
+/// Query-length groups from the paper: G1 = [30,45), G2 = [45,60),
+/// G3 = [60,75), G4 = [75,90).
+struct LengthGroup {
+  int lo = 0;
+  int hi = 0;  // exclusive
+  const char* label = "";
+};
+std::vector<LengthGroup> PaperLengthGroups();
+
+/// Samples pairs whose query lengths fall in [group.lo, group.hi): queries
+/// are random subtrajectory slices of dataset trajectories when a whole
+/// trajectory of the right length is not available.
+std::vector<WorkloadPair> SampleWorkloadWithQueryLength(const Dataset& dataset,
+                                                        int count,
+                                                        const LengthGroup& group,
+                                                        uint64_t seed);
+
+}  // namespace simsub::data
+
+#endif  // SIMSUB_DATA_WORKLOAD_H_

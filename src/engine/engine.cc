@@ -1,0 +1,187 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <queue>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace simsub::engine {
+
+namespace {
+
+// Max-heap on distance keeps the k smallest-distance entries.
+struct WorseEntry {
+  bool operator()(const TopKEntry& a, const TopKEntry& b) const {
+    return a.distance < b.distance;
+  }
+};
+using TopKHeap =
+    std::priority_queue<TopKEntry, std::vector<TopKEntry>, WorseEntry>;
+
+void OfferEntry(TopKHeap& heap, int k, const TopKEntry& entry) {
+  if (static_cast<int>(heap.size()) < k) {
+    heap.push(entry);
+  } else if (entry.distance < heap.top().distance) {
+    heap.pop();
+    heap.push(entry);
+  }
+}
+
+}  // namespace
+
+SimSubEngine::SimSubEngine(std::vector<geo::Trajectory> database)
+    : database_(std::move(database)) {
+  SIMSUB_CHECK(!database_.empty());
+}
+
+int64_t SimSubEngine::TotalPoints() const {
+  int64_t total = 0;
+  for (const auto& t : database_) total += t.size();
+  return total;
+}
+
+void SimSubEngine::BuildIndex(int node_capacity) {
+  if (index_.has_value()) return;
+  std::vector<index::RTreeEntry> entries;
+  entries.reserve(database_.size());
+  for (size_t i = 0; i < database_.size(); ++i) {
+    entries.push_back(index::RTreeEntry{geo::ComputeMbr(database_[i].View()),
+                                        static_cast<int64_t>(i)});
+  }
+  index_ = index::RTree::BulkLoad(std::move(entries), node_capacity);
+}
+
+void SimSubEngine::BuildInvertedIndex(int cols, int rows) {
+  if (inverted_.has_value()) return;
+  geo::Mbr extent;
+  for (const auto& t : database_) extent.Extend(geo::ComputeMbr(t.View()));
+  inverted_ = index::InvertedGridIndex::Build(database_, extent, cols, rows);
+}
+
+std::vector<int64_t> SimSubEngine::CandidateOrdinals(
+    std::span<const geo::Point> query, PruningFilter filter,
+    double index_margin) const {
+  switch (filter) {
+    case PruningFilter::kRTree: {
+      SIMSUB_CHECK(index_.has_value()) << "BuildIndex() before R-tree query";
+      geo::Mbr qmbr = geo::ComputeMbr(query).Inflated(index_margin);
+      std::vector<int64_t> out = index_->QueryIntersects(qmbr);
+      std::sort(out.begin(), out.end());
+      return out;
+    }
+    case PruningFilter::kInvertedGrid: {
+      SIMSUB_CHECK(inverted_.has_value())
+          << "BuildInvertedIndex() before grid query";
+      return inverted_->QueryCandidates(query);
+    }
+    case PruningFilter::kNone:
+      break;
+  }
+  std::vector<int64_t> all(database_.size());
+  for (size_t i = 0; i < database_.size(); ++i) {
+    all[i] = static_cast<int64_t>(i);
+  }
+  return all;
+}
+
+QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
+                                const algo::SubtrajectorySearch& search,
+                                int k, PruningFilter filter,
+                                double index_margin, int threads) const {
+  SIMSUB_CHECK(!query.empty());
+  SIMSUB_CHECK_GT(k, 0);
+  SIMSUB_CHECK_GE(threads, 1);
+  util::Stopwatch timer;
+  QueryReport report;
+
+  std::vector<int64_t> candidates =
+      CandidateOrdinals(query, filter, index_margin);
+  report.trajectories_pruned = static_cast<int64_t>(database_.size()) -
+                               static_cast<int64_t>(candidates.size());
+
+  auto scan_range = [&](size_t lo, size_t hi, TopKHeap& heap,
+                        int64_t& scanned) {
+    for (size_t c = lo; c < hi; ++c) {
+      const geo::Trajectory& traj =
+          database_[static_cast<size_t>(candidates[c])];
+      if (traj.empty()) continue;
+      ++scanned;
+      algo::SearchResult r = search.Search(traj.View(), query);
+      OfferEntry(heap, k, TopKEntry{traj.id(), r.best, r.distance});
+    }
+  };
+
+  TopKHeap heap;
+  if (threads <= 1 || candidates.size() < 2 * static_cast<size_t>(threads)) {
+    scan_range(0, candidates.size(), heap, report.trajectories_scanned);
+  } else {
+    // Partition candidates across workers; merge their local top-k heaps.
+    // Note: the per-trajectory search objects must be thread-compatible —
+    // all algorithms except Random-S are (they share no mutable state).
+    size_t workers = static_cast<size_t>(threads);
+    std::vector<TopKHeap> heaps(workers);
+    std::vector<int64_t> scanned(workers, 0);
+    std::vector<std::thread> pool;
+    size_t chunk = (candidates.size() + workers - 1) / workers;
+    for (size_t w = 0; w < workers; ++w) {
+      size_t lo = w * chunk;
+      size_t hi = std::min(candidates.size(), lo + chunk);
+      if (lo >= hi) break;
+      pool.emplace_back(
+          [&, lo, hi, w] { scan_range(lo, hi, heaps[w], scanned[w]); });
+    }
+    for (auto& t : pool) t.join();
+    for (size_t w = 0; w < workers; ++w) {
+      report.trajectories_scanned += scanned[w];
+      while (!heaps[w].empty()) {
+        OfferEntry(heap, k, heaps[w].top());
+        heaps[w].pop();
+      }
+    }
+  }
+
+  report.results.resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    report.results[i] = heap.top();
+    heap.pop();
+  }
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+QueryReport SimSubEngine::QueryTopKSubtrajectories(
+    std::span<const geo::Point> query,
+    const similarity::SimilarityMeasure& measure, int k, PruningFilter filter,
+    int min_size) const {
+  SIMSUB_CHECK(!query.empty());
+  SIMSUB_CHECK_GT(k, 0);
+  util::Stopwatch timer;
+  QueryReport report;
+  std::vector<int64_t> candidates =
+      CandidateOrdinals(query, filter, /*index_margin=*/0.0);
+  report.trajectories_pruned = static_cast<int64_t>(database_.size()) -
+                               static_cast<int64_t>(candidates.size());
+  TopKHeap heap;
+  for (int64_t ordinal : candidates) {
+    const geo::Trajectory& traj = database_[static_cast<size_t>(ordinal)];
+    if (traj.empty()) continue;
+    ++report.trajectories_scanned;
+    // Per-trajectory cap of k suffices: at most k global winners can come
+    // from one trajectory.
+    for (const algo::RankedCandidate& cand :
+         algo::TopKExact(measure, traj.View(), query, k, min_size)) {
+      OfferEntry(heap, k, TopKEntry{traj.id(), cand.range, cand.distance});
+    }
+  }
+  report.results.resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    report.results[i] = heap.top();
+    heap.pop();
+  }
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace simsub::engine

@@ -1,0 +1,109 @@
+// Database-level SimSub querying (paper Section 3.1's "intuitive solution"
+// and Section 6.2 experiments 2-4): scan the data trajectories — optionally
+// pruned by a bounding-box R-tree — run a per-trajectory SimSub algorithm,
+// and maintain the top-k most similar subtrajectories.
+#ifndef SIMSUB_ENGINE_ENGINE_H_
+#define SIMSUB_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "algo/search.h"
+#include "algo/topk.h"
+#include "geo/mbr.h"
+#include "geo/trajectory.h"
+#include "index/inverted_grid.h"
+#include "index/rtree.h"
+#include "similarity/measure.h"
+
+namespace simsub::engine {
+
+/// Candidate pruning strategy for a query (paper Section 3.1 mentions both
+/// R-tree and inverted-file pruning).
+enum class PruningFilter {
+  kNone,          ///< full scan
+  kRTree,         ///< MBR intersection via the R-tree
+  kInvertedGrid,  ///< shared grid cells via the inverted index
+};
+
+/// One entry of a top-k answer.
+struct TopKEntry {
+  int64_t trajectory_id = -1;
+  geo::SubRange range;
+  double distance = 0.0;
+};
+
+/// Per-query execution report.
+struct QueryReport {
+  std::vector<TopKEntry> results;  // ascending by distance
+  int64_t trajectories_scanned = 0;
+  int64_t trajectories_pruned = 0;
+  double seconds = 0.0;
+};
+
+/// An immutable trajectory database with optional R-tree acceleration.
+class SimSubEngine {
+ public:
+  explicit SimSubEngine(std::vector<geo::Trajectory> database);
+
+  const std::vector<geo::Trajectory>& database() const { return database_; }
+  int64_t TotalPoints() const;
+
+  /// Builds the MBR R-tree (idempotent).
+  void BuildIndex(int node_capacity = 16);
+  bool has_index() const { return index_.has_value(); }
+
+  /// Builds the inverted grid index (idempotent); cols x rows cells over
+  /// the database extent.
+  void BuildInvertedIndex(int cols = 64, int rows = 64);
+  bool has_inverted_index() const { return inverted_.has_value(); }
+
+  /// Runs `search` over every candidate data trajectory and returns the k
+  /// best subtrajectories (one candidate per data trajectory, as each
+  /// trajectory contributes its own most-similar subtrajectory).
+  ///
+  /// With PruningFilter::kRTree, trajectories whose MBR does not intersect
+  /// the query's MBR (inflated by `index_margin` meters) are pruned — the
+  /// paper's bounding-box filter, which may rarely drop true answers. With
+  /// kInvertedGrid, trajectories sharing no grid cell with the query are
+  /// pruned. `threads` > 1 splits the candidate scan across worker threads
+  /// (the per-trajectory searches are independent).
+  QueryReport Query(std::span<const geo::Point> query,
+                    const algo::SubtrajectorySearch& search, int k,
+                    PruningFilter filter, double index_margin = 0.0,
+                    int threads = 1) const;
+
+  /// Back-compat convenience: use_index selects kRTree vs kNone.
+  QueryReport Query(std::span<const geo::Point> query,
+                    const algo::SubtrajectorySearch& search, int k,
+                    bool use_index, double index_margin = 0.0) const {
+    return Query(query, search, k,
+                 use_index ? PruningFilter::kRTree : PruningFilter::kNone,
+                 index_margin);
+  }
+
+  /// Global *subtrajectory-level* top-k (paper Section 3.1's "top-k similar
+  /// subtrajectories" generalization): exhaustively enumerates every
+  /// subtrajectory of every candidate trajectory with the incremental
+  /// evaluator and keeps the k best overall — a data trajectory may
+  /// contribute several results. `min_size` filters near-duplicate
+  /// single-point answers (see algo::TopKExact).
+  QueryReport QueryTopKSubtrajectories(
+      std::span<const geo::Point> query,
+      const similarity::SimilarityMeasure& measure, int k,
+      PruningFilter filter = PruningFilter::kNone, int min_size = 1) const;
+
+ private:
+  std::vector<int64_t> CandidateOrdinals(std::span<const geo::Point> query,
+                                         PruningFilter filter,
+                                         double index_margin) const;
+
+  std::vector<geo::Trajectory> database_;
+  std::optional<index::RTree> index_;
+  std::optional<index::InvertedGridIndex> inverted_;
+};
+
+}  // namespace simsub::engine
+
+#endif  // SIMSUB_ENGINE_ENGINE_H_

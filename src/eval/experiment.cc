@@ -1,0 +1,62 @@
+#include "eval/experiment.h"
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace simsub::eval {
+
+AlgoEvalRow EvaluateAlgorithm(const algo::SubtrajectorySearch& search,
+                              const similarity::SimilarityMeasure& measure,
+                              const data::Dataset& dataset,
+                              const std::vector<data::WorkloadPair>& workload,
+                              bool compute_rank_metrics) {
+  AlgoEvalRow row;
+  row.algorithm = search.name();
+  MetricsAccumulator acc;
+  int64_t total_points = 0;
+  int64_t skipped_points = 0;
+  for (const data::WorkloadPair& pair : workload) {
+    const geo::Trajectory& data =
+        dataset.trajectories[static_cast<size_t>(pair.data_index)];
+    if (data.empty() || pair.query.empty()) continue;
+    util::Stopwatch timer;
+    algo::SearchResult result = search.Search(data.View(), pair.query.View());
+    double seconds = timer.ElapsedSeconds();
+    total_points += data.size();
+    skipped_points += result.stats.points_skipped;
+    if (compute_rank_metrics) {
+      RankEvaluation rank = EvaluateRank(measure, data.View(),
+                                         pair.query.View(), result.best);
+      acc.Add(rank, seconds);
+    } else {
+      acc.Add(RankEvaluation{}, seconds);
+    }
+  }
+  row.mean_ar = acc.mean_ar();
+  row.mean_mr = acc.mean_mr();
+  row.mean_rr = acc.mean_rr();
+  row.mean_time_ms = acc.mean_seconds() * 1e3;
+  row.pairs = acc.count();
+  row.skip_fraction =
+      total_points > 0
+          ? static_cast<double>(skipped_points) / static_cast<double>(total_points)
+          : 0.0;
+  return row;
+}
+
+std::vector<AlgoEvalRow> EvaluateAlgorithms(
+    const std::vector<const algo::SubtrajectorySearch*>& searches,
+    const similarity::SimilarityMeasure& measure, const data::Dataset& dataset,
+    const std::vector<data::WorkloadPair>& workload,
+    bool compute_rank_metrics) {
+  std::vector<AlgoEvalRow> rows;
+  rows.reserve(searches.size());
+  for (const algo::SubtrajectorySearch* search : searches) {
+    SIMSUB_CHECK(search != nullptr);
+    rows.push_back(EvaluateAlgorithm(*search, measure, dataset, workload,
+                                     compute_rank_metrics));
+  }
+  return rows;
+}
+
+}  // namespace simsub::eval

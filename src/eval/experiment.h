@@ -1,0 +1,48 @@
+// Shared experiment runner: evaluates a set of SimSub algorithms over a
+// workload, producing the AR/MR/RR/time rows that the bench binaries print.
+#ifndef SIMSUB_EVAL_EXPERIMENT_H_
+#define SIMSUB_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "algo/search.h"
+#include "data/dataset.h"
+#include "data/workload.h"
+#include "eval/metrics.h"
+#include "similarity/measure.h"
+
+namespace simsub::eval {
+
+/// Aggregated result of one algorithm over one workload.
+struct AlgoEvalRow {
+  std::string algorithm;
+  double mean_ar = 0.0;
+  double mean_mr = 0.0;
+  double mean_rr = 0.0;
+  double mean_time_ms = 0.0;
+  int64_t pairs = 0;
+  /// Fraction of data points skipped (RLS-Skip instrumentation).
+  double skip_fraction = 0.0;
+};
+
+/// Runs `search` on every pair and (optionally) computes rank metrics by
+/// exhaustive enumeration with `measure`. Rank evaluation re-scores the
+/// returned range with the true measure, so approximate internal distances
+/// (RLS-Skip) are handled correctly.
+AlgoEvalRow EvaluateAlgorithm(const algo::SubtrajectorySearch& search,
+                              const similarity::SimilarityMeasure& measure,
+                              const data::Dataset& dataset,
+                              const std::vector<data::WorkloadPair>& workload,
+                              bool compute_rank_metrics = true);
+
+/// Convenience: evaluates several algorithms on the same workload.
+std::vector<AlgoEvalRow> EvaluateAlgorithms(
+    const std::vector<const algo::SubtrajectorySearch*>& searches,
+    const similarity::SimilarityMeasure& measure, const data::Dataset& dataset,
+    const std::vector<data::WorkloadPair>& workload,
+    bool compute_rank_metrics = true);
+
+}  // namespace simsub::eval
+
+#endif  // SIMSUB_EVAL_EXPERIMENT_H_

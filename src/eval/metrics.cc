@@ -1,0 +1,48 @@
+#include "eval/metrics.h"
+
+#include "util/logging.h"
+
+namespace simsub::eval {
+
+RankEvaluation EvaluateRank(const similarity::SimilarityMeasure& measure,
+                            std::span<const geo::Point> data,
+                            std::span<const geo::Point> query,
+                            const geo::SubRange& returned) {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  const int n = static_cast<int>(data.size());
+  SIMSUB_CHECK_GE(returned.start, 0);
+  SIMSUB_CHECK_LE(returned.start, returned.end);
+  SIMSUB_CHECK_LT(returned.end, n);
+
+  RankEvaluation eval;
+  eval.total = static_cast<int64_t>(n) * (n + 1) / 2;
+
+  // Pass 1: the returned range's true distance (same evaluator order as the
+  // enumeration below, so equal ranges compare bit-identically).
+  auto ev = measure.NewEvaluator(query);
+  double returned_dist = ev->Start(data[static_cast<size_t>(returned.start)]);
+  for (int j = returned.start + 1; j <= returned.end; ++j) {
+    returned_dist = ev->Extend(data[static_cast<size_t>(j)]);
+  }
+  eval.returned_distance = returned_dist;
+
+  // Pass 2: full enumeration for best distance and rank.
+  double best = returned_dist;
+  int64_t smaller = 0;
+  for (int i = 0; i < n; ++i) {
+    double d = ev->Start(data[static_cast<size_t>(i)]);
+    if (d < returned_dist) ++smaller;
+    if (d < best) best = d;
+    for (int j = i + 1; j < n; ++j) {
+      d = ev->Extend(data[static_cast<size_t>(j)]);
+      if (d < returned_dist) ++smaller;
+      if (d < best) best = d;
+    }
+  }
+  eval.best_distance = best;
+  eval.rank = smaller + 1;
+  return eval;
+}
+
+}  // namespace simsub::eval

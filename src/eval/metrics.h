@@ -1,0 +1,72 @@
+// The paper's three effectiveness metrics (Section 6.1):
+//   AR — approximation ratio: dissimilarity(returned) / dissimilarity(best);
+//   MR — mean rank: position of the returned subtrajectory among all
+//        n(n+1)/2 subtrajectories ordered by dissimilarity;
+//   RR — relative rank: MR normalized by the subtrajectory count.
+#ifndef SIMSUB_EVAL_METRICS_H_
+#define SIMSUB_EVAL_METRICS_H_
+
+#include <cstdint>
+
+#include "geo/trajectory.h"
+#include "similarity/measure.h"
+#include "util/stats.h"
+
+namespace simsub::eval {
+
+/// Rank evaluation of one returned subtrajectory against the full candidate
+/// space of one (data, query) pair.
+struct RankEvaluation {
+  double best_distance = 0.0;      ///< exact optimum
+  double returned_distance = 0.0;  ///< true distance of the returned range
+  int64_t rank = 1;                ///< 1-based; ties get the smallest rank
+  int64_t total = 1;               ///< n(n+1)/2
+
+  double ar() const {
+    constexpr double kTiny = 1e-12;
+    if (best_distance <= kTiny) {
+      return returned_distance <= kTiny ? 1.0 : returned_distance / kTiny;
+    }
+    return returned_distance / best_distance;
+  }
+  double rr() const { return static_cast<double>(rank) / static_cast<double>(total); }
+};
+
+/// Scores `returned` by enumerating every subtrajectory of `data` with the
+/// incremental evaluator (O(n * Phi_ini + n^2 * Phi_inc)).
+RankEvaluation EvaluateRank(const similarity::SimilarityMeasure& measure,
+                            std::span<const geo::Point> data,
+                            std::span<const geo::Point> query,
+                            const geo::SubRange& returned);
+
+/// Aggregates AR / MR / RR (and per-query wall time) over a workload.
+class MetricsAccumulator {
+ public:
+  void Add(const RankEvaluation& eval, double seconds) {
+    ar_.Add(eval.ar());
+    mr_.Add(static_cast<double>(eval.rank));
+    rr_.Add(eval.rr());
+    time_.Add(seconds);
+  }
+
+  double mean_ar() const { return ar_.mean(); }
+  double mean_mr() const { return mr_.mean(); }
+  double mean_rr() const { return rr_.mean(); }
+  double mean_seconds() const { return time_.mean(); }
+  double total_seconds() const { return time_.sum(); }
+  int64_t count() const { return ar_.count(); }
+
+  const util::RunningStats& ar_stats() const { return ar_; }
+  const util::RunningStats& mr_stats() const { return mr_; }
+  const util::RunningStats& rr_stats() const { return rr_; }
+
+ private:
+  util::RunningStats ar_;
+  util::RunningStats mr_;
+  util::RunningStats rr_;
+  util::RunningStats time_;
+};
+
+}  // namespace simsub::eval
+
+#endif  // SIMSUB_EVAL_METRICS_H_

@@ -1,0 +1,11 @@
+#include "geo/mbr.h"
+
+namespace simsub::geo {
+
+Mbr ComputeMbr(std::span<const Point> pts) {
+  Mbr mbr;
+  for (const Point& p : pts) mbr.Extend(p);
+  return mbr;
+}
+
+}  // namespace simsub::geo

@@ -1,0 +1,116 @@
+#include "geo/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simsub::geo {
+
+Trajectory AddGaussianNoise(const Trajectory& t, double sigma,
+                            util::Rng& rng) {
+  std::vector<Point> pts = t.points();
+  for (Point& p : pts) {
+    p.x += rng.Normal(0.0, sigma);
+    p.y += rng.Normal(0.0, sigma);
+  }
+  return Trajectory(std::move(pts), t.id());
+}
+
+Trajectory Downsample(const Trajectory& t, double keep_prob, util::Rng& rng) {
+  if (t.size() <= 2) return t;
+  std::vector<Point> pts;
+  pts.reserve(static_cast<size_t>(t.size()));
+  pts.push_back(t[0]);
+  for (int i = 1; i + 1 < t.size(); ++i) {
+    if (rng.Bernoulli(keep_prob)) pts.push_back(t[i]);
+  }
+  pts.push_back(t[t.size() - 1]);
+  return Trajectory(std::move(pts), t.id());
+}
+
+Trajectory ResampleToSize(const Trajectory& t, int target_size) {
+  SIMSUB_CHECK_GE(target_size, 2);
+  SIMSUB_CHECK_GE(t.size(), 2);
+  const auto& src = t.points();
+  std::vector<Point> out;
+  out.reserve(static_cast<size_t>(target_size));
+  // Parameterize uniformly over the source index space; this preserves the
+  // sampling cadence of the source rather than arc length, which is what a
+  // GPS re-sampler would do.
+  double step = static_cast<double>(t.size() - 1) /
+                static_cast<double>(target_size - 1);
+  for (int k = 0; k < target_size; ++k) {
+    double pos = step * k;
+    int lo = static_cast<int>(pos);
+    if (lo >= t.size() - 1) {
+      out.push_back(src.back());
+      continue;
+    }
+    double frac = pos - lo;
+    const Point& a = src[static_cast<size_t>(lo)];
+    const Point& b = src[static_cast<size_t>(lo) + 1];
+    out.emplace_back(a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y),
+                     a.t + frac * (b.t - a.t));
+  }
+  return Trajectory(std::move(out), t.id());
+}
+
+namespace {
+
+// Perpendicular distance from p to the segment (a, b).
+double SegmentDistance(const Point& p, const Point& a, const Point& b) {
+  double vx = b.x - a.x;
+  double vy = b.y - a.y;
+  double len2 = vx * vx + vy * vy;
+  if (len2 == 0.0) return Distance(p, a);
+  double u = ((p.x - a.x) * vx + (p.y - a.y) * vy) / len2;
+  u = std::clamp(u, 0.0, 1.0);
+  Point proj(a.x + u * vx, a.y + u * vy);
+  return Distance(p, proj);
+}
+
+void DouglasPeuckerRec(const std::vector<Point>& pts, int lo, int hi,
+                       double epsilon, std::vector<bool>& keep) {
+  if (hi - lo < 2) return;
+  double worst = -1.0;
+  int worst_idx = -1;
+  for (int i = lo + 1; i < hi; ++i) {
+    double d = SegmentDistance(pts[static_cast<size_t>(i)],
+                               pts[static_cast<size_t>(lo)],
+                               pts[static_cast<size_t>(hi)]);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst > epsilon) {
+    keep[static_cast<size_t>(worst_idx)] = true;
+    DouglasPeuckerRec(pts, lo, worst_idx, epsilon, keep);
+    DouglasPeuckerRec(pts, worst_idx, hi, epsilon, keep);
+  }
+}
+
+}  // namespace
+
+Trajectory DouglasPeucker(const Trajectory& t, double epsilon) {
+  if (t.size() <= 2) return t;
+  const auto& pts = t.points();
+  std::vector<bool> keep(pts.size(), false);
+  keep.front() = keep.back() = true;
+  DouglasPeuckerRec(pts, 0, t.size() - 1, epsilon, keep);
+  std::vector<Point> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (keep[i]) out.push_back(pts[i]);
+  }
+  return Trajectory(std::move(out), t.id());
+}
+
+Trajectory Translate(const Trajectory& t, double dx, double dy) {
+  std::vector<Point> pts = t.points();
+  for (Point& p : pts) {
+    p.x += dx;
+    p.y += dy;
+  }
+  return Trajectory(std::move(pts), t.id());
+}
+
+}  // namespace simsub::geo

@@ -1,0 +1,33 @@
+// Trajectory transformation helpers: resampling, noising, simplification.
+// Used by the synthetic data generators and by property tests.
+#ifndef SIMSUB_GEO_OPS_H_
+#define SIMSUB_GEO_OPS_H_
+
+#include <vector>
+
+#include "geo/trajectory.h"
+#include "util/random.h"
+
+namespace simsub::geo {
+
+/// Adds i.i.d. Gaussian spatial noise (stddev `sigma`) to every point.
+Trajectory AddGaussianNoise(const Trajectory& t, double sigma,
+                            util::Rng& rng);
+
+/// Keeps each point independently with probability `keep_prob` (the first
+/// and last points are always kept so the trajectory stays anchored).
+Trajectory Downsample(const Trajectory& t, double keep_prob, util::Rng& rng);
+
+/// Linear interpolation along the path so the result has exactly
+/// `target_size` points (>= 2). Timestamps are interpolated as well.
+Trajectory ResampleToSize(const Trajectory& t, int target_size);
+
+/// Douglas-Peucker simplification with tolerance epsilon (meters).
+Trajectory DouglasPeucker(const Trajectory& t, double epsilon);
+
+/// Translates every point by (dx, dy).
+Trajectory Translate(const Trajectory& t, double dx, double dy);
+
+}  // namespace simsub::geo
+
+#endif  // SIMSUB_GEO_OPS_H_

@@ -1,0 +1,46 @@
+// Core spatial primitives: timestamped 2-D points and distance helpers.
+#ifndef SIMSUB_GEO_POINT_H_
+#define SIMSUB_GEO_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace simsub::geo {
+
+/// A timestamped location sample: position (x, y) observed at time t.
+///
+/// Coordinates are planar (meters in a local projection for the synthetic
+/// city datasets; pitch meters for the sports dataset). Timestamps are
+/// seconds from the start of the containing trajectory.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  double t = 0.0;
+
+  Point() = default;
+  Point(double px, double py, double pt = 0.0) : x(px), y(py), t(pt) {}
+
+  bool operator==(const Point& o) const {
+    return x == o.x && y == o.y && t == o.t;
+  }
+};
+
+/// Squared Euclidean distance between the spatial components of a and b.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance between the spatial components of a and b.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ", t=" << p.t << ")";
+}
+
+}  // namespace simsub::geo
+
+#endif  // SIMSUB_GEO_POINT_H_

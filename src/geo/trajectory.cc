@@ -1,0 +1,41 @@
+#include "geo/trajectory.h"
+
+#include <sstream>
+
+namespace simsub::geo {
+
+Trajectory Trajectory::Slice(const SubRange& r) const {
+  auto view = View(r);
+  return Trajectory(std::vector<Point>(view.begin(), view.end()), id_);
+}
+
+Trajectory Trajectory::Reversed() const {
+  return Trajectory(ReversePoints(View()), id_);
+}
+
+double Trajectory::PathLength() const {
+  double total = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    total += Distance(points_[i - 1], points_[i]);
+  }
+  return total;
+}
+
+std::string Trajectory::DebugString(int max_points) const {
+  std::ostringstream oss;
+  oss << "Trajectory(id=" << id_ << ", n=" << size() << ", [";
+  int shown = std::min(max_points, size());
+  for (int i = 0; i < shown; ++i) {
+    if (i > 0) oss << ", ";
+    oss << points_[static_cast<size_t>(i)];
+  }
+  if (shown < size()) oss << ", ...";
+  oss << "])";
+  return oss.str();
+}
+
+std::vector<Point> ReversePoints(std::span<const Point> pts) {
+  return std::vector<Point>(pts.rbegin(), pts.rend());
+}
+
+}  // namespace simsub::geo

@@ -1,0 +1,101 @@
+// Trajectory container and the SubRange value type naming a subtrajectory.
+#ifndef SIMSUB_GEO_TRAJECTORY_H_
+#define SIMSUB_GEO_TRAJECTORY_H_
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "util/logging.h"
+
+namespace simsub::geo {
+
+/// Half-open-free inclusive index range [start, end] identifying the
+/// subtrajectory T[start..end] (0-based, unlike the paper's 1-based text).
+struct SubRange {
+  int start = 0;
+  int end = 0;  // inclusive
+
+  SubRange() = default;
+  SubRange(int s, int e) : start(s), end(e) {}
+
+  int size() const { return end - start + 1; }
+  bool operator==(const SubRange& o) const {
+    return start == o.start && end == o.end;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const SubRange& r) {
+  return os << "[" << r.start << ", " << r.end << "]";
+}
+
+/// A sequence of timestamped points with an integer identity.
+///
+/// The class is a thin, cache-friendly wrapper over std::vector<Point>;
+/// algorithms take std::span<const Point> so subtrajectories never copy.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<Point> points, int64_t id = -1)
+      : points_(std::move(points)), id_(id) {}
+
+  int64_t id() const { return id_; }
+  void set_id(int64_t id) { id_ = id; }
+
+  /// Number of points, |T| in the paper.
+  int size() const { return static_cast<int>(points_.size()); }
+  bool empty() const { return points_.empty(); }
+
+  const Point& operator[](int i) const {
+    SIMSUB_CHECK_GE(i, 0);
+    SIMSUB_CHECK_LT(i, size());
+    return points_[static_cast<size_t>(i)];
+  }
+
+  const std::vector<Point>& points() const { return points_; }
+  std::vector<Point>& mutable_points() { return points_; }
+
+  void Append(const Point& p) { points_.push_back(p); }
+
+  /// Whole-trajectory view.
+  std::span<const Point> View() const { return {points_.data(), points_.size()}; }
+
+  /// View of the subtrajectory T[r.start .. r.end] (inclusive, 0-based).
+  std::span<const Point> View(const SubRange& r) const {
+    SIMSUB_CHECK_GE(r.start, 0);
+    SIMSUB_CHECK_LE(r.start, r.end);
+    SIMSUB_CHECK_LT(r.end, size());
+    return {points_.data() + r.start, static_cast<size_t>(r.size())};
+  }
+
+  /// Materializes T[r] as an owning trajectory (keeps the parent's id).
+  Trajectory Slice(const SubRange& r) const;
+
+  /// Returns the reversed trajectory (timestamps preserved positionally).
+  Trajectory Reversed() const;
+
+  /// Number of distinct subtrajectories, n(n+1)/2.
+  int64_t SubtrajectoryCount() const {
+    int64_t n = size();
+    return n * (n + 1) / 2;
+  }
+
+  /// Total path length (sum of consecutive point distances).
+  double PathLength() const;
+
+  std::string DebugString(int max_points = 5) const;
+
+ private:
+  std::vector<Point> points_;
+  int64_t id_ = -1;
+};
+
+/// Reverses a point span into a new vector (helper for suffix evaluation).
+std::vector<Point> ReversePoints(std::span<const Point> pts);
+
+}  // namespace simsub::geo
+
+#endif  // SIMSUB_GEO_TRAJECTORY_H_

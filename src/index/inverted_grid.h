@@ -1,0 +1,61 @@
+// Inverted-file pruning index over grid cells — the second of the two
+// pruning structures the paper's Section 3.1 mentions ("the R-tree based
+// index and the inverted-file based index for pruning").
+//
+// Each trajectory posts into the list of every grid cell it touches; a
+// query retrieves the trajectories sharing at least `min_shared_cells`
+// cells with it. Unlike the MBR filter, this prunes trajectories whose
+// bounding boxes overlap the query's but whose actual paths never come
+// near it.
+#ifndef SIMSUB_INDEX_INVERTED_GRID_H_
+#define SIMSUB_INDEX_INVERTED_GRID_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/mbr.h"
+#include "geo/trajectory.h"
+
+namespace simsub::index {
+
+/// Static inverted index: cell id -> sorted list of trajectory ordinals.
+class InvertedGridIndex {
+ public:
+  /// Builds over `trajectories` with a cols x rows grid covering `extent`
+  /// (points outside clamp to border cells).
+  static InvertedGridIndex Build(
+      std::span<const geo::Trajectory> trajectories, const geo::Mbr& extent,
+      int cols, int rows);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  size_t indexed_count() const { return indexed_count_; }
+
+  /// Cell id of a point (clamped).
+  int CellOf(const geo::Point& p) const;
+
+  /// Distinct cells touched by a point sequence.
+  std::vector<int> CellsOf(std::span<const geo::Point> pts) const;
+
+  /// Ordinals (positions in the build span) of trajectories sharing at
+  /// least `min_shared_cells` distinct cells with the query. Sorted.
+  std::vector<int64_t> QueryCandidates(std::span<const geo::Point> query,
+                                       int min_shared_cells = 1) const;
+
+ private:
+  InvertedGridIndex() = default;
+
+  geo::Mbr extent_;
+  int cols_ = 0;
+  int rows_ = 0;
+  double cell_w_ = 0.0;
+  double cell_h_ = 0.0;
+  size_t indexed_count_ = 0;
+  // postings_[cell] = sorted trajectory ordinals that touch the cell.
+  std::vector<std::vector<int64_t>> postings_;
+};
+
+}  // namespace simsub::index
+
+#endif  // SIMSUB_INDEX_INVERTED_GRID_H_

@@ -1,0 +1,123 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simsub::index {
+
+RTree RTree::BulkLoad(std::vector<RTreeEntry> entries, int node_capacity) {
+  SIMSUB_CHECK_GE(node_capacity, 2);
+  RTree tree;
+  tree.entries_ = std::move(entries);
+  if (tree.entries_.empty()) return tree;
+
+  const int cap = node_capacity;
+  const size_t n = tree.entries_.size();
+
+  // STR leaf packing: sort by center-x, slice into vertical strips of
+  // ~sqrt(n/cap) leaves each, sort each strip by center-y, cut into leaves.
+  std::sort(tree.entries_.begin(), tree.entries_.end(),
+            [](const RTreeEntry& a, const RTreeEntry& b) {
+              return a.mbr.CenterX() < b.mbr.CenterX();
+            });
+  size_t leaf_count = (n + cap - 1) / static_cast<size_t>(cap);
+  size_t strips = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(leaf_count))));
+  size_t per_strip = (n + strips - 1) / strips;
+
+  std::vector<int32_t> level;  // node indices of the current level
+  for (size_t s = 0; s < strips; ++s) {
+    size_t lo = s * per_strip;
+    if (lo >= n) break;
+    size_t hi = std::min(n, lo + per_strip);
+    std::sort(tree.entries_.begin() + static_cast<long>(lo),
+              tree.entries_.begin() + static_cast<long>(hi),
+              [](const RTreeEntry& a, const RTreeEntry& b) {
+                return a.mbr.CenterY() < b.mbr.CenterY();
+              });
+    for (size_t first = lo; first < hi; first += static_cast<size_t>(cap)) {
+      size_t last = std::min(hi, first + static_cast<size_t>(cap));
+      Node node;
+      node.leaf = true;
+      node.first = static_cast<int32_t>(first);
+      node.last = static_cast<int32_t>(last);
+      for (size_t i = first; i < last; ++i) {
+        node.mbr.Extend(tree.entries_[i].mbr);
+      }
+      tree.nodes_.push_back(std::move(node));
+      level.push_back(static_cast<int32_t>(tree.nodes_.size()) - 1);
+    }
+  }
+  tree.height_ = 1;
+
+  // Pack upper levels the same way until one root remains.
+  while (level.size() > 1) {
+    std::sort(level.begin(), level.end(), [&](int32_t a, int32_t b) {
+      return tree.nodes_[static_cast<size_t>(a)].mbr.CenterX() <
+             tree.nodes_[static_cast<size_t>(b)].mbr.CenterX();
+    });
+    size_t count = level.size();
+    size_t parent_count = (count + cap - 1) / static_cast<size_t>(cap);
+    size_t pstrips = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(parent_count))));
+    size_t pper = (count + pstrips - 1) / pstrips;
+    std::vector<int32_t> next_level;
+    for (size_t s = 0; s < pstrips; ++s) {
+      size_t lo = s * pper;
+      if (lo >= count) break;
+      size_t hi = std::min(count, lo + pper);
+      std::sort(level.begin() + static_cast<long>(lo),
+                level.begin() + static_cast<long>(hi),
+                [&](int32_t a, int32_t b) {
+                  return tree.nodes_[static_cast<size_t>(a)].mbr.CenterY() <
+                         tree.nodes_[static_cast<size_t>(b)].mbr.CenterY();
+                });
+      for (size_t first = lo; first < hi; first += static_cast<size_t>(cap)) {
+        size_t last = std::min(hi, first + static_cast<size_t>(cap));
+        Node node;
+        node.leaf = false;
+        for (size_t i = first; i < last; ++i) {
+          node.children.push_back(level[i]);
+          node.mbr.Extend(tree.nodes_[static_cast<size_t>(level[i])].mbr);
+        }
+        tree.nodes_.push_back(std::move(node));
+        next_level.push_back(static_cast<int32_t>(tree.nodes_.size()) - 1);
+      }
+    }
+    level = std::move(next_level);
+    ++tree.height_;
+  }
+  tree.root_ = level.front();
+  return tree;
+}
+
+void RTree::VisitIntersects(
+    const geo::Mbr& query,
+    const std::function<void(const RTreeEntry&)>& visit) const {
+  if (root_ < 0) return;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    int32_t idx = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    if (!node.mbr.Intersects(query)) continue;
+    if (node.leaf) {
+      for (int32_t i = node.first; i < node.last; ++i) {
+        const RTreeEntry& e = entries_[static_cast<size_t>(i)];
+        if (e.mbr.Intersects(query)) visit(e);
+      }
+    } else {
+      for (int32_t child : node.children) stack.push_back(child);
+    }
+  }
+}
+
+std::vector<int64_t> RTree::QueryIntersects(const geo::Mbr& query) const {
+  std::vector<int64_t> out;
+  VisitIntersects(query, [&](const RTreeEntry& e) { out.push_back(e.id); });
+  return out;
+}
+
+}  // namespace simsub::index

@@ -1,0 +1,62 @@
+// A static R-tree over trajectory MBRs, bulk-loaded with the Sort-Tile-
+// Recursive (STR) algorithm. Used by the query engine to prune data
+// trajectories whose MBR does not intersect the query MBR (paper Section
+// 6.2, experiment 4 — "Bounding Box R-tree Index").
+#ifndef SIMSUB_INDEX_RTREE_H_
+#define SIMSUB_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geo/mbr.h"
+
+namespace simsub::index {
+
+/// One indexed object: its bounding rectangle and an opaque payload id.
+struct RTreeEntry {
+  geo::Mbr mbr;
+  int64_t id = 0;
+};
+
+/// Immutable, array-backed R-tree.
+class RTree {
+ public:
+  /// STR bulk load. `node_capacity` is the fan-out (>= 2).
+  static RTree BulkLoad(std::vector<RTreeEntry> entries,
+                        int node_capacity = 16);
+
+  /// Ids of all entries whose MBR intersects `query`.
+  std::vector<int64_t> QueryIntersects(const geo::Mbr& query) const;
+
+  /// Visits intersecting entries without materializing the result vector.
+  void VisitIntersects(const geo::Mbr& query,
+                       const std::function<void(const RTreeEntry&)>& visit) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  int height() const { return height_; }
+
+  /// Number of tree nodes (diagnostics / tests).
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    geo::Mbr mbr;
+    bool leaf = false;
+    // For leaves: [first, last) into entries_. For inner: indices of child
+    // nodes in nodes_.
+    int32_t first = 0;
+    int32_t last = 0;
+    std::vector<int32_t> children;
+  };
+
+  std::vector<RTreeEntry> entries_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  int height_ = 0;
+};
+
+}  // namespace simsub::index
+
+#endif  // SIMSUB_INDEX_RTREE_H_

@@ -1,0 +1,48 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simsub::nn {
+
+Adam::Adam(ParameterBag* bag, Options options)
+    : bag_(bag), options_(options) {
+  SIMSUB_CHECK(bag != nullptr);
+  m_.reserve(bag->views().size());
+  v_.reserve(bag->views().size());
+  for (const auto& view : bag->views()) {
+    m_.emplace_back(view.value->size(), 0.0);
+    v_.emplace_back(view.value->size(), 0.0);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  if (options_.clip_norm > 0.0) {
+    double norm = bag_->GradNorm();
+    if (norm > options_.clip_norm) {
+      bag_->ScaleGrad(options_.clip_norm / norm);
+    }
+  }
+  double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  const auto& views = bag_->views();
+  for (size_t k = 0; k < views.size(); ++k) {
+    auto& value = *views[k].value;
+    auto& grad = *views[k].grad;
+    auto& m = m_[k];
+    auto& v = v_[k];
+    for (size_t i = 0; i < value.size(); ++i) {
+      double g = grad[i];
+      m[i] = options_.beta1 * m[i] + (1.0 - options_.beta1) * g;
+      v[i] = options_.beta2 * v[i] + (1.0 - options_.beta2) * g * g;
+      double m_hat = m[i] / bias1;
+      double v_hat = v[i] / bias2;
+      value[i] -=
+          options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+}  // namespace simsub::nn

@@ -1,0 +1,48 @@
+// Adam optimizer (Kingma & Ba, 2015) over a ParameterBag.
+#ifndef SIMSUB_NN_ADAM_H_
+#define SIMSUB_NN_ADAM_H_
+
+#include <vector>
+
+#include "nn/param.h"
+
+namespace simsub::nn {
+
+/// Stochastic gradient step with per-parameter adaptive moments.
+///
+/// Construct once per model; Step() consumes the accumulated gradients
+/// (the caller is responsible for ZeroGrad() between minibatches).
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    /// When > 0, gradients are scaled down so their global L2 norm does not
+    /// exceed this value before the update (stabilizes RL training).
+    double clip_norm = 0.0;
+  };
+
+  Adam(ParameterBag* bag, Options options);
+
+  /// Applies one Adam update using the gradients currently in the bag.
+  void Step();
+
+  /// Number of updates performed so far.
+  long long step_count() const { return t_; }
+
+  const Options& options() const { return options_; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+ private:
+  ParameterBag* bag_;
+  Options options_;
+  long long t_ = 0;
+  std::vector<std::vector<double>> m_;  // first moments, parallel to views
+  std::vector<std::vector<double>> v_;  // second moments
+};
+
+}  // namespace simsub::nn
+
+#endif  // SIMSUB_NN_ADAM_H_

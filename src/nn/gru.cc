@@ -1,0 +1,214 @@
+#include "nn/gru.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simsub::nn {
+
+namespace {
+
+inline double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// y += M x for row-major M (rows x cols).
+void MatVecAccum(const std::vector<double>& m, int rows, int cols,
+                 std::span<const double> x, std::vector<double>* y) {
+  for (int r = 0; r < rows; ++r) {
+    const double* row = &m[static_cast<size_t>(r) * cols];
+    double acc = 0.0;
+    for (int c = 0; c < cols; ++c) acc += row[c] * x[static_cast<size_t>(c)];
+    (*y)[static_cast<size_t>(r)] += acc;
+  }
+}
+
+// dx += M^T d; dM += d x^T.
+void BackwardMatVec(const std::vector<double>& m, std::vector<double>& gm,
+                    int rows, int cols, std::span<const double> x,
+                    const std::vector<double>& d, std::vector<double>* dx) {
+  for (int r = 0; r < rows; ++r) {
+    double dr = d[static_cast<size_t>(r)];
+    if (dr == 0.0) continue;
+    const double* row = &m[static_cast<size_t>(r) * cols];
+    double* grow = &gm[static_cast<size_t>(r) * cols];
+    for (int c = 0; c < cols; ++c) {
+      grow[c] += dr * x[static_cast<size_t>(c)];
+      if (dx != nullptr) (*dx)[static_cast<size_t>(c)] += dr * row[c];
+    }
+  }
+}
+
+}  // namespace
+
+GruCell::GruCell(int input_dim, int hidden_dim, util::Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  SIMSUB_CHECK_GT(input_dim, 0);
+  SIMSUB_CHECK_GT(hidden_dim, 0);
+  Allocate();
+  double wscale = std::sqrt(1.0 / input_dim);
+  double uscale = std::sqrt(1.0 / hidden_dim);
+  for (auto* w : {&wz_, &wr_, &wh_}) {
+    for (double& v : *w) v = rng.Normal(0.0, wscale);
+  }
+  for (auto* u : {&uz_, &ur_, &uh_}) {
+    for (double& v : *u) v = rng.Normal(0.0, uscale);
+  }
+}
+
+void GruCell::Allocate() {
+  size_t wsize = static_cast<size_t>(hidden_dim_) * input_dim_;
+  size_t usize = static_cast<size_t>(hidden_dim_) * hidden_dim_;
+  size_t bsize = static_cast<size_t>(hidden_dim_);
+  for (auto* w : {&wz_, &wr_, &wh_}) w->assign(wsize, 0.0);
+  for (auto* u : {&uz_, &ur_, &uh_}) u->assign(usize, 0.0);
+  for (auto* b : {&bz_, &br_, &bh_}) b->assign(bsize, 0.0);
+  for (auto* g : {&gwz_, &gwr_, &gwh_}) g->assign(wsize, 0.0);
+  for (auto* g : {&guz_, &gur_, &guh_}) g->assign(usize, 0.0);
+  for (auto* g : {&gbz_, &gbr_, &gbh_}) g->assign(bsize, 0.0);
+}
+
+std::vector<double> GruCell::Step(std::span<const double> x,
+                                  std::span<const double> h,
+                                  StepCache* cache) const {
+  SIMSUB_CHECK_EQ(static_cast<int>(x.size()), input_dim_);
+  SIMSUB_CHECK_EQ(static_cast<int>(h.size()), hidden_dim_);
+  const int H = hidden_dim_;
+  std::vector<double> z(bz_);
+  MatVecAccum(wz_, H, input_dim_, x, &z);
+  MatVecAccum(uz_, H, H, h, &z);
+  for (double& v : z) v = Sigmoid(v);
+
+  std::vector<double> r(br_);
+  MatVecAccum(wr_, H, input_dim_, x, &r);
+  MatVecAccum(ur_, H, H, h, &r);
+  for (double& v : r) v = Sigmoid(v);
+
+  std::vector<double> rh(static_cast<size_t>(H));
+  for (int i = 0; i < H; ++i) {
+    rh[static_cast<size_t>(i)] =
+        r[static_cast<size_t>(i)] * h[static_cast<size_t>(i)];
+  }
+  std::vector<double> c(bh_);
+  MatVecAccum(wh_, H, input_dim_, x, &c);
+  MatVecAccum(uh_, H, H, rh, &c);
+  for (double& v : c) v = std::tanh(v);
+
+  std::vector<double> h_next(static_cast<size_t>(H));
+  for (int i = 0; i < H; ++i) {
+    size_t k = static_cast<size_t>(i);
+    h_next[k] = (1.0 - z[k]) * h[k] + z[k] * c[k];
+  }
+  if (cache != nullptr) {
+    cache->x.assign(x.begin(), x.end());
+    cache->h_prev.assign(h.begin(), h.end());
+    cache->z = z;
+    cache->r = r;
+    cache->c = c;
+  }
+  return h_next;
+}
+
+GruCell::StepGrads GruCell::BackwardStep(std::span<const double> dh_next,
+                                         const GruCell::StepCache& cache) {
+  const int H = hidden_dim_;
+  SIMSUB_CHECK_EQ(static_cast<int>(dh_next.size()), H);
+  StepGrads out;
+  out.dx.assign(static_cast<size_t>(input_dim_), 0.0);
+  out.dh_prev.assign(static_cast<size_t>(H), 0.0);
+
+  std::vector<double> dz(static_cast<size_t>(H));
+  std::vector<double> dc(static_cast<size_t>(H));
+  for (int i = 0; i < H; ++i) {
+    size_t k = static_cast<size_t>(i);
+    double dh = dh_next[k];
+    // h' = (1-z) h + z c
+    out.dh_prev[k] += dh * (1.0 - cache.z[k]);
+    dz[k] = dh * (cache.c[k] - cache.h_prev[k]) * cache.z[k] *
+            (1.0 - cache.z[k]);  // through sigmoid
+    dc[k] = dh * cache.z[k] * (1.0 - cache.c[k] * cache.c[k]);  // tanh'
+  }
+
+  // Candidate path: c = tanh(Wh x + Uh (r .* h) + bh).
+  std::vector<double> rh(static_cast<size_t>(H));
+  for (int i = 0; i < H; ++i) {
+    size_t k = static_cast<size_t>(i);
+    rh[k] = cache.r[k] * cache.h_prev[k];
+  }
+  std::vector<double> drh(static_cast<size_t>(H), 0.0);
+  BackwardMatVec(wh_, gwh_, H, input_dim_, cache.x, dc, &out.dx);
+  BackwardMatVec(uh_, guh_, H, H, rh, dc, &drh);
+  for (int i = 0; i < H; ++i) gbh_[static_cast<size_t>(i)] += dc[static_cast<size_t>(i)];
+
+  std::vector<double> dr(static_cast<size_t>(H));
+  for (int i = 0; i < H; ++i) {
+    size_t k = static_cast<size_t>(i);
+    out.dh_prev[k] += drh[k] * cache.r[k];
+    dr[k] = drh[k] * cache.h_prev[k] * cache.r[k] * (1.0 - cache.r[k]);
+  }
+
+  // Reset gate path.
+  BackwardMatVec(wr_, gwr_, H, input_dim_, cache.x, dr, &out.dx);
+  BackwardMatVec(ur_, gur_, H, H, cache.h_prev, dr, &out.dh_prev);
+  for (int i = 0; i < H; ++i) gbr_[static_cast<size_t>(i)] += dr[static_cast<size_t>(i)];
+
+  // Update gate path.
+  BackwardMatVec(wz_, gwz_, H, input_dim_, cache.x, dz, &out.dx);
+  BackwardMatVec(uz_, guz_, H, H, cache.h_prev, dz, &out.dh_prev);
+  for (int i = 0; i < H; ++i) gbz_[static_cast<size_t>(i)] += dz[static_cast<size_t>(i)];
+
+  return out;
+}
+
+void GruCell::RegisterParams(ParameterBag* bag) {
+  bag->Register(&wz_, &gwz_);
+  bag->Register(&uz_, &guz_);
+  bag->Register(&bz_, &gbz_);
+  bag->Register(&wr_, &gwr_);
+  bag->Register(&ur_, &gur_);
+  bag->Register(&br_, &gbr_);
+  bag->Register(&wh_, &gwh_);
+  bag->Register(&uh_, &guh_);
+  bag->Register(&bh_, &gbh_);
+}
+
+util::Status GruCell::Save(std::ostream& os) const {
+  os << "gru " << input_dim_ << " " << hidden_dim_ << "\n";
+  os.precision(17);
+  for (const auto* v : {&wz_, &uz_, &bz_, &wr_, &ur_, &br_, &wh_, &uh_, &bh_}) {
+    for (double x : *v) os << x << " ";
+    os << "\n";
+  }
+  if (!os) return util::Status::IOError("GRU serialization failed");
+  return util::Status::OK();
+}
+
+util::Result<GruCell> GruCell::Load(std::istream& is) {
+  std::string magic;
+  GruCell cell;
+  is >> magic >> cell.input_dim_ >> cell.hidden_dim_;
+  if (!is || magic != "gru" || cell.input_dim_ <= 0 || cell.hidden_dim_ <= 0) {
+    return util::Status::IOError("bad GRU header");
+  }
+  cell.Allocate();
+  for (auto* v : {&cell.wz_, &cell.uz_, &cell.bz_, &cell.wr_, &cell.ur_,
+                  &cell.br_, &cell.wh_, &cell.uh_, &cell.bh_}) {
+    for (double& x : *v) is >> x;
+  }
+  if (!is) return util::Status::IOError("truncated GRU weights");
+  return cell;
+}
+
+void GruCell::CopyFrom(const GruCell& other) {
+  SIMSUB_CHECK_EQ(input_dim_, other.input_dim_);
+  SIMSUB_CHECK_EQ(hidden_dim_, other.hidden_dim_);
+  wz_ = other.wz_;
+  uz_ = other.uz_;
+  bz_ = other.bz_;
+  wr_ = other.wr_;
+  ur_ = other.ur_;
+  br_ = other.br_;
+  wh_ = other.wh_;
+  uh_ = other.uh_;
+  bh_ = other.bh_;
+}
+
+}  // namespace simsub::nn

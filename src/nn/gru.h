@@ -1,0 +1,83 @@
+// Gated Recurrent Unit (Cho et al., 2014) cell and sequence encoder with
+// full backpropagation-through-time. This powers the t2vec-style learned
+// trajectory measure: the encoder consumes grid-cell tokens and its final
+// hidden state is the trajectory embedding.
+#ifndef SIMSUB_NN_GRU_H_
+#define SIMSUB_NN_GRU_H_
+
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "nn/param.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace simsub::nn {
+
+/// One GRU step:
+///   z = sigmoid(Wz x + Uz h + bz)
+///   r = sigmoid(Wr x + Ur h + br)
+///   c = tanh(Wh x + Uh (r .* h) + bh)
+///   h' = (1 - z) .* h + z .* c
+class GruCell {
+ public:
+  GruCell(int input_dim, int hidden_dim, util::Rng& rng);
+
+  GruCell(const GruCell&) = delete;
+  GruCell& operator=(const GruCell&) = delete;
+  GruCell(GruCell&&) = default;
+  GruCell& operator=(GruCell&&) = default;
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+  /// Intermediate values of one step, retained for BPTT.
+  struct StepCache {
+    std::vector<double> x;
+    std::vector<double> h_prev;
+    std::vector<double> z;
+    std::vector<double> r;
+    std::vector<double> c;  // candidate (tanh) activation
+  };
+
+  /// Computes h' from (x, h). When `cache` is non-null the intermediates are
+  /// stored for a later BackwardStep().
+  std::vector<double> Step(std::span<const double> x,
+                           std::span<const double> h,
+                           StepCache* cache = nullptr) const;
+
+  /// Given dL/dh' and the cached step, accumulates parameter gradients and
+  /// returns (dL/dx, dL/dh).
+  struct StepGrads {
+    std::vector<double> dx;
+    std::vector<double> dh_prev;
+  };
+  StepGrads BackwardStep(std::span<const double> dh_next,
+                         const StepCache& cache);
+
+  /// Registers this cell's parameters into `bag`.
+  void RegisterParams(ParameterBag* bag);
+
+  util::Status Save(std::ostream& os) const;
+  static util::Result<GruCell> Load(std::istream& is);
+
+  /// Copies weights from a same-shape cell.
+  void CopyFrom(const GruCell& other);
+
+ private:
+  GruCell() = default;
+  void Allocate();
+
+  int input_dim_ = 0;
+  int hidden_dim_ = 0;
+  // Parameter matrices are row-major hidden_dim x input_dim (W*) or
+  // hidden_dim x hidden_dim (U*).
+  std::vector<double> wz_, uz_, bz_, gwz_, guz_, gbz_;
+  std::vector<double> wr_, ur_, br_, gwr_, gur_, gbr_;
+  std::vector<double> wh_, uh_, bh_, gwh_, guh_, gbh_;
+};
+
+}  // namespace simsub::nn
+
+#endif  // SIMSUB_NN_GRU_H_

@@ -1,0 +1,223 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simsub::nn {
+
+Activation ActivationFromName(const std::string& name) {
+  if (name == "relu") return Activation::kRelu;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "tanh") return Activation::kTanh;
+  return Activation::kNone;
+}
+
+const char* ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return "none";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  return "none";
+}
+
+void ApplyActivation(Activation act, std::vector<double>* v) {
+  switch (act) {
+    case Activation::kNone:
+      return;
+    case Activation::kRelu:
+      for (double& x : *v) x = x > 0.0 ? x : 0.0;
+      return;
+    case Activation::kSigmoid:
+      for (double& x : *v) x = 1.0 / (1.0 + std::exp(-x));
+      return;
+    case Activation::kTanh:
+      for (double& x : *v) x = std::tanh(x);
+      return;
+  }
+}
+
+double ActivationGradFromOutput(Activation act, double post) {
+  switch (act) {
+    case Activation::kNone:
+      return 1.0;
+    case Activation::kRelu:
+      return post > 0.0 ? 1.0 : 0.0;
+    case Activation::kSigmoid:
+      return post * (1.0 - post);
+    case Activation::kTanh:
+      return 1.0 - post * post;
+  }
+  return 1.0;
+}
+
+Mlp::Mlp(int input_dim, const std::vector<LayerSpec>& specs, util::Rng& rng)
+    : input_dim_(input_dim) {
+  SIMSUB_CHECK_GT(input_dim, 0);
+  SIMSUB_CHECK(!specs.empty());
+  int in = input_dim;
+  for (const LayerSpec& spec : specs) {
+    SIMSUB_CHECK_GT(spec.out, 0);
+    DenseLayer layer;
+    layer.in = in;
+    layer.out = spec.out;
+    layer.act = spec.act;
+    layer.w.resize(static_cast<size_t>(in) * spec.out);
+    layer.b.assign(static_cast<size_t>(spec.out), 0.0);
+    layer.gw.assign(layer.w.size(), 0.0);
+    layer.gb.assign(layer.b.size(), 0.0);
+    // He initialization for ReLU, Xavier otherwise.
+    double scale = spec.act == Activation::kRelu
+                       ? std::sqrt(2.0 / in)
+                       : std::sqrt(1.0 / in);
+    for (double& w : layer.w) w = rng.Normal(0.0, scale);
+    layers_.push_back(std::move(layer));
+    in = spec.out;
+  }
+  RegisterParams();
+}
+
+void Mlp::RegisterParams() {
+  for (DenseLayer& layer : layers_) {
+    bag_.Register(&layer.w, &layer.gw);
+    bag_.Register(&layer.b, &layer.gb);
+  }
+}
+
+std::vector<double> Mlp::Forward(std::span<const double> x) const {
+  Cache unused;
+  return Forward(x, &unused);
+}
+
+std::vector<double> Mlp::Forward(std::span<const double> x,
+                                 Cache* cache) const {
+  return ForwardCached(x, cache);
+}
+
+const std::vector<double>& Mlp::ForwardCached(std::span<const double> x,
+                                              Cache* cache) const {
+  SIMSUB_CHECK_EQ(static_cast<int>(x.size()), input_dim_);
+  cache->post.resize(layers_.size());
+  std::span<const double> cur = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const DenseLayer& layer = layers_[l];
+    std::vector<double>& out = cache->post[l];
+    out.resize(static_cast<size_t>(layer.out));
+    for (int o = 0; o < layer.out; ++o) {
+      const double* wrow = &layer.w[static_cast<size_t>(o) * layer.in];
+      double acc = layer.b[static_cast<size_t>(o)];
+      for (int i = 0; i < layer.in; ++i) acc += wrow[i] * cur[static_cast<size_t>(i)];
+      out[static_cast<size_t>(o)] = acc;
+    }
+    ApplyActivation(layer.act, &out);
+    cur = out;
+  }
+  return cache->post.back();
+}
+
+std::vector<double> Mlp::Backward(std::span<const double> x,
+                                  const Cache& cache,
+                                  std::span<const double> dy) {
+  SIMSUB_CHECK_EQ(cache.post.size(), layers_.size());
+  std::vector<double> grad(dy.begin(), dy.end());
+  for (size_t l = layers_.size(); l-- > 0;) {
+    DenseLayer& layer = layers_[l];
+    const std::vector<double>& post = cache.post[l];
+    SIMSUB_CHECK_EQ(static_cast<int>(grad.size()), layer.out);
+    // Through the activation.
+    std::vector<double> dpre(static_cast<size_t>(layer.out));
+    for (int o = 0; o < layer.out; ++o) {
+      dpre[static_cast<size_t>(o)] =
+          grad[static_cast<size_t>(o)] *
+          ActivationGradFromOutput(layer.act, post[static_cast<size_t>(o)]);
+    }
+    // Input to this layer: previous layer's post, or x for the first layer.
+    std::span<const double> input =
+        l == 0 ? x : std::span<const double>(cache.post[l - 1]);
+    // Accumulate parameter grads and propagate to the input.
+    std::vector<double> dinput(static_cast<size_t>(layer.in), 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      double d = dpre[static_cast<size_t>(o)];
+      if (d == 0.0) continue;
+      double* gw_row = &layer.gw[static_cast<size_t>(o) * layer.in];
+      const double* w_row = &layer.w[static_cast<size_t>(o) * layer.in];
+      for (int i = 0; i < layer.in; ++i) {
+        gw_row[i] += d * input[static_cast<size_t>(i)];
+        dinput[static_cast<size_t>(i)] += d * w_row[i];
+      }
+      layer.gb[static_cast<size_t>(o)] += d;
+    }
+    grad = std::move(dinput);
+  }
+  return grad;
+}
+
+Mlp Mlp::Clone() const {
+  Mlp copy;
+  copy.input_dim_ = input_dim_;
+  copy.layers_ = layers_;
+  copy.RegisterParams();
+  return copy;
+}
+
+void Mlp::CopyFrom(const Mlp& other) {
+  SIMSUB_CHECK_EQ(layers_.size(), other.layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    SIMSUB_CHECK_EQ(layers_[l].w.size(), other.layers_[l].w.size());
+    layers_[l].w = other.layers_[l].w;
+    layers_[l].b = other.layers_[l].b;
+  }
+}
+
+util::Status Mlp::Save(std::ostream& os) const {
+  os << "mlp " << input_dim_ << " " << layers_.size() << "\n";
+  for (const DenseLayer& layer : layers_) {
+    os << layer.in << " " << layer.out << " " << ActivationName(layer.act)
+       << "\n";
+    os.precision(17);
+    for (double w : layer.w) os << w << " ";
+    os << "\n";
+    for (double b : layer.b) os << b << " ";
+    os << "\n";
+  }
+  if (!os) return util::Status::IOError("MLP serialization failed");
+  return util::Status::OK();
+}
+
+util::Result<Mlp> Mlp::Load(std::istream& is) {
+  std::string magic;
+  size_t num_layers = 0;
+  Mlp mlp;
+  is >> magic >> mlp.input_dim_ >> num_layers;
+  if (!is || magic != "mlp") {
+    return util::Status::IOError("bad MLP header");
+  }
+  for (size_t l = 0; l < num_layers; ++l) {
+    DenseLayer layer;
+    std::string act_name;
+    is >> layer.in >> layer.out >> act_name;
+    if (!is || layer.in <= 0 || layer.out <= 0) {
+      return util::Status::IOError("bad MLP layer header");
+    }
+    layer.act = ActivationFromName(act_name);
+    layer.w.resize(static_cast<size_t>(layer.in) * layer.out);
+    layer.b.resize(static_cast<size_t>(layer.out));
+    for (double& w : layer.w) is >> w;
+    for (double& b : layer.b) is >> b;
+    if (!is) return util::Status::IOError("truncated MLP weights");
+    layer.gw.assign(layer.w.size(), 0.0);
+    layer.gb.assign(layer.b.size(), 0.0);
+    mlp.layers_.push_back(std::move(layer));
+  }
+  mlp.RegisterParams();
+  return mlp;
+}
+
+}  // namespace simsub::nn

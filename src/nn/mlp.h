@@ -1,0 +1,113 @@
+// Small fully-connected network with per-layer activations. This is the
+// function approximator behind the DQN (paper Section 6.1: one hidden layer
+// of 20 ReLU units, sigmoid output head with 2+k units).
+#ifndef SIMSUB_NN_MLP_H_
+#define SIMSUB_NN_MLP_H_
+
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/param.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace simsub::nn {
+
+enum class Activation { kNone, kRelu, kSigmoid, kTanh };
+
+/// Parses "none|relu|sigmoid|tanh"; returns kNone on unknown input.
+Activation ActivationFromName(const std::string& name);
+const char* ActivationName(Activation act);
+
+/// Applies the activation elementwise.
+void ApplyActivation(Activation act, std::vector<double>* v);
+
+/// d(act)/d(pre) given the *post*-activation value (all supported
+/// activations admit this form).
+double ActivationGradFromOutput(Activation act, double post);
+
+/// One affine layer y = W x + b with an elementwise activation.
+struct DenseLayer {
+  int in = 0;
+  int out = 0;
+  Activation act = Activation::kNone;
+  std::vector<double> w;   // row-major, out x in
+  std::vector<double> b;   // out
+  std::vector<double> gw;  // accumulated dL/dw
+  std::vector<double> gb;  // accumulated dL/db
+};
+
+/// Multi-layer perceptron operating on single samples (minibatches loop and
+/// accumulate gradients; at these sizes that is faster than a GEMM setup).
+class Mlp {
+ public:
+  struct LayerSpec {
+    int out = 0;
+    Activation act = Activation::kNone;
+  };
+
+  /// Builds input_dim -> specs[0].out -> ... with He/Xavier initialization
+  /// appropriate for each activation, using `rng` for reproducibility.
+  Mlp(int input_dim, const std::vector<LayerSpec>& specs, util::Rng& rng);
+
+  // The ParameterBag aliases the layer buffers: moving keeps element
+  // addresses valid (vector storage moves wholesale), copying would not.
+  Mlp(const Mlp&) = delete;
+  Mlp& operator=(const Mlp&) = delete;
+  Mlp(Mlp&&) = default;
+  Mlp& operator=(Mlp&&) = default;
+
+  /// Deep copy that rebuilds the parameter registry (for target networks).
+  Mlp Clone() const;
+
+  int input_dim() const { return input_dim_; }
+  int output_dim() const { return layers_.empty() ? input_dim_ : layers_.back().out; }
+
+  /// Inference-only forward pass.
+  std::vector<double> Forward(std::span<const double> x) const;
+
+  /// Per-layer post-activation values retained for Backward(). Reusing one
+  /// Cache across calls avoids per-call allocations in hot loops (DQN
+  /// training and RLS inference).
+  struct Cache {
+    std::vector<std::vector<double>> post;  // post[l] = output of layer l
+  };
+
+  /// Forward pass retaining intermediate activations.
+  std::vector<double> Forward(std::span<const double> x, Cache* cache) const;
+
+  /// Allocation-free forward: computes into `cache` (whose buffers are
+  /// reused across calls) and returns a reference to the output activations,
+  /// valid until the next call with the same cache.
+  const std::vector<double>& ForwardCached(std::span<const double> x,
+                                           Cache* cache) const;
+
+  /// Accumulates parameter gradients for dL/dy = `dy` at the cached forward
+  /// pass; returns dL/dx. Call params().ZeroGrad() to reset accumulators.
+  std::vector<double> Backward(std::span<const double> x, const Cache& cache,
+                               std::span<const double> dy);
+
+  /// Copies weights from a same-architecture network (target-net sync).
+  void CopyFrom(const Mlp& other);
+
+  ParameterBag& params() { return bag_; }
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+
+  /// Text (de)serialization of architecture + weights.
+  util::Status Save(std::ostream& os) const;
+  static util::Result<Mlp> Load(std::istream& is);
+
+ private:
+  Mlp() = default;
+  void RegisterParams();
+
+  int input_dim_ = 0;
+  std::vector<DenseLayer> layers_;
+  ParameterBag bag_;
+};
+
+}  // namespace simsub::nn
+
+#endif  // SIMSUB_NN_MLP_H_

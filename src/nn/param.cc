@@ -1,0 +1,15 @@
+#include "nn/param.h"
+
+#include <cmath>
+
+namespace simsub::nn {
+
+double ParameterBag::GradNorm() const {
+  double sum = 0.0;
+  for (const auto& v : views_) {
+    for (double g : *v.grad) sum += g * g;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace simsub::nn

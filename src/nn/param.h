@@ -1,0 +1,56 @@
+// Parameter registration shared by all trainable modules. A module owns its
+// weight and gradient buffers and registers views into a ParameterBag; the
+// Adam optimizer walks the bag, so optimizers never know module internals.
+#ifndef SIMSUB_NN_PARAM_H_
+#define SIMSUB_NN_PARAM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace simsub::nn {
+
+/// Non-owning view over one parameter tensor and its gradient accumulator.
+struct ParamView {
+  std::vector<double>* value = nullptr;
+  std::vector<double>* grad = nullptr;
+};
+
+/// Ordered collection of parameter views for one trainable model.
+class ParameterBag {
+ public:
+  void Register(std::vector<double>* value, std::vector<double>* grad) {
+    views_.push_back(ParamView{value, grad});
+  }
+
+  const std::vector<ParamView>& views() const { return views_; }
+
+  size_t TotalSize() const {
+    size_t total = 0;
+    for (const auto& v : views_) total += v.value->size();
+    return total;
+  }
+
+  /// Zeroes every gradient accumulator.
+  void ZeroGrad() {
+    for (auto& v : views_) {
+      std::fill(v.grad->begin(), v.grad->end(), 0.0);
+    }
+  }
+
+  /// Elementwise L2 norm of all gradients (diagnostics, clipping).
+  double GradNorm() const;
+
+  /// Scales all gradients by `factor` (gradient clipping support).
+  void ScaleGrad(double factor) {
+    for (auto& v : views_) {
+      for (double& g : *v.grad) g *= factor;
+    }
+  }
+
+ private:
+  std::vector<ParamView> views_;
+};
+
+}  // namespace simsub::nn
+
+#endif  // SIMSUB_NN_PARAM_H_

@@ -1,0 +1,28 @@
+// (De)serialization of trained RLS policies: the Q-network weights plus the
+// MDP configuration they were trained under. Lets applications train once
+// and ship the policy (the paper's Table 7 training costs are paid offline).
+#ifndef SIMSUB_RL_POLICY_IO_H_
+#define SIMSUB_RL_POLICY_IO_H_
+
+#include <iostream>
+#include <string>
+
+#include "rl/trainer.h"
+#include "util/status.h"
+
+namespace simsub::rl {
+
+/// Writes the policy (env options + network) as plain text.
+util::Status SavePolicy(const TrainedPolicy& policy, std::ostream& os);
+
+/// Reads a policy written by SavePolicy.
+util::Result<TrainedPolicy> LoadPolicy(std::istream& is);
+
+/// File conveniences.
+util::Status SavePolicyToFile(const TrainedPolicy& policy,
+                              const std::string& path);
+util::Result<TrainedPolicy> LoadPolicyFromFile(const std::string& path);
+
+}  // namespace simsub::rl
+
+#endif  // SIMSUB_RL_POLICY_IO_H_

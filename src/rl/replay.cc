@@ -1,0 +1,34 @@
+#include "rl/replay.h"
+
+#include "util/logging.h"
+
+namespace simsub::rl {
+
+ReplayMemory::ReplayMemory(size_t capacity) : capacity_(capacity) {
+  SIMSUB_CHECK_GT(capacity, 0u);
+  buffer_.reserve(capacity);
+}
+
+void ReplayMemory::Add(Experience e) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(std::move(e));
+  } else {
+    buffer_[next_] = std::move(e);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<const Experience*> ReplayMemory::Sample(size_t count,
+                                                    util::Rng& rng) const {
+  SIMSUB_CHECK(!buffer_.empty());
+  std::vector<const Experience*> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t idx = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(buffer_.size()) - 1));
+    out.push_back(&buffer_[idx]);
+  }
+  return out;
+}
+
+}  // namespace simsub::rl

@@ -1,0 +1,68 @@
+// Training loop for the RLS / RLS-Skip policies (paper Algorithm 3):
+// episodes sample a (data, query) pair, roll the splitting MDP with
+// epsilon-greedy actions, store transitions, and take one DQN gradient step
+// per environment step; the target network syncs at episode end.
+#ifndef SIMSUB_RL_TRAINER_H_
+#define SIMSUB_RL_TRAINER_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geo/trajectory.h"
+#include "nn/mlp.h"
+#include "rl/dqn.h"
+#include "rl/env.h"
+#include "similarity/measure.h"
+
+namespace simsub::rl {
+
+/// Everything RlsSearch needs to run a learned splitting policy.
+struct TrainedPolicy {
+  std::shared_ptr<const nn::Mlp> net;
+  EnvOptions env_options;
+};
+
+/// Trainer configuration. `episodes` is the number of (data, query) pairs
+/// rolled; the paper uses 25k pairs — bench defaults are smaller and
+/// flag-scalable since the policy plateaus much earlier on synthetic data.
+struct RlsTrainOptions {
+  int episodes = 3000;
+  DqnOptions dqn;
+  EnvOptions env;
+  uint64_t seed = 42;
+  /// Sync the target network every this many episodes (paper: 1).
+  int target_sync_every = 1;
+  /// When > 0, record mean episode return every `log_every` episodes.
+  int log_every = 0;
+};
+
+/// Per-training-run diagnostics.
+struct TrainReport {
+  std::vector<double> episode_returns;   // one entry per episode
+  double train_seconds = 0.0;
+  long long gradient_steps = 0;
+};
+
+/// Trains a DQN splitting policy for `measure` on trajectories sampled from
+/// the given pools.
+class RlsTrainer {
+ public:
+  RlsTrainer(const similarity::SimilarityMeasure* measure,
+             RlsTrainOptions options);
+
+  /// Runs training; both pools must be non-empty. Returns the greedy policy.
+  TrainedPolicy Train(std::span<const geo::Trajectory> data_pool,
+                      std::span<const geo::Trajectory> query_pool);
+
+  const TrainReport& report() const { return report_; }
+
+ private:
+  const similarity::SimilarityMeasure* measure_;
+  RlsTrainOptions options_;
+  TrainReport report_;
+};
+
+}  // namespace simsub::rl
+
+#endif  // SIMSUB_RL_TRAINER_H_

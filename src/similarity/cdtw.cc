@@ -1,0 +1,94 @@
+#include "similarity/cdtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace simsub::similarity {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class CdtwEvaluator : public PrefixEvaluator {
+ public:
+  CdtwEvaluator(std::span<const geo::Point> query, int band)
+      : query_(query), band_(band), row_(query.size(), kInf),
+        scratch_(query.size(), kInf) {
+    SIMSUB_CHECK(!query.empty());
+    SIMSUB_CHECK_GE(band, 1);
+  }
+
+  double Start(const geo::Point& p) override {
+    length_ = 1;
+    std::fill(row_.begin(), row_.end(), kInf);
+    // Row r = 0 (local index); band admits j in [0, band_].
+    double acc = 0.0;
+    size_t hi = std::min(query_.size(), static_cast<size_t>(band_) + 1);
+    for (size_t j = 0; j < hi; ++j) {
+      acc += geo::Distance(p, query_[j]);
+      row_[j] = acc;
+    }
+    return Current();
+  }
+
+  double Extend(const geo::Point& p) override {
+    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    int r = length_;  // local row index of the new point
+    ++length_;
+    std::fill(scratch_.begin(), scratch_.end(), kInf);
+    size_t j_lo = r > band_ ? static_cast<size_t>(r - band_) : 0;
+    size_t j_hi = std::min(query_.size(), static_cast<size_t>(r + band_) + 1);
+    for (size_t j = j_lo; j < j_hi; ++j) {
+      double best = kInf;
+      best = std::min(best, row_[j]);
+      if (j > 0) {
+        best = std::min(best, row_[j - 1]);
+        best = std::min(best, scratch_[j - 1]);
+      }
+      if (best == kInf) {
+        scratch_[j] = kInf;
+      } else {
+        scratch_[j] = geo::Distance(p, query_[j]) + best;
+      }
+    }
+    row_.swap(scratch_);
+    return Current();
+  }
+
+  double Current() const override {
+    if (length_ == 0) return kInf;
+    // The subtrajectory end must be reachable from the query end: only the
+    // last query column counts, and it is infinite when out of band.
+    return row_.back();
+  }
+
+  int Length() const override { return length_; }
+
+ private:
+  std::span<const geo::Point> query_;
+  int band_;
+  std::vector<double> row_;
+  std::vector<double> scratch_;
+  int length_ = 0;
+};
+
+}  // namespace
+
+CdtwMeasure::CdtwMeasure(double band_fraction)
+    : band_fraction_(band_fraction) {
+  SIMSUB_CHECK_GT(band_fraction, 0.0);
+}
+
+std::unique_ptr<PrefixEvaluator> CdtwMeasure::NewEvaluator(
+    std::span<const geo::Point> query) const {
+  int band = std::max(
+      1, static_cast<int>(std::ceil(band_fraction_ *
+                                    static_cast<double>(query.size()))));
+  return std::make_unique<CdtwEvaluator>(query, band);
+}
+
+}  // namespace simsub::similarity

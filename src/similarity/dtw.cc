@@ -1,0 +1,153 @@
+#include "similarity/dtw.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace simsub::similarity {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Maintains one DP row D[cur][0..m-1] where D[r][j] is the DTW distance
+/// between the current subtrajectory T[i..i+r] and query[0..j].
+class DtwEvaluator : public PrefixEvaluator {
+ public:
+  explicit DtwEvaluator(std::span<const geo::Point> query)
+      : query_(query), row_(query.size()), scratch_(query.size()) {
+    SIMSUB_CHECK(!query.empty());
+  }
+
+  double Start(const geo::Point& p) override {
+    length_ = 1;
+    // First row: D[1][j] = sum_{k<=j} d(p, q_k)  (Equation 1, i = 1 case).
+    double acc = 0.0;
+    for (size_t j = 0; j < query_.size(); ++j) {
+      acc += geo::Distance(p, query_[j]);
+      row_[j] = acc;
+    }
+    return row_.back();
+  }
+
+  double Extend(const geo::Point& p) override {
+    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    ++length_;
+    // D[r][0] = D[r-1][0] + d(p, q_0)  (Equation 1, j = 1 case).
+    scratch_[0] = row_[0] + geo::Distance(p, query_[0]);
+    for (size_t j = 1; j < query_.size(); ++j) {
+      double best = std::min({row_[j - 1], row_[j], scratch_[j - 1]});
+      scratch_[j] = geo::Distance(p, query_[j]) + best;
+    }
+    row_.swap(scratch_);
+    return row_.back();
+  }
+
+  double Current() const override { return length_ > 0 ? row_.back() : kInf; }
+
+  int Length() const override { return length_; }
+
+ private:
+  std::span<const geo::Point> query_;
+  std::vector<double> row_;
+  std::vector<double> scratch_;
+  int length_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PrefixEvaluator> DtwMeasure::NewEvaluator(
+    std::span<const geo::Point> query) const {
+  return std::make_unique<DtwEvaluator>(query);
+}
+
+double DtwMeasure::Distance(std::span<const geo::Point> a,
+                            std::span<const geo::Point> b) const {
+  return DtwDistance(a, b);
+}
+
+double DtwDistance(std::span<const geo::Point> a,
+                   std::span<const geo::Point> b) {
+  return BandedDtwDistance(a, b, /*band=*/-1);
+}
+
+double BandedDtwDistance(std::span<const geo::Point> a,
+                         std::span<const geo::Point> b, int band) {
+  SIMSUB_CHECK(!a.empty());
+  SIMSUB_CHECK(!b.empty());
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<double> prev(m, kInf);
+  std::vector<double> cur(m, kInf);
+  for (size_t i = 0; i < n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    size_t j_lo = 0;
+    size_t j_hi = m;  // exclusive
+    if (band >= 0) {
+      size_t w = static_cast<size_t>(band);
+      j_lo = i > w ? i - w : 0;
+      j_hi = std::min(m, i + w + 1);
+      if (j_lo >= j_hi) {
+        return kInf;  // Band admits no cell in this row.
+      }
+    }
+    for (size_t j = j_lo; j < j_hi; ++j) {
+      double d = geo::Distance(a[i], b[j]);
+      if (i == 0 && j == 0) {
+        cur[j] = d;
+      } else {
+        double best = kInf;
+        if (i > 0) best = std::min(best, prev[j]);
+        if (j > 0) best = std::min(best, cur[j - 1]);
+        if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);
+        cur[j] = d + best;
+      }
+    }
+    prev.swap(cur);
+  }
+  return prev.back();
+}
+
+double DtwDistanceEarlyAbandon(std::span<const geo::Point> a,
+                               std::span<const geo::Point> b, int band,
+                               double threshold) {
+  SIMSUB_CHECK(!a.empty());
+  SIMSUB_CHECK(!b.empty());
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<double> prev(m, kInf);
+  std::vector<double> cur(m, kInf);
+  for (size_t i = 0; i < n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    size_t j_lo = 0;
+    size_t j_hi = m;
+    if (band >= 0) {
+      size_t w = static_cast<size_t>(band);
+      j_lo = i > w ? i - w : 0;
+      j_hi = std::min(m, i + w + 1);
+      if (j_lo >= j_hi) return kInf;
+    }
+    double row_min = kInf;
+    for (size_t j = j_lo; j < j_hi; ++j) {
+      double d = geo::Distance(a[i], b[j]);
+      if (i == 0 && j == 0) {
+        cur[j] = d;
+      } else {
+        double best = kInf;
+        if (i > 0) best = std::min(best, prev[j]);
+        if (j > 0) best = std::min(best, cur[j - 1]);
+        if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);
+        cur[j] = d + best;
+      }
+      row_min = std::min(row_min, cur[j]);
+    }
+    // DTW cost is non-decreasing along any warping path, so once every cell
+    // of a row exceeds the threshold the final distance must as well.
+    if (row_min > threshold) return kInf;
+    prev.swap(cur);
+  }
+  return prev.back();
+}
+
+}  // namespace simsub::similarity

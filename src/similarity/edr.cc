@@ -1,0 +1,101 @@
+#include "similarity/edr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace simsub::similarity {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool Matches(const geo::Point& a, const geo::Point& b, double eps) {
+  return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps;
+}
+
+// Rows are E[r][j] = EDR(T[i..i+r], q[0..j]) with the virtual base row
+// E[-1][j] = j + 1 (delete the whole query prefix).
+class EdrEvaluator : public PrefixEvaluator {
+ public:
+  EdrEvaluator(std::span<const geo::Point> query, double eps)
+      : query_(query), eps_(eps), row_(query.size()), scratch_(query.size()) {
+    SIMSUB_CHECK(!query.empty());
+  }
+
+  double Start(const geo::Point& p) override {
+    length_ = 1;
+    for (size_t j = 0; j < query_.size(); ++j) {
+      double base_diag = static_cast<double>(j);      // E[-1][j-1] = j
+      double base_up = static_cast<double>(j) + 1.0;  // E[-1][j]
+      double sub = base_diag + (Matches(p, query_[j], eps_) ? 0.0 : 1.0);
+      double del_q = (j > 0 ? row_[j - 1] : 1.0 /*E[0][-1]*/) + 1.0;
+      double del_p = base_up + 1.0;
+      row_[j] = std::min({sub, del_q, del_p});
+    }
+    return row_.back();
+  }
+
+  double Extend(const geo::Point& p) override {
+    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    ++length_;
+    double left_boundary = static_cast<double>(length_);  // E[r][-1] = r + 1
+    for (size_t j = 0; j < query_.size(); ++j) {
+      double diag = (j > 0 ? row_[j - 1]
+                           : static_cast<double>(length_) - 1.0);  // E[r-1][-1]
+      double sub = diag + (Matches(p, query_[j], eps_) ? 0.0 : 1.0);
+      double del_q = (j > 0 ? scratch_[j - 1] : left_boundary) + 1.0;
+      double del_p = row_[j] + 1.0;
+      scratch_[j] = std::min({sub, del_q, del_p});
+    }
+    row_.swap(scratch_);
+    return row_.back();
+  }
+
+  double Current() const override { return length_ > 0 ? row_.back() : kInf; }
+
+  int Length() const override { return length_; }
+
+ private:
+  std::span<const geo::Point> query_;
+  double eps_;
+  std::vector<double> row_;
+  std::vector<double> scratch_;
+  int length_ = 0;
+};
+
+}  // namespace
+
+EdrMeasure::EdrMeasure(double eps) : eps_(eps) {
+  SIMSUB_CHECK_GE(eps, 0.0);
+}
+
+std::unique_ptr<PrefixEvaluator> EdrMeasure::NewEvaluator(
+    std::span<const geo::Point> query) const {
+  return std::make_unique<EdrEvaluator>(query, eps_);
+}
+
+double EdrDistance(std::span<const geo::Point> a,
+                   std::span<const geo::Point> b, double eps) {
+  SIMSUB_CHECK(!a.empty());
+  SIMSUB_CHECK(!b.empty());
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<double> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<double>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      double sub =
+          prev[j - 1] + (Matches(a[i - 1], b[j - 1], eps) ? 0.0 : 1.0);
+      cur[j] = std::min({sub, prev[j] + 1.0, cur[j - 1] + 1.0});
+    }
+    prev.swap(cur);
+  }
+  return prev.back();
+}
+
+}  // namespace simsub::similarity

@@ -1,0 +1,37 @@
+// Edit Distance on Real sequences (Chen, Ozsu & Oria, SIGMOD 2005):
+// an edit distance where two points "match" when both coordinate deltas are
+// within a tolerance eps; mismatches, insertions and deletions cost 1.
+#ifndef SIMSUB_SIMILARITY_EDR_H_
+#define SIMSUB_SIMILARITY_EDR_H_
+
+#include <memory>
+#include <span>
+
+#include "similarity/measure.h"
+
+namespace simsub::similarity {
+
+/// EDR measure. Phi = O(n*m), Phi_inc = Phi_ini = O(m).
+class EdrMeasure : public SimilarityMeasure {
+ public:
+  /// `eps` is the match tolerance in coordinate units (meters here).
+  explicit EdrMeasure(double eps);
+
+  std::string name() const override { return "edr"; }
+
+  double eps() const { return eps_; }
+
+  std::unique_ptr<PrefixEvaluator> NewEvaluator(
+      std::span<const geo::Point> query) const override;
+
+ private:
+  double eps_;
+};
+
+/// Free-function EDR distance with tolerance eps.
+double EdrDistance(std::span<const geo::Point> a,
+                   std::span<const geo::Point> b, double eps);
+
+}  // namespace simsub::similarity
+
+#endif  // SIMSUB_SIMILARITY_EDR_H_

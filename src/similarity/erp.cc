@@ -1,0 +1,119 @@
+#include "similarity/erp.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace simsub::similarity {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// DP over rows: E[r][j] = ERP(T[i..i+r], q[0..j]). The virtual row E[-1][*]
+// is the all-gap alignment of the query prefix: E[-1][j] = sum_k d(q_k, g).
+class ErpEvaluator : public PrefixEvaluator {
+ public:
+  ErpEvaluator(std::span<const geo::Point> query, const geo::Point& gap)
+      : query_(query), gap_(gap), base_(query.size()), row_(query.size()),
+        scratch_(query.size()) {
+    SIMSUB_CHECK(!query.empty());
+    double acc = 0.0;
+    for (size_t j = 0; j < query_.size(); ++j) {
+      acc += geo::Distance(query_[j], gap_);
+      base_[j] = acc;
+    }
+  }
+
+  double Start(const geo::Point& p) override {
+    length_ = 1;
+    double dpg = geo::Distance(p, gap_);
+    prior_gap_cost_ = dpg;  // E[r][-1] boundary for the next Extend().
+    // E[0][0] = min(match, delete-p + gap-q0, gap both ways).
+    row_[0] = std::min({geo::Distance(p, query_[0]),          // match
+                        dpg + geo::Distance(query_[0], gap_)  // both gapped
+                       });
+    for (size_t j = 1; j < query_.size(); ++j) {
+      double match = base_[j - 1] + geo::Distance(p, query_[j]);
+      double skip_q = row_[j - 1] + geo::Distance(query_[j], gap_);
+      double skip_p = base_[j] + dpg;
+      row_[j] = std::min({match, skip_q, skip_p});
+    }
+    return row_.back();
+  }
+
+  double Extend(const geo::Point& p) override {
+    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    ++length_;
+    double dpg = geo::Distance(p, gap_);
+    // Column j = 0: either p matches q0 after deleting the earlier
+    // subtrajectory points, or p is gapped.
+    double all_prior_gapped = PriorGapCost();
+    scratch_[0] = std::min({all_prior_gapped + geo::Distance(p, query_[0]),
+                            row_[0] + dpg});
+    for (size_t j = 1; j < query_.size(); ++j) {
+      double match = row_[j - 1] + geo::Distance(p, query_[j]);
+      double skip_p = row_[j] + dpg;
+      double skip_q = scratch_[j - 1] + geo::Distance(query_[j], gap_);
+      scratch_[j] = std::min({match, skip_p, skip_q});
+    }
+    row_.swap(scratch_);
+    // Cost of gapping every subtrajectory point so far (kept incrementally
+    // for the j = 0 boundary of the next row).
+    prior_gap_cost_ += dpg;
+    return row_.back();
+  }
+
+  double Current() const override { return length_ > 0 ? row_.back() : kInf; }
+
+  int Length() const override { return length_; }
+
+ private:
+  double PriorGapCost() const { return prior_gap_cost_; }
+
+  std::span<const geo::Point> query_;
+  geo::Point gap_;
+  std::vector<double> base_;  // E[-1][j] = sum_{k<=j} d(q_k, g)
+  std::vector<double> row_;
+  std::vector<double> scratch_;
+  double prior_gap_cost_ = 0.0;
+  int length_ = 0;
+};
+
+}  // namespace
+
+ErpMeasure::ErpMeasure(geo::Point gap) : gap_(gap) {}
+
+std::unique_ptr<PrefixEvaluator> ErpMeasure::NewEvaluator(
+    std::span<const geo::Point> query) const {
+  return std::make_unique<ErpEvaluator>(query, gap_);
+}
+
+double ErpDistance(std::span<const geo::Point> a,
+                   std::span<const geo::Point> b, const geo::Point& gap) {
+  SIMSUB_CHECK(!a.empty());
+  SIMSUB_CHECK(!b.empty());
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // Full (n+1) x (m+1) DP with explicit gap row/column.
+  std::vector<double> prev(m + 1), cur(m + 1);
+  prev[0] = 0.0;
+  for (size_t j = 1; j <= m; ++j) {
+    prev[j] = prev[j - 1] + geo::Distance(b[j - 1], gap);
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = prev[0] + geo::Distance(a[i - 1], gap);
+    for (size_t j = 1; j <= m; ++j) {
+      double match = prev[j - 1] + geo::Distance(a[i - 1], b[j - 1]);
+      double skip_a = prev[j] + geo::Distance(a[i - 1], gap);
+      double skip_b = cur[j - 1] + geo::Distance(b[j - 1], gap);
+      cur[j] = std::min({match, skip_a, skip_b});
+    }
+    prev.swap(cur);
+  }
+  return prev.back();
+}
+
+}  // namespace simsub::similarity

@@ -1,0 +1,38 @@
+// Edit distance with Real Penalty (Chen & Ng, VLDB 2004). A metric edit
+// distance where gaps are charged against a fixed reference point g.
+#ifndef SIMSUB_SIMILARITY_ERP_H_
+#define SIMSUB_SIMILARITY_ERP_H_
+
+#include <memory>
+#include <span>
+
+#include "geo/point.h"
+#include "similarity/measure.h"
+
+namespace simsub::similarity {
+
+/// ERP measure. Phi = O(n*m), Phi_inc = Phi_ini = O(m).
+class ErpMeasure : public SimilarityMeasure {
+ public:
+  /// `gap` is the reference point g used to price insertions/deletions;
+  /// the customary choice is the origin of the (local) coordinate system.
+  explicit ErpMeasure(geo::Point gap = geo::Point(0.0, 0.0));
+
+  std::string name() const override { return "erp"; }
+
+  const geo::Point& gap() const { return gap_; }
+
+  std::unique_ptr<PrefixEvaluator> NewEvaluator(
+      std::span<const geo::Point> query) const override;
+
+ private:
+  geo::Point gap_;
+};
+
+/// Free-function ERP distance with gap point g.
+double ErpDistance(std::span<const geo::Point> a,
+                   std::span<const geo::Point> b, const geo::Point& gap);
+
+}  // namespace simsub::similarity
+
+#endif  // SIMSUB_SIMILARITY_ERP_H_

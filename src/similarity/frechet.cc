@@ -1,0 +1,96 @@
+#include "similarity/frechet.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace simsub::similarity {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One DP row F[r][0..m-1]: discrete Frechet between T[i..i+r] and q[0..j].
+class FrechetEvaluator : public PrefixEvaluator {
+ public:
+  explicit FrechetEvaluator(std::span<const geo::Point> query)
+      : query_(query), row_(query.size()), scratch_(query.size()) {
+    SIMSUB_CHECK(!query.empty());
+  }
+
+  double Start(const geo::Point& p) override {
+    length_ = 1;
+    // F[1][j] = max_{k<=j} d(p, q_k)  (Equation 2, i = 1 case).
+    double acc = 0.0;
+    for (size_t j = 0; j < query_.size(); ++j) {
+      acc = std::max(acc, geo::Distance(p, query_[j]));
+      row_[j] = acc;
+    }
+    return row_.back();
+  }
+
+  double Extend(const geo::Point& p) override {
+    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    ++length_;
+    // F[r][0] = max(F[r-1][0], d(p, q_0))  (Equation 2, j = 1 case).
+    scratch_[0] = std::max(row_[0], geo::Distance(p, query_[0]));
+    for (size_t j = 1; j < query_.size(); ++j) {
+      double best = std::min({row_[j - 1], row_[j], scratch_[j - 1]});
+      scratch_[j] = std::max(geo::Distance(p, query_[j]), best);
+    }
+    row_.swap(scratch_);
+    return row_.back();
+  }
+
+  double Current() const override { return length_ > 0 ? row_.back() : kInf; }
+
+  int Length() const override { return length_; }
+
+ private:
+  std::span<const geo::Point> query_;
+  std::vector<double> row_;
+  std::vector<double> scratch_;
+  int length_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PrefixEvaluator> FrechetMeasure::NewEvaluator(
+    std::span<const geo::Point> query) const {
+  return std::make_unique<FrechetEvaluator>(query);
+}
+
+double FrechetMeasure::Distance(std::span<const geo::Point> a,
+                                std::span<const geo::Point> b) const {
+  return FrechetDistance(a, b);
+}
+
+double FrechetDistance(std::span<const geo::Point> a,
+                       std::span<const geo::Point> b) {
+  SIMSUB_CHECK(!a.empty());
+  SIMSUB_CHECK(!b.empty());
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<double> prev(m);
+  std::vector<double> cur(m);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      double d = geo::Distance(a[i], b[j]);
+      if (i == 0 && j == 0) {
+        cur[j] = d;
+      } else if (i == 0) {
+        cur[j] = std::max(cur[j - 1], d);
+      } else if (j == 0) {
+        cur[j] = std::max(prev[j], d);
+      } else {
+        cur[j] = std::max(d, std::min({prev[j - 1], prev[j], cur[j - 1]}));
+      }
+    }
+    prev.swap(cur);
+  }
+  return prev.back();
+}
+
+}  // namespace simsub::similarity

@@ -1,0 +1,31 @@
+// Discrete Frechet distance (Alt & Godau 1995, discrete variant) with the
+// O(m)-per-step incremental row evaluator.
+#ifndef SIMSUB_SIMILARITY_FRECHET_H_
+#define SIMSUB_SIMILARITY_FRECHET_H_
+
+#include <memory>
+#include <span>
+
+#include "similarity/measure.h"
+
+namespace simsub::similarity {
+
+/// Discrete Frechet. Phi = O(n*m), Phi_inc = Phi_ini = O(m) (paper Table 1).
+class FrechetMeasure : public SimilarityMeasure {
+ public:
+  std::string name() const override { return "frechet"; }
+
+  std::unique_ptr<PrefixEvaluator> NewEvaluator(
+      std::span<const geo::Point> query) const override;
+
+  double Distance(std::span<const geo::Point> a,
+                  std::span<const geo::Point> b) const override;
+};
+
+/// Free-function discrete Frechet distance between two point sequences.
+double FrechetDistance(std::span<const geo::Point> a,
+                       std::span<const geo::Point> b);
+
+}  // namespace simsub::similarity
+
+#endif  // SIMSUB_SIMILARITY_FRECHET_H_

@@ -1,0 +1,105 @@
+#include "similarity/hausdorff.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace simsub::similarity {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Incremental state:
+//  * sub_to_query_: max over subtrajectory points of min_j d(p, q_j) — each
+//    new point contributes one O(m) nearest-query lookup, and the max only
+//    grows;
+//  * query_min_[j]: min over subtrajectory points of d(q_j, p) — each new
+//    point can only lower these, so one O(m) sweep per Extend keeps them
+//    exact.
+class HausdorffEvaluator : public PrefixEvaluator {
+ public:
+  explicit HausdorffEvaluator(std::span<const geo::Point> query)
+      : query_(query), query_min_(query.size()) {
+    SIMSUB_CHECK(!query.empty());
+  }
+
+  double Start(const geo::Point& p) override {
+    length_ = 1;
+    sub_to_query_ = kInf;
+    std::fill(query_min_.begin(), query_min_.end(), kInf);
+    Absorb(p);
+    return Current();
+  }
+
+  double Extend(const geo::Point& p) override {
+    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    ++length_;
+    Absorb(p);
+    return Current();
+  }
+
+  double Current() const override {
+    if (length_ == 0) return kInf;
+    double query_to_sub = 0.0;
+    for (double d : query_min_) query_to_sub = std::max(query_to_sub, d);
+    return std::max(sub_to_query_ == kInf ? 0.0 : sub_to_query_, query_to_sub);
+  }
+
+  int Length() const override { return length_; }
+
+ private:
+  void Absorb(const geo::Point& p) {
+    double nearest = kInf;
+    for (size_t j = 0; j < query_.size(); ++j) {
+      double d = geo::Distance(p, query_[j]);
+      nearest = std::min(nearest, d);
+      query_min_[j] = std::min(query_min_[j], d);
+    }
+    if (length_ == 1) {
+      sub_to_query_ = nearest;
+    } else {
+      sub_to_query_ = std::max(sub_to_query_, nearest);
+    }
+  }
+
+  std::span<const geo::Point> query_;
+  std::vector<double> query_min_;
+  double sub_to_query_ = kInf;
+  int length_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PrefixEvaluator> HausdorffMeasure::NewEvaluator(
+    std::span<const geo::Point> query) const {
+  return std::make_unique<HausdorffEvaluator>(query);
+}
+
+double HausdorffMeasure::Distance(std::span<const geo::Point> a,
+                                  std::span<const geo::Point> b) const {
+  return HausdorffDistance(a, b);
+}
+
+double HausdorffDistance(std::span<const geo::Point> a,
+                         std::span<const geo::Point> b) {
+  SIMSUB_CHECK(!a.empty());
+  SIMSUB_CHECK(!b.empty());
+  auto directed = [](std::span<const geo::Point> from,
+                     std::span<const geo::Point> to) {
+    double worst = 0.0;
+    for (const geo::Point& p : from) {
+      double nearest = kInf;
+      for (const geo::Point& q : to) {
+        nearest = std::min(nearest, geo::Distance(p, q));
+      }
+      worst = std::max(worst, nearest);
+    }
+    return worst;
+  };
+  return std::max(directed(a, b), directed(b, a));
+}
+
+}  // namespace simsub::similarity

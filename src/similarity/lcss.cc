@@ -1,0 +1,107 @@
+#include "similarity/lcss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace simsub::similarity {
+
+namespace {
+
+bool Matches(const geo::Point& a, const geo::Point& b, double eps) {
+  return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps;
+}
+
+class LcssEvaluator : public PrefixEvaluator {
+ public:
+  LcssEvaluator(std::span<const geo::Point> query, double eps)
+      : query_(query), eps_(eps), row_(query.size()), scratch_(query.size()) {
+    SIMSUB_CHECK(!query.empty());
+  }
+
+  double Start(const geo::Point& p) override {
+    length_ = 1;
+    // L(1, j): 1 once p matched any query point up to j.
+    int seen = 0;
+    for (size_t j = 0; j < query_.size(); ++j) {
+      if (Matches(p, query_[j], eps_)) seen = 1;
+      row_[j] = seen;
+    }
+    return Current();
+  }
+
+  double Extend(const geo::Point& p) override {
+    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    ++length_;
+    for (size_t j = 0; j < query_.size(); ++j) {
+      int diag = j > 0 ? row_[j - 1] : 0;
+      if (Matches(p, query_[j], eps_)) {
+        scratch_[j] = diag + 1;
+      } else {
+        int up = row_[j];
+        int left = j > 0 ? scratch_[j - 1] : 0;
+        scratch_[j] = std::max(up, left);
+      }
+    }
+    row_.swap(scratch_);
+    return Current();
+  }
+
+  double Current() const override {
+    if (length_ == 0) return std::numeric_limits<double>::infinity();
+    int denom = std::min(length_, static_cast<int>(query_.size()));
+    return 1.0 - static_cast<double>(row_.back()) / denom;
+  }
+
+  int Length() const override { return length_; }
+
+ private:
+  std::span<const geo::Point> query_;
+  double eps_;
+  std::vector<int> row_;
+  std::vector<int> scratch_;
+  int length_ = 0;
+};
+
+}  // namespace
+
+LcssMeasure::LcssMeasure(double eps) : eps_(eps) {
+  SIMSUB_CHECK_GE(eps, 0.0);
+}
+
+std::unique_ptr<PrefixEvaluator> LcssMeasure::NewEvaluator(
+    std::span<const geo::Point> query) const {
+  return std::make_unique<LcssEvaluator>(query, eps_);
+}
+
+int LcssLength(std::span<const geo::Point> a, std::span<const geo::Point> b,
+               double eps) {
+  SIMSUB_CHECK(!a.empty());
+  SIMSUB_CHECK(!b.empty());
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<int> prev(m + 1, 0), cur(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = 0;
+    for (size_t j = 1; j <= m; ++j) {
+      if (Matches(a[i - 1], b[j - 1], eps)) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    prev.swap(cur);
+  }
+  return prev.back();
+}
+
+double LcssDistance(std::span<const geo::Point> a,
+                    std::span<const geo::Point> b, double eps) {
+  int denom = static_cast<int>(std::min(a.size(), b.size()));
+  return 1.0 - static_cast<double>(LcssLength(a, b, eps)) / denom;
+}
+
+}  // namespace simsub::similarity

@@ -1,0 +1,40 @@
+// Longest Common SubSequence similarity (Vlachos, Kollios & Gunopulos,
+// ICDE 2002), exposed as the normalized distance 1 - LCSS / min(|a|, |b|).
+#ifndef SIMSUB_SIMILARITY_LCSS_H_
+#define SIMSUB_SIMILARITY_LCSS_H_
+
+#include <memory>
+#include <span>
+
+#include "similarity/measure.h"
+
+namespace simsub::similarity {
+
+/// LCSS-based distance. Phi = O(n*m), Phi_inc = Phi_ini = O(m).
+class LcssMeasure : public SimilarityMeasure {
+ public:
+  /// `eps` is the per-axis match tolerance, as in EDR.
+  explicit LcssMeasure(double eps);
+
+  std::string name() const override { return "lcss"; }
+
+  double eps() const { return eps_; }
+
+  std::unique_ptr<PrefixEvaluator> NewEvaluator(
+      std::span<const geo::Point> query) const override;
+
+ private:
+  double eps_;
+};
+
+/// Raw LCSS length between a and b with tolerance eps.
+int LcssLength(std::span<const geo::Point> a, std::span<const geo::Point> b,
+               double eps);
+
+/// Normalized LCSS distance: 1 - LCSS/min(|a|,|b|), in [0, 1].
+double LcssDistance(std::span<const geo::Point> a,
+                    std::span<const geo::Point> b, double eps);
+
+}  // namespace simsub::similarity
+
+#endif  // SIMSUB_SIMILARITY_LCSS_H_

@@ -1,0 +1,51 @@
+#include "similarity/measure.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace simsub::similarity {
+
+double ToSimilarity(double distance, SimilarityTransform transform) {
+  switch (transform) {
+    case SimilarityTransform::kOneOverOnePlus:
+      return 1.0 / (1.0 + distance);
+    case SimilarityTransform::kReciprocal: {
+      // Clamp so that identical trajectories (d == 0) map to a large finite
+      // similarity instead of dividing by zero.
+      constexpr double kMinDistance = 1e-12;
+      return 1.0 / std::max(distance, kMinDistance);
+    }
+  }
+  return 0.0;
+}
+
+double SimilarityMeasure::Distance(std::span<const geo::Point> a,
+                                   std::span<const geo::Point> b) const {
+  SIMSUB_CHECK(!a.empty());
+  SIMSUB_CHECK(!b.empty());
+  auto eval = NewEvaluator(b);
+  eval->Start(a[0]);
+  for (size_t i = 1; i < a.size(); ++i) eval->Extend(a[i]);
+  return eval->Current();
+}
+
+std::vector<double> ComputeSuffixDistances(const SimilarityMeasure& measure,
+                                           std::span<const geo::Point> data,
+                                           std::span<const geo::Point> query) {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  const size_t n = data.size();
+  std::vector<geo::Point> reversed_query = geo::ReversePoints(query);
+  auto eval = measure.NewEvaluator(reversed_query);
+  std::vector<double> suffix(n);
+  // T[n-1..n-1]^R is the single last point; extending with p_{n-2}, ...
+  // builds T[i..n-1]^R = <p_{n-1}, ..., p_i> one prepended point at a time.
+  suffix[n - 1] = eval->Start(data[n - 1]);
+  for (size_t k = n - 1; k-- > 0;) {
+    suffix[k] = eval->Extend(data[k]);
+  }
+  return suffix;
+}
+
+}  // namespace simsub::similarity

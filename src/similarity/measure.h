@@ -1,0 +1,103 @@
+// The abstract trajectory similarity framework of the paper (Section 3.2).
+//
+// The SimSub algorithms are written against two primitives:
+//   * Phi_ini — distance between a single-point subtrajectory and the query,
+//     realized by PrefixEvaluator::Start(p);
+//   * Phi_inc — distance of T[i..j] given that T[i..j-1] has been evaluated,
+//     realized by PrefixEvaluator::Extend(p).
+//
+// Any measurement exposing these two operations (DTW, Frechet, ERP, EDR,
+// LCSS, constrained DTW, learned t2vec embeddings, ...) plugs into every
+// search algorithm unchanged, which is exactly the paper's abstract-measure
+// claim.
+#ifndef SIMSUB_SIMILARITY_MEASURE_H_
+#define SIMSUB_SIMILARITY_MEASURE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/trajectory.h"
+
+namespace simsub::similarity {
+
+/// Incremental distance evaluator for subtrajectories sharing a start point.
+///
+/// Protocol: call Start(p_i) to begin the subtrajectory <p_i> (Phi_ini),
+/// then Extend(p_{i+1}), Extend(p_{i+2}), ... — each call returns the
+/// distance between the grown subtrajectory and the query this evaluator was
+/// created for (Phi_inc). Start() may be called again at any time to reset
+/// to a new start point. Evaluators are single-threaded, cheap to create,
+/// and hold a reference to the query passed at creation.
+class PrefixEvaluator {
+ public:
+  virtual ~PrefixEvaluator() = default;
+
+  /// Begins a new subtrajectory at `p`; returns dist(<p>, query). Phi_ini.
+  virtual double Start(const geo::Point& p) = 0;
+
+  /// Appends `p` to the current subtrajectory; returns the updated distance.
+  /// Phi_inc. Requires a preceding Start().
+  virtual double Extend(const geo::Point& p) = 0;
+
+  /// Distance of the current subtrajectory to the query.
+  virtual double Current() const = 0;
+
+  /// Number of points in the current subtrajectory (0 before Start()).
+  virtual int Length() const = 0;
+};
+
+/// How a raw distance d is inverted into a similarity Θ (paper Section 3.1:
+/// "applying some inverse operation such as taking the ratio between 1 and a
+/// distance").
+enum class SimilarityTransform {
+  /// Θ = 1 / (1 + d): bounded to (0, 1], the library default (plays well
+  /// with the sigmoid Q-value heads of the DQN).
+  kOneOverOnePlus,
+  /// Θ = 1 / d (with d clamped away from zero): reproduces the worked
+  /// examples in the paper's Tables 3 and 4.
+  kReciprocal,
+};
+
+/// Applies the chosen transform; both are strictly decreasing in d, so
+/// rankings (and therefore AR/MR/RR) are transform-invariant.
+double ToSimilarity(double distance, SimilarityTransform transform =
+                                         SimilarityTransform::kOneOverOnePlus);
+
+/// A trajectory dissimilarity measurement. Smaller distance = more similar.
+class SimilarityMeasure {
+ public:
+  virtual ~SimilarityMeasure() = default;
+
+  /// Short identifier, e.g. "dtw", "frechet", "t2vec".
+  virtual std::string name() const = 0;
+
+  /// Creates an incremental evaluator against `query`. The span must remain
+  /// valid for the lifetime of the evaluator.
+  virtual std::unique_ptr<PrefixEvaluator> NewEvaluator(
+      std::span<const geo::Point> query) const = 0;
+
+  /// Distance between two whole trajectories, computed from scratch (Phi).
+  /// The default implementation streams `a` through an evaluator on `b`.
+  virtual double Distance(std::span<const geo::Point> a,
+                          std::span<const geo::Point> b) const;
+
+  /// Whether Θ(T[i,n]^R, Tq^R) equals Θ(T[i,n], Tq) exactly (true for DTW
+  /// and Frechet; false for learned measures such as t2vec, where the
+  /// reversed distance is only positively correlated — paper Section 4.3).
+  virtual bool ReversalPreservesDistance() const { return true; }
+};
+
+/// Computes suffix distances suffix[i] = dist(T[i..n-1]^R, Tq^R) for all i
+/// in one O(n * Phi_inc) backward pass (PSS Algorithm 2, lines 2-3; also the
+/// Θsuf component of the RL state). `reversed_query_storage` receives the
+/// reversed query and must outlive nothing (distances are returned by value).
+std::vector<double> ComputeSuffixDistances(const SimilarityMeasure& measure,
+                                           std::span<const geo::Point> data,
+                                           std::span<const geo::Point> query);
+
+}  // namespace simsub::similarity
+
+#endif  // SIMSUB_SIMILARITY_MEASURE_H_

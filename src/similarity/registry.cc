@@ -1,0 +1,45 @@
+#include "similarity/registry.h"
+
+#include "similarity/cdtw.h"
+#include "similarity/dtw.h"
+#include "similarity/edr.h"
+#include "similarity/erp.h"
+#include "similarity/frechet.h"
+#include "similarity/hausdorff.h"
+#include "similarity/lcss.h"
+
+namespace simsub::similarity {
+
+util::Result<std::unique_ptr<SimilarityMeasure>> MakeMeasure(
+    const std::string& name, const MeasureOptions& options) {
+  if (name == "dtw") {
+    return std::unique_ptr<SimilarityMeasure>(new DtwMeasure());
+  }
+  if (name == "frechet") {
+    return std::unique_ptr<SimilarityMeasure>(new FrechetMeasure());
+  }
+  if (name == "cdtw") {
+    return std::unique_ptr<SimilarityMeasure>(
+        new CdtwMeasure(options.cdtw_band_fraction));
+  }
+  if (name == "erp") {
+    return std::unique_ptr<SimilarityMeasure>(new ErpMeasure(options.erp_gap));
+  }
+  if (name == "edr") {
+    return std::unique_ptr<SimilarityMeasure>(new EdrMeasure(options.edr_eps));
+  }
+  if (name == "lcss") {
+    return std::unique_ptr<SimilarityMeasure>(
+        new LcssMeasure(options.lcss_eps));
+  }
+  if (name == "hausdorff") {
+    return std::unique_ptr<SimilarityMeasure>(new HausdorffMeasure());
+  }
+  return util::Status::InvalidArgument("unknown measure: " + name);
+}
+
+std::vector<std::string> BuiltinMeasureNames() {
+  return {"dtw", "frechet", "cdtw", "erp", "edr", "lcss", "hausdorff"};
+}
+
+}  // namespace simsub::similarity

@@ -1,0 +1,34 @@
+// Name-based construction of the built-in (non-learned) measures, used by
+// the bench/example binaries' --measure flags. The learned t2vec measure
+// requires a trained model and is constructed explicitly via t2vec/.
+#ifndef SIMSUB_SIMILARITY_REGISTRY_H_
+#define SIMSUB_SIMILARITY_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "similarity/measure.h"
+#include "util/status.h"
+
+namespace simsub::similarity {
+
+/// Tuning knobs for measures that take parameters.
+struct MeasureOptions {
+  double cdtw_band_fraction = 0.1;  ///< Sakoe-Chiba half-width / m.
+  double edr_eps = 100.0;           ///< EDR match tolerance (meters).
+  double lcss_eps = 100.0;          ///< LCSS match tolerance (meters).
+  geo::Point erp_gap = geo::Point(0.0, 0.0);
+};
+
+/// Builds a measure by name: "dtw", "frechet", "cdtw", "erp", "edr", "lcss".
+/// Returns InvalidArgument for unknown names.
+util::Result<std::unique_ptr<SimilarityMeasure>> MakeMeasure(
+    const std::string& name, const MeasureOptions& options = {});
+
+/// Names accepted by MakeMeasure, for --help text.
+std::vector<std::string> BuiltinMeasureNames();
+
+}  // namespace simsub::similarity
+
+#endif  // SIMSUB_SIMILARITY_REGISTRY_H_

@@ -1,0 +1,109 @@
+#include "t2vec/encoder.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simsub::t2vec {
+
+TrajectoryEncoder::TrajectoryEncoder(int vocab_size, int embedding_dim,
+                                     int hidden_dim, util::Rng& rng)
+    : vocab_size_(vocab_size),
+      embedding_dim_(embedding_dim),
+      hidden_dim_(hidden_dim),
+      cell_(std::make_unique<nn::GruCell>(embedding_dim, hidden_dim, rng)) {
+  SIMSUB_CHECK_GT(vocab_size, 0);
+  SIMSUB_CHECK_GT(embedding_dim, 0);
+  SIMSUB_CHECK_GT(hidden_dim, 0);
+  embedding_.resize(static_cast<size_t>(vocab_size) * embedding_dim);
+  double scale = std::sqrt(1.0 / embedding_dim);
+  for (double& v : embedding_) v = rng.Normal(0.0, scale);
+  g_embedding_.assign(embedding_.size(), 0.0);
+  RegisterParams();
+}
+
+void TrajectoryEncoder::RegisterParams() {
+  bag_ = nn::ParameterBag();
+  bag_.Register(&embedding_, &g_embedding_);
+  cell_->RegisterParams(&bag_);
+}
+
+std::span<const double> TrajectoryEncoder::EmbeddingOf(int token) const {
+  SIMSUB_CHECK_GE(token, 0);
+  SIMSUB_CHECK_LT(token, vocab_size_);
+  return {embedding_.data() + static_cast<size_t>(token) * embedding_dim_,
+          static_cast<size_t>(embedding_dim_)};
+}
+
+std::vector<double> TrajectoryEncoder::StepToken(
+    int token, std::span<const double> h) const {
+  return cell_->Step(EmbeddingOf(token), h);
+}
+
+std::vector<double> TrajectoryEncoder::Encode(
+    std::span<const int> tokens) const {
+  std::vector<double> h = InitialHidden();
+  for (int token : tokens) h = StepToken(token, h);
+  return h;
+}
+
+std::vector<double> TrajectoryEncoder::EncodeForTraining(
+    std::span<const int> tokens, RunCache* cache) const {
+  SIMSUB_CHECK(cache != nullptr);
+  cache->tokens.assign(tokens.begin(), tokens.end());
+  cache->steps.resize(tokens.size());
+  std::vector<double> h = InitialHidden();
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    h = cell_->Step(EmbeddingOf(tokens[t]), h, &cache->steps[t]);
+  }
+  cache->final_hidden = h;
+  return h;
+}
+
+void TrajectoryEncoder::Backward(const RunCache& cache,
+                                 std::span<const double> dfinal) {
+  std::vector<double> dh(dfinal.begin(), dfinal.end());
+  for (size_t t = cache.steps.size(); t-- > 0;) {
+    nn::GruCell::StepGrads grads = cell_->BackwardStep(dh, cache.steps[t]);
+    // Scatter the input gradient into the embedding row of this token.
+    int token = cache.tokens[t];
+    double* grow =
+        &g_embedding_[static_cast<size_t>(token) * embedding_dim_];
+    for (int e = 0; e < embedding_dim_; ++e) {
+      grow[e] += grads.dx[static_cast<size_t>(e)];
+    }
+    dh = std::move(grads.dh_prev);
+  }
+}
+
+util::Status TrajectoryEncoder::Save(std::ostream& os) const {
+  os << "t2vec-encoder " << vocab_size_ << " " << embedding_dim_ << " "
+     << hidden_dim_ << "\n";
+  os.precision(17);
+  for (double v : embedding_) os << v << " ";
+  os << "\n";
+  SIMSUB_RETURN_IF_ERROR(cell_->Save(os));
+  if (!os) return util::Status::IOError("encoder serialization failed");
+  return util::Status::OK();
+}
+
+util::Result<TrajectoryEncoder> TrajectoryEncoder::Load(std::istream& is) {
+  std::string magic;
+  TrajectoryEncoder enc;
+  is >> magic >> enc.vocab_size_ >> enc.embedding_dim_ >> enc.hidden_dim_;
+  if (!is || magic != "t2vec-encoder" || enc.vocab_size_ <= 0) {
+    return util::Status::IOError("bad encoder header");
+  }
+  enc.embedding_.resize(static_cast<size_t>(enc.vocab_size_) *
+                        enc.embedding_dim_);
+  for (double& v : enc.embedding_) is >> v;
+  if (!is) return util::Status::IOError("truncated embedding table");
+  auto cell = nn::GruCell::Load(is);
+  if (!cell.ok()) return cell.status();
+  enc.cell_ = std::make_unique<nn::GruCell>(std::move(cell).value());
+  enc.g_embedding_.assign(enc.embedding_.size(), 0.0);
+  enc.RegisterParams();
+  return enc;
+}
+
+}  // namespace simsub::t2vec

@@ -1,0 +1,82 @@
+// GRU trajectory encoder: embedding lookup + recurrent encoder whose final
+// hidden state is the trajectory representation (the t2vec design). The
+// encoder supports O(1)-per-point incremental extension of the hidden state,
+// which is precisely the Phi_inc = O(1) property the paper's Table 1 relies
+// on for the learned measure.
+#ifndef SIMSUB_T2VEC_ENCODER_H_
+#define SIMSUB_T2VEC_ENCODER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/gru.h"
+#include "nn/param.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace simsub::t2vec {
+
+/// Trainable token-sequence encoder.
+class TrajectoryEncoder {
+ public:
+  TrajectoryEncoder(int vocab_size, int embedding_dim, int hidden_dim,
+                    util::Rng& rng);
+
+  TrajectoryEncoder(const TrajectoryEncoder&) = delete;
+  TrajectoryEncoder& operator=(const TrajectoryEncoder&) = delete;
+  TrajectoryEncoder(TrajectoryEncoder&&) = default;
+  TrajectoryEncoder& operator=(TrajectoryEncoder&&) = default;
+
+  int vocab_size() const { return vocab_size_; }
+  int embedding_dim() const { return embedding_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+  /// Zero initial hidden state.
+  std::vector<double> InitialHidden() const {
+    return std::vector<double>(static_cast<size_t>(hidden_dim_), 0.0);
+  }
+
+  /// One incremental step: h' = GRU(embed(token), h). O(H^2 + H*E) — a
+  /// constant independent of trajectory and query length.
+  std::vector<double> StepToken(int token, std::span<const double> h) const;
+
+  /// Encodes a whole token sequence to its final hidden state.
+  std::vector<double> Encode(std::span<const int> tokens) const;
+
+  /// Forward pass retaining per-step caches for BPTT.
+  struct RunCache {
+    std::vector<int> tokens;
+    std::vector<nn::GruCell::StepCache> steps;
+    std::vector<double> final_hidden;
+  };
+  std::vector<double> EncodeForTraining(std::span<const int> tokens,
+                                        RunCache* cache) const;
+
+  /// Backpropagates dL/d(final hidden) through the cached run, accumulating
+  /// gradients in the GRU and embedding tables.
+  void Backward(const RunCache& cache, std::span<const double> dfinal);
+
+  nn::ParameterBag& params() { return bag_; }
+
+  util::Status Save(std::ostream& os) const;
+  static util::Result<TrajectoryEncoder> Load(std::istream& is);
+
+ private:
+  TrajectoryEncoder() = default;
+  void RegisterParams();
+  std::span<const double> EmbeddingOf(int token) const;
+
+  int vocab_size_ = 0;
+  int embedding_dim_ = 0;
+  int hidden_dim_ = 0;
+  std::vector<double> embedding_;   // vocab x embedding_dim, row-major
+  std::vector<double> g_embedding_;
+  std::unique_ptr<nn::GruCell> cell_;
+  nn::ParameterBag bag_;
+};
+
+}  // namespace simsub::t2vec
+
+#endif  // SIMSUB_T2VEC_ENCODER_H_

@@ -1,0 +1,45 @@
+// Spatial grid tokenization, the discretization step of t2vec (Li et al.,
+// ICDE 2018): each point maps to the integer id of the grid cell containing
+// it. The encoder consumes these token sequences.
+#ifndef SIMSUB_T2VEC_GRID_H_
+#define SIMSUB_T2VEC_GRID_H_
+
+#include <span>
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+#include "geo/trajectory.h"
+
+namespace simsub::t2vec {
+
+/// Uniform cols x rows grid over a bounding rectangle. Points outside the
+/// extent are clamped to the border cells, so every point tokenizes.
+class Grid {
+ public:
+  Grid(const geo::Mbr& extent, int cols, int rows);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  int vocab_size() const { return cols_ * rows_; }
+  const geo::Mbr& extent() const { return extent_; }
+
+  /// Token of the cell containing p (clamped to the extent).
+  int TokenOf(const geo::Point& p) const;
+
+  /// Center of a cell, for decoding/debugging.
+  geo::Point CellCenter(int token) const;
+
+  /// Tokenizes a whole point sequence.
+  std::vector<int> Tokenize(std::span<const geo::Point> pts) const;
+
+ private:
+  geo::Mbr extent_;
+  int cols_;
+  int rows_;
+  double cell_w_;
+  double cell_h_;
+};
+
+}  // namespace simsub::t2vec
+
+#endif  // SIMSUB_T2VEC_GRID_H_

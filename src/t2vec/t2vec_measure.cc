@@ -1,0 +1,82 @@
+#include "t2vec/t2vec_measure.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace simsub::t2vec {
+
+namespace {
+
+double EuclideanDistance(std::span<const double> a,
+                         std::span<const double> b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+/// Holds the query embedding (computed once, O(m)) and the running hidden
+/// state of the current subtrajectory (one GRU step per point).
+class T2VecEvaluator : public similarity::PrefixEvaluator {
+ public:
+  T2VecEvaluator(const TrajectoryEncoder* encoder, const Grid* grid,
+                 std::span<const geo::Point> query)
+      : encoder_(encoder), grid_(grid) {
+    query_embedding_ = encoder_->Encode(grid_->Tokenize(query));
+  }
+
+  double Start(const geo::Point& p) override {
+    length_ = 1;
+    hidden_ = encoder_->StepToken(grid_->TokenOf(p), encoder_->InitialHidden());
+    return Current();
+  }
+
+  double Extend(const geo::Point& p) override {
+    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    ++length_;
+    hidden_ = encoder_->StepToken(grid_->TokenOf(p), hidden_);
+    return Current();
+  }
+
+  double Current() const override {
+    if (length_ == 0) return std::numeric_limits<double>::infinity();
+    return EuclideanDistance(hidden_, query_embedding_);
+  }
+
+  int Length() const override { return length_; }
+
+ private:
+  const TrajectoryEncoder* encoder_;
+  const Grid* grid_;
+  std::vector<double> query_embedding_;
+  std::vector<double> hidden_;
+  int length_ = 0;
+};
+
+}  // namespace
+
+T2VecMeasure::T2VecMeasure(std::shared_ptr<const TrajectoryEncoder> encoder,
+                           std::shared_ptr<const Grid> grid)
+    : encoder_(std::move(encoder)), grid_(std::move(grid)) {
+  SIMSUB_CHECK(encoder_ != nullptr);
+  SIMSUB_CHECK(grid_ != nullptr);
+}
+
+std::unique_ptr<similarity::PrefixEvaluator> T2VecMeasure::NewEvaluator(
+    std::span<const geo::Point> query) const {
+  SIMSUB_CHECK(!query.empty());
+  return std::make_unique<T2VecEvaluator>(encoder_.get(), grid_.get(), query);
+}
+
+double T2VecMeasure::Distance(std::span<const geo::Point> a,
+                              std::span<const geo::Point> b) const {
+  std::vector<double> ha = encoder_->Encode(grid_->Tokenize(a));
+  std::vector<double> hb = encoder_->Encode(grid_->Tokenize(b));
+  return EuclideanDistance(ha, hb);
+}
+
+}  // namespace simsub::t2vec

@@ -1,0 +1,46 @@
+// The learned t2vec-style similarity measure: distance between trajectories
+// is the Euclidean distance between their encoder embeddings. Implements
+// the abstract SimilarityMeasure contract with Phi = O(n + m),
+// Phi_inc = Phi_ini = O(1) (paper Table 1): extending a subtrajectory by a
+// point is one GRU step on a fixed-size hidden state.
+#ifndef SIMSUB_T2VEC_T2VEC_MEASURE_H_
+#define SIMSUB_T2VEC_T2VEC_MEASURE_H_
+
+#include <memory>
+
+#include "similarity/measure.h"
+#include "t2vec/encoder.h"
+#include "t2vec/grid.h"
+
+namespace simsub::t2vec {
+
+/// SimilarityMeasure backed by a trained TrajectoryEncoder.
+class T2VecMeasure : public similarity::SimilarityMeasure {
+ public:
+  T2VecMeasure(std::shared_ptr<const TrajectoryEncoder> encoder,
+               std::shared_ptr<const Grid> grid);
+
+  std::string name() const override { return "t2vec"; }
+
+  std::unique_ptr<similarity::PrefixEvaluator> NewEvaluator(
+      std::span<const geo::Point> query) const override;
+
+  double Distance(std::span<const geo::Point> a,
+                  std::span<const geo::Point> b) const override;
+
+  /// Reversed-trajectory distances only correlate with forward distances
+  /// for a learned encoder (paper Section 4.3); PSS and the RL state use
+  /// them as approximations.
+  bool ReversalPreservesDistance() const override { return false; }
+
+  const TrajectoryEncoder& encoder() const { return *encoder_; }
+  const Grid& grid() const { return *grid_; }
+
+ private:
+  std::shared_ptr<const TrajectoryEncoder> encoder_;
+  std::shared_ptr<const Grid> grid_;
+};
+
+}  // namespace simsub::t2vec
+
+#endif  // SIMSUB_T2VEC_T2VEC_MEASURE_H_

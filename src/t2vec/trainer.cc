@@ -1,0 +1,114 @@
+#include "t2vec/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/ops.h"
+#include "nn/adam.h"
+#include "similarity/frechet.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace simsub::t2vec {
+
+T2VecTrainer::T2VecTrainer(std::shared_ptr<const Grid> grid,
+                           T2VecTrainOptions options)
+    : grid_(std::move(grid)), options_(options) {
+  SIMSUB_CHECK(grid_ != nullptr);
+  SIMSUB_CHECK_GT(options_.pairs, 0);
+  SIMSUB_CHECK_GT(options_.batch_size, 0);
+}
+
+std::shared_ptr<const TrajectoryEncoder> T2VecTrainer::Train(
+    std::span<const geo::Trajectory> corpus) {
+  SIMSUB_CHECK_GE(corpus.size(), 2u);
+  util::Stopwatch timer;
+  util::Rng rng(options_.seed);
+  auto encoder = std::make_unique<TrajectoryEncoder>(
+      grid_->vocab_size(), options_.embedding_dim, options_.hidden_dim, rng);
+  nn::Adam optimizer(&encoder->params(),
+                     nn::Adam::Options{.learning_rate = options_.learning_rate,
+                                       .beta1 = 0.9,
+                                       .beta2 = 0.999,
+                                       .epsilon = 1e-8,
+                                       .clip_norm = options_.clip_norm});
+  similarity::FrechetMeasure truth;
+  report_ = T2VecTrainReport{};
+
+  auto sample_trajectory = [&]() -> const geo::Trajectory& {
+    return corpus[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(corpus.size()) - 1))];
+  };
+
+  encoder->params().ZeroGrad();
+  double batch_loss = 0.0;
+  int in_batch = 0;
+  int batches_done = 0;
+  for (int pair = 0; pair < options_.pairs; ++pair) {
+    const geo::Trajectory& anchor = sample_trajectory();
+    if (anchor.size() < 2) continue;
+    geo::Trajectory other;
+    if (rng.Bernoulli(options_.positive_fraction)) {
+      // Positive: corrupted variant of the anchor (denoising objective).
+      geo::Trajectory noisy =
+          geo::AddGaussianNoise(anchor, options_.noise_sigma, rng);
+      other = geo::Downsample(noisy, options_.downsample_keep, rng);
+    } else {
+      other = sample_trajectory();
+      if (other.size() < 2) continue;
+    }
+
+    // Ground-truth squashed distance in [0, 1).
+    double d_true = truth.Distance(anchor.View(), other.View());
+    double target = d_true / (d_true + options_.distance_scale);
+
+    // Forward both runs.
+    TrajectoryEncoder::RunCache cache_a, cache_b;
+    std::vector<double> ha = encoder->EncodeForTraining(
+        grid_->Tokenize(anchor.View()), &cache_a);
+    std::vector<double> hb = encoder->EncodeForTraining(
+        grid_->Tokenize(other.View()), &cache_b);
+
+    double dist2 = 0.0;
+    for (size_t i = 0; i < ha.size(); ++i) {
+      double d = ha[i] - hb[i];
+      dist2 += d * d;
+    }
+    double dist = std::sqrt(std::max(dist2, 1e-12));
+    double err = dist - target;
+    batch_loss += err * err;
+
+    // dL/dha = 2 err * (ha - hb) / dist ; dL/dhb is the negative.
+    double coef = 2.0 * err / dist;
+    std::vector<double> dha(ha.size()), dhb(hb.size());
+    for (size_t i = 0; i < ha.size(); ++i) {
+      double g = coef * (ha[i] - hb[i]);
+      dha[i] = g;
+      dhb[i] = -g;
+    }
+    encoder->Backward(cache_a, dha);
+    encoder->Backward(cache_b, dhb);
+
+    if (++in_batch == options_.batch_size) {
+      optimizer.Step();
+      encoder->params().ZeroGrad();
+      report_.batch_losses.push_back(batch_loss / in_batch);
+      ++batches_done;
+      if (options_.log_every > 0 && batches_done % options_.log_every == 0) {
+        SIMSUB_LOG(Info) << "t2vec batch " << batches_done
+                         << " loss=" << batch_loss / in_batch;
+      }
+      batch_loss = 0.0;
+      in_batch = 0;
+    }
+  }
+  if (in_batch > 0) {
+    optimizer.Step();
+    encoder->params().ZeroGrad();
+    report_.batch_losses.push_back(batch_loss / in_batch);
+  }
+  report_.train_seconds = timer.ElapsedSeconds();
+  return std::shared_ptr<const TrajectoryEncoder>(std::move(encoder));
+}
+
+}  // namespace simsub::t2vec

@@ -1,0 +1,69 @@
+// Trains the t2vec-style encoder by metric learning.
+//
+// Substitution note (see DESIGN.md): the original t2vec trains a denoising
+// sequence-to-sequence model on real taxi data with a GPU. Offline and from
+// scratch, we train the same *encoder* so that the Euclidean distance
+// between embeddings regresses a squashed ground-truth trajectory distance
+// (discrete Frechet by default); positive pairs are noisy/downsampled
+// variants of the same trajectory — mirroring t2vec's denoising objective —
+// and negative pairs are unrelated trajectories. What the SimSub algorithms
+// depend on is preserved exactly: a data-driven measure with O(1)
+// incremental extension whose reversed distances are only approximations.
+#ifndef SIMSUB_T2VEC_TRAINER_H_
+#define SIMSUB_T2VEC_TRAINER_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geo/trajectory.h"
+#include "t2vec/encoder.h"
+#include "t2vec/grid.h"
+
+namespace simsub::t2vec {
+
+/// Training configuration. Defaults are sized for bench runtime; quality
+/// saturates quickly on the synthetic cities.
+struct T2VecTrainOptions {
+  int embedding_dim = 16;
+  int hidden_dim = 32;
+  int pairs = 4000;              ///< total training pairs
+  int batch_size = 8;            ///< pairs per Adam step
+  double learning_rate = 1e-2;
+  double clip_norm = 5.0;
+  /// Fraction of pairs that are corrupted variants of one trajectory.
+  double positive_fraction = 0.5;
+  double noise_sigma = 60.0;     ///< meters, for positive-pair corruption
+  double downsample_keep = 0.8;  ///< keep probability for positive pairs
+  /// Squash scale: target = d / (d + scale) in [0, 1).
+  double distance_scale = 2000.0;
+  uint64_t seed = 7;
+  int log_every = 0;
+};
+
+/// Diagnostics from one training run.
+struct T2VecTrainReport {
+  std::vector<double> batch_losses;
+  double train_seconds = 0.0;
+};
+
+/// Trains an encoder over the given grid and corpus.
+class T2VecTrainer {
+ public:
+  T2VecTrainer(std::shared_ptr<const Grid> grid, T2VecTrainOptions options);
+
+  /// Returns a trained encoder; `corpus` must contain >= 2 trajectories.
+  std::shared_ptr<const TrajectoryEncoder> Train(
+      std::span<const geo::Trajectory> corpus);
+
+  const T2VecTrainReport& report() const { return report_; }
+
+ private:
+  std::shared_ptr<const Grid> grid_;
+  T2VecTrainOptions options_;
+  T2VecTrainReport report_;
+};
+
+}  // namespace simsub::t2vec
+
+#endif  // SIMSUB_T2VEC_TRAINER_H_

@@ -1,0 +1,33 @@
+// Minimal CSV reading/writing used for trajectory dataset persistence and
+// experiment result dumps. Handles plain unquoted numeric CSV (the only
+// dialect this project emits) plus quoted fields on input for robustness.
+#ifndef SIMSUB_UTIL_CSV_H_
+#define SIMSUB_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace simsub::util {
+
+/// Splits one CSV line into fields. Supports double-quoted fields with ""
+/// escapes; does not support embedded newlines (callers feed single lines).
+std::vector<std::string> SplitCsvLine(const std::string& line, char delim = ',');
+
+/// Joins fields into one CSV line, quoting fields containing the delimiter.
+std::string JoinCsvLine(const std::vector<std::string>& fields,
+                        char delim = ',');
+
+/// Reads an entire CSV file into rows of fields.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char delim = ',');
+
+/// Writes rows to `path`, overwriting. Returns IOError on failure.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delim = ',');
+
+}  // namespace simsub::util
+
+#endif  // SIMSUB_UTIL_CSV_H_

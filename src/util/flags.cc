@@ -1,0 +1,170 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace simsub::util {
+
+namespace {
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseBool(const std::string& text, bool* out) {
+  if (text == "true" || text == "1" || text == "yes" || text.empty()) {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FlagSet::FlagSet(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagSet::Register(const std::string& name, Flag flag) {
+  SIMSUB_CHECK(flags_.find(name) == flags_.end())
+      << "duplicate flag --" << name;
+  flags_.emplace(name, std::move(flag));
+}
+
+void FlagSet::AddInt(const std::string& name, int64_t* target,
+                     const std::string& help) {
+  Flag f;
+  f.help = help;
+  f.default_value = std::to_string(*target);
+  f.setter = [target](const std::string& text) {
+    return ParseInt64(text, target);
+  };
+  Register(name, std::move(f));
+}
+
+void FlagSet::AddInt(const std::string& name, int* target,
+                     const std::string& help) {
+  Flag f;
+  f.help = help;
+  f.default_value = std::to_string(*target);
+  f.setter = [target](const std::string& text) {
+    int64_t v = 0;
+    if (!ParseInt64(text, &v)) return false;
+    *target = static_cast<int>(v);
+    return true;
+  };
+  Register(name, std::move(f));
+}
+
+void FlagSet::AddDouble(const std::string& name, double* target,
+                        const std::string& help) {
+  Flag f;
+  f.help = help;
+  {
+    std::ostringstream oss;
+    oss << *target;
+    f.default_value = oss.str();
+  }
+  f.setter = [target](const std::string& text) {
+    return ParseDouble(text, target);
+  };
+  Register(name, std::move(f));
+}
+
+void FlagSet::AddBool(const std::string& name, bool* target,
+                      const std::string& help) {
+  Flag f;
+  f.help = help;
+  f.default_value = *target ? "true" : "false";
+  f.setter = [target](const std::string& text) {
+    return ParseBool(text, target);
+  };
+  Register(name, std::move(f));
+}
+
+void FlagSet::AddString(const std::string& name, std::string* target,
+                        const std::string& help) {
+  Flag f;
+  f.help = help;
+  f.default_value = *target;
+  f.setter = [target](const std::string& text) {
+    *target = text;
+    return true;
+  };
+  Register(name, std::move(f));
+}
+
+std::string FlagSet::Usage(const std::string& argv0) const {
+  std::ostringstream oss;
+  if (!description_.empty()) oss << description_ << "\n";
+  oss << "Usage: " << argv0 << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    oss << "  --" << name << "  (default: " << flag.default_value << ")\n"
+        << "      " << flag.help << "\n";
+  }
+  return oss.str();
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << Usage(argv[0]);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("positional arguments unsupported: " +
+                                     arg);
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name + "\n" +
+                                     Usage(argv[0]));
+    }
+    if (!has_value && i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+      has_value = true;
+    }
+    if (!it->second.setter(value)) {
+      return Status::InvalidArgument("bad value for --" + name + ": '" +
+                                     value + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace simsub::util

@@ -1,0 +1,61 @@
+// A tiny command-line flag parser for the benchmark and example binaries.
+//
+// Usage:
+//   util::FlagSet flags;
+//   int pairs = 200;
+//   flags.AddInt("pairs", &pairs, "number of (data, query) pairs");
+//   flags.Parse(argc, argv);   // accepts --pairs=500 and --pairs 500
+//
+// Unknown flags are an error (typos in experiment scripts should fail loud);
+// `--help` prints the registered flags and exits.
+#ifndef SIMSUB_UTIL_FLAGS_H_
+#define SIMSUB_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace simsub::util {
+
+/// Registry of typed command-line flags for one binary.
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description = "");
+
+  void AddInt(const std::string& name, int64_t* target,
+              const std::string& help);
+  void AddInt(const std::string& name, int* target, const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  /// Parses argv, assigning registered targets. On `--help` prints usage and
+  /// exits(0). Returns InvalidArgument for unknown flags or bad values.
+  Status Parse(int argc, char** argv);
+
+  /// Renders the usage text (also printed by --help).
+  std::string Usage(const std::string& argv0) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_value;
+    // Parses the raw text into the target; false on malformed input.
+    std::function<bool(const std::string&)> setter;
+  };
+
+  void Register(const std::string& name, Flag flag);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace simsub::util
+
+#endif  // SIMSUB_UTIL_FLAGS_H_

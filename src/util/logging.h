@@ -1,0 +1,79 @@
+// Minimal logging and invariant-checking macros.
+//
+// CHECK-style macros abort the process on violated invariants; they guard
+// programming errors (bad indices, broken preconditions) and stay enabled in
+// release builds, matching the practice of production database engines.
+#ifndef SIMSUB_UTIL_LOGGING_H_
+#define SIMSUB_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace simsub::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (with level prefix) at scope exit.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process in the destructor.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace simsub::util
+
+#define SIMSUB_LOG(level)                                                  \
+  ::simsub::util::internal::LogMessage(::simsub::util::LogLevel::k##level, \
+                                       __FILE__, __LINE__)                 \
+      .stream()
+
+/// Aborts with a diagnostic when `condition` is false.
+#define SIMSUB_CHECK(condition)                                            \
+  if (!(condition))                                                        \
+  ::simsub::util::internal::FatalLogMessage(__FILE__, __LINE__, #condition) \
+      .stream()
+
+#define SIMSUB_CHECK_OP(a, b, op) SIMSUB_CHECK((a)op(b))
+#define SIMSUB_CHECK_EQ(a, b) SIMSUB_CHECK_OP(a, b, ==)
+#define SIMSUB_CHECK_NE(a, b) SIMSUB_CHECK_OP(a, b, !=)
+#define SIMSUB_CHECK_LT(a, b) SIMSUB_CHECK_OP(a, b, <)
+#define SIMSUB_CHECK_LE(a, b) SIMSUB_CHECK_OP(a, b, <=)
+#define SIMSUB_CHECK_GT(a, b) SIMSUB_CHECK_OP(a, b, >)
+#define SIMSUB_CHECK_GE(a, b) SIMSUB_CHECK_OP(a, b, >=)
+
+/// Aborts when a Status-returning expression fails; for call sites where an
+/// error is a programming bug (e.g. writing to an already-validated path).
+#define SIMSUB_CHECK_OK(expr)                             \
+  do {                                                    \
+    ::simsub::util::Status _st = (expr);                  \
+    SIMSUB_CHECK(_st.ok()) << _st.ToString();             \
+  } while (false)
+
+#endif  // SIMSUB_UTIL_LOGGING_H_

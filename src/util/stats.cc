@@ -1,0 +1,14 @@
+#include "util/stats.h"
+
+namespace simsub::util {
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  if (q <= 0.0) return *std::min_element(values.begin(), values.end());
+  if (q >= 1.0) return *std::max_element(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(values.size() - 1));
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
+}  // namespace simsub::util

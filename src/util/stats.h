@@ -1,0 +1,72 @@
+// Streaming summary statistics (Welford) used throughout the evaluation and
+// benchmark harnesses to aggregate per-query metrics.
+#ifndef SIMSUB_UTIL_STATS_H_
+#define SIMSUB_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace simsub::util {
+
+/// Accumulates count/mean/variance/min/max in a single pass.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void Merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    double n1 = static_cast<double>(count_);
+    double n2 = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by nearest-rank;
+/// returns 0 for an empty input. Copies, so callers keep their order.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace simsub::util
+
+#endif  // SIMSUB_UTIL_STATS_H_

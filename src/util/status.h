@@ -1,0 +1,129 @@
+// Lightweight, exception-free error propagation primitives in the style of
+// absl::Status / arrow::Result. Library code returns Status (or Result<T>)
+// for runtime-fallible operations (I/O, parsing); programming errors use the
+// CHECK macros in util/logging.h instead.
+#ifndef SIMSUB_UTIL_STATUS_H_
+#define SIMSUB_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace simsub::util {
+
+/// Coarse error taxonomy; mirrors the categories used across the codebase.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("OK", "IOError"...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value type describing the outcome of a fallible operation.
+///
+/// A default-constructed Status is OK. Non-OK statuses carry a code and a
+/// message. Status is cheap to copy (small string optimization covers the
+/// common short messages).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Result<T> is either a value of type T or a non-OK Status.
+///
+/// Access patterns:
+///   Result<int> r = Parse(...);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}      // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    // A Result constructed from a status must carry an error; an OK status
+    // without a value would be unusable.
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+/// Propagate a non-OK status to the caller (classic RETURN_IF_ERROR).
+#define SIMSUB_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::simsub::util::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+}  // namespace simsub::util
+
+#endif  // SIMSUB_UTIL_STATUS_H_

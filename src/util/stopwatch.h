@@ -1,0 +1,37 @@
+// Wall-clock timing helper used by the benchmark harnesses.
+#ifndef SIMSUB_UTIL_STOPWATCH_H_
+#define SIMSUB_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace simsub::util {
+
+/// Monotonic stopwatch. Construction starts it; Elapsed*() reads without
+/// stopping, Restart() resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace simsub::util
+
+#endif  // SIMSUB_UTIL_STOPWATCH_H_

@@ -1,0 +1,36 @@
+// Fixed-width ASCII table printer used by the bench binaries to emit
+// paper-style rows (Table 5, Table 6, figure series, ...).
+#ifndef SIMSUB_UTIL_TABLE_H_
+#define SIMSUB_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace simsub::util {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// `headers` defines the column count; subsequent rows must match it.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string FmtPercent(double fraction, int precision = 1);
+
+  /// Renders the table (header, separator, rows) as a string.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace simsub::util
+
+#endif  // SIMSUB_UTIL_TABLE_H_

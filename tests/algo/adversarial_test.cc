@@ -1,0 +1,127 @@
+// The paper's appendix constructions (A and B): inputs on which SizeS and
+// the splitting heuristics return solutions arbitrarily worse than the
+// optimum. These tests materialize scaled-down versions of those instances
+// and assert the failure actually manifests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/exacts.h"
+#include "algo/sizes.h"
+#include "algo/splitting.h"
+#include "similarity/dtw.h"
+#include "similarity/frechet.h"
+
+namespace simsub::algo {
+namespace {
+
+using geo::Point;
+
+similarity::DtwMeasure kDtw;
+
+// Appendix A (SizeS, DTW): query of m points on a line; data of m clusters
+// of m points each, every cluster a tiny circle around one query point.
+// The optimum (all m^2 points, DTW ~ m^2 * eps) is invisible to SizeS with
+// xi = 0, whose best length-m window straddles two clusters.
+TEST(AdversarialTest, SizeSArbitrarilyWorseThanOptimal_AppendixA) {
+  const int m = 6;
+  const double d = 100.0;
+  const double eps = 1e-3;
+  const int l = m / 2;
+  std::vector<Point> query;
+  for (int i = 1; i <= l; ++i) {
+    query.emplace_back(-(l - i + 0.5) * d, 0.0);
+  }
+  for (int i = l + 1; i <= m; ++i) {
+    query.emplace_back((i - l - 0.5) * d, 0.0);
+  }
+  std::vector<Point> data;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      double angle = 2.0 * M_PI * j / m;
+      data.emplace_back(query[static_cast<size_t>(i)].x + eps * std::cos(angle),
+                        query[static_cast<size_t>(i)].y + eps * std::sin(angle));
+    }
+  }
+  ExactS exact(&kDtw);
+  SizeS sizes(&kDtw, /*xi=*/0);
+  auto re = exact.Search(data, query);
+  auto rs = sizes.Search(data, query);
+  // Optimum is ~ m^2 * eps; SizeS must cross cluster boundaries and pay
+  // O(d) — an approximation ratio of several orders of magnitude.
+  EXPECT_LT(re.distance, 2.0 * m * m * eps);
+  EXPECT_GT(rs.distance / re.distance, 100.0)
+      << "SizeS should be arbitrarily worse on the appendix instance";
+}
+
+// Appendix B (PSS/POS/POS-D, DTW): T = <p'1, p'2, p1..pn, p'3> with
+// p'1 = (-d/2, 0), p'2 = (-d, 0), p_i = origin, p'3 = (d, 0); query is a
+// single point near the origin. The greedy algorithms lock onto <p'1>.
+std::vector<Point> AppendixBData(int n, double d) {
+  std::vector<Point> data;
+  data.emplace_back(-d / 2, 0.0);
+  data.emplace_back(-d, 0.0);
+  for (int i = 0; i < n; ++i) data.emplace_back(0.0, 0.0);
+  data.emplace_back(d, 0.0);
+  return data;
+}
+
+TEST(AdversarialTest, SplittingHeuristicsLockOntoFirstPoint_AppendixB) {
+  const double d = 1000.0;
+  const double eps = 1e-3;
+  auto data = AppendixBData(20, d);
+  std::vector<Point> query = {Point(0.0, eps)};
+
+  ExactS exact(&kDtw);
+  auto re = exact.Search(data, query);
+  EXPECT_NEAR(re.distance, eps, 1e-9);
+
+  PssSearch pss(&kDtw);
+  PosSearch pos(&kDtw);
+  PosDSearch posd(&kDtw, 5);
+  auto rp = pss.Search(data, query);
+  auto ro = pos.Search(data, query);
+  auto rd = posd.Search(data, query);
+  // All three return <p'1> with distance d/2, an unbounded ratio vs eps.
+  for (const auto& r : {rp, ro, rd}) {
+    EXPECT_EQ(r.best, geo::SubRange(0, 0));
+    EXPECT_NEAR(r.distance, d / 2, 1e-6);
+    EXPECT_GT(r.distance / re.distance, 1e4);
+  }
+}
+
+TEST(AdversarialTest, AppendixBRelativeRankApproachesOne) {
+  // The PSS answer ranks below every subtrajectory made of origin points.
+  const double d = 1000.0;
+  const int n = 20;
+  auto data = AppendixBData(n, d);
+  std::vector<Point> query = {Point(0.0, 0.0)};
+  PssSearch pss(&kDtw);
+  auto r = pss.Search(data, query);
+  // Count subtrajectories strictly better than the returned one: all ranges
+  // within the origin run have distance 0.
+  int64_t better = static_cast<int64_t>(n) * (n + 1) / 2;
+  int64_t total = static_cast<int64_t>(data.size()) *
+                  (static_cast<int64_t>(data.size()) + 1) / 2;
+  double rr_lower_bound =
+      static_cast<double>(better + 1) / static_cast<double>(total);
+  EXPECT_EQ(r.best, geo::SubRange(0, 0));
+  EXPECT_GT(rr_lower_bound, 0.5)
+      << "with n >> extras the relative rank approaches 1";
+}
+
+TEST(AdversarialTest, FrechetVariantOfAppendixB) {
+  similarity::FrechetMeasure frechet;
+  const double d = 1000.0;
+  auto data = AppendixBData(10, d);
+  std::vector<Point> query = {Point(0.0, 0.0)};
+  PssSearch pss(&frechet);
+  ExactS exact(&frechet);
+  auto rp = pss.Search(data, query);
+  auto re = exact.Search(data, query);
+  EXPECT_DOUBLE_EQ(re.distance, 0.0);
+  EXPECT_NEAR(rp.distance, d / 2, 1e-9);
+}
+
+}  // namespace
+}  // namespace simsub::algo

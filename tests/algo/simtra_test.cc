@@ -1,0 +1,60 @@
+#include "algo/simtra.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/exacts.h"
+#include "similarity/dtw.h"
+#include "similarity/frechet.h"
+
+namespace simsub::algo {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(std::initializer_list<double> xs) {
+  std::vector<Point> pts;
+  for (double x : xs) pts.emplace_back(x, 0.0);
+  return pts;
+}
+
+similarity::DtwMeasure kDtw;
+
+TEST(SimTraTest, ReturnsWholeTrajectory) {
+  SimTraSearch simtra(&kDtw);
+  auto data = Line({9, 1, 2, 9});
+  auto query = Line({1, 2});
+  auto r = simtra.Search(data, query);
+  EXPECT_EQ(r.best, geo::SubRange(0, 3));
+  EXPECT_NEAR(r.distance, similarity::DtwDistance(data, query), 1e-12);
+  EXPECT_EQ(r.stats.candidates, 1);
+}
+
+TEST(SimTraTest, NeverBetterThanExactS) {
+  SimTraSearch simtra(&kDtw);
+  ExactS exact(&kDtw);
+  auto data = Line({9, 1, 2, 9, 5, 5});
+  auto query = Line({1, 2});
+  EXPECT_GE(simtra.Search(data, query).distance,
+            exact.Search(data, query).distance);
+}
+
+TEST(SimTraTest, EqualsExactWhenWholeIsOptimal) {
+  SimTraSearch simtra(&kDtw);
+  ExactS exact(&kDtw);
+  auto data = Line({1, 2, 3});
+  auto query = Line({1, 2, 3});
+  EXPECT_DOUBLE_EQ(simtra.Search(data, query).distance,
+                   exact.Search(data, query).distance);
+}
+
+TEST(SimTraTest, WorksWithAnyMeasure) {
+  similarity::FrechetMeasure frechet;
+  SimTraSearch simtra(&frechet);
+  auto data = Line({0, 10});
+  auto query = Line({1, 11});
+  EXPECT_DOUBLE_EQ(simtra.Search(data, query).distance, 1.0);
+  EXPECT_EQ(simtra.name(), "SimTra");
+}
+
+}  // namespace
+}  // namespace simsub::algo

@@ -1,0 +1,116 @@
+#include "algo/sizes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "algo/exacts.h"
+#include "similarity/dtw.h"
+#include "util/random.h"
+
+namespace simsub::algo {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(std::initializer_list<double> xs) {
+  std::vector<Point> pts;
+  for (double x : xs) pts.emplace_back(x, 0.0);
+  return pts;
+}
+
+similarity::DtwMeasure kDtw;
+
+TEST(SizeSTest, RespectsSizeWindow) {
+  SizeS sizes(&kDtw, /*xi=*/0);
+  auto data = Line({9, 1, 2, 3, 9});
+  auto query = Line({1, 2, 3});
+  auto r = sizes.Search(data, query);
+  EXPECT_EQ(r.best.size(), 3) << "xi=0 admits only length-m candidates";
+  EXPECT_EQ(r.best, geo::SubRange(1, 3));
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+TEST(SizeSTest, CandidateSizesWithinBounds) {
+  // All candidates counted must have size within [m - xi, m + xi]. Checked
+  // indirectly: with a 10-point line and query of 4, xi = 1, candidate
+  // count = sum over starts of admissible window sizes.
+  SizeS sizes(&kDtw, 1);
+  auto data = Line({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  auto query = Line({0, 1, 2, 3});
+  auto r = sizes.Search(data, query);
+  // Starts 0..7 admit 3 sizes {3,4,5} (where they fit); start 6: sizes 3,4;
+  // start 7: size 3; starts 8, 9: none fully... enumerate:
+  // start s can use sizes 3..5 clipped by n - s. n = 10.
+  int64_t expected = 0;
+  for (int s = 0; s < 10; ++s) {
+    for (int size = 3; size <= 5; ++size) {
+      if (s + size <= 10) ++expected;
+    }
+  }
+  EXPECT_EQ(r.stats.candidates, expected);
+}
+
+TEST(SizeSTest, LargerXiNeverWorse) {
+  util::Rng rng(3);
+  ExactS exact(&kDtw);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Point> data, query;
+    for (int i = 0; i < 14; ++i) {
+      data.emplace_back(rng.Uniform(-10, 10), rng.Uniform(-10, 10));
+    }
+    for (int i = 0; i < 4; ++i) {
+      query.emplace_back(rng.Uniform(-10, 10), rng.Uniform(-10, 10));
+    }
+    double prev = std::numeric_limits<double>::infinity();
+    for (int xi : {0, 2, 4, 10}) {
+      SizeS sizes(&kDtw, xi);
+      auto r = sizes.Search(data, query);
+      EXPECT_LE(r.distance, prev + 1e-9) << "xi=" << xi;
+      prev = r.distance;
+    }
+    // With xi >= n the answer equals ExactS.
+    SizeS all(&kDtw, 14);
+    EXPECT_NEAR(all.Search(data, query).distance,
+                exact.Search(data, query).distance, 1e-9);
+  }
+}
+
+TEST(SizeSTest, NeverBetterThanExact) {
+  util::Rng rng(4);
+  ExactS exact(&kDtw);
+  SizeS sizes(&kDtw, 2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Point> data, query;
+    for (int i = 0; i < 12; ++i) {
+      data.emplace_back(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    }
+    for (int i = 0; i < 3; ++i) {
+      query.emplace_back(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    }
+    EXPECT_GE(sizes.Search(data, query).distance,
+              exact.Search(data, query).distance - 1e-9);
+  }
+}
+
+TEST(SizeSTest, ShortDataStillReturnsSomething) {
+  // When the data trajectory is shorter than m - xi, the window clamps so
+  // the whole trajectory remains an admissible candidate.
+  SizeS sizes(&kDtw, 0);
+  auto data = Line({1, 2});
+  auto query = Line({0, 0, 0, 0, 0});
+  auto r = sizes.Search(data, query);
+  EXPECT_GT(r.stats.candidates, 0);
+  EXPECT_TRUE(std::isfinite(r.distance));
+  EXPECT_EQ(r.best, geo::SubRange(0, 1));
+}
+
+TEST(SizeSTest, XiAccessorAndName) {
+  SizeS sizes(&kDtw, 5);
+  EXPECT_EQ(sizes.xi(), 5);
+  EXPECT_EQ(sizes.name(), "SizeS");
+}
+
+}  // namespace
+}  // namespace simsub::algo

@@ -1,0 +1,106 @@
+#include "algo/spring_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "algo/spring.h"
+#include "util/random.h"
+
+namespace simsub::algo {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(std::initializer_list<double> xs) {
+  std::vector<Point> pts;
+  for (double x : xs) pts.emplace_back(x, 0.0);
+  return pts;
+}
+
+TEST(SpringStreamTest, MatchesBatchSpringOnFullStream) {
+  util::Rng rng(3);
+  SpringSearch batch;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Point> data, query;
+    for (int i = 0; i < 20; ++i) {
+      data.emplace_back(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    }
+    for (int i = 0; i < 4; ++i) {
+      query.emplace_back(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    }
+    SpringStream stream(query);
+    for (const Point& p : data) stream.Push(p);
+    auto r = batch.Search(data, query);
+    EXPECT_NEAR(stream.best_distance(), r.distance, 1e-9) << trial;
+    EXPECT_EQ(stream.best_range(), r.best) << trial;
+  }
+}
+
+TEST(SpringStreamTest, DetectsEmbeddedMatchAsItArrives) {
+  auto query = Line({1, 2, 3});
+  SpringStream stream(query);
+  for (double x : {9.0, 9.0}) stream.Push(Point(x, 0));
+  EXPECT_GT(stream.best_distance(), 0.0);
+  for (double x : {1.0, 2.0, 3.0}) stream.Push(Point(x, 0));
+  EXPECT_DOUBLE_EQ(stream.best_distance(), 0.0);
+  EXPECT_EQ(stream.best_range(), geo::SubRange(2, 4));
+  // Later garbage cannot un-find the match.
+  stream.Push(Point(50, 0));
+  EXPECT_DOUBLE_EQ(stream.best_distance(), 0.0);
+}
+
+TEST(SpringStreamTest, BestDistanceIsMonotoneNonIncreasing) {
+  util::Rng rng(7);
+  auto query = Line({0, 1});
+  SpringStream stream(query);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 50; ++i) {
+    stream.Push(Point(rng.Uniform(-10, 10), rng.Uniform(-10, 10)));
+    EXPECT_LE(stream.best_distance(), prev);
+    prev = stream.best_distance();
+  }
+}
+
+TEST(SpringStreamTest, TailDistanceTracksCurrentSuffix) {
+  auto query = Line({5});
+  SpringStream stream(query);
+  stream.Push(Point(5, 0));
+  EXPECT_DOUBLE_EQ(stream.current_tail_distance(), 0.0);
+  stream.Push(Point(8, 0));
+  // Best path ending at the new point: the fresh single-point match.
+  EXPECT_DOUBLE_EQ(stream.current_tail_distance(), 3.0);
+}
+
+TEST(SpringStreamTest, TailRangeTracksCurrentMatch) {
+  auto query = Line({1, 2});
+  SpringStream stream(query);
+  stream.Push(Point(9, 0));   // index 0
+  stream.Push(Point(1, 0));   // index 1
+  stream.Push(Point(2, 0));   // index 2: path (1,2) matched at [1..2]
+  EXPECT_DOUBLE_EQ(stream.current_tail_distance(), 0.0);
+  EXPECT_EQ(stream.current_tail_range(), geo::SubRange(1, 2));
+}
+
+TEST(SpringStreamTest, ResetClearsState) {
+  auto query = Line({1, 2});
+  SpringStream stream(query);
+  stream.Push(Point(1, 0));
+  stream.Push(Point(2, 0));
+  EXPECT_DOUBLE_EQ(stream.best_distance(), 0.0);
+  stream.Reset();
+  EXPECT_EQ(stream.size(), 0);
+  stream.Push(Point(100, 0));
+  EXPECT_GT(stream.best_distance(), 0.0);
+}
+
+TEST(SpringStreamTest, CountsPushedPoints) {
+  auto query = Line({0});
+  SpringStream stream(query);
+  EXPECT_EQ(stream.size(), 0);
+  for (int i = 0; i < 5; ++i) stream.Push(Point(i, 0));
+  EXPECT_EQ(stream.size(), 5);
+}
+
+}  // namespace
+}  // namespace simsub::algo

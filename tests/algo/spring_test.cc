@@ -1,0 +1,110 @@
+#include "algo/spring.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/exacts.h"
+#include "similarity/dtw.h"
+#include "util/random.h"
+
+namespace simsub::algo {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(std::initializer_list<double> xs) {
+  std::vector<Point> pts;
+  for (double x : xs) pts.emplace_back(x, 0.0);
+  return pts;
+}
+
+similarity::DtwMeasure kDtw;
+
+TEST(SpringTest, FindsEmbeddedExactMatch) {
+  SpringSearch spring;
+  auto data = Line({9, 9, 1, 2, 3, 9});
+  auto query = Line({1, 2, 3});
+  auto r = spring.Search(data, query);
+  EXPECT_EQ(r.best, geo::SubRange(2, 4));
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+TEST(SpringTest, UnconstrainedMatchesExactSUnderDtw) {
+  // SPRING solves the SimSub problem exactly for unconstrained DTW
+  // (paper Section 4.1 discussion), so it must agree with ExactS.
+  util::Rng rng(5);
+  SpringSearch spring;
+  ExactS exact(&kDtw);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Point> data, query;
+    double x = 0, y = 0;
+    int n = 8 + static_cast<int>(rng.UniformInt(0, 8));
+    int m = 2 + static_cast<int>(rng.UniformInt(0, 4));
+    for (int i = 0; i < n; ++i) {
+      x += rng.Normal(0, 3);
+      y += rng.Normal(0, 3);
+      data.emplace_back(x, y);
+    }
+    x = y = 0;
+    for (int i = 0; i < m; ++i) {
+      x += rng.Normal(0, 3);
+      y += rng.Normal(0, 3);
+      query.emplace_back(x, y);
+    }
+    auto rs = spring.Search(data, query);
+    auto re = exact.Search(data, query);
+    EXPECT_NEAR(rs.distance, re.distance, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(SpringTest, SinglePointQuery) {
+  SpringSearch spring;
+  auto data = Line({5, 3, 8, 1, 9});
+  auto query = Line({2});
+  auto r = spring.Search(data, query);
+  // Best single alignment: the point 1 or 3 (distance 1).
+  EXPECT_DOUBLE_EQ(r.distance, 1.0);
+  EXPECT_EQ(r.best.size(), 1);
+}
+
+TEST(SpringTest, BandRestrictsAlignments) {
+  // With a tight band the optimum shifts toward diagonal alignments.
+  SpringSearch narrow(/*band_fraction=*/0.01);  // band = ceil(0.01*n) = 1
+  SpringSearch wide(/*band_fraction=*/1.0);
+  auto data = Line({0, 0, 0, 0, 0, 0, 0, 0, 7, 8});
+  auto query = Line({7, 8});
+  auto rw = wide.Search(data, query);
+  EXPECT_DOUBLE_EQ(rw.distance, 0.0);
+  EXPECT_EQ(rw.best, geo::SubRange(8, 9));
+  auto rn = narrow.Search(data, query);
+  // Banded: q_i only aligns data indices near i, so (7, 8) at the tail is
+  // unreachable and the constrained answer is worse.
+  EXPECT_GT(rn.distance, 0.0);
+}
+
+TEST(SpringTest, BandNeverImprovesDistance) {
+  util::Rng rng(6);
+  SpringSearch full(1.0);
+  for (double r_frac : {0.1, 0.3, 0.6}) {
+    SpringSearch banded(r_frac);
+    for (int trial = 0; trial < 5; ++trial) {
+      std::vector<Point> data, query;
+      for (int i = 0; i < 12; ++i) {
+        data.emplace_back(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+      }
+      for (int i = 0; i < 4; ++i) {
+        query.emplace_back(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+      }
+      EXPECT_GE(banded.Search(data, query).distance,
+                full.Search(data, query).distance - 1e-9);
+    }
+  }
+}
+
+TEST(SpringTest, NameAndAccessors) {
+  SpringSearch spring(0.5);
+  EXPECT_EQ(spring.name(), "Spring");
+  EXPECT_DOUBLE_EQ(spring.band_fraction(), 0.5);
+}
+
+}  // namespace
+}  // namespace simsub::algo

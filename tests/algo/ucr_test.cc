@@ -1,0 +1,137 @@
+#include "algo/ucr.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "similarity/dtw.h"
+#include "util/random.h"
+
+namespace simsub::algo {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(std::initializer_list<double> xs) {
+  std::vector<Point> pts;
+  for (double x : xs) pts.emplace_back(x, 0.0);
+  return pts;
+}
+
+// Reference: brute-force best start offset for length-m candidates under
+// banded DTW with candidate-local band w = floor(R * m).
+std::pair<int, double> BruteForceBest(std::span<const Point> data,
+                                      std::span<const Point> query,
+                                      double band_fraction) {
+  const int n = static_cast<int>(data.size());
+  const int m = static_cast<int>(query.size());
+  int w = std::min(m, static_cast<int>(std::floor(band_fraction * m)));
+  double best = std::numeric_limits<double>::infinity();
+  int best_s = 0;
+  for (int s = 0; s + m <= n; ++s) {
+    double d = similarity::BandedDtwDistance(
+        data.subspan(static_cast<size_t>(s), static_cast<size_t>(m)), query,
+        w);
+    if (d < best) {
+      best = d;
+      best_s = s;
+    }
+  }
+  return {best_s, best};
+}
+
+TEST(UcrTest, FindsEmbeddedExactMatch) {
+  UcrSearch ucr(1.0);
+  auto data = Line({9, 9, 1, 2, 3, 9, 9});
+  auto query = Line({1, 2, 3});
+  auto r = ucr.Search(data, query);
+  EXPECT_EQ(r.best, geo::SubRange(2, 4));
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+TEST(UcrTest, PruningNeverChangesTheAnswer) {
+  // The whole point of the UCR cascade: identical result, fewer DTW calls.
+  util::Rng rng(8);
+  for (double band : {0.0, 0.25, 0.5, 1.0}) {
+    UcrSearch ucr(band);
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<Point> data, query;
+      double x = 0, y = 0;
+      for (int i = 0; i < 30; ++i) {
+        x += rng.Normal(0, 2);
+        y += rng.Normal(0, 2);
+        data.emplace_back(x, y);
+      }
+      x = y = 0;
+      for (int i = 0; i < 6; ++i) {
+        x += rng.Normal(0, 2);
+        y += rng.Normal(0, 2);
+        query.emplace_back(x, y);
+      }
+      auto r = ucr.Search(data, query);
+      auto [best_s, best_d] = BruteForceBest(data, query, band);
+      if (std::isinf(best_d)) continue;  // degenerate band; skip
+      EXPECT_NEAR(r.distance, best_d, 1e-9)
+          << "band " << band << " trial " << trial;
+      EXPECT_EQ(r.best.start, best_s);
+    }
+  }
+}
+
+TEST(UcrTest, PruningActuallyPrunes) {
+  // On smooth data with an obvious early match, most candidates must be
+  // eliminated before full DTW.
+  util::Rng rng(9);
+  UcrSearch ucr(1.0);
+  std::vector<Point> data;
+  for (int i = 0; i < 200; ++i) {
+    data.emplace_back(i * 10.0 + rng.Normal(0, 0.5), 0.0);
+  }
+  // Query matches the first candidate window nearly perfectly.
+  std::vector<Point> query;
+  for (int i = 0; i < 10; ++i) query.emplace_back(i * 10.0, 0.0);
+  auto r = ucr.Search(data, query);
+  EXPECT_EQ(r.best.start, 0);
+  EXPECT_LT(r.stats.candidates, r.stats.extend_calls / 2)
+      << "expected most of the " << r.stats.extend_calls
+      << " offsets to be pruned; " << r.stats.candidates
+      << " reached full DTW";
+}
+
+TEST(UcrTest, QueryLongerThanDataFallsBackToWholeTrajectory) {
+  UcrSearch ucr(1.0);
+  auto data = Line({1, 2});
+  auto query = Line({1, 2, 3, 4});
+  auto r = ucr.Search(data, query);
+  EXPECT_EQ(r.best, geo::SubRange(0, 1));
+  EXPECT_NEAR(r.distance, similarity::DtwDistance(data, query), 1e-12);
+}
+
+TEST(UcrTest, FixedLengthOnlyMissesShorterOptimum) {
+  // The paper's key criticism: UCR considers only length-m subsequences,
+  // so a shorter perfect subtrajectory is invisible to it.
+  UcrSearch ucr(1.0);
+  auto data = Line({100, 1, 100, 100, 100});
+  auto query = Line({1, 1, 1});
+  auto r = ucr.Search(data, query);
+  EXPECT_EQ(r.best.size(), 3);
+  EXPECT_GT(r.distance, 0.0) << "length-3 windows all include an outlier";
+}
+
+TEST(UcrTest, ZeroBandIsLockstepAlignment) {
+  UcrSearch ucr(0.0);
+  auto data = Line({5, 0, 1, 2, 9});
+  auto query = Line({0, 1, 2});
+  auto r = ucr.Search(data, query);
+  EXPECT_EQ(r.best, geo::SubRange(1, 3));
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+TEST(UcrTest, NameAndBand) {
+  UcrSearch ucr(0.3);
+  EXPECT_EQ(ucr.name(), "UCR");
+  EXPECT_DOUBLE_EQ(ucr.band_fraction(), 0.3);
+}
+
+}  // namespace
+}  // namespace simsub::algo

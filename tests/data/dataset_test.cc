@@ -1,0 +1,70 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/generator.h"
+
+namespace simsub::data {
+namespace {
+
+TEST(DatasetTest, KindNamesRoundTrip) {
+  for (DatasetKind kind :
+       {DatasetKind::kPorto, DatasetKind::kHarbin, DatasetKind::kSports}) {
+    auto parsed = DatasetKindFromName(DatasetKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(DatasetKindFromName("mars").ok());
+}
+
+TEST(DatasetTest, TotalPointsAndMeanLength) {
+  Dataset d;
+  d.trajectories.emplace_back(
+      std::vector<geo::Point>{{0, 0}, {1, 1}, {2, 2}}, 0);
+  d.trajectories.emplace_back(std::vector<geo::Point>{{5, 5}}, 1);
+  EXPECT_EQ(d.TotalPoints(), 4);
+  EXPECT_DOUBLE_EQ(d.MeanLength(), 2.0);
+}
+
+TEST(DatasetTest, ExtentCoversAllPoints) {
+  Dataset d;
+  d.trajectories.emplace_back(std::vector<geo::Point>{{-5, 2}, {3, 9}}, 0);
+  d.trajectories.emplace_back(std::vector<geo::Point>{{0, -7}}, 1);
+  geo::Mbr e = d.Extent();
+  EXPECT_DOUBLE_EQ(e.min_x, -5);
+  EXPECT_DOUBLE_EQ(e.max_x, 3);
+  EXPECT_DOUBLE_EQ(e.min_y, -7);
+  EXPECT_DOUBLE_EQ(e.max_y, 9);
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  Dataset original = GenerateDataset(DatasetKind::kPorto, 5, 99);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "simsub_ds_test.csv").string();
+  ASSERT_TRUE(SaveCsv(original, path).ok());
+  auto loaded = LoadCsv(path, "porto", DatasetKind::kPorto);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->trajectories.size(), original.trajectories.size());
+  for (size_t i = 0; i < original.trajectories.size(); ++i) {
+    const auto& a = original.trajectories[i];
+    const auto& b = loaded->trajectories[i];
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.id(), b.id());
+    for (int j = 0; j < a.size(); ++j) {
+      EXPECT_NEAR(a[j].x, b[j].x, 1e-4);
+      EXPECT_NEAR(a[j].y, b[j].y, 1e-4);
+      EXPECT_NEAR(a[j].t, b[j].t, 1e-4);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadCsv("/no/such/file.csv", "x", DatasetKind::kPorto).ok());
+}
+
+}  // namespace
+}  // namespace simsub::data

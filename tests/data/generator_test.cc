@@ -1,0 +1,133 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace simsub::data {
+namespace {
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  Dataset a = GenerateDataset(DatasetKind::kPorto, 10, 42);
+  Dataset b = GenerateDataset(DatasetKind::kPorto, 10, 42);
+  ASSERT_EQ(a.trajectories.size(), b.trajectories.size());
+  for (size_t i = 0; i < a.trajectories.size(); ++i) {
+    ASSERT_EQ(a.trajectories[i].size(), b.trajectories[i].size());
+    for (int j = 0; j < a.trajectories[i].size(); ++j) {
+      EXPECT_EQ(a.trajectories[i][j], b.trajectories[i][j]);
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  Dataset a = GenerateDataset(DatasetKind::kPorto, 5, 1);
+  Dataset b = GenerateDataset(DatasetKind::kPorto, 5, 2);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.trajectories.size(); ++i) {
+    if (a.trajectories[i].size() != b.trajectories[i].size() ||
+        !(a.trajectories[i][0] == b.trajectories[i][0])) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, PortoMeanLengthNearSixty) {
+  Dataset d = GenerateDataset(DatasetKind::kPorto, 300, 7);
+  EXPECT_NEAR(d.MeanLength(), 60.0, 12.0);
+}
+
+TEST(GeneratorTest, HarbinMeanLengthNearOneTwenty) {
+  Dataset d = GenerateDataset(DatasetKind::kHarbin, 300, 7);
+  EXPECT_NEAR(d.MeanLength(), 120.0, 20.0);
+}
+
+TEST(GeneratorTest, SportsMeanLengthNearOneSeventy) {
+  Dataset d = GenerateDataset(DatasetKind::kSports, 200, 7);
+  EXPECT_NEAR(d.MeanLength(), 170.0, 30.0);
+}
+
+TEST(GeneratorTest, PortoSamplingIsUniform15s) {
+  Dataset d = GenerateDataset(DatasetKind::kPorto, 5, 3);
+  for (const auto& t : d.trajectories) {
+    for (int i = 1; i < t.size(); ++i) {
+      EXPECT_NEAR(t[i].t - t[i - 1].t, 15.0, 1e-9);
+    }
+  }
+}
+
+TEST(GeneratorTest, HarbinSamplingIsNonUniform) {
+  Dataset d = GenerateDataset(DatasetKind::kHarbin, 5, 3);
+  bool varied = false;
+  for (const auto& t : d.trajectories) {
+    for (int i = 2; i < t.size(); ++i) {
+      double d1 = t[i].t - t[i - 1].t;
+      double d2 = t[i - 1].t - t[i - 2].t;
+      if (std::abs(d1 - d2) > 1.0) varied = true;
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(GeneratorTest, SportsStaysOnPitch) {
+  Dataset d = GenerateDataset(DatasetKind::kSports, 20, 5);
+  SportsModel model = DefaultSportsModel();
+  for (const auto& t : d.trajectories) {
+    for (const auto& p : t.points()) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, model.pitch_x);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, model.pitch_y);
+    }
+  }
+}
+
+TEST(GeneratorTest, SportsSamplingIsTenHz) {
+  Dataset d = GenerateDataset(DatasetKind::kSports, 5, 5);
+  for (const auto& t : d.trajectories) {
+    for (int i = 1; i < t.size(); ++i) {
+      EXPECT_NEAR(t[i].t - t[i - 1].t, 0.1, 1e-9);
+    }
+  }
+}
+
+TEST(GeneratorTest, TaxiSpeedsArePhysical) {
+  Dataset d = GenerateDataset(DatasetKind::kPorto, 30, 9);
+  for (const auto& t : d.trajectories) {
+    for (int i = 1; i < t.size(); ++i) {
+      double dist = geo::Distance(t[i - 1], t[i]);
+      double dt = t[i].t - t[i - 1].t;
+      // Speed bounded by mean + a generous margin (path is axis-aligned so
+      // displacement <= distance traveled).
+      EXPECT_LE(dist / dt, 30.0) << "unphysical taxi speed";
+    }
+  }
+}
+
+TEST(GeneratorTest, TaxiStaysInCityWithMargin) {
+  Dataset d = GenerateDataset(DatasetKind::kPorto, 50, 10);
+  TaxiModel model = PortoModel();
+  geo::Mbr extent = d.Extent();
+  double margin = 3 * model.block;
+  EXPECT_GE(extent.min_x, -model.city_half_extent - margin);
+  EXPECT_LE(extent.max_x, model.city_half_extent + margin);
+  EXPECT_GE(extent.min_y, -model.city_half_extent - margin);
+  EXPECT_LE(extent.max_y, model.city_half_extent + margin);
+}
+
+TEST(GeneratorTest, IdsAreSequential) {
+  Dataset d = GenerateDataset(DatasetKind::kPorto, 10, 11);
+  for (size_t i = 0; i < d.trajectories.size(); ++i) {
+    EXPECT_EQ(d.trajectories[i].id(), static_cast<int64_t>(i));
+  }
+}
+
+TEST(GeneratorTest, LengthsRespectModelBounds) {
+  Dataset d = GenerateDataset(DatasetKind::kPorto, 200, 12);
+  TaxiModel model = PortoModel();
+  for (const auto& t : d.trajectories) {
+    EXPECT_GE(t.size(), model.min_length);
+    EXPECT_LE(t.size(), model.max_length);
+  }
+}
+
+}  // namespace
+}  // namespace simsub::data

@@ -1,0 +1,75 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace simsub::data {
+namespace {
+
+TEST(WorkloadTest, SamplesRequestedCount) {
+  Dataset d = GenerateDataset(DatasetKind::kPorto, 30, 1);
+  auto workload = SampleWorkload(d, 50, 7);
+  EXPECT_EQ(workload.size(), 50u);
+  for (const auto& pair : workload) {
+    EXPECT_GE(pair.data_index, 0);
+    EXPECT_LT(pair.data_index, 30);
+    EXPECT_GT(pair.query.size(), 0);
+  }
+}
+
+TEST(WorkloadTest, DataAndQueryAreDistinctTrajectories) {
+  Dataset d = GenerateDataset(DatasetKind::kPorto, 10, 2);
+  auto workload = SampleWorkload(d, 100, 8);
+  for (const auto& pair : workload) {
+    const auto& data = d.trajectories[static_cast<size_t>(pair.data_index)];
+    EXPECT_NE(data.id(), pair.query.id());
+  }
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  Dataset d = GenerateDataset(DatasetKind::kPorto, 10, 3);
+  auto w1 = SampleWorkload(d, 20, 9);
+  auto w2 = SampleWorkload(d, 20, 9);
+  for (size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_EQ(w1[i].data_index, w2[i].data_index);
+    EXPECT_EQ(w1[i].query.id(), w2[i].query.id());
+  }
+}
+
+TEST(WorkloadTest, PaperGroupsMatchSpec) {
+  auto groups = PaperLengthGroups();
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0].lo, 30);
+  EXPECT_EQ(groups[0].hi, 45);
+  EXPECT_EQ(groups[3].lo, 75);
+  EXPECT_EQ(groups[3].hi, 90);
+  EXPECT_STREQ(groups[0].label, "G1");
+}
+
+TEST(WorkloadTest, LengthGroupedQueriesInRange) {
+  Dataset d = GenerateDataset(DatasetKind::kHarbin, 40, 4);
+  for (const LengthGroup& group : PaperLengthGroups()) {
+    auto workload = SampleWorkloadWithQueryLength(d, 30, group, 10);
+    EXPECT_EQ(workload.size(), 30u);
+    for (const auto& pair : workload) {
+      EXPECT_GE(pair.query.size(), group.lo) << group.label;
+      EXPECT_LT(pair.query.size(), group.hi) << group.label;
+    }
+  }
+}
+
+TEST(WorkloadTest, LengthGroupedTimestampsAreCoherent) {
+  Dataset d = GenerateDataset(DatasetKind::kPorto, 20, 5);
+  auto workload =
+      SampleWorkloadWithQueryLength(d, 10, LengthGroup{30, 45, "G1"}, 11);
+  for (const auto& pair : workload) {
+    for (int i = 1; i < pair.query.size(); ++i) {
+      EXPECT_GT(pair.query[i].t, pair.query[i - 1].t)
+          << "sliced queries keep increasing timestamps";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simsub::data

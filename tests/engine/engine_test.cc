@@ -1,0 +1,222 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/exacts.h"
+#include "data/generator.h"
+#include "similarity/dtw.h"
+
+namespace simsub::engine {
+namespace {
+
+similarity::DtwMeasure kDtw;
+
+data::Dataset SmallDataset() {
+  return data::GenerateDataset(data::DatasetKind::kPorto, 25, 2025);
+}
+
+TEST(EngineTest, TopKOrderedAscending) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  algo::ExactS exact(&kDtw);
+  const auto& query = d.trajectories[0];
+  auto report = engine.Query(query.View(), exact, 5, /*use_index=*/false);
+  ASSERT_LE(report.results.size(), 5u);
+  ASSERT_GE(report.results.size(), 1u);
+  for (size_t i = 1; i < report.results.size(); ++i) {
+    EXPECT_LE(report.results[i - 1].distance, report.results[i].distance);
+  }
+  EXPECT_EQ(report.trajectories_scanned, 25);
+  EXPECT_EQ(report.trajectories_pruned, 0);
+}
+
+TEST(EngineTest, TopKEntriesComeFromDistinctTrajectories) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  algo::ExactS exact(&kDtw);
+  auto report = engine.Query(d.trajectories[3].View(), exact, 10, false);
+  std::set<int64_t> ids;
+  for (const auto& e : report.results) {
+    EXPECT_TRUE(ids.insert(e.trajectory_id).second);
+  }
+}
+
+TEST(EngineTest, KLargerThanDatabase) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  algo::ExactS exact(&kDtw);
+  auto report = engine.Query(d.trajectories[0].View(), exact, 100, false);
+  EXPECT_EQ(report.results.size(), 25u);
+}
+
+TEST(EngineTest, IndexPrunesWithoutChangingTopWhenMarginLarge) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  engine.BuildIndex();
+  ASSERT_TRUE(engine.has_index());
+  algo::ExactS exact(&kDtw);
+  const auto& query = d.trajectories[7];
+  auto no_index = engine.Query(query.View(), exact, 3, false);
+  auto with_index = engine.Query(query.View(), exact, 3, true);
+  // The paper observes the R-tree filter may drop true answers, but the
+  // top-1 for a query drawn from the dataset itself overlaps its own MBR.
+  ASSERT_FALSE(with_index.results.empty());
+  EXPECT_EQ(no_index.results[0].trajectory_id,
+            with_index.results[0].trajectory_id);
+  EXPECT_GE(with_index.trajectories_pruned, 0);
+  EXPECT_EQ(with_index.trajectories_scanned + with_index.trajectories_pruned,
+            25);
+}
+
+TEST(EngineTest, IndexedSubsetOfScanResults) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  engine.BuildIndex();
+  algo::ExactS exact(&kDtw);
+  const auto& query = d.trajectories[11];
+  auto all = engine.Query(query.View(), exact, 25, false);
+  auto indexed = engine.Query(query.View(), exact, 25, true);
+  // Every indexed result must also appear in the full scan with the same
+  // distance.
+  for (const auto& e : indexed.results) {
+    bool found = false;
+    for (const auto& f : all.results) {
+      if (f.trajectory_id == e.trajectory_id) {
+        EXPECT_DOUBLE_EQ(f.distance, e.distance);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(EngineTest, ReportsTiming) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  algo::ExactS exact(&kDtw);
+  auto report = engine.Query(d.trajectories[0].View(), exact, 1, false);
+  EXPECT_GT(report.seconds, 0.0);
+}
+
+TEST(EngineTest, TotalPoints) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  EXPECT_EQ(engine.TotalPoints(), d.TotalPoints());
+}
+
+TEST(EngineTest, InvertedGridFilterPrunesAndFindsSelf) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  engine.BuildInvertedIndex(32, 32);
+  ASSERT_TRUE(engine.has_inverted_index());
+  algo::ExactS exact(&kDtw);
+  const auto& query = d.trajectories[5];
+  auto report = engine.Query(query.View(), exact, 3,
+                             PruningFilter::kInvertedGrid);
+  ASSERT_FALSE(report.results.empty());
+  // The query is a database trajectory; it must survive its own filter and
+  // rank first.
+  EXPECT_EQ(report.results[0].trajectory_id, 5);
+  EXPECT_EQ(report.trajectories_scanned + report.trajectories_pruned, 25);
+}
+
+TEST(EngineTest, FilterEnumMatchesBoolOverload) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  engine.BuildIndex();
+  algo::ExactS exact(&kDtw);
+  const auto& query = d.trajectories[2];
+  auto via_bool = engine.Query(query.View(), exact, 5, /*use_index=*/true);
+  auto via_enum = engine.Query(query.View(), exact, 5, PruningFilter::kRTree);
+  ASSERT_EQ(via_bool.results.size(), via_enum.results.size());
+  for (size_t i = 0; i < via_bool.results.size(); ++i) {
+    EXPECT_EQ(via_bool.results[i].trajectory_id,
+              via_enum.results[i].trajectory_id);
+    EXPECT_DOUBLE_EQ(via_bool.results[i].distance,
+                     via_enum.results[i].distance);
+  }
+}
+
+TEST(EngineTest, ParallelScanMatchesSequential) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  algo::ExactS exact(&kDtw);
+  const auto& query = d.trajectories[9];
+  auto seq = engine.Query(query.View(), exact, 8, PruningFilter::kNone,
+                          /*index_margin=*/0.0, /*threads=*/1);
+  auto par = engine.Query(query.View(), exact, 8, PruningFilter::kNone,
+                          /*index_margin=*/0.0, /*threads=*/4);
+  EXPECT_EQ(seq.trajectories_scanned, par.trajectories_scanned);
+  ASSERT_EQ(seq.results.size(), par.results.size());
+  for (size_t i = 0; i < seq.results.size(); ++i) {
+    EXPECT_EQ(seq.results[i].trajectory_id, par.results[i].trajectory_id);
+    EXPECT_DOUBLE_EQ(seq.results[i].distance, par.results[i].distance);
+  }
+}
+
+TEST(EngineTest, SubtrajectoryTopKAllowsMultiplePerTrajectory) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  const auto& query = d.trajectories[3];
+  auto report =
+      engine.QueryTopKSubtrajectories(query.View(), kDtw, /*k=*/10);
+  ASSERT_EQ(report.results.size(), 10u);
+  for (size_t i = 1; i < report.results.size(); ++i) {
+    EXPECT_LE(report.results[i - 1].distance, report.results[i].distance);
+  }
+  // The query is its own best match; its near-duplicates (off-by-one
+  // ranges) should dominate the global top-k, so several results must come
+  // from trajectory 3.
+  int from_self = 0;
+  for (const auto& e : report.results) {
+    if (e.trajectory_id == 3) ++from_self;
+  }
+  EXPECT_GT(from_self, 1);
+  EXPECT_EQ(report.results[0].trajectory_id, 3);
+  EXPECT_NEAR(report.results[0].distance, 0.0, 1e-9);
+}
+
+TEST(EngineTest, SubtrajectoryTopKTop1MatchesExactSearch) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  algo::ExactS exact(&kDtw);
+  const auto& query = d.trajectories[8];
+  auto per_traj = engine.Query(query.View(), exact, 1, false);
+  auto global = engine.QueryTopKSubtrajectories(query.View(), kDtw, 1);
+  ASSERT_EQ(global.results.size(), 1u);
+  EXPECT_EQ(global.results[0].trajectory_id, per_traj.results[0].trajectory_id);
+  EXPECT_DOUBLE_EQ(global.results[0].distance, per_traj.results[0].distance);
+}
+
+TEST(EngineTest, SubtrajectoryTopKRespectsMinSize) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  const auto& query = d.trajectories[1];
+  auto report = engine.QueryTopKSubtrajectories(query.View(), kDtw, 5,
+                                                PruningFilter::kNone,
+                                                /*min_size=*/10);
+  for (const auto& e : report.results) {
+    EXPECT_GE(e.range.size(), 10);
+  }
+}
+
+TEST(EngineTest, ParallelWithFilterMatchesSequential) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  engine.BuildInvertedIndex();
+  algo::ExactS exact(&kDtw);
+  const auto& query = d.trajectories[14];
+  auto seq = engine.Query(query.View(), exact, 5,
+                          PruningFilter::kInvertedGrid, 0.0, 1);
+  auto par = engine.Query(query.View(), exact, 5,
+                          PruningFilter::kInvertedGrid, 0.0, 3);
+  ASSERT_EQ(seq.results.size(), par.results.size());
+  for (size_t i = 0; i < seq.results.size(); ++i) {
+    EXPECT_EQ(seq.results[i].trajectory_id, par.results[i].trajectory_id);
+  }
+}
+
+}  // namespace
+}  // namespace simsub::engine

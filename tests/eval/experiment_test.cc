@@ -1,0 +1,61 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/exacts.h"
+#include "algo/simtra.h"
+#include "algo/splitting.h"
+#include "data/generator.h"
+#include "similarity/dtw.h"
+
+namespace simsub::eval {
+namespace {
+
+similarity::DtwMeasure kDtw;
+
+TEST(ExperimentTest, ExactSScoresPerfectly) {
+  data::Dataset d = data::GenerateDataset(data::DatasetKind::kPorto, 15, 31);
+  auto workload = data::SampleWorkload(d, 8, 5);
+  algo::ExactS exact(&kDtw);
+  auto row = EvaluateAlgorithm(exact, kDtw, d, workload);
+  EXPECT_EQ(row.algorithm, "ExactS");
+  EXPECT_DOUBLE_EQ(row.mean_ar, 1.0);
+  EXPECT_DOUBLE_EQ(row.mean_mr, 1.0);
+  EXPECT_EQ(row.pairs, 8);
+  EXPECT_GT(row.mean_time_ms, 0.0);
+}
+
+TEST(ExperimentTest, ApproximateAlgorithmsAtLeastAsBadAsExact) {
+  data::Dataset d = data::GenerateDataset(data::DatasetKind::kPorto, 15, 32);
+  auto workload = data::SampleWorkload(d, 6, 6);
+  algo::ExactS exact(&kDtw);
+  algo::PssSearch pss(&kDtw);
+  algo::SimTraSearch simtra(&kDtw);
+  auto rows = EvaluateAlgorithms({&exact, &pss, &simtra}, kDtw, d, workload);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_GE(rows[1].mean_ar, rows[0].mean_ar - 1e-12);
+  EXPECT_GE(rows[2].mean_ar, rows[0].mean_ar - 1e-12);
+  // SimTra (whole trajectory) is the paper's weak baseline: rank far worse.
+  EXPECT_GT(rows[2].mean_mr, rows[0].mean_mr);
+}
+
+TEST(ExperimentTest, SkippingFractionZeroForNonSkippingAlgorithms) {
+  data::Dataset d = data::GenerateDataset(data::DatasetKind::kPorto, 10, 33);
+  auto workload = data::SampleWorkload(d, 4, 7);
+  algo::PssSearch pss(&kDtw);
+  auto row = EvaluateAlgorithm(pss, kDtw, d, workload);
+  EXPECT_DOUBLE_EQ(row.skip_fraction, 0.0);
+}
+
+TEST(ExperimentTest, RankMetricsCanBeDisabled) {
+  data::Dataset d = data::GenerateDataset(data::DatasetKind::kPorto, 10, 34);
+  auto workload = data::SampleWorkload(d, 4, 8);
+  algo::PssSearch pss(&kDtw);
+  auto row = EvaluateAlgorithm(pss, kDtw, d, workload,
+                               /*compute_rank_metrics=*/false);
+  EXPECT_EQ(row.pairs, 4);
+  EXPECT_GT(row.mean_time_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace simsub::eval

@@ -1,0 +1,90 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/exacts.h"
+#include "similarity/dtw.h"
+
+namespace simsub::eval {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(std::initializer_list<double> xs) {
+  std::vector<Point> pts;
+  for (double x : xs) pts.emplace_back(x, 0.0);
+  return pts;
+}
+
+similarity::DtwMeasure kDtw;
+
+TEST(EvaluateRankTest, OptimalSolutionHasRankOneAndArOne) {
+  auto data = Line({9, 1, 2, 9});
+  auto query = Line({1, 2});
+  algo::ExactS exact(&kDtw);
+  auto r = exact.Search(data, query);
+  auto eval = EvaluateRank(kDtw, data, query, r.best);
+  EXPECT_EQ(eval.rank, 1);
+  EXPECT_DOUBLE_EQ(eval.ar(), 1.0);
+  EXPECT_EQ(eval.total, 10);
+  EXPECT_DOUBLE_EQ(eval.rr(), 0.1);
+}
+
+TEST(EvaluateRankTest, WorstCandidateHasHighRank) {
+  auto data = Line({0, 1, 2, 100});
+  auto query = Line({0});
+  // Range (3, 3): the single point 100, clearly the worst single candidate.
+  auto eval = EvaluateRank(kDtw, data, query, geo::SubRange(3, 3));
+  EXPECT_GT(eval.rank, 5);
+  EXPECT_GT(eval.ar(), 1.0);
+}
+
+TEST(EvaluateRankTest, ReturnedDistanceIsTrueDistance) {
+  auto data = Line({3, 1, 4, 1});
+  auto query = Line({1, 4});
+  geo::SubRange range(1, 2);
+  auto eval = EvaluateRank(kDtw, data, query, range);
+  std::span<const Point> sub(&data[1], 2);
+  EXPECT_NEAR(eval.returned_distance, similarity::DtwDistance(sub, query),
+              1e-12);
+}
+
+TEST(EvaluateRankTest, TiesGetSmallestRank) {
+  // Symmetric data: several candidates share the optimal distance.
+  auto data = Line({1, 5, 1});
+  auto query = Line({1});
+  auto eval = EvaluateRank(kDtw, data, query, geo::SubRange(2, 2));
+  EXPECT_EQ(eval.rank, 1) << "equal-distance candidates share rank 1";
+}
+
+TEST(EvaluateRankTest, ArGuardsZeroBest) {
+  auto data = Line({1, 1});
+  auto query = Line({1});
+  auto eval = EvaluateRank(kDtw, data, query, geo::SubRange(0, 0));
+  EXPECT_DOUBLE_EQ(eval.best_distance, 0.0);
+  EXPECT_DOUBLE_EQ(eval.ar(), 1.0) << "0/0 ratio defined as 1";
+}
+
+TEST(MetricsAccumulatorTest, AggregatesMeans) {
+  MetricsAccumulator acc;
+  RankEvaluation e1;
+  e1.best_distance = 1.0;
+  e1.returned_distance = 2.0;
+  e1.rank = 5;
+  e1.total = 10;
+  RankEvaluation e2;
+  e2.best_distance = 1.0;
+  e2.returned_distance = 1.0;
+  e2.rank = 1;
+  e2.total = 10;
+  acc.Add(e1, 0.002);
+  acc.Add(e2, 0.004);
+  EXPECT_DOUBLE_EQ(acc.mean_ar(), 1.5);
+  EXPECT_DOUBLE_EQ(acc.mean_mr(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.mean_rr(), 0.3);
+  EXPECT_NEAR(acc.mean_seconds(), 0.003, 1e-12);
+  EXPECT_EQ(acc.count(), 2);
+}
+
+}  // namespace
+}  // namespace simsub::eval

@@ -1,0 +1,111 @@
+#include "geo/mbr.h"
+
+#include <gtest/gtest.h>
+
+namespace simsub::geo {
+namespace {
+
+TEST(MbrTest, DefaultIsEmpty) {
+  Mbr m;
+  EXPECT_TRUE(m.IsEmpty());
+  EXPECT_DOUBLE_EQ(m.Area(), 0.0);
+}
+
+TEST(MbrTest, ExtendByPoints) {
+  Mbr m;
+  m.Extend(Point(1, 2));
+  EXPECT_FALSE(m.IsEmpty());
+  m.Extend(Point(-1, 5));
+  EXPECT_DOUBLE_EQ(m.min_x, -1);
+  EXPECT_DOUBLE_EQ(m.max_x, 1);
+  EXPECT_DOUBLE_EQ(m.min_y, 2);
+  EXPECT_DOUBLE_EQ(m.max_y, 5);
+  EXPECT_DOUBLE_EQ(m.Area(), 2 * 3);
+}
+
+TEST(MbrTest, ContainsBoundaryInclusive) {
+  Mbr m;
+  m.Extend(Point(0, 0));
+  m.Extend(Point(2, 2));
+  EXPECT_TRUE(m.Contains(Point(0, 0)));
+  EXPECT_TRUE(m.Contains(Point(2, 2)));
+  EXPECT_TRUE(m.Contains(Point(1, 1)));
+  EXPECT_FALSE(m.Contains(Point(3, 1)));
+}
+
+TEST(MbrTest, IntersectsOverlapAndTouch) {
+  Mbr a;
+  a.Extend(Point(0, 0));
+  a.Extend(Point(2, 2));
+  Mbr b;
+  b.Extend(Point(1, 1));
+  b.Extend(Point(3, 3));
+  EXPECT_TRUE(a.Intersects(b));
+  Mbr touch;
+  touch.Extend(Point(2, 0));
+  touch.Extend(Point(4, 2));
+  EXPECT_TRUE(a.Intersects(touch)) << "shared edge counts as intersecting";
+  Mbr apart;
+  apart.Extend(Point(5, 5));
+  apart.Extend(Point(6, 6));
+  EXPECT_FALSE(a.Intersects(apart));
+}
+
+TEST(MbrTest, EmptyNeverIntersects) {
+  Mbr a;
+  Mbr b;
+  b.Extend(Point(0, 0));
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_FALSE(b.Intersects(a));
+}
+
+TEST(MbrTest, DistanceToPoint) {
+  Mbr m;
+  m.Extend(Point(0, 0));
+  m.Extend(Point(2, 2));
+  EXPECT_DOUBLE_EQ(m.Distance(Point(1, 1)), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(m.Distance(Point(5, 1)), 3.0);   // right of
+  EXPECT_DOUBLE_EQ(m.Distance(Point(1, -2)), 2.0);  // below
+  EXPECT_DOUBLE_EQ(m.Distance(Point(5, 6)), 5.0);   // corner: 3-4-5
+}
+
+TEST(MbrTest, EnlargementZeroWhenContained) {
+  Mbr a;
+  a.Extend(Point(0, 0));
+  a.Extend(Point(4, 4));
+  Mbr b;
+  b.Extend(Point(1, 1));
+  b.Extend(Point(2, 2));
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 0.0);
+  EXPECT_GT(b.Enlargement(a), 0.0);
+}
+
+TEST(MbrTest, InflatedGrowsAllSides) {
+  Mbr m;
+  m.Extend(Point(0, 0));
+  m.Extend(Point(1, 1));
+  Mbr big = m.Inflated(2.0);
+  EXPECT_DOUBLE_EQ(big.min_x, -2.0);
+  EXPECT_DOUBLE_EQ(big.max_y, 3.0);
+  EXPECT_TRUE(big.Contains(Point(-1.5, 2.5)));
+}
+
+TEST(MbrTest, ComputeMbrOfSpan) {
+  std::vector<Point> pts = {{0, 5}, {2, -1}, {-3, 2}};
+  Mbr m = ComputeMbr(pts);
+  EXPECT_DOUBLE_EQ(m.min_x, -3);
+  EXPECT_DOUBLE_EQ(m.max_x, 2);
+  EXPECT_DOUBLE_EQ(m.min_y, -1);
+  EXPECT_DOUBLE_EQ(m.max_y, 5);
+}
+
+TEST(MbrTest, CenterCoordinates) {
+  Mbr m;
+  m.Extend(Point(0, 0));
+  m.Extend(Point(4, 2));
+  EXPECT_DOUBLE_EQ(m.CenterX(), 2.0);
+  EXPECT_DOUBLE_EQ(m.CenterY(), 1.0);
+}
+
+}  // namespace
+}  // namespace simsub::geo

@@ -1,0 +1,92 @@
+#include "geo/ops.h"
+
+#include <gtest/gtest.h>
+
+namespace simsub::geo {
+namespace {
+
+Trajectory MakeLine(int n, double step = 1.0) {
+  std::vector<Point> pts;
+  for (int i = 0; i < n; ++i) pts.emplace_back(i * step, 0.0, i);
+  return Trajectory(std::move(pts), 1);
+}
+
+TEST(OpsTest, GaussianNoisePreservesSizeAndStaysClose) {
+  util::Rng rng(1);
+  Trajectory t = MakeLine(50);
+  Trajectory noisy = AddGaussianNoise(t, 0.5, rng);
+  ASSERT_EQ(noisy.size(), t.size());
+  for (int i = 0; i < t.size(); ++i) {
+    EXPECT_LT(Distance(t[i], noisy[i]), 5.0);
+    EXPECT_DOUBLE_EQ(t[i].t, noisy[i].t) << "time must be untouched";
+  }
+}
+
+TEST(OpsTest, ZeroNoiseIsIdentityInExpectation) {
+  util::Rng rng(1);
+  Trajectory t = MakeLine(5);
+  Trajectory noisy = AddGaussianNoise(t, 0.0, rng);
+  for (int i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t[i].x, noisy[i].x);
+  }
+}
+
+TEST(OpsTest, DownsampleKeepsEndpoints) {
+  util::Rng rng(3);
+  Trajectory t = MakeLine(100);
+  Trajectory d = Downsample(t, 0.5, rng);
+  EXPECT_GE(d.size(), 2);
+  EXPECT_LE(d.size(), t.size());
+  EXPECT_DOUBLE_EQ(d[0].x, t[0].x);
+  EXPECT_DOUBLE_EQ(d[d.size() - 1].x, t[t.size() - 1].x);
+}
+
+TEST(OpsTest, DownsampleKeepAllWhenProbabilityOne) {
+  util::Rng rng(3);
+  Trajectory t = MakeLine(20);
+  EXPECT_EQ(Downsample(t, 1.0, rng).size(), 20);
+}
+
+TEST(OpsTest, ResampleToSizeExact) {
+  Trajectory t = MakeLine(10);
+  for (int target : {2, 5, 10, 23}) {
+    Trajectory r = ResampleToSize(t, target);
+    EXPECT_EQ(r.size(), target);
+    EXPECT_DOUBLE_EQ(r[0].x, t[0].x);
+    EXPECT_NEAR(r[r.size() - 1].x, t[t.size() - 1].x, 1e-9);
+  }
+}
+
+TEST(OpsTest, ResampleInterpolatesLinearly) {
+  Trajectory t = MakeLine(3, 2.0);  // x: 0, 2, 4
+  Trajectory r = ResampleToSize(t, 5);
+  EXPECT_NEAR(r[1].x, 1.0, 1e-9);
+  EXPECT_NEAR(r[3].x, 3.0, 1e-9);
+}
+
+TEST(OpsTest, DouglasPeuckerDropsCollinearPoints) {
+  Trajectory t = MakeLine(10);
+  Trajectory s = DouglasPeucker(t, 0.01);
+  EXPECT_EQ(s.size(), 2) << "a straight line simplifies to its endpoints";
+}
+
+TEST(OpsTest, DouglasPeuckerKeepsCorners) {
+  std::vector<Point> pts = {{0, 0}, {1, 0}, {2, 0}, {2, 1}, {2, 2}};
+  Trajectory t(pts, 1);
+  Trajectory s = DouglasPeucker(t, 0.1);
+  ASSERT_EQ(s.size(), 3);
+  EXPECT_DOUBLE_EQ(s[1].x, 2.0);
+  EXPECT_DOUBLE_EQ(s[1].y, 0.0);
+}
+
+TEST(OpsTest, TranslateShiftsAllPoints) {
+  Trajectory t = MakeLine(4);
+  Trajectory moved = Translate(t, 10.0, -2.0);
+  for (int i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(moved[i].x, t[i].x + 10.0);
+    EXPECT_DOUBLE_EQ(moved[i].y, t[i].y - 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace simsub::geo

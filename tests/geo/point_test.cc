@@ -1,0 +1,43 @@
+#include "geo/point.h"
+
+#include <gtest/gtest.h>
+
+namespace simsub::geo {
+namespace {
+
+TEST(PointTest, DefaultIsOrigin) {
+  Point p;
+  EXPECT_DOUBLE_EQ(p.x, 0.0);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+  EXPECT_DOUBLE_EQ(p.t, 0.0);
+}
+
+TEST(PointTest, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(Distance(Point(0, 0), Point(3, 4)), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(Point(1, 1), Point(1, 1)), 0.0);
+}
+
+TEST(PointTest, DistanceIgnoresTime) {
+  EXPECT_DOUBLE_EQ(Distance(Point(0, 0, 0), Point(0, 0, 100)), 0.0);
+}
+
+TEST(PointTest, DistanceSymmetric) {
+  Point a(2.5, -1.0);
+  Point b(-3.0, 4.5);
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(PointTest, SquaredDistanceConsistent) {
+  Point a(1, 2);
+  Point b(4, 6);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b) * Distance(a, b), SquaredDistance(a, b));
+}
+
+TEST(PointTest, EqualityComparesAllFields) {
+  EXPECT_EQ(Point(1, 2, 3), Point(1, 2, 3));
+  EXPECT_FALSE(Point(1, 2, 3) == Point(1, 2, 4));
+}
+
+}  // namespace
+}  // namespace simsub::geo

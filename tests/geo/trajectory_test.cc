@@ -1,0 +1,94 @@
+#include "geo/trajectory.h"
+
+#include <gtest/gtest.h>
+
+namespace simsub::geo {
+namespace {
+
+Trajectory MakeLine(int n) {
+  std::vector<Point> pts;
+  for (int i = 0; i < n; ++i) pts.emplace_back(i, 0.0, i * 15.0);
+  return Trajectory(std::move(pts), /*id=*/7);
+}
+
+TEST(SubRangeTest, SizeIsInclusive) {
+  EXPECT_EQ(SubRange(0, 0).size(), 1);
+  EXPECT_EQ(SubRange(2, 5).size(), 4);
+}
+
+TEST(TrajectoryTest, SizeAndAccess) {
+  Trajectory t = MakeLine(5);
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.id(), 7);
+  EXPECT_DOUBLE_EQ(t[3].x, 3.0);
+}
+
+TEST(TrajectoryTest, ViewSpansWholeTrajectory) {
+  Trajectory t = MakeLine(4);
+  auto v = t.View();
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[2].x, 2.0);
+}
+
+TEST(TrajectoryTest, SubRangeViewIsZeroCopyWindow) {
+  Trajectory t = MakeLine(6);
+  auto v = t.View(SubRange(2, 4));
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0].x, 2.0);
+  EXPECT_DOUBLE_EQ(v[2].x, 4.0);
+  EXPECT_EQ(v.data(), t.points().data() + 2) << "view must alias storage";
+}
+
+TEST(TrajectoryTest, SliceCopies) {
+  Trajectory t = MakeLine(6);
+  Trajectory s = t.Slice(SubRange(1, 3));
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_DOUBLE_EQ(s[0].x, 1.0);
+  EXPECT_EQ(s.id(), t.id());
+}
+
+TEST(TrajectoryTest, ReversedReversesOrder) {
+  Trajectory t = MakeLine(4);
+  Trajectory r = t.Reversed();
+  ASSERT_EQ(r.size(), 4);
+  EXPECT_DOUBLE_EQ(r[0].x, 3.0);
+  EXPECT_DOUBLE_EQ(r[3].x, 0.0);
+}
+
+TEST(TrajectoryTest, SubtrajectoryCountIsTriangular) {
+  EXPECT_EQ(MakeLine(1).SubtrajectoryCount(), 1);
+  EXPECT_EQ(MakeLine(5).SubtrajectoryCount(), 15);
+  EXPECT_EQ(MakeLine(60).SubtrajectoryCount(), 60 * 61 / 2);
+}
+
+TEST(TrajectoryTest, PathLength) {
+  Trajectory t = MakeLine(5);
+  EXPECT_DOUBLE_EQ(t.PathLength(), 4.0);
+  EXPECT_DOUBLE_EQ(Trajectory().PathLength(), 0.0);
+}
+
+TEST(TrajectoryTest, ReversePointsHelper) {
+  Trajectory t = MakeLine(3);
+  auto rev = ReversePoints(t.View());
+  ASSERT_EQ(rev.size(), 3u);
+  EXPECT_DOUBLE_EQ(rev[0].x, 2.0);
+  EXPECT_DOUBLE_EQ(rev[2].x, 0.0);
+}
+
+TEST(TrajectoryTest, AppendGrows) {
+  Trajectory t;
+  EXPECT_TRUE(t.empty());
+  t.Append(Point(1, 2));
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_DOUBLE_EQ(t[0].y, 2.0);
+}
+
+TEST(TrajectoryTest, DebugStringTruncates) {
+  Trajectory t = MakeLine(10);
+  std::string s = t.DebugString(/*max_points=*/2);
+  EXPECT_NE(s.find("n=10"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simsub::geo

@@ -1,0 +1,107 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/random.h"
+
+namespace simsub::index {
+namespace {
+
+geo::Mbr Box(double x0, double y0, double x1, double y1) {
+  geo::Mbr m;
+  m.Extend(geo::Point(x0, y0));
+  m.Extend(geo::Point(x1, y1));
+  return m;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree = RTree::BulkLoad({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.QueryIntersects(Box(0, 0, 1, 1)).empty());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree = RTree::BulkLoad({{Box(0, 0, 10, 10), 42}});
+  EXPECT_EQ(tree.size(), 1u);
+  auto hits = tree.QueryIntersects(Box(5, 5, 6, 6));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42);
+  EXPECT_TRUE(tree.QueryIntersects(Box(20, 20, 30, 30)).empty());
+}
+
+TEST(RTreeTest, MatchesLinearScanOnRandomBoxes) {
+  util::Rng rng(77);
+  std::vector<RTreeEntry> entries;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.Uniform(0, 1000);
+    double y = rng.Uniform(0, 1000);
+    entries.push_back(
+        {Box(x, y, x + rng.Uniform(1, 50), y + rng.Uniform(1, 50)), i});
+  }
+  RTree tree = RTree::BulkLoad(entries, 8);
+  for (int q = 0; q < 50; ++q) {
+    double x = rng.Uniform(0, 1000);
+    double y = rng.Uniform(0, 1000);
+    geo::Mbr query = Box(x, y, x + rng.Uniform(5, 200), y + rng.Uniform(5, 200));
+    auto hits = tree.QueryIntersects(query);
+    std::set<int64_t> from_tree(hits.begin(), hits.end());
+    std::set<int64_t> from_scan;
+    for (const auto& e : entries) {
+      if (e.mbr.Intersects(query)) from_scan.insert(e.id);
+    }
+    EXPECT_EQ(from_tree, from_scan) << "query " << q;
+  }
+}
+
+TEST(RTreeTest, NoDuplicateResults) {
+  util::Rng rng(5);
+  std::vector<RTreeEntry> entries;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.Uniform(0, 100);
+    double y = rng.Uniform(0, 100);
+    entries.push_back({Box(x, y, x + 5, y + 5), i});
+  }
+  RTree tree = RTree::BulkLoad(entries, 4);
+  auto hits = tree.QueryIntersects(Box(0, 0, 100, 100));
+  std::set<int64_t> unique(hits.begin(), hits.end());
+  EXPECT_EQ(hits.size(), unique.size());
+  EXPECT_EQ(hits.size(), 200u);
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  std::vector<RTreeEntry> entries;
+  for (int i = 0; i < 1000; ++i) {
+    entries.push_back({Box(i, 0, i + 0.5, 1), i});
+  }
+  RTree tree = RTree::BulkLoad(entries, 10);
+  EXPECT_GE(tree.height(), 2);
+  EXPECT_LE(tree.height(), 4);
+  EXPECT_GT(tree.node_count(), 100u);  // ~100 leaves + parents
+}
+
+TEST(RTreeTest, VisitMatchesQuery) {
+  util::Rng rng(9);
+  std::vector<RTreeEntry> entries;
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.Uniform(0, 100);
+    entries.push_back({Box(x, x, x + 10, x + 10), i});
+  }
+  RTree tree = RTree::BulkLoad(entries);
+  geo::Mbr query = Box(20, 20, 50, 50);
+  std::set<int64_t> visited;
+  tree.VisitIntersects(query,
+                       [&](const RTreeEntry& e) { visited.insert(e.id); });
+  auto listed = tree.QueryIntersects(query);
+  EXPECT_EQ(visited, std::set<int64_t>(listed.begin(), listed.end()));
+}
+
+TEST(RTreeTest, TouchingBoxesIntersect) {
+  RTree tree = RTree::BulkLoad({{Box(0, 0, 10, 10), 1}});
+  EXPECT_EQ(tree.QueryIntersects(Box(10, 10, 20, 20)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace simsub::index

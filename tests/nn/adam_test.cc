@@ -1,0 +1,91 @@
+#include "nn/adam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace simsub::nn {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // One parameter vector, loss = sum (w - target)^2.
+  std::vector<double> w = {5.0, -3.0};
+  std::vector<double> g(2, 0.0);
+  ParameterBag bag;
+  bag.Register(&w, &g);
+  Adam adam(&bag, {.learning_rate = 0.1,
+                   .beta1 = 0.9,
+                   .beta2 = 0.999,
+                   .epsilon = 1e-8,
+                   .clip_norm = 0.0});
+  std::vector<double> target = {1.0, 2.0};
+  for (int step = 0; step < 500; ++step) {
+    bag.ZeroGrad();
+    for (size_t i = 0; i < w.size(); ++i) g[i] = 2.0 * (w[i] - target[i]);
+    adam.Step();
+  }
+  EXPECT_NEAR(w[0], 1.0, 1e-2);
+  EXPECT_NEAR(w[1], 2.0, 1e-2);
+  EXPECT_EQ(adam.step_count(), 500);
+}
+
+TEST(AdamTest, FirstStepMovesByLearningRate) {
+  // With bias correction, the first Adam step has magnitude ~lr.
+  std::vector<double> w = {0.0};
+  std::vector<double> g = {0.0};
+  ParameterBag bag;
+  bag.Register(&w, &g);
+  Adam adam(&bag, {.learning_rate = 0.5,
+                   .beta1 = 0.9,
+                   .beta2 = 0.999,
+                   .epsilon = 1e-8,
+                   .clip_norm = 0.0});
+  g[0] = 3.0;  // any positive gradient
+  adam.Step();
+  EXPECT_NEAR(w[0], -0.5, 1e-6);
+}
+
+TEST(AdamTest, ClipNormScalesLargeGradients) {
+  std::vector<double> w = {0.0, 0.0};
+  std::vector<double> g = {0.0, 0.0};
+  ParameterBag bag;
+  bag.Register(&w, &g);
+  Adam adam(&bag, {.learning_rate = 1.0,
+                   .beta1 = 0.0,   // disable momentum so effect is direct
+                   .beta2 = 0.0,
+                   .epsilon = 1e-8,
+                   .clip_norm = 1.0});
+  g = {30.0, 40.0};  // norm 50 -> scaled to 1
+  adam.Step();
+  // With beta1 = beta2 = 0: update = lr * g / (|g| + eps) = sign-ish.
+  // After clipping, g = (0.6, 0.8); update_i = 0.6/0.6 = 1 -> just check
+  // the clipped gradient was used by inspecting the bag.
+  EXPECT_NEAR(std::hypot(g[0], g[1]), 1.0, 1e-9);
+}
+
+TEST(ParameterBagTest, TotalSizeAndZeroGrad) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> ga = {4, 5, 6};
+  std::vector<double> b = {1};
+  std::vector<double> gb = {9};
+  ParameterBag bag;
+  bag.Register(&a, &ga);
+  bag.Register(&b, &gb);
+  EXPECT_EQ(bag.TotalSize(), 4u);
+  bag.ZeroGrad();
+  for (double v : ga) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_DOUBLE_EQ(gb[0], 0.0);
+}
+
+TEST(ParameterBagTest, GradNorm) {
+  std::vector<double> a = {0, 0};
+  std::vector<double> ga = {3, 4};
+  ParameterBag bag;
+  bag.Register(&a, &ga);
+  EXPECT_DOUBLE_EQ(bag.GradNorm(), 5.0);
+  bag.ScaleGrad(0.5);
+  EXPECT_DOUBLE_EQ(bag.GradNorm(), 2.5);
+}
+
+}  // namespace
+}  // namespace simsub::nn

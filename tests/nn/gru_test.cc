@@ -1,0 +1,139 @@
+#include "nn/gru.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace simsub::nn {
+namespace {
+
+TEST(GruTest, StepShapesAndDeterminism) {
+  util::Rng rng1(1), rng2(1);
+  GruCell a(3, 4, rng1);
+  GruCell b(3, 4, rng2);
+  std::vector<double> x = {0.1, -0.5, 0.3};
+  std::vector<double> h(4, 0.0);
+  auto ha = a.Step(x, h);
+  auto hb = b.Step(x, h);
+  ASSERT_EQ(ha.size(), 4u);
+  for (size_t i = 0; i < ha.size(); ++i) EXPECT_DOUBLE_EQ(ha[i], hb[i]);
+}
+
+TEST(GruTest, HiddenStateBounded) {
+  // h is a convex combination of h_prev and tanh candidate, so |h| <= 1
+  // when starting from zero.
+  util::Rng rng(2);
+  GruCell cell(2, 5, rng);
+  std::vector<double> h(5, 0.0);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<double> x = {std::sin(t * 0.7), std::cos(t * 1.3)};
+    h = cell.Step(x, h);
+    for (double v : h) {
+      EXPECT_LE(std::abs(v), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(GruTest, ZeroUpdateGateKeepsState) {
+  // With z = 0 (forced via huge negative bias), h' = h.
+  // We emulate by checking the algebra: h' = (1-z)h + z c, so the identity
+  // holds whenever z == 0 elementwise. Verified through the numeric step
+  // by constructing the convex combination manually.
+  util::Rng rng(3);
+  GruCell cell(1, 3, rng);
+  std::vector<double> x = {0.4};
+  std::vector<double> h = {0.2, -0.1, 0.5};
+  GruCell::StepCache cache;
+  auto h2 = cell.Step(x, h, &cache);
+  for (size_t i = 0; i < h2.size(); ++i) {
+    double expect = (1.0 - cache.z[i]) * h[i] + cache.z[i] * cache.c[i];
+    EXPECT_NEAR(h2[i], expect, 1e-12);
+  }
+}
+
+// Full BPTT gradient check through two chained steps, loss = sum(h2).
+TEST(GruTest, BackwardMatchesNumericalGradient) {
+  util::Rng rng(4);
+  GruCell cell(2, 3, rng);
+  std::vector<double> x1 = {0.3, -0.2};
+  std::vector<double> x2 = {-0.5, 0.8};
+  std::vector<double> h0(3, 0.0);
+
+  ParameterBag bag;
+  cell.RegisterParams(&bag);
+
+  auto forward_loss = [&]() {
+    auto h1 = cell.Step(x1, h0);
+    auto h2 = cell.Step(x2, h1);
+    double loss = 0.0;
+    for (double v : h2) loss += v;
+    return loss;
+  };
+
+  bag.ZeroGrad();
+  GruCell::StepCache c1, c2;
+  auto h1 = cell.Step(x1, h0, &c1);
+  auto h2 = cell.Step(x2, h1, &c2);
+  (void)h2;
+  std::vector<double> dh2(3, 1.0);
+  auto g2 = cell.BackwardStep(dh2, c2);
+  auto g1 = cell.BackwardStep(g2.dh_prev, c1);
+
+  const double eps = 1e-6;
+  for (const auto& view : bag.views()) {
+    for (size_t k = 0; k < view.value->size(); ++k) {
+      double saved = (*view.value)[k];
+      (*view.value)[k] = saved + eps;
+      double lp = forward_loss();
+      (*view.value)[k] = saved - eps;
+      double lm = forward_loss();
+      (*view.value)[k] = saved;
+      EXPECT_NEAR((*view.grad)[k], (lp - lm) / (2 * eps), 1e-5);
+    }
+  }
+  // Input gradient of the first step.
+  for (size_t k = 0; k < x1.size(); ++k) {
+    double saved = x1[k];
+    x1[k] = saved + eps;
+    double lp = forward_loss();
+    x1[k] = saved - eps;
+    double lm = forward_loss();
+    x1[k] = saved;
+    EXPECT_NEAR(g1.dx[k], (lp - lm) / (2 * eps), 1e-5);
+  }
+}
+
+TEST(GruTest, SaveLoadRoundTrip) {
+  util::Rng rng(5);
+  GruCell cell(2, 3, rng);
+  std::stringstream ss;
+  ASSERT_TRUE(cell.Save(ss).ok());
+  auto loaded = GruCell::Load(ss);
+  ASSERT_TRUE(loaded.ok());
+  std::vector<double> x = {0.4, -0.6};
+  std::vector<double> h = {0.1, 0.2, 0.3};
+  auto h1 = cell.Step(x, h);
+  auto h2 = loaded->Step(x, h);
+  for (size_t i = 0; i < h1.size(); ++i) EXPECT_DOUBLE_EQ(h1[i], h2[i]);
+}
+
+TEST(GruTest, CopyFromSyncs) {
+  util::Rng rng(6);
+  GruCell a(2, 3, rng);
+  GruCell b(2, 3, rng);
+  b.CopyFrom(a);
+  std::vector<double> x = {1.0, -1.0};
+  std::vector<double> h(3, 0.0);
+  auto ha = a.Step(x, h);
+  auto hb = b.Step(x, h);
+  for (size_t i = 0; i < ha.size(); ++i) EXPECT_DOUBLE_EQ(ha[i], hb[i]);
+}
+
+TEST(GruTest, LoadRejectsGarbage) {
+  std::stringstream ss("junk");
+  EXPECT_FALSE(GruCell::Load(ss).ok());
+}
+
+}  // namespace
+}  // namespace simsub::nn

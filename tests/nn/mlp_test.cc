@@ -1,0 +1,177 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/adam.h"
+
+namespace simsub::nn {
+namespace {
+
+Mlp MakeNet(util::Rng& rng, int in = 3, int hidden = 8, int out = 4) {
+  return Mlp(in,
+             {{hidden, Activation::kRelu}, {out, Activation::kSigmoid}}, rng);
+}
+
+TEST(MlpTest, ShapesAndDeterminism) {
+  util::Rng rng1(1), rng2(1);
+  Mlp a = MakeNet(rng1);
+  Mlp b = MakeNet(rng2);
+  std::vector<double> x = {0.1, -0.2, 0.5};
+  auto ya = a.Forward(x);
+  auto yb = b.Forward(x);
+  ASSERT_EQ(ya.size(), 4u);
+  for (size_t i = 0; i < ya.size(); ++i) EXPECT_DOUBLE_EQ(ya[i], yb[i]);
+}
+
+TEST(MlpTest, SigmoidOutputInUnitInterval) {
+  util::Rng rng(2);
+  Mlp net = MakeNet(rng);
+  std::vector<double> x = {5.0, -3.0, 100.0};
+  for (double v : net.Forward(x)) {
+    // Saturation to exactly 0/1 is acceptable in double precision.
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(MlpTest, CloneMatchesForward) {
+  util::Rng rng(3);
+  Mlp net = MakeNet(rng);
+  Mlp copy = net.Clone();
+  std::vector<double> x = {0.3, 0.1, -0.7};
+  auto y1 = net.Forward(x);
+  auto y2 = copy.Forward(x);
+  for (size_t i = 0; i < y1.size(); ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(MlpTest, CopyFromSyncsWeights) {
+  util::Rng rng(4);
+  Mlp a = MakeNet(rng);
+  Mlp b = MakeNet(rng);  // different init (continued stream)
+  std::vector<double> x = {1.0, 0.0, -1.0};
+  b.CopyFrom(a);
+  auto ya = a.Forward(x);
+  auto yb = b.Forward(x);
+  for (size_t i = 0; i < ya.size(); ++i) EXPECT_DOUBLE_EQ(ya[i], yb[i]);
+}
+
+// Central-difference gradient check on a scalar loss L = sum(y).
+TEST(MlpTest, BackwardMatchesNumericalGradient) {
+  util::Rng rng(5);
+  Mlp net(3, {{5, Activation::kTanh}, {2, Activation::kSigmoid}}, rng);
+  std::vector<double> x = {0.4, -0.6, 0.2};
+
+  net.params().ZeroGrad();
+  Mlp::Cache cache;
+  auto y = net.Forward(x, &cache);
+  std::vector<double> dy(y.size(), 1.0);  // dL/dy = 1
+  auto dx = net.Backward(x, cache, dy);
+
+  const double eps = 1e-6;
+  // Check every parameter gradient.
+  for (const auto& view : net.params().views()) {
+    for (size_t k = 0; k < view.value->size(); ++k) {
+      double saved = (*view.value)[k];
+      (*view.value)[k] = saved + eps;
+      auto yp = net.Forward(x);
+      (*view.value)[k] = saved - eps;
+      auto ym = net.Forward(x);
+      (*view.value)[k] = saved;
+      double num = 0.0;
+      for (size_t i = 0; i < yp.size(); ++i) num += (yp[i] - ym[i]);
+      num /= 2 * eps;
+      EXPECT_NEAR((*view.grad)[k], num, 1e-5);
+    }
+  }
+  // And the input gradient.
+  for (size_t k = 0; k < x.size(); ++k) {
+    double saved = x[k];
+    x[k] = saved + eps;
+    auto yp = net.Forward(x);
+    x[k] = saved - eps;
+    auto ym = net.Forward(x);
+    x[k] = saved;
+    double num = 0.0;
+    for (size_t i = 0; i < yp.size(); ++i) num += (yp[i] - ym[i]);
+    num /= 2 * eps;
+    EXPECT_NEAR(dx[k], num, 1e-5);
+  }
+}
+
+TEST(MlpTest, GradientsAccumulateAcrossBackwardCalls) {
+  util::Rng rng(6);
+  Mlp net(2, {{3, Activation::kRelu}, {1, Activation::kNone}}, rng);
+  std::vector<double> x = {1.0, 2.0};
+  net.params().ZeroGrad();
+  Mlp::Cache cache;
+  net.Forward(x, &cache);
+  std::vector<double> dy = {1.0};
+  net.Backward(x, cache, dy);
+  double g1 = (*net.params().views()[0].grad)[0];
+  net.Backward(x, cache, dy);
+  double g2 = (*net.params().views()[0].grad)[0];
+  EXPECT_NEAR(g2, 2 * g1, 1e-12);
+}
+
+TEST(MlpTest, SaveLoadRoundTrip) {
+  util::Rng rng(7);
+  Mlp net = MakeNet(rng);
+  std::stringstream ss;
+  ASSERT_TRUE(net.Save(ss).ok());
+  auto loaded = Mlp::Load(ss);
+  ASSERT_TRUE(loaded.ok());
+  std::vector<double> x = {0.5, 0.25, -0.1};
+  auto y1 = net.Forward(x);
+  auto y2 = loaded->Forward(x);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (size_t i = 0; i < y1.size(); ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(MlpTest, LoadRejectsGarbage) {
+  std::stringstream ss("not a network");
+  EXPECT_FALSE(Mlp::Load(ss).ok());
+}
+
+TEST(MlpTest, ActivationHelpers) {
+  EXPECT_EQ(ActivationFromName("relu"), Activation::kRelu);
+  EXPECT_EQ(ActivationFromName("sigmoid"), Activation::kSigmoid);
+  EXPECT_EQ(ActivationFromName("tanh"), Activation::kTanh);
+  EXPECT_EQ(ActivationFromName("bogus"), Activation::kNone);
+  EXPECT_STREQ(ActivationName(Activation::kRelu), "relu");
+  std::vector<double> v = {-1.0, 2.0};
+  ApplyActivation(Activation::kRelu, &v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(MlpTest, TrainsToFitTinyFunction) {
+  // Regression sanity: learn y = sigmoid-ish mapping of XOR-style points.
+  util::Rng rng(8);
+  Mlp net(2, {{8, Activation::kTanh}, {1, Activation::kSigmoid}}, rng);
+  Adam adam(&net.params(), {.learning_rate = 0.05,
+                            .beta1 = 0.9,
+                            .beta2 = 0.999,
+                            .epsilon = 1e-8,
+                            .clip_norm = 0.0});
+  std::vector<std::pair<std::vector<double>, double>> samples = {
+      {{0, 0}, 0.0}, {{0, 1}, 1.0}, {{1, 0}, 1.0}, {{1, 1}, 0.0}};
+  for (int step = 0; step < 2000; ++step) {
+    net.params().ZeroGrad();
+    for (const auto& [x, target] : samples) {
+      Mlp::Cache cache;
+      auto y = net.Forward(x, &cache);
+      std::vector<double> dy = {2.0 * (y[0] - target)};
+      net.Backward(x, cache, dy);
+    }
+    adam.Step();
+  }
+  for (const auto& [x, target] : samples) {
+    EXPECT_NEAR(net.Forward(x)[0], target, 0.2);
+  }
+}
+
+}  // namespace
+}  // namespace simsub::nn

@@ -1,0 +1,95 @@
+#include "rl/policy_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "data/generator.h"
+#include "similarity/dtw.h"
+
+namespace simsub::rl {
+namespace {
+
+similarity::DtwMeasure kDtw;
+
+TrainedPolicy MakePolicy(EnvOptions env) {
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, 10, 71);
+  RlsTrainOptions options;
+  options.episodes = 10;
+  options.env = env;
+  options.seed = 3;
+  RlsTrainer trainer(&kDtw, options);
+  return trainer.Train(dataset.trajectories, dataset.trajectories);
+}
+
+TEST(PolicyIoTest, RoundTripPreservesNetworkAndOptions) {
+  EnvOptions env;
+  env.skip_count = 3;
+  env.use_suffix = true;
+  env.scale_fraction = 0.25;
+  TrainedPolicy policy = MakePolicy(env);
+
+  std::stringstream ss;
+  ASSERT_TRUE(SavePolicy(policy, ss).ok());
+  auto loaded = LoadPolicy(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->env_options.skip_count, 3);
+  EXPECT_TRUE(loaded->env_options.use_suffix);
+  EXPECT_DOUBLE_EQ(loaded->env_options.scale_fraction, 0.25);
+
+  std::vector<double> s = {0.2, 0.5, 0.7};
+  auto q1 = policy.net->Forward(s);
+  auto q2 = loaded->net->Forward(s);
+  ASSERT_EQ(q1.size(), q2.size());
+  for (size_t i = 0; i < q1.size(); ++i) EXPECT_DOUBLE_EQ(q1[i], q2[i]);
+}
+
+TEST(PolicyIoTest, NoSuffixPolicyRoundTrips) {
+  EnvOptions env;
+  env.use_suffix = false;
+  TrainedPolicy policy = MakePolicy(env);
+  std::stringstream ss;
+  ASSERT_TRUE(SavePolicy(policy, ss).ok());
+  auto loaded = LoadPolicy(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->env_options.use_suffix);
+  EXPECT_EQ(loaded->net->input_dim(), 2);
+}
+
+TEST(PolicyIoTest, FileRoundTrip) {
+  TrainedPolicy policy = MakePolicy(EnvOptions{});
+  std::string path =
+      (std::filesystem::temp_directory_path() / "simsub_policy_test.txt")
+          .string();
+  ASSERT_TRUE(SavePolicyToFile(policy, path).ok());
+  auto loaded = LoadPolicyFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  std::vector<double> s = {0.1, 0.2, 0.3};
+  EXPECT_EQ(policy.net->Forward(s), loaded->net->Forward(s));
+  std::remove(path.c_str());
+}
+
+TEST(PolicyIoTest, RejectsGarbageAndMismatches) {
+  std::stringstream bad("not a policy");
+  EXPECT_FALSE(LoadPolicy(bad).ok());
+
+  // A valid header whose env options disagree with the network shape.
+  TrainedPolicy policy = MakePolicy(EnvOptions{});  // 3 -> 2 net
+  std::stringstream ss;
+  ASSERT_TRUE(SavePolicy(policy, ss).ok());
+  std::string text = ss.str();
+  // Claim skip_count 3 (expects 5 action heads) against the 2-head net.
+  text.replace(text.find(" 0 1 "), 5, " 3 1 ");
+  std::stringstream tampered(text);
+  EXPECT_FALSE(LoadPolicy(tampered).ok());
+}
+
+TEST(PolicyIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadPolicyFromFile("/no/such/policy.txt").ok());
+}
+
+}  // namespace
+}  // namespace simsub::rl

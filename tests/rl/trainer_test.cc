@@ -1,0 +1,78 @@
+#include "rl/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "similarity/dtw.h"
+
+namespace simsub::rl {
+namespace {
+
+TEST(RlsTrainerTest, ProducesPolicyAndReport) {
+  similarity::DtwMeasure dtw;
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, 30, 77);
+  RlsTrainOptions options;
+  options.episodes = 60;
+  options.seed = 11;
+  RlsTrainer trainer(&dtw, options);
+  TrainedPolicy policy =
+      trainer.Train(dataset.trajectories, dataset.trajectories);
+  ASSERT_NE(policy.net, nullptr);
+  EXPECT_EQ(policy.net->input_dim(), 3);
+  EXPECT_EQ(policy.net->output_dim(), 2);
+  EXPECT_EQ(trainer.report().episode_returns.size(), 60u);
+  EXPECT_GT(trainer.report().train_seconds, 0.0);
+  EXPECT_GT(trainer.report().gradient_steps, 0);
+}
+
+TEST(RlsTrainerTest, SkipVariantHasWiderHeads) {
+  similarity::DtwMeasure dtw;
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, 20, 78);
+  RlsTrainOptions options;
+  options.episodes = 20;
+  options.env.skip_count = 3;
+  RlsTrainer trainer(&dtw, options);
+  TrainedPolicy policy =
+      trainer.Train(dataset.trajectories, dataset.trajectories);
+  EXPECT_EQ(policy.net->output_dim(), 5);
+  EXPECT_EQ(policy.env_options.skip_count, 3);
+}
+
+TEST(RlsTrainerTest, DeterministicGivenSeed) {
+  similarity::DtwMeasure dtw;
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, 15, 79);
+  RlsTrainOptions options;
+  options.episodes = 15;
+  options.seed = 101;
+  RlsTrainer t1(&dtw, options);
+  RlsTrainer t2(&dtw, options);
+  auto p1 = t1.Train(dataset.trajectories, dataset.trajectories);
+  auto p2 = t2.Train(dataset.trajectories, dataset.trajectories);
+  std::vector<double> s = {0.2, 0.4, 0.6};
+  auto q1 = p1.net->Forward(s);
+  auto q2 = p2.net->Forward(s);
+  ASSERT_EQ(q1.size(), q2.size());
+  for (size_t i = 0; i < q1.size(); ++i) EXPECT_DOUBLE_EQ(q1[i], q2[i]);
+}
+
+TEST(RlsTrainerTest, EpisodeReturnsAreBounded) {
+  // Returns telescope to final similarity, which is in (0, 1] under the
+  // 1/(1+d) transform.
+  similarity::DtwMeasure dtw;
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, 15, 80);
+  RlsTrainOptions options;
+  options.episodes = 25;
+  RlsTrainer trainer(&dtw, options);
+  trainer.Train(dataset.trajectories, dataset.trajectories);
+  for (double r : trainer.report().episode_returns) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace simsub::rl

@@ -1,0 +1,80 @@
+#include "similarity/cdtw.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "similarity/dtw.h"
+
+namespace simsub::similarity {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(std::initializer_list<double> xs) {
+  std::vector<Point> pts;
+  for (double x : xs) pts.emplace_back(x, 0.0);
+  return pts;
+}
+
+TEST(CdtwTest, WideBandMatchesUnconstrainedDtw) {
+  CdtwMeasure cdtw(/*band_fraction=*/2.0);  // band >= 2m covers everything
+  DtwMeasure dtw;
+  auto data = Line({0, 3, 1, 4, 1});
+  auto query = Line({1, 2, 2});
+  auto ce = cdtw.NewEvaluator(query);
+  auto de = dtw.NewEvaluator(query);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(ce->Start(data[i]), de->Start(data[i]), 1e-9);
+    for (size_t j = i + 1; j < data.size(); ++j) {
+      EXPECT_NEAR(ce->Extend(data[j]), de->Extend(data[j]), 1e-9);
+    }
+  }
+}
+
+TEST(CdtwTest, NarrowBandNeverBelowDtw) {
+  CdtwMeasure cdtw(/*band_fraction=*/0.34);  // band = ceil(0.34*3) = 2? -> for m=3
+  DtwMeasure dtw;
+  auto data = Line({0, 5, 1, 6, 2, 7});
+  auto query = Line({1, 2, 3});
+  auto ce = cdtw.NewEvaluator(query);
+  auto de = dtw.NewEvaluator(query);
+  for (size_t i = 0; i < data.size(); ++i) {
+    double c = ce->Start(data[i]);
+    double d = de->Start(data[i]);
+    EXPECT_GE(c, d - 1e-12);
+    for (size_t j = i + 1; j < data.size(); ++j) {
+      c = ce->Extend(data[j]);
+      d = de->Extend(data[j]);
+      EXPECT_GE(c, d - 1e-12);
+    }
+  }
+}
+
+TEST(CdtwTest, LongSubtrajectoryFallsOutOfBand) {
+  CdtwMeasure cdtw(/*band_fraction=*/0.5);  // m=2 -> band = 1
+  auto query = Line({0, 0});
+  auto eval = cdtw.NewEvaluator(query);
+  eval->Start(Point(0, 0));
+  eval->Extend(Point(0, 0));
+  eval->Extend(Point(0, 0));
+  // Row index 3 (0-based 3) vs last query column 1: |3 - 1| > 1 -> inf.
+  double d = eval->Extend(Point(0, 0));
+  EXPECT_TRUE(std::isinf(d));
+}
+
+TEST(CdtwTest, SinglePointWithinBand) {
+  CdtwMeasure cdtw(1.0);
+  auto query = Line({3});
+  auto eval = cdtw.NewEvaluator(query);
+  EXPECT_DOUBLE_EQ(eval->Start(Point(0, 0)), 3.0);
+}
+
+TEST(CdtwTest, BandFractionAccessor) {
+  CdtwMeasure cdtw(0.25);
+  EXPECT_DOUBLE_EQ(cdtw.band_fraction(), 0.25);
+  EXPECT_EQ(cdtw.name(), "cdtw");
+}
+
+}  // namespace
+}  // namespace simsub::similarity

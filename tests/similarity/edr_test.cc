@@ -1,0 +1,79 @@
+#include "similarity/edr.h"
+
+#include <gtest/gtest.h>
+
+namespace simsub::similarity {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(std::initializer_list<double> xs) {
+  std::vector<Point> pts;
+  for (double x : xs) pts.emplace_back(x, 0.0);
+  return pts;
+}
+
+TEST(EdrTest, IdenticalIsZero) {
+  auto a = Line({1, 2, 3});
+  EXPECT_DOUBLE_EQ(EdrDistance(a, a, 0.5), 0.0);
+}
+
+TEST(EdrTest, WithinToleranceIsMatch) {
+  auto a = Line({1.0, 2.0});
+  auto b = Line({1.3, 2.4});
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 0.1), 2.0);
+}
+
+TEST(EdrTest, InsertionCostsOne) {
+  auto a = Line({1, 2});
+  auto b = Line({1, 5, 2});
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 0.1), 1.0);
+}
+
+TEST(EdrTest, CompletelyDifferentIsMaxLength) {
+  auto a = Line({0, 0, 0});
+  auto b = Line({100, 200});
+  // Best edit script: substitute twice (mismatch) + delete once = 3.
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 1.0), 3.0);
+}
+
+TEST(EdrTest, ToleranceIsPerAxis) {
+  // dx within eps but dy outside -> mismatch.
+  std::vector<Point> a = {Point(0.0, 0.0)};
+  std::vector<Point> b = {Point(0.1, 5.0)};
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 0.5), 1.0);
+}
+
+TEST(EdrTest, SymmetricArguments) {
+  auto a = Line({0, 2, 7, 3});
+  auto b = Line({1, 1, 4});
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 1.0), EdrDistance(b, a, 1.0));
+}
+
+TEST(EdrTest, EvaluatorMatchesBatchForAllPrefixes) {
+  EdrMeasure measure(1.0);
+  auto data = Line({0, 3, 1, 4, 1, 5});
+  auto query = Line({1, 2, 2});
+  auto eval = measure.NewEvaluator(query);
+  for (size_t i = 0; i < data.size(); ++i) {
+    double d = eval->Start(data[i]);
+    std::span<const Point> sub(&data[i], 1);
+    EXPECT_NEAR(d, EdrDistance(sub, query, 1.0), 1e-9) << "start " << i;
+    for (size_t j = i + 1; j < data.size(); ++j) {
+      d = eval->Extend(data[j]);
+      std::span<const Point> sub2(&data[i], j - i + 1);
+      EXPECT_NEAR(d, EdrDistance(sub2, query, 1.0), 1e-9)
+          << "prefix [" << i << "," << j << "]";
+    }
+  }
+}
+
+TEST(EdrTest, EpsAccessor) {
+  EdrMeasure measure(123.0);
+  EXPECT_DOUBLE_EQ(measure.eps(), 123.0);
+  EXPECT_EQ(measure.name(), "edr");
+}
+
+}  // namespace
+}  // namespace simsub::similarity

@@ -1,0 +1,77 @@
+#include "similarity/erp.h"
+
+#include <gtest/gtest.h>
+
+namespace simsub::similarity {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(std::initializer_list<double> xs) {
+  std::vector<Point> pts;
+  for (double x : xs) pts.emplace_back(x, 0.0);
+  return pts;
+}
+
+const Point kGap(0.0, 0.0);
+
+TEST(ErpTest, IdenticalIsZero) {
+  auto a = Line({1, 2, 3});
+  EXPECT_DOUBLE_EQ(ErpDistance(a, a, kGap), 0.0);
+}
+
+TEST(ErpTest, SinglePointMatch) {
+  EXPECT_DOUBLE_EQ(ErpDistance(Line({1}), Line({4}), kGap), 3.0);
+}
+
+TEST(ErpTest, GapCostWhenLengthsDiffer) {
+  // a = (5), b = (5, 3): best alignment matches 5-5 and gaps 3 -> d(3, g)=3.
+  EXPECT_DOUBLE_EQ(ErpDistance(Line({5}), Line({5, 3}), kGap), 3.0);
+}
+
+TEST(ErpTest, TriangleInequalityHolds) {
+  // ERP is a metric (Chen & Ng 2004); spot-check the triangle inequality.
+  auto a = Line({0, 2, 4});
+  auto b = Line({1, 3});
+  auto c = Line({2, 2, 2, 2});
+  double ab = ErpDistance(a, b, kGap);
+  double bc = ErpDistance(b, c, kGap);
+  double ac = ErpDistance(a, c, kGap);
+  EXPECT_LE(ac, ab + bc + 1e-9);
+}
+
+TEST(ErpTest, SymmetricArguments) {
+  auto a = Line({0, 2, 7, 3});
+  auto b = Line({1, 1, 4});
+  EXPECT_NEAR(ErpDistance(a, b, kGap), ErpDistance(b, a, kGap), 1e-9);
+}
+
+TEST(ErpTest, EvaluatorMatchesBatchForAllPrefixes) {
+  ErpMeasure measure(kGap);
+  auto data = Line({0, 3, 1, 4, 1, 5});
+  auto query = Line({1, 2, 2});
+  auto eval = measure.NewEvaluator(query);
+  for (size_t i = 0; i < data.size(); ++i) {
+    double d = eval->Start(data[i]);
+    std::span<const Point> sub(&data[i], 1);
+    EXPECT_NEAR(d, ErpDistance(sub, query, kGap), 1e-9) << "start " << i;
+    for (size_t j = i + 1; j < data.size(); ++j) {
+      d = eval->Extend(data[j]);
+      std::span<const Point> sub2(&data[i], j - i + 1);
+      EXPECT_NEAR(d, ErpDistance(sub2, query, kGap), 1e-9)
+          << "prefix [" << i << "," << j << "]";
+    }
+  }
+}
+
+TEST(ErpTest, CustomGapPointChangesCosts) {
+  auto a = Line({5});
+  auto b = Line({5, 3});
+  // With the gap reference at (3, 0), gapping the 3 costs nothing.
+  EXPECT_DOUBLE_EQ(ErpDistance(a, b, Point(3.0, 0.0)), 0.0);
+  ErpMeasure measure(Point(3.0, 0.0));
+  EXPECT_DOUBLE_EQ(measure.gap().x, 3.0);
+}
+
+}  // namespace
+}  // namespace simsub::similarity

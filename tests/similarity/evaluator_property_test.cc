@@ -1,0 +1,134 @@
+// Parameterized property suite: for every registered measure, the
+// incremental PrefixEvaluator must agree with from-scratch computation on
+// random trajectories — the core Phi_ini/Phi_inc contract every SimSub
+// algorithm depends on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "geo/trajectory.h"
+#include "similarity/measure.h"
+#include "similarity/registry.h"
+#include "util/random.h"
+
+namespace simsub::similarity {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> RandomWalk(util::Rng& rng, int n, double step = 50.0) {
+  std::vector<Point> pts;
+  double x = rng.Uniform(-1000, 1000);
+  double y = rng.Uniform(-1000, 1000);
+  for (int i = 0; i < n; ++i) {
+    x += rng.Normal(0.0, step);
+    y += rng.Normal(0.0, step);
+    pts.emplace_back(x, y, i);
+  }
+  return pts;
+}
+
+class EvaluatorPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<SimilarityMeasure> MakeParamMeasure() {
+    auto m = MakeMeasure(GetParam());
+    EXPECT_TRUE(m.ok());
+    return std::move(m).value();
+  }
+};
+
+TEST_P(EvaluatorPropertyTest, IncrementalMatchesFromScratch) {
+  auto measure = MakeParamMeasure();
+  util::Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto data = RandomWalk(rng, 12 + trial);
+    auto query = RandomWalk(rng, 4 + trial % 3);
+    auto eval = measure->NewEvaluator(query);
+    for (size_t i = 0; i < data.size(); ++i) {
+      double d = eval->Start(data[i]);
+      std::span<const Point> sub(&data[i], 1);
+      double fresh = measure->Distance(sub, query);
+      if (std::isfinite(fresh) || std::isfinite(d)) {
+        EXPECT_NEAR(d, fresh, 1e-6) << GetParam() << " start " << i;
+      }
+      for (size_t j = i + 1; j < data.size(); ++j) {
+        d = eval->Extend(data[j]);
+        std::span<const Point> sub2(&data[i], j - i + 1);
+        fresh = measure->Distance(sub2, query);
+        if (std::isfinite(fresh) && std::isfinite(d)) {
+          EXPECT_NEAR(d, fresh, 1e-6)
+              << GetParam() << " prefix [" << i << "," << j << "]";
+        } else {
+          EXPECT_EQ(std::isfinite(fresh), std::isfinite(d))
+              << GetParam() << " prefix [" << i << "," << j << "]";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(EvaluatorPropertyTest, StartResetsState) {
+  auto measure = MakeParamMeasure();
+  util::Rng rng(42);
+  auto data = RandomWalk(rng, 8);
+  auto query = RandomWalk(rng, 4);
+  auto eval = measure->NewEvaluator(query);
+  // Pollute state, then restart and compare with a fresh evaluator.
+  eval->Start(data[0]);
+  for (size_t j = 1; j < 5; ++j) eval->Extend(data[j]);
+  double restarted = eval->Start(data[5]);
+  auto fresh = measure->NewEvaluator(query);
+  double expected = fresh->Start(data[5]);
+  if (std::isfinite(expected) || std::isfinite(restarted)) {
+    EXPECT_NEAR(restarted, expected, 1e-9) << GetParam();
+  }
+}
+
+TEST_P(EvaluatorPropertyTest, IdenticalSubtrajectoryGivesMinimalDistance) {
+  // dist(Q, Q) must be the smallest distance among candidates (it is 0 for
+  // all built-in measures).
+  auto measure = MakeParamMeasure();
+  util::Rng rng(7);
+  auto query = RandomWalk(rng, 6);
+  double self = measure->Distance(query, query);
+  EXPECT_NEAR(self, 0.0, 1e-9) << GetParam();
+}
+
+TEST_P(EvaluatorPropertyTest, NonNegativeDistances) {
+  auto measure = MakeParamMeasure();
+  util::Rng rng(99);
+  auto data = RandomWalk(rng, 10);
+  auto query = RandomWalk(rng, 5);
+  auto eval = measure->NewEvaluator(query);
+  for (size_t i = 0; i < data.size(); ++i) {
+    double d = eval->Start(data[i]);
+    EXPECT_GE(d, 0.0) << GetParam();
+    for (size_t j = i + 1; j < data.size(); ++j) {
+      d = eval->Extend(data[j]);
+      if (std::isfinite(d)) {
+        EXPECT_GE(d, 0.0) << GetParam();
+      }
+    }
+  }
+}
+
+TEST_P(EvaluatorPropertyTest, CurrentIsStableWithoutMutation) {
+  auto measure = MakeParamMeasure();
+  util::Rng rng(5);
+  auto data = RandomWalk(rng, 6);
+  auto query = RandomWalk(rng, 4);
+  auto eval = measure->NewEvaluator(query);
+  double d = eval->Start(data[0]);
+  EXPECT_EQ(eval->Current(), d);
+  d = eval->Extend(data[1]);
+  EXPECT_EQ(eval->Current(), d);
+  EXPECT_EQ(eval->Current(), eval->Current());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuiltinMeasures, EvaluatorPropertyTest,
+                         ::testing::Values("dtw", "frechet", "cdtw", "erp",
+                                           "edr", "lcss", "hausdorff"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace simsub::similarity

@@ -1,0 +1,112 @@
+#include "similarity/frechet.h"
+
+#include <gtest/gtest.h>
+
+namespace simsub::similarity {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(std::initializer_list<double> xs) {
+  std::vector<Point> pts;
+  for (double x : xs) pts.emplace_back(x, 0.0);
+  return pts;
+}
+
+TEST(FrechetTest, IdenticalTrajectoriesZero) {
+  auto a = Line({0, 1, 2});
+  EXPECT_DOUBLE_EQ(FrechetDistance(a, a), 0.0);
+}
+
+TEST(FrechetTest, SinglePointPair) {
+  EXPECT_DOUBLE_EQ(FrechetDistance(Line({0}), Line({4})), 4.0);
+}
+
+TEST(FrechetTest, SinglePointAgainstSequenceIsMax) {
+  // Equation 2 base case: max over query points.
+  EXPECT_DOUBLE_EQ(FrechetDistance(Line({0}), Line({1, 5, 2})), 5.0);
+}
+
+TEST(FrechetTest, BottleneckNotSum) {
+  // Two far points: DTW would add them; Frechet takes the max.
+  auto a = Line({0, 10});
+  auto b = Line({1, 11});
+  EXPECT_DOUBLE_EQ(FrechetDistance(a, b), 1.0);
+}
+
+TEST(FrechetTest, SymmetricArguments) {
+  auto a = Line({0, 2, 7, 3});
+  auto b = Line({1, 1, 4});
+  EXPECT_DOUBLE_EQ(FrechetDistance(a, b), FrechetDistance(b, a));
+}
+
+TEST(FrechetTest, DominatedByWorstMatch) {
+  auto a = Line({0, 100});
+  auto b = Line({0});
+  EXPECT_DOUBLE_EQ(FrechetDistance(a, b), 100.0);
+}
+
+TEST(FrechetTest, MeasureDistanceMatchesFreeFunction) {
+  FrechetMeasure measure;
+  auto a = Line({0, 4, 2, 7});
+  auto b = Line({1, 3, 3});
+  EXPECT_DOUBLE_EQ(measure.Distance(a, b), FrechetDistance(a, b));
+  EXPECT_EQ(measure.name(), "frechet");
+}
+
+TEST(FrechetTest, EvaluatorMatchesBatchForAllPrefixes) {
+  FrechetMeasure measure;
+  auto data = Line({0, 3, 1, 4, 1, 5, 9});
+  auto query = Line({1, 2, 6});
+  auto eval = measure.NewEvaluator(query);
+  for (size_t i = 0; i < data.size(); ++i) {
+    double d = eval->Start(data[i]);
+    std::span<const Point> sub(&data[i], 1);
+    EXPECT_NEAR(d, FrechetDistance(sub, query), 1e-9);
+    for (size_t j = i + 1; j < data.size(); ++j) {
+      d = eval->Extend(data[j]);
+      std::span<const Point> sub2(&data[i], j - i + 1);
+      EXPECT_NEAR(d, FrechetDistance(sub2, query), 1e-9)
+          << "prefix [" << i << "," << j << "]";
+    }
+  }
+}
+
+TEST(FrechetTest, NeverBelowEndpointDistances) {
+  // The coupling must pair first-with-first and last-with-last.
+  auto a = Line({0, 1, 2});
+  auto b = Line({5, 6});
+  double d = FrechetDistance(a, b);
+  EXPECT_GE(d, geo::Distance(a.front(), b.front()) - 1e-12);
+  EXPECT_GE(d, geo::Distance(a.back(), b.back()) - 1e-12);
+}
+
+TEST(FrechetTest, AtMostDtw) {
+  // Frechet (max) <= DTW (sum) on the same alignment structure whenever
+  // DTW >= each single step; spot-check a few instances.
+  auto a = Line({0, 2, 5, 3});
+  auto b = Line({1, 4, 4});
+  // Inline DTW to avoid cross-header dependence in this test.
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<std::vector<double>> d(n, std::vector<double>(m));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      double c = geo::Distance(a[i], b[j]);
+      if (i == 0 && j == 0) {
+        d[i][j] = c;
+      } else if (i == 0) {
+        d[i][j] = d[i][j - 1] + c;
+      } else if (j == 0) {
+        d[i][j] = d[i - 1][j] + c;
+      } else {
+        d[i][j] = c + std::min({d[i - 1][j - 1], d[i - 1][j], d[i][j - 1]});
+      }
+    }
+  }
+  double dtw = d[n - 1][m - 1];
+  EXPECT_LE(FrechetDistance(a, b), dtw + 1e-12);
+}
+
+}  // namespace
+}  // namespace simsub::similarity

@@ -1,0 +1,97 @@
+#include "similarity/hausdorff.h"
+
+#include <gtest/gtest.h>
+
+namespace simsub::similarity {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(std::initializer_list<double> xs) {
+  std::vector<Point> pts;
+  for (double x : xs) pts.emplace_back(x, 0.0);
+  return pts;
+}
+
+TEST(HausdorffTest, IdenticalIsZero) {
+  auto a = Line({1, 2, 3});
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, a), 0.0);
+}
+
+TEST(HausdorffTest, SinglePoints) {
+  EXPECT_DOUBLE_EQ(HausdorffDistance(Line({0}), Line({4})), 4.0);
+}
+
+TEST(HausdorffTest, OrderInsensitive) {
+  // Hausdorff ignores point order entirely.
+  auto a = Line({1, 2, 3});
+  auto b = Line({3, 1, 2});
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), 0.0);
+}
+
+TEST(HausdorffTest, WorstUnmatchedPointDominates) {
+  auto a = Line({0, 1, 100});
+  auto b = Line({0, 1});
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), 99.0);
+}
+
+TEST(HausdorffTest, SymmetricByConstruction) {
+  auto a = Line({0, 5, 9});
+  auto b = Line({2, 3});
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), HausdorffDistance(b, a));
+}
+
+TEST(HausdorffTest, BothDirectionsMatter) {
+  // Directed a->b is 0 (every a-point has an exact b-match) but b->a is 5.
+  auto a = Line({0});
+  auto b = Line({0, 5});
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), 5.0);
+}
+
+TEST(HausdorffTest, EvaluatorMatchesBatchForAllPrefixes) {
+  HausdorffMeasure measure;
+  auto data = Line({0, 3, 1, 4, 1, 5});
+  auto query = Line({1, 2, 2});
+  auto eval = measure.NewEvaluator(query);
+  for (size_t i = 0; i < data.size(); ++i) {
+    double d = eval->Start(data[i]);
+    std::span<const Point> sub(&data[i], 1);
+    EXPECT_NEAR(d, HausdorffDistance(sub, query), 1e-9) << "start " << i;
+    for (size_t j = i + 1; j < data.size(); ++j) {
+      d = eval->Extend(data[j]);
+      std::span<const Point> sub2(&data[i], j - i + 1);
+      EXPECT_NEAR(d, HausdorffDistance(sub2, query), 1e-9)
+          << "prefix [" << i << "," << j << "]";
+    }
+  }
+}
+
+TEST(HausdorffTest, AtMostFrechet) {
+  // Hausdorff drops the ordering constraint, so it never exceeds discrete
+  // Frechet (which is a coupling-restricted max-min).
+  auto a = Line({0, 4, 2, 7});
+  auto b = Line({1, 3, 3});
+  // Frechet computed inline to avoid cross-include.
+  const size_t n = a.size(), m = b.size();
+  std::vector<std::vector<double>> f(n, std::vector<double>(m));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      double d = geo::Distance(a[i], b[j]);
+      if (i == 0 && j == 0) f[i][j] = d;
+      else if (i == 0) f[i][j] = std::max(f[i][j - 1], d);
+      else if (j == 0) f[i][j] = std::max(f[i - 1][j], d);
+      else
+        f[i][j] = std::max(
+            d, std::min({f[i - 1][j - 1], f[i - 1][j], f[i][j - 1]}));
+    }
+  }
+  EXPECT_LE(HausdorffDistance(a, b), f[n - 1][m - 1] + 1e-12);
+}
+
+TEST(HausdorffTest, RegistryName) {
+  HausdorffMeasure measure;
+  EXPECT_EQ(measure.name(), "hausdorff");
+}
+
+}  // namespace
+}  // namespace simsub::similarity

@@ -1,0 +1,76 @@
+#include "similarity/lcss.h"
+
+#include <gtest/gtest.h>
+
+namespace simsub::similarity {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(std::initializer_list<double> xs) {
+  std::vector<Point> pts;
+  for (double x : xs) pts.emplace_back(x, 0.0);
+  return pts;
+}
+
+TEST(LcssTest, IdenticalHasFullMatch) {
+  auto a = Line({1, 2, 3});
+  EXPECT_EQ(LcssLength(a, a, 0.1), 3);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, a, 0.1), 0.0);
+}
+
+TEST(LcssTest, DisjointHasNoMatch) {
+  auto a = Line({0, 1});
+  auto b = Line({100, 200});
+  EXPECT_EQ(LcssLength(a, b, 1.0), 0);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 1.0), 1.0);
+}
+
+TEST(LcssTest, SubsequenceStructureRespected) {
+  // Common subsequence (1, 3) of length 2.
+  auto a = Line({1, 9, 3});
+  auto b = Line({1, 3});
+  EXPECT_EQ(LcssLength(a, b, 0.1), 2);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 0.1), 0.0);  // min length 2 fully used
+}
+
+TEST(LcssTest, NormalizationUsesShorterLength) {
+  auto a = Line({1, 9, 9, 9});
+  auto b = Line({1, 2});
+  EXPECT_EQ(LcssLength(a, b, 0.1), 1);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 0.1), 0.5);
+}
+
+TEST(LcssTest, SymmetricArguments) {
+  auto a = Line({0, 2, 7, 3});
+  auto b = Line({1, 1, 4});
+  EXPECT_EQ(LcssLength(a, b, 1.0), LcssLength(b, a, 1.0));
+}
+
+TEST(LcssTest, EvaluatorMatchesBatchForAllPrefixes) {
+  LcssMeasure measure(1.0);
+  auto data = Line({0, 3, 1, 4, 1, 5});
+  auto query = Line({1, 2, 2});
+  auto eval = measure.NewEvaluator(query);
+  for (size_t i = 0; i < data.size(); ++i) {
+    double d = eval->Start(data[i]);
+    std::span<const Point> sub(&data[i], 1);
+    EXPECT_NEAR(d, LcssDistance(sub, query, 1.0), 1e-9) << "start " << i;
+    for (size_t j = i + 1; j < data.size(); ++j) {
+      d = eval->Extend(data[j]);
+      std::span<const Point> sub2(&data[i], j - i + 1);
+      EXPECT_NEAR(d, LcssDistance(sub2, query, 1.0), 1e-9)
+          << "prefix [" << i << "," << j << "]";
+    }
+  }
+}
+
+TEST(LcssTest, MonotoneInEps) {
+  auto a = Line({0, 2, 4});
+  auto b = Line({0.4, 2.6, 4.8});
+  EXPECT_LE(LcssDistance(a, b, 1.0), LcssDistance(a, b, 0.5) + 1e-12);
+  EXPECT_LE(LcssDistance(a, b, 0.5), LcssDistance(a, b, 0.1) + 1e-12);
+}
+
+}  // namespace
+}  // namespace simsub::similarity

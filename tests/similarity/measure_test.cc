@@ -1,0 +1,129 @@
+#include "similarity/measure.h"
+
+#include <gtest/gtest.h>
+
+#include "similarity/dtw.h"
+#include "similarity/frechet.h"
+#include "similarity/registry.h"
+
+namespace simsub::similarity {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(std::initializer_list<double> xs) {
+  std::vector<Point> pts;
+  for (double x : xs) pts.emplace_back(x, 0.0);
+  return pts;
+}
+
+TEST(TransformTest, OneOverOnePlusBounded) {
+  EXPECT_DOUBLE_EQ(ToSimilarity(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ToSimilarity(1.0), 0.5);
+  EXPECT_GT(ToSimilarity(1e9), 0.0);
+  EXPECT_LT(ToSimilarity(1e9), 1e-8);
+}
+
+TEST(TransformTest, ReciprocalMatchesPaperExample) {
+  // Paper Table 3/4 use 1/DTW: distance 3 -> similarity 1/3 = 0.333.
+  EXPECT_NEAR(ToSimilarity(3.0, SimilarityTransform::kReciprocal), 0.333, 1e-3);
+}
+
+TEST(TransformTest, ReciprocalGuardsZero) {
+  double s = ToSimilarity(0.0, SimilarityTransform::kReciprocal);
+  EXPECT_TRUE(std::isfinite(s));
+  EXPECT_GT(s, 1e6);
+}
+
+TEST(TransformTest, BothStrictlyDecreasing) {
+  for (auto tf : {SimilarityTransform::kOneOverOnePlus,
+                  SimilarityTransform::kReciprocal}) {
+    double prev = ToSimilarity(0.001, tf);
+    for (double d : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+      double s = ToSimilarity(d, tf);
+      EXPECT_LT(s, prev);
+      prev = s;
+    }
+  }
+}
+
+TEST(SuffixDistanceTest, MatchesDirectReversedComputation) {
+  DtwMeasure dtw;
+  auto data = Line({0, 3, 1, 4, 2});
+  auto query = Line({1, 2});
+  auto suffix = ComputeSuffixDistances(dtw, data, query);
+  ASSERT_EQ(suffix.size(), data.size());
+  std::vector<Point> rq = geo::ReversePoints(query);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<Point> rsub(data.rbegin(),
+                            data.rbegin() + static_cast<long>(data.size() - i));
+    EXPECT_NEAR(suffix[i], DtwDistance(rsub, rq), 1e-9) << "suffix at " << i;
+  }
+}
+
+TEST(SuffixDistanceTest, DtwSuffixEqualsForwardDistance) {
+  // For DTW, dist(T[i,n]^R, Tq^R) == dist(T[i,n], Tq) (paper Section 4.3).
+  DtwMeasure dtw;
+  auto data = Line({5, 1, 4, 2, 8, 3});
+  auto query = Line({2, 6, 1});
+  auto suffix = ComputeSuffixDistances(dtw, data, query);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::span<const Point> sub(&data[i], data.size() - i);
+    EXPECT_NEAR(suffix[i], DtwDistance(sub, query), 1e-9);
+  }
+}
+
+TEST(SuffixDistanceTest, FrechetSuffixEqualsForwardDistance) {
+  FrechetMeasure frechet;
+  auto data = Line({5, 1, 4, 2, 8, 3});
+  auto query = Line({2, 6, 1});
+  auto suffix = ComputeSuffixDistances(frechet, data, query);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::span<const Point> sub(&data[i], data.size() - i);
+    EXPECT_NEAR(suffix[i], FrechetDistance(sub, query), 1e-9);
+  }
+}
+
+TEST(RegistryTest, BuildsAllBuiltinMeasures) {
+  for (const std::string& name : BuiltinMeasureNames()) {
+    auto m = MakeMeasure(name);
+    ASSERT_TRUE(m.ok()) << name;
+    EXPECT_EQ((*m)->name(), name);
+  }
+}
+
+TEST(RegistryTest, RejectsUnknownName) {
+  auto m = MakeMeasure("nope");
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, OptionsArePluggedThrough) {
+  MeasureOptions options;
+  options.edr_eps = 42.0;
+  auto m = MakeMeasure("edr", options);
+  ASSERT_TRUE(m.ok());
+  // Behavior check: points 40 apart match with eps 42 but not with default.
+  std::vector<Point> a = {Point(0, 0)};
+  std::vector<Point> b = {Point(40, 0)};
+  EXPECT_DOUBLE_EQ((*m)->Distance(a, b), 0.0);
+}
+
+TEST(MeasureTest, DefaultDistanceUsesEvaluator) {
+  // The base-class Distance must agree with the specialized overrides.
+  DtwMeasure dtw;
+  auto a = Line({0, 2, 5});
+  auto b = Line({1, 1});
+  const SimilarityMeasure& base = dtw;
+  EXPECT_NEAR(base.Distance(a, b), DtwDistance(a, b), 1e-9);
+}
+
+TEST(MeasureTest, ReversalFlagDefaults) {
+  DtwMeasure dtw;
+  FrechetMeasure frechet;
+  EXPECT_TRUE(dtw.ReversalPreservesDistance());
+  EXPECT_TRUE(frechet.ReversalPreservesDistance());
+}
+
+}  // namespace
+}  // namespace simsub::similarity

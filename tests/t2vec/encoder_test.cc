@@ -1,0 +1,103 @@
+#include "t2vec/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace simsub::t2vec {
+namespace {
+
+TEST(EncoderTest, EncodeMatchesIncrementalSteps) {
+  util::Rng rng(1);
+  TrajectoryEncoder enc(20, 4, 6, rng);
+  std::vector<int> tokens = {3, 7, 1, 19, 0};
+  auto full = enc.Encode(tokens);
+  auto h = enc.InitialHidden();
+  for (int tok : tokens) h = enc.StepToken(tok, h);
+  ASSERT_EQ(full.size(), h.size());
+  for (size_t i = 0; i < h.size(); ++i) EXPECT_DOUBLE_EQ(full[i], h[i]);
+}
+
+TEST(EncoderTest, DifferentSequencesDiffer) {
+  util::Rng rng(2);
+  TrajectoryEncoder enc(20, 4, 6, rng);
+  auto a = enc.Encode(std::vector<int>{1, 2, 3});
+  auto b = enc.Encode(std::vector<int>{10, 11, 12});
+  double diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(EncoderTest, TrainingForwardMatchesInference) {
+  util::Rng rng(3);
+  TrajectoryEncoder enc(10, 3, 5, rng);
+  std::vector<int> tokens = {0, 4, 9, 2};
+  TrajectoryEncoder::RunCache cache;
+  auto h1 = enc.EncodeForTraining(tokens, &cache);
+  auto h2 = enc.Encode(tokens);
+  for (size_t i = 0; i < h1.size(); ++i) EXPECT_DOUBLE_EQ(h1[i], h2[i]);
+  EXPECT_EQ(cache.steps.size(), tokens.size());
+}
+
+// Numerical gradient check through embedding + GRU over a short sequence.
+TEST(EncoderTest, BackwardMatchesNumericalGradient) {
+  util::Rng rng(4);
+  TrajectoryEncoder enc(6, 2, 3, rng);
+  std::vector<int> tokens = {1, 4, 1};
+
+  auto loss = [&]() {
+    auto h = enc.Encode(tokens);
+    double sum = 0.0;
+    for (double v : h) sum += v;
+    return sum;
+  };
+
+  enc.params().ZeroGrad();
+  TrajectoryEncoder::RunCache cache;
+  enc.EncodeForTraining(tokens, &cache);
+  std::vector<double> dfinal(3, 1.0);
+  enc.Backward(cache, dfinal);
+
+  const double eps = 1e-6;
+  for (const auto& view : enc.params().views()) {
+    for (size_t k = 0; k < view.value->size(); ++k) {
+      double saved = (*view.value)[k];
+      (*view.value)[k] = saved + eps;
+      double lp = loss();
+      (*view.value)[k] = saved - eps;
+      double lm = loss();
+      (*view.value)[k] = saved;
+      EXPECT_NEAR((*view.grad)[k], (lp - lm) / (2 * eps), 1e-5);
+    }
+  }
+}
+
+TEST(EncoderTest, SaveLoadRoundTrip) {
+  util::Rng rng(5);
+  TrajectoryEncoder enc(12, 3, 4, rng);
+  std::stringstream ss;
+  ASSERT_TRUE(enc.Save(ss).ok());
+  auto loaded = TrajectoryEncoder::Load(ss);
+  ASSERT_TRUE(loaded.ok());
+  std::vector<int> tokens = {0, 5, 11};
+  auto h1 = enc.Encode(tokens);
+  auto h2 = loaded->Encode(tokens);
+  ASSERT_EQ(h1.size(), h2.size());
+  for (size_t i = 0; i < h1.size(); ++i) EXPECT_DOUBLE_EQ(h1[i], h2[i]);
+}
+
+TEST(EncoderTest, LoadRejectsGarbage) {
+  std::stringstream ss("nope");
+  EXPECT_FALSE(TrajectoryEncoder::Load(ss).ok());
+}
+
+TEST(EncoderTest, EmptySequenceGivesInitialHidden) {
+  util::Rng rng(6);
+  TrajectoryEncoder enc(5, 2, 3, rng);
+  auto h = enc.Encode(std::vector<int>{});
+  for (double v : h) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace simsub::t2vec

@@ -1,0 +1,72 @@
+#include "t2vec/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "geo/ops.h"
+#include "t2vec/t2vec_measure.h"
+
+namespace simsub::t2vec {
+namespace {
+
+TEST(T2VecTrainerTest, LossDecreasesAndMeasureOrdersSanely) {
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, 40, /*seed=*/123);
+  auto grid = std::make_shared<Grid>(dataset.Extent().Inflated(100.0), 24, 24);
+
+  T2VecTrainOptions options;
+  options.pairs = 600;
+  options.batch_size = 8;
+  options.embedding_dim = 8;
+  options.hidden_dim = 16;
+  options.seed = 5;
+  T2VecTrainer trainer(grid, options);
+  auto encoder = trainer.Train(dataset.trajectories);
+  ASSERT_NE(encoder, nullptr);
+
+  // Loss should drop substantially from the first few batches to the last.
+  const auto& losses = trainer.report().batch_losses;
+  ASSERT_GE(losses.size(), 10u);
+  double head = 0.0, tail = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    head += losses[static_cast<size_t>(i)];
+    tail += losses[losses.size() - 1 - static_cast<size_t>(i)];
+  }
+  EXPECT_LT(tail, head) << "training loss did not decrease";
+
+  // Behavioral check: a trajectory must embed closer to its noisy self than
+  // to an unrelated trajectory, in the majority of cases.
+  T2VecMeasure measure(encoder, grid);
+  util::Rng rng(9);
+  int wins = 0;
+  const int trials = 20;
+  for (int k = 0; k < trials; ++k) {
+    const auto& t = dataset.trajectories[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(dataset.trajectories.size()) - 1))];
+    const auto& other = dataset.trajectories[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(dataset.trajectories.size()) - 1))];
+    if (other.id() == t.id()) continue;
+    geo::Trajectory noisy = geo::AddGaussianNoise(t, 30.0, rng);
+    double d_self = measure.Distance(t.View(), noisy.View());
+    double d_other = measure.Distance(t.View(), other.View());
+    if (d_self < d_other) ++wins;
+  }
+  EXPECT_GT(wins, trials / 2);
+}
+
+TEST(T2VecTrainerTest, ReportsTrainingTime) {
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, 10, 1);
+  auto grid = std::make_shared<Grid>(dataset.Extent().Inflated(10.0), 8, 8);
+  T2VecTrainOptions options;
+  options.pairs = 40;
+  options.embedding_dim = 4;
+  options.hidden_dim = 8;
+  T2VecTrainer trainer(grid, options);
+  trainer.Train(dataset.trajectories);
+  EXPECT_GT(trainer.report().train_seconds, 0.0);
+  EXPECT_FALSE(trainer.report().batch_losses.empty());
+}
+
+}  // namespace
+}  // namespace simsub::t2vec

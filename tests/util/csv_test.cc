@@ -1,0 +1,68 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace simsub::util {
+namespace {
+
+TEST(CsvTest, SplitsSimpleLine) {
+  auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvTest, SplitsEmptyFields) {
+  auto fields = SplitCsvLine(",x,");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "x");
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(CsvTest, HandlesQuotedFields) {
+  auto fields = SplitCsvLine("\"a,b\",c,\"he said \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "c");
+  EXPECT_EQ(fields[2], "he said \"hi\"");
+}
+
+TEST(CsvTest, JoinQuotesWhenNeeded) {
+  EXPECT_EQ(JoinCsvLine({"a", "b,c", "d\"e"}), "a,\"b,c\",\"d\"\"e\"");
+}
+
+TEST(CsvTest, JoinSplitRoundTrip) {
+  std::vector<std::string> fields = {"plain", "with,comma", "with\"quote", ""};
+  auto back = SplitCsvLine(JoinCsvLine(fields));
+  EXPECT_EQ(back, fields);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "simsub_csv_test.csv").string();
+  std::vector<std::vector<std::string>> rows = {
+      {"id", "x", "y"}, {"1", "2.5", "-3"}, {"2", "0", "7"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto r = ReadCsvFile("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteCsvFile("/nonexistent/dir/file.csv", {{"a"}}).ok());
+}
+
+}  // namespace
+}  // namespace simsub::util

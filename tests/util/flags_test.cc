@@ -1,0 +1,101 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace simsub::util {
+namespace {
+
+// Builds a mutable argv from string literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args) : args_(std::move(args)) {
+    for (auto& a : args_) argv_.push_back(a.data());
+  }
+  int argc() const { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<char*> argv_;
+};
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  FlagSet flags;
+  int pairs = 10;
+  double ratio = 0.5;
+  std::string name = "default";
+  bool verbose = false;
+  flags.AddInt("pairs", &pairs, "pairs");
+  flags.AddDouble("ratio", &ratio, "ratio");
+  flags.AddString("name", &name, "name");
+  flags.AddBool("verbose", &verbose, "verbose");
+  ArgvBuilder args({"prog", "--pairs=42", "--ratio=0.25", "--name=porto",
+                    "--verbose=true"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(pairs, 42);
+  EXPECT_DOUBLE_EQ(ratio, 0.25);
+  EXPECT_EQ(name, "porto");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagsTest, ParsesSpaceForm) {
+  FlagSet flags;
+  int64_t n = 0;
+  flags.AddInt("n", &n, "count");
+  ArgvBuilder args({"prog", "--n", "123456789012"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 123456789012LL);
+}
+
+TEST(FlagsTest, BareBoolIsTrue) {
+  FlagSet flags;
+  bool on = false;
+  flags.AddBool("on", &on, "switch");
+  ArgvBuilder args({"prog", "--on"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(on);
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagSet flags;
+  int x = 0;
+  flags.AddInt("x", &x, "x");
+  ArgvBuilder args({"prog", "--y=1"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, MalformedValueFails) {
+  FlagSet flags;
+  int x = 0;
+  flags.AddInt("x", &x, "x");
+  ArgvBuilder args({"prog", "--x=abc"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, PositionalArgumentFails) {
+  FlagSet flags;
+  ArgvBuilder args({"prog", "stray"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, DefaultsSurviveEmptyArgv) {
+  FlagSet flags;
+  int x = 17;
+  flags.AddInt("x", &x, "x");
+  ArgvBuilder args({"prog"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(x, 17);
+}
+
+TEST(FlagsTest, UsageMentionsFlagsAndDefaults) {
+  FlagSet flags("Test program");
+  int pairs = 10;
+  flags.AddInt("pairs", &pairs, "number of pairs");
+  std::string usage = flags.Usage("prog");
+  EXPECT_NE(usage.find("--pairs"), std::string::npos);
+  EXPECT_NE(usage.find("10"), std::string::npos);
+  EXPECT_NE(usage.find("number of pairs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simsub::util

@@ -1,0 +1,79 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace simsub::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a, b, both;
+  for (int i = 0; i < 50; ++i) {
+    double v = 0.37 * i - 3.0;
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    both.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_NEAR(a.mean(), both.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), both.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace simsub::util

@@ -1,0 +1,48 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace simsub::util {
+namespace {
+
+TEST(TableTest, FormatsAlignedColumns) {
+  TablePrinter table({"Algo", "AR"});
+  table.AddRow({"ExactS", "1.000"});
+  table.AddRow({"PSS", "1.05"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| Algo"), std::string::npos);
+  EXPECT_NE(out.find("ExactS"), std::string::npos);
+  EXPECT_NE(out.find("PSS"), std::string::npos);
+  // Header separator row exists.
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(TableTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Fmt(1.0, 3), "1.000");
+}
+
+TEST(TableTest, FmtPercent) {
+  EXPECT_EQ(TablePrinter::FmtPercent(0.0354, 1), "3.5%");
+  EXPECT_EQ(TablePrinter::FmtPercent(1.0, 0), "100%");
+}
+
+TEST(TableTest, AllRowsRenderAndAlign) {
+  TablePrinter table({"a", "bb"});
+  table.AddRow({"xxxx", "y"});
+  std::string out = table.ToString();
+  // Every line has the same width.
+  size_t first_nl = out.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  size_t width = first_nl;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t nl = out.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    EXPECT_EQ(nl - pos, width);
+    pos = nl + 1;
+  }
+}
+
+}  // namespace
+}  // namespace simsub::util

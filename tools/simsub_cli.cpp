@@ -1,0 +1,206 @@
+// simsub command-line tool: generate datasets, train RLS policies, and run
+// SimSub queries against trajectory CSV files without writing any C++.
+//
+//   simsub_cli generate --kind=porto --count=1000 --out=city.csv
+//   simsub_cli train    --data=city.csv --kind=porto --measure=dtw
+//                       --episodes=8000 --skip=3 --out=policy.txt
+//   simsub_cli query    --data=city.csv --kind=porto --measure=dtw
+//                       --policy=policy.txt --query_id=17 --topk=5
+//
+// The query subcommand runs the chosen algorithm over the whole database
+// through the engine (R-tree pruned) and prints the top-k matches.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "algo/exacts.h"
+#include "algo/rls.h"
+#include "algo/splitting.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "engine/engine.h"
+#include "rl/policy_io.h"
+#include "rl/trainer.h"
+#include "similarity/registry.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace simsub;
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunGenerate(int argc, char** argv) {
+  std::string kind_name = "porto";
+  int count = 1000;
+  int64_t seed = 42;
+  std::string out = "dataset.csv";
+  util::FlagSet flags("simsub_cli generate: synthesize a trajectory dataset");
+  flags.AddString("kind", &kind_name, "porto | harbin | sports");
+  flags.AddInt("count", &count, "number of trajectories");
+  flags.AddInt("seed", &seed, "generator seed");
+  flags.AddString("out", &out, "output CSV path");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+
+  auto kind = data::DatasetKindFromName(kind_name);
+  if (!kind.ok()) return Fail(kind.status());
+  data::Dataset dataset =
+      data::GenerateDataset(*kind, count, static_cast<uint64_t>(seed));
+  if (auto st = data::SaveCsv(dataset, out); !st.ok()) return Fail(st);
+  std::printf("wrote %zu trajectories (%lld points) to %s\n",
+              dataset.trajectories.size(),
+              static_cast<long long>(dataset.TotalPoints()), out.c_str());
+  return 0;
+}
+
+util::Result<data::Dataset> LoadDataset(const std::string& path,
+                                        const std::string& kind_name) {
+  auto kind = data::DatasetKindFromName(kind_name);
+  if (!kind.ok()) return kind.status();
+  return data::LoadCsv(path, kind_name, *kind);
+}
+
+int RunTrain(int argc, char** argv) {
+  std::string data_path = "dataset.csv";
+  std::string kind_name = "porto";
+  std::string measure_name = "dtw";
+  std::string out = "policy.txt";
+  int episodes = 8000;
+  int skip = 0;
+  int64_t seed = 42;
+  util::FlagSet flags("simsub_cli train: train an RLS/RLS-Skip policy");
+  flags.AddString("data", &data_path, "training dataset CSV");
+  flags.AddString("kind", &kind_name, "porto | harbin | sports");
+  flags.AddString("measure", &measure_name, "dtw | frechet | erp | ...");
+  flags.AddInt("episodes", &episodes, "training episodes");
+  flags.AddInt("skip", &skip, "skip actions k (0 = plain RLS)");
+  flags.AddInt("seed", &seed, "training seed");
+  flags.AddString("out", &out, "output policy path");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+
+  auto dataset = LoadDataset(data_path, kind_name);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto measure = similarity::MakeMeasure(measure_name);
+  if (!measure.ok()) return Fail(measure.status());
+
+  rl::RlsTrainOptions options;
+  options.episodes = episodes;
+  options.seed = static_cast<uint64_t>(seed);
+  options.env.skip_count = skip;
+  // Skip variants train with a discount closer to 1 (see DESIGN.md §5.8).
+  options.dqn.gamma = skip > 0 ? 0.99 : 0.95;
+  rl::RlsTrainer trainer(measure->get(), options);
+  std::printf("training %s on %zu trajectories (%d episodes)...\n",
+              skip > 0 ? "RLS-Skip" : "RLS", dataset->trajectories.size(),
+              episodes);
+  rl::TrainedPolicy policy =
+      trainer.Train(dataset->trajectories, dataset->trajectories);
+  std::printf("trained in %.1f s (%lld gradient steps)\n",
+              trainer.report().train_seconds,
+              trainer.report().gradient_steps);
+  if (auto st = rl::SavePolicyToFile(policy, out); !st.ok()) return Fail(st);
+  std::printf("policy written to %s\n", out.c_str());
+  return 0;
+}
+
+int RunQuery(int argc, char** argv) {
+  std::string data_path = "dataset.csv";
+  std::string kind_name = "porto";
+  std::string measure_name = "dtw";
+  std::string algorithm = "exact";
+  std::string policy_path;
+  int64_t query_id = 0;
+  int topk = 5;
+  int threads = 1;
+  bool use_index = true;
+  util::FlagSet flags("simsub_cli query: top-k similar subtrajectory search");
+  flags.AddString("data", &data_path, "database CSV");
+  flags.AddString("kind", &kind_name, "porto | harbin | sports");
+  flags.AddString("measure", &measure_name, "dtw | frechet | erp | ...");
+  flags.AddString("algorithm", &algorithm, "exact | pss | rls");
+  flags.AddString("policy", &policy_path, "trained policy (for --algorithm=rls)");
+  flags.AddInt("query_id", &query_id, "trajectory id used as the query");
+  flags.AddInt("topk", &topk, "number of results");
+  flags.AddInt("threads", &threads, "parallel scan width");
+  flags.AddBool("index", &use_index, "use the R-tree filter");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+
+  auto dataset = LoadDataset(data_path, kind_name);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto measure = similarity::MakeMeasure(measure_name);
+  if (!measure.ok()) return Fail(measure.status());
+
+  const geo::Trajectory* query = nullptr;
+  for (const auto& t : dataset->trajectories) {
+    if (t.id() == query_id) query = &t;
+  }
+  if (query == nullptr) {
+    return Fail(util::Status::NotFound("no trajectory with id " +
+                                       std::to_string(query_id)));
+  }
+  geo::Trajectory query_copy = *query;  // engine takes ownership of the db
+
+  std::unique_ptr<algo::SubtrajectorySearch> search;
+  if (algorithm == "exact") {
+    search = std::make_unique<algo::ExactS>(measure->get());
+  } else if (algorithm == "pss") {
+    search = std::make_unique<algo::PssSearch>(measure->get());
+  } else if (algorithm == "rls") {
+    if (policy_path.empty()) {
+      return Fail(util::Status::InvalidArgument(
+          "--algorithm=rls requires --policy"));
+    }
+    auto policy = rl::LoadPolicyFromFile(policy_path);
+    if (!policy.ok()) return Fail(policy.status());
+    search = std::make_unique<algo::RlsSearch>(measure->get(), *policy);
+  } else {
+    return Fail(util::Status::InvalidArgument("unknown algorithm: " +
+                                              algorithm));
+  }
+
+  engine::SimSubEngine engine(std::move(dataset->trajectories));
+  if (use_index) engine.BuildIndex();
+  util::Stopwatch timer;
+  engine::QueryReport report = engine.Query(
+      query_copy.View(), *search, topk,
+      use_index ? engine::PruningFilter::kRTree : engine::PruningFilter::kNone,
+      /*index_margin=*/0.0, threads);
+  std::printf(
+      "%s/%s over %lld trajectories: %.1f ms (%lld scanned, %lld pruned)\n",
+      search->name().c_str(), measure_name.c_str(),
+      static_cast<long long>(engine.database().size()),
+      timer.ElapsedMillis(),
+      static_cast<long long>(report.trajectories_scanned),
+      static_cast<long long>(report.trajectories_pruned));
+  for (const auto& hit : report.results) {
+    std::printf("  trajectory %6lld  range [%4d, %4d]  distance %.3f\n",
+                static_cast<long long>(hit.trajectory_id), hit.range.start,
+                hit.range.end, hit.distance);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <generate|train|query> [flags]\n"
+                 "run '%s <subcommand> --help' for details\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+  std::string subcommand = argv[1];
+  // Shift argv so the subcommand's FlagSet sees only its own flags.
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  if (subcommand == "generate") return RunGenerate(sub_argc, sub_argv);
+  if (subcommand == "train") return RunTrain(sub_argc, sub_argv);
+  if (subcommand == "query") return RunQuery(sub_argc, sub_argv);
+  std::fprintf(stderr, "unknown subcommand: %s\n", subcommand.c_str());
+  return 1;
+}
