@@ -184,17 +184,31 @@ int RunQuery(int argc, char** argv) {
   return 0;
 }
 
+void PrintUsage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s <subcommand> [flags]\n"
+               "\n"
+               "subcommands:\n"
+               "  generate  synthesize a trajectory dataset and write it as CSV\n"
+               "  train     train an RLS/RLS-Skip policy on a dataset\n"
+               "  query     run a top-k similar subtrajectory search\n"
+               "\n"
+               "run '%s <subcommand> --help' for the subcommand's flags\n",
+               argv0, argv0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <generate|train|query> [flags]\n"
-                 "run '%s <subcommand> --help' for details\n",
-                 argv[0], argv[0]);
-    return 1;
+    PrintUsage(stdout, argv[0]);
+    return 0;
   }
   std::string subcommand = argv[1];
+  if (subcommand == "--help" || subcommand == "-h" || subcommand == "help") {
+    PrintUsage(stdout, argv[0]);
+    return 0;
+  }
   // Shift argv so the subcommand's FlagSet sees only its own flags.
   int sub_argc = argc - 1;
   char** sub_argv = argv + 1;
@@ -202,5 +216,6 @@ int main(int argc, char** argv) {
   if (subcommand == "train") return RunTrain(sub_argc, sub_argv);
   if (subcommand == "query") return RunQuery(sub_argc, sub_argv);
   std::fprintf(stderr, "unknown subcommand: %s\n", subcommand.c_str());
+  PrintUsage(stderr, argv[0]);
   return 1;
 }
