@@ -4,20 +4,16 @@
 
 namespace simsub::algo {
 
-ExactS::ExactS(const similarity::SimilarityMeasure* measure)
-    : measure_(measure) {
-  SIMSUB_CHECK(measure != nullptr);
-}
+namespace {
 
-SearchResult ExactS::DoSearch(std::span<const geo::Point> data,
-                            std::span<const geo::Point> query) const {
-  SIMSUB_CHECK(!data.empty());
-  SIMSUB_CHECK(!query.empty());
+// The Algorithm 1 scan, factored out so the plain and the scratch-reusing
+// entry points share one implementation.
+SearchResult ExactScan(similarity::PrefixEvaluator& eval,
+                       std::span<const geo::Point> data) {
   SearchResult result;
   const int n = static_cast<int>(data.size());
-  auto eval = measure_->NewEvaluator(query);
   for (int i = 0; i < n; ++i) {
-    double d = eval->Start(data[static_cast<size_t>(i)]);
+    double d = eval.Start(data[static_cast<size_t>(i)]);
     ++result.stats.start_calls;
     ++result.stats.candidates;
     if (d < result.distance) {
@@ -25,7 +21,7 @@ SearchResult ExactS::DoSearch(std::span<const geo::Point> data,
       result.best = geo::SubRange(i, i);
     }
     for (int j = i + 1; j < n; ++j) {
-      d = eval->Extend(data[static_cast<size_t>(j)]);
+      d = eval.Extend(data[static_cast<size_t>(j)]);
       ++result.stats.extend_calls;
       ++result.stats.candidates;
       if (d < result.distance) {
@@ -35,6 +31,29 @@ SearchResult ExactS::DoSearch(std::span<const geo::Point> data,
     }
   }
   return result;
+}
+
+}  // namespace
+
+ExactS::ExactS(const similarity::SimilarityMeasure* measure)
+    : measure_(measure) {
+  SIMSUB_CHECK(measure != nullptr);
+}
+
+SearchResult ExactS::DoSearch(std::span<const geo::Point> data,
+                            std::span<const geo::Point> query) const {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  auto eval = measure_->NewEvaluator(query);
+  return ExactScan(*eval, data);
+}
+
+SearchResult ExactS::DoSearchCached(std::span<const geo::Point> data,
+                                    std::span<const geo::Point> query,
+                                    similarity::EvaluatorCache& scratch) const {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  return ExactScan(*scratch.Acquire(*measure_, query), data);
 }
 
 void ExactS::EnumerateAll(

@@ -30,6 +30,10 @@ class ExactS : public SubtrajectorySearch {
   SearchResult DoSearch(std::span<const geo::Point> data,
                         std::span<const geo::Point> query) const override;
 
+  SearchResult DoSearchCached(
+      std::span<const geo::Point> data, std::span<const geo::Point> query,
+      similarity::EvaluatorCache& scratch) const override;
+
  private:
   const similarity::SimilarityMeasure* measure_;
 };

@@ -12,6 +12,10 @@
 #include "geo/point.h"
 #include "geo/trajectory.h"
 
+namespace simsub::similarity {
+class EvaluatorCache;
+}  // namespace simsub::similarity
+
 namespace simsub::algo {
 
 /// Instrumentation counters reported by every search.
@@ -62,11 +66,29 @@ class SubtrajectorySearch {
     return DoSearch(data.View(), query.View());
   }
 
+  /// Like Search, but may reuse evaluator scratch from `scratch` (a
+  /// per-worker, single-threaded cache) instead of allocating fresh DP rows
+  /// per call. Algorithms without a cached path silently fall back to the
+  /// plain search; a null cache is equivalent to Search(data, query).
+  SearchResult Search(std::span<const geo::Point> data,
+                      std::span<const geo::Point> query,
+                      similarity::EvaluatorCache* scratch) const {
+    return scratch != nullptr ? DoSearchCached(data, query, *scratch)
+                              : DoSearch(data, query);
+  }
+
  protected:
   /// Implementation hook (non-virtual interface: both public Search
   /// overloads dispatch here, so derived classes never hide one of them).
   virtual SearchResult DoSearch(std::span<const geo::Point> data,
                                 std::span<const geo::Point> query) const = 0;
+
+  /// Scratch-reusing hook; the default ignores the cache.
+  virtual SearchResult DoSearchCached(std::span<const geo::Point> data,
+                                      std::span<const geo::Point> query,
+                                      similarity::EvaluatorCache&) const {
+    return DoSearch(data, query);
+  }
 };
 
 }  // namespace simsub::algo

@@ -6,27 +6,22 @@
 
 namespace simsub::algo {
 
-SizeS::SizeS(const similarity::SimilarityMeasure* measure, int xi)
-    : measure_(measure), xi_(xi) {
-  SIMSUB_CHECK(measure != nullptr);
-  SIMSUB_CHECK_GE(xi, 0);
-}
+namespace {
 
-SearchResult SizeS::DoSearch(std::span<const geo::Point> data,
-                           std::span<const geo::Point> query) const {
-  SIMSUB_CHECK(!data.empty());
-  SIMSUB_CHECK(!query.empty());
+// Size-window scan shared by the plain and scratch-reusing entry points.
+SearchResult SizeScan(similarity::PrefixEvaluator& eval,
+                      std::span<const geo::Point> data,
+                      std::span<const geo::Point> query, int xi) {
   SearchResult result;
   const int n = static_cast<int>(data.size());
   const int m = static_cast<int>(query.size());
   // Clamp the window so at least one candidate is always admissible, even
   // when the data trajectory is shorter than m - xi.
-  const int min_size = std::max(1, std::min(m - xi_, n));
-  const int max_size = m + xi_;
-  auto eval = measure_->NewEvaluator(query);
+  const int min_size = std::max(1, std::min(m - xi, n));
+  const int max_size = m + xi;
   for (int i = 0; i < n; ++i) {
     if (i + min_size > n) break;  // No admissible subtrajectory starts here.
-    double d = eval->Start(data[static_cast<size_t>(i)]);
+    double d = eval.Start(data[static_cast<size_t>(i)]);
     ++result.stats.start_calls;
     int size = 1;
     if (size >= min_size) {
@@ -37,7 +32,7 @@ SearchResult SizeS::DoSearch(std::span<const geo::Point> data,
       }
     }
     for (int j = i + 1; j < n && size < max_size; ++j) {
-      d = eval->Extend(data[static_cast<size_t>(j)]);
+      d = eval.Extend(data[static_cast<size_t>(j)]);
       ++result.stats.extend_calls;
       ++size;
       if (size >= min_size) {
@@ -50,6 +45,30 @@ SearchResult SizeS::DoSearch(std::span<const geo::Point> data,
     }
   }
   return result;
+}
+
+}  // namespace
+
+SizeS::SizeS(const similarity::SimilarityMeasure* measure, int xi)
+    : measure_(measure), xi_(xi) {
+  SIMSUB_CHECK(measure != nullptr);
+  SIMSUB_CHECK_GE(xi, 0);
+}
+
+SearchResult SizeS::DoSearch(std::span<const geo::Point> data,
+                           std::span<const geo::Point> query) const {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  auto eval = measure_->NewEvaluator(query);
+  return SizeScan(*eval, data, query, xi_);
+}
+
+SearchResult SizeS::DoSearchCached(std::span<const geo::Point> data,
+                                   std::span<const geo::Point> query,
+                                   similarity::EvaluatorCache& scratch) const {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  return SizeScan(*scratch.Acquire(*measure_, query), data, query, xi_);
 }
 
 }  // namespace simsub::algo

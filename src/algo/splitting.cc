@@ -16,6 +16,21 @@ SearchResult PssSearch::DoSearch(std::span<const geo::Point> data,
                                std::span<const geo::Point> query) const {
   SIMSUB_CHECK(!data.empty());
   SIMSUB_CHECK(!query.empty());
+  auto eval = measure_->NewEvaluator(query);
+  return PrefixSuffixScan(*eval, data, query);
+}
+
+SearchResult PssSearch::DoSearchCached(
+    std::span<const geo::Point> data, std::span<const geo::Point> query,
+    similarity::EvaluatorCache& scratch) const {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  return PrefixSuffixScan(*scratch.Acquire(*measure_, query), data, query);
+}
+
+SearchResult PssSearch::PrefixSuffixScan(
+    similarity::PrefixEvaluator& eval, std::span<const geo::Point> data,
+    std::span<const geo::Point> query) const {
   SearchResult result;
   const int n = static_cast<int>(data.size());
 
@@ -26,11 +41,10 @@ SearchResult PssSearch::DoSearch(std::span<const geo::Point> data,
   result.stats.start_calls += 1;
   result.stats.extend_calls += n - 1;
 
-  auto eval = measure_->NewEvaluator(query);
   int h = 0;  // Start of the current segment.
   for (int i = 0; i < n; ++i) {
-    double pre = (i == h) ? eval->Start(data[static_cast<size_t>(i)])
-                          : eval->Extend(data[static_cast<size_t>(i)]);
+    double pre = (i == h) ? eval.Start(data[static_cast<size_t>(i)])
+                          : eval.Extend(data[static_cast<size_t>(i)]);
     if (i == h) {
       ++result.stats.start_calls;
     } else {

@@ -25,7 +25,15 @@ class PssSearch : public SubtrajectorySearch {
   SearchResult DoSearch(std::span<const geo::Point> data,
                         std::span<const geo::Point> query) const override;
 
+  SearchResult DoSearchCached(
+      std::span<const geo::Point> data, std::span<const geo::Point> query,
+      similarity::EvaluatorCache& scratch) const override;
+
  private:
+  SearchResult PrefixSuffixScan(similarity::PrefixEvaluator& eval,
+                                std::span<const geo::Point> data,
+                                std::span<const geo::Point> query) const;
+
   const similarity::SimilarityMeasure* measure_;
 };
 

@@ -1,8 +1,9 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <future>
 #include <queue>
-#include <thread>
+#include <vector>
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -11,10 +12,10 @@ namespace simsub::engine {
 
 namespace {
 
-// Max-heap on distance keeps the k smallest-distance entries.
+// Max-heap under EntryBetter keeps the k best entries (worst on top).
 struct WorseEntry {
   bool operator()(const TopKEntry& a, const TopKEntry& b) const {
-    return a.distance < b.distance;
+    return EntryBetter(a, b);
   }
 };
 using TopKHeap =
@@ -23,13 +24,43 @@ using TopKHeap =
 void OfferEntry(TopKHeap& heap, int k, const TopKEntry& entry) {
   if (static_cast<int>(heap.size()) < k) {
     heap.push(entry);
-  } else if (entry.distance < heap.top().distance) {
+  } else if (EntryBetter(entry, heap.top())) {
     heap.pop();
     heap.push(entry);
   }
 }
 
+std::vector<TopKEntry> ExtractAscending(TopKHeap& heap) {
+  std::vector<TopKEntry> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
 }  // namespace
+
+const char* PruningFilterName(PruningFilter filter) {
+  switch (filter) {
+    case PruningFilter::kNone:
+      return "none";
+    case PruningFilter::kRTree:
+      return "rtree";
+    case PruningFilter::kInvertedGrid:
+      return "grid";
+  }
+  return "?";
+}
+
+bool EntryBetter(const TopKEntry& a, const TopKEntry& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  if (a.trajectory_id != b.trajectory_id) {
+    return a.trajectory_id < b.trajectory_id;
+  }
+  if (a.range.start != b.range.start) return a.range.start < b.range.start;
+  return a.range.end < b.range.end;
+}
 
 SimSubEngine::SimSubEngine(std::vector<geo::Trajectory> database)
     : database_(std::move(database)) {
@@ -88,65 +119,92 @@ std::vector<int64_t> SimSubEngine::CandidateOrdinals(
 
 QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
                                 const algo::SubtrajectorySearch& search,
-                                int k, PruningFilter filter,
-                                double index_margin, int threads) const {
+                                const QueryOptions& options) const {
   SIMSUB_CHECK(!query.empty());
-  SIMSUB_CHECK_GT(k, 0);
-  SIMSUB_CHECK_GE(threads, 1);
+  SIMSUB_CHECK_GT(options.k, 0);
+  SIMSUB_CHECK_GE(options.threads, 1);
   util::Stopwatch timer;
   QueryReport report;
+  report.filter_used = options.filter;
 
   std::vector<int64_t> candidates =
-      CandidateOrdinals(query, filter, index_margin);
+      CandidateOrdinals(query, options.filter, options.index_margin);
   report.trajectories_pruned = static_cast<int64_t>(database_.size()) -
                                static_cast<int64_t>(candidates.size());
 
   auto scan_range = [&](size_t lo, size_t hi, TopKHeap& heap,
-                        int64_t& scanned) {
+                        int64_t& scanned,
+                        similarity::EvaluatorCache* scratch) {
     for (size_t c = lo; c < hi; ++c) {
       const geo::Trajectory& traj =
           database_[static_cast<size_t>(candidates[c])];
       if (traj.empty()) continue;
       ++scanned;
-      algo::SearchResult r = search.Search(traj.View(), query);
-      OfferEntry(heap, k, TopKEntry{traj.id(), r.best, r.distance});
+      algo::SearchResult r = search.Search(traj.View(), query, scratch);
+      OfferEntry(heap, options.k, TopKEntry{traj.id(), r.best, r.distance});
     }
   };
 
+  util::ThreadPool* pool =
+      options.pool != nullptr ? options.pool : &util::ThreadPool::Shared();
+  // Run inline when parallelism cannot pay off — and always when already on
+  // a worker of the target pool, where blocking on our own futures could
+  // deadlock (every worker waiting on tasks stuck behind it in the queue).
+  bool sequential = options.threads <= 1 ||
+                    candidates.size() <
+                        2 * static_cast<size_t>(options.threads) ||
+                    pool->OnWorkerThread();
+
   TopKHeap heap;
-  if (threads <= 1 || candidates.size() < 2 * static_cast<size_t>(threads)) {
-    scan_range(0, candidates.size(), heap, report.trajectories_scanned);
+  if (sequential) {
+    similarity::EvaluatorCache local_scratch;
+    similarity::EvaluatorCache* scratch =
+        options.scratch != nullptr ? options.scratch : &local_scratch;
+    scan_range(0, candidates.size(), heap, report.trajectories_scanned,
+               scratch);
   } else {
-    // Partition candidates across workers; merge their local top-k heaps.
-    // Note: the per-trajectory search objects must be thread-compatible —
-    // all algorithms except Random-S are (they share no mutable state).
-    size_t workers = static_cast<size_t>(threads);
+    // Partition candidates into one task per requested thread; each task
+    // keeps a local top-k heap and evaluator scratch, merged after the
+    // futures resolve. The per-trajectory search objects must be
+    // thread-compatible — all algorithms except Random-S are (they share no
+    // mutable state). The deterministic EntryBetter order makes the merged
+    // top-k independent of the partitioning.
+    size_t workers = static_cast<size_t>(options.threads);
     std::vector<TopKHeap> heaps(workers);
     std::vector<int64_t> scanned(workers, 0);
-    std::vector<std::thread> pool;
+    std::vector<std::future<void>> futures;
     size_t chunk = (candidates.size() + workers - 1) / workers;
     for (size_t w = 0; w < workers; ++w) {
       size_t lo = w * chunk;
       size_t hi = std::min(candidates.size(), lo + chunk);
       if (lo >= hi) break;
-      pool.emplace_back(
-          [&, lo, hi, w] { scan_range(lo, hi, heaps[w], scanned[w]); });
+      futures.push_back(pool->Submit([&, lo, hi, w] {
+        similarity::EvaluatorCache chunk_scratch;
+        scan_range(lo, hi, heaps[w], scanned[w], &chunk_scratch);
+      }));
     }
-    for (auto& t : pool) t.join();
+    // Drain every future before propagating any failure: rethrowing while
+    // sibling tasks still run would unwind the stack frame their captured
+    // references (heaps, scanned, candidates) point into.
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     for (size_t w = 0; w < workers; ++w) {
       report.trajectories_scanned += scanned[w];
       while (!heaps[w].empty()) {
-        OfferEntry(heap, k, heaps[w].top());
+        OfferEntry(heap, options.k, heaps[w].top());
         heaps[w].pop();
       }
     }
   }
 
-  report.results.resize(heap.size());
-  for (size_t i = heap.size(); i-- > 0;) {
-    report.results[i] = heap.top();
-    heap.pop();
-  }
+  report.results = ExtractAscending(heap);
   report.seconds = timer.ElapsedSeconds();
   return report;
 }
@@ -159,6 +217,7 @@ QueryReport SimSubEngine::QueryTopKSubtrajectories(
   SIMSUB_CHECK_GT(k, 0);
   util::Stopwatch timer;
   QueryReport report;
+  report.filter_used = filter;
   std::vector<int64_t> candidates =
       CandidateOrdinals(query, filter, /*index_margin=*/0.0);
   report.trajectories_pruned = static_cast<int64_t>(database_.size()) -
@@ -175,11 +234,7 @@ QueryReport SimSubEngine::QueryTopKSubtrajectories(
       OfferEntry(heap, k, TopKEntry{traj.id(), cand.range, cand.distance});
     }
   }
-  report.results.resize(heap.size());
-  for (size_t i = heap.size(); i-- > 0;) {
-    report.results[i] = heap.top();
-    heap.pop();
-  }
+  report.results = ExtractAscending(heap);
   report.seconds = timer.ElapsedSeconds();
   return report;
 }

@@ -1,7 +1,14 @@
 // Database-level SimSub querying (paper Section 3.1's "intuitive solution"
 // and Section 6.2 experiments 2-4): scan the data trajectories — optionally
-// pruned by a bounding-box R-tree — run a per-trajectory SimSub algorithm,
-// and maintain the top-k most similar subtrajectories.
+// pruned by a bounding-box R-tree or an inverted grid — run a per-trajectory
+// SimSub algorithm, and maintain the top-k most similar subtrajectories.
+//
+// Parallel scans run on a persistent util::ThreadPool (the process-wide
+// shared pool by default) instead of spawning threads per query, and the
+// per-trajectory searches reuse evaluator DP scratch through
+// similarity::EvaluatorCache. Results are deterministic regardless of the
+// thread count: top-k ties are broken by (distance, trajectory_id,
+// range.start, range.end).
 #ifndef SIMSUB_ENGINE_ENGINE_H_
 #define SIMSUB_ENGINE_ENGINE_H_
 
@@ -16,6 +23,7 @@
 #include "index/inverted_grid.h"
 #include "index/rtree.h"
 #include "similarity/measure.h"
+#include "util/thread_pool.h"
 
 namespace simsub::engine {
 
@@ -27,6 +35,9 @@ enum class PruningFilter {
   kInvertedGrid,  ///< shared grid cells via the inverted index
 };
 
+/// Short label for logs and reports ("none" / "rtree" / "grid").
+const char* PruningFilterName(PruningFilter filter);
+
 /// One entry of a top-k answer.
 struct TopKEntry {
   int64_t trajectory_id = -1;
@@ -34,15 +45,44 @@ struct TopKEntry {
   double distance = 0.0;
 };
 
+/// Strict total order on entries — smaller distance first, ties broken by
+/// (trajectory_id, range.start, range.end) so multi-threaded scans keep
+/// exactly the same k entries as sequential ones.
+bool EntryBetter(const TopKEntry& a, const TopKEntry& b);
+
 /// Per-query execution report.
 struct QueryReport {
-  std::vector<TopKEntry> results;  // ascending by distance
+  std::vector<TopKEntry> results;  // ascending by EntryBetter
   int64_t trajectories_scanned = 0;
   int64_t trajectories_pruned = 0;
   double seconds = 0.0;
+
+  /// Pruning filter that actually ran (the planner's choice when the query
+  /// went through service::QueryService with auto-planning).
+  PruningFilter filter_used = PruningFilter::kNone;
+  /// Planner's estimated fraction of the database surviving the filter;
+  /// -1 when the query did not go through the planner.
+  double planned_selectivity = -1.0;
+  /// Static one-liner explaining the plan ("" when not planned).
+  const char* plan_reason = "";
 };
 
-/// An immutable trajectory database with optional R-tree acceleration.
+/// Execution knobs for SimSubEngine::Query.
+struct QueryOptions {
+  int k = 1;
+  PruningFilter filter = PruningFilter::kNone;
+  /// MBR inflation (meters) for the R-tree filter.
+  double index_margin = 0.0;
+  /// Number of scan partitions; > 1 runs them on `pool` (or the shared
+  /// process pool when null). 1 scans inline on the calling thread.
+  int threads = 1;
+  util::ThreadPool* pool = nullptr;
+  /// Caller-owned per-worker evaluator scratch, used by the sequential path
+  /// (parallel partitions keep their own). Null allocates a transient cache.
+  similarity::EvaluatorCache* scratch = nullptr;
+};
+
+/// An immutable trajectory database with optional index acceleration.
 class SimSubEngine {
  public:
   explicit SimSubEngine(std::vector<geo::Trajectory> database);
@@ -67,12 +107,23 @@ class SimSubEngine {
   /// the query's MBR (inflated by `index_margin` meters) are pruned — the
   /// paper's bounding-box filter, which may rarely drop true answers. With
   /// kInvertedGrid, trajectories sharing no grid cell with the query are
-  /// pruned. `threads` > 1 splits the candidate scan across worker threads
-  /// (the per-trajectory searches are independent).
+  /// pruned. Results are identical for any `threads` value.
+  QueryReport Query(std::span<const geo::Point> query,
+                    const algo::SubtrajectorySearch& search,
+                    const QueryOptions& options) const;
+
+  /// Positional convenience overload.
   QueryReport Query(std::span<const geo::Point> query,
                     const algo::SubtrajectorySearch& search, int k,
                     PruningFilter filter, double index_margin = 0.0,
-                    int threads = 1) const;
+                    int threads = 1) const {
+    QueryOptions options;
+    options.k = k;
+    options.filter = filter;
+    options.index_margin = index_margin;
+    options.threads = threads;
+    return Query(query, search, options);
+  }
 
   /// Back-compat convenience: use_index selects kRTree vs kNone.
   QueryReport Query(std::span<const geo::Point> query,

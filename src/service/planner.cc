@@ -1,0 +1,77 @@
+#include "service/planner.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace simsub::service {
+
+QueryPlanner::QueryPlanner(const engine::SimSubEngine& engine,
+                           const Options& options)
+    : engine_(&engine), options_(options) {
+  SIMSUB_CHECK_GT(options.full_scan_threshold, options.grid_threshold);
+  double sum_w = 0.0;
+  double sum_h = 0.0;
+  for (const auto& traj : engine.database()) {
+    geo::Mbr mbr = geo::ComputeMbr(traj.View());
+    extent_.Extend(mbr);
+    sum_w += mbr.Width();
+    sum_h += mbr.Height();
+  }
+  double n = static_cast<double>(engine.database().size());
+  mean_traj_width_ = sum_w / n;
+  mean_traj_height_ = sum_h / n;
+}
+
+double QueryPlanner::EstimateMbrSelectivity(const geo::Mbr& query_mbr,
+                                            double index_margin) const {
+  if (extent_.IsEmpty() || query_mbr.IsEmpty()) return 1.0;
+  // Two rectangles intersect iff their centers are within (w1+w2)/2 on x and
+  // (h1+h2)/2 on y. With trajectory MBR centers spread over the extent, the
+  // keep-fraction per axis is the admissible center band over the extent
+  // dimension; degenerate extents (all trajectories on one line) keep
+  // everything on that axis.
+  double qw = query_mbr.Width() + 2.0 * index_margin;
+  double qh = query_mbr.Height() + 2.0 * index_margin;
+  double px = extent_.Width() > 0.0
+                  ? std::min(1.0, (qw + mean_traj_width_) / extent_.Width())
+                  : 1.0;
+  double py = extent_.Height() > 0.0
+                  ? std::min(1.0, (qh + mean_traj_height_) / extent_.Height())
+                  : 1.0;
+  return px * py;
+}
+
+PlanDecision QueryPlanner::Plan(std::span<const geo::Point> query,
+                                double index_margin) const {
+  SIMSUB_CHECK(!query.empty());
+  PlanDecision decision;
+  decision.estimated_selectivity =
+      EstimateMbrSelectivity(geo::ComputeMbr(query), index_margin);
+
+  bool has_rtree = engine_->has_index();
+  // The grid filter ignores index_margin, so it is only admissible for
+  // margin-free queries.
+  bool has_grid = engine_->has_inverted_index() && index_margin == 0.0;
+
+  if (!has_rtree && !has_grid) {
+    decision.filter = engine::PruningFilter::kNone;
+    decision.reason = "no index built";
+  } else if (decision.estimated_selectivity >= options_.full_scan_threshold) {
+    decision.filter = engine::PruningFilter::kNone;
+    decision.reason = "filter would keep most of the database";
+  } else if (has_grid &&
+             decision.estimated_selectivity <= options_.grid_threshold) {
+    decision.filter = engine::PruningFilter::kInvertedGrid;
+    decision.reason = "localized query; cell-sharing filter pays off";
+  } else if (has_rtree) {
+    decision.filter = engine::PruningFilter::kRTree;
+    decision.reason = "moderate selectivity; cheap MBR filter";
+  } else {
+    decision.filter = engine::PruningFilter::kInvertedGrid;
+    decision.reason = "grid is the only index built";
+  }
+  return decision;
+}
+
+}  // namespace simsub::service

@@ -1,0 +1,76 @@
+// Cost-based pruning-filter selection for the query service.
+//
+// The engine offers three candidate filters (none / R-tree / inverted grid)
+// and the paper hardcodes the choice per experiment. Under a mixed workload
+// no single choice wins: a query spanning the whole city keeps every
+// trajectory anyway (the filter is pure overhead), while a short localized
+// query keeps almost none (the stronger, costlier grid filter pays off).
+// The planner estimates per query how much of the database an MBR filter
+// would keep and picks the filter from that estimate and the database
+// statistics collected once at construction — the Tunable-LSH idea of
+// adapting the access path to the observed workload rather than fixing it.
+#ifndef SIMSUB_SERVICE_PLANNER_H_
+#define SIMSUB_SERVICE_PLANNER_H_
+
+#include <span>
+
+#include "engine/engine.h"
+#include "geo/mbr.h"
+#include "geo/point.h"
+
+namespace simsub::service {
+
+/// One planning decision, recorded into the QueryReport.
+struct PlanDecision {
+  engine::PruningFilter filter = engine::PruningFilter::kNone;
+  /// Estimated fraction of the database an MBR filter keeps for this query.
+  double estimated_selectivity = 1.0;
+  /// Static explanation string (never owned, safe to keep forever).
+  const char* reason = "";
+};
+
+class QueryPlanner {
+ public:
+  struct Options {
+    /// Above this estimated keep-fraction the filter would keep most of the
+    /// database: scan everything and skip the filtering pass.
+    double full_scan_threshold = 0.8;
+    /// At or below this estimate the query is localized enough that the
+    /// stronger (but per-candidate costlier) inverted-grid filter pays off.
+    double grid_threshold = 0.35;
+  };
+
+  /// Collects database statistics (extent, mean trajectory MBR dimensions)
+  /// from `engine`, which must outlive the planner.
+  explicit QueryPlanner(const engine::SimSubEngine& engine)
+      : QueryPlanner(engine, Options()) {}
+  QueryPlanner(const engine::SimSubEngine& engine, const Options& options);
+
+  /// Picks the filter for one query. `index_margin` is the R-tree MBR
+  /// inflation the caller would query with; the grid filter has no margin
+  /// support, so a positive margin restricts the choice to none/R-tree.
+  PlanDecision Plan(std::span<const geo::Point> query,
+                    double index_margin = 0.0) const;
+
+  /// Estimated fraction of trajectory MBRs intersecting the query MBR
+  /// (inflated by `index_margin`), assuming MBR centers spread uniformly
+  /// over the database extent.
+  double EstimateMbrSelectivity(const geo::Mbr& query_mbr,
+                                double index_margin) const;
+
+  // Database statistics, exposed for tests and diagnostics.
+  const geo::Mbr& extent() const { return extent_; }
+  double mean_trajectory_width() const { return mean_traj_width_; }
+  double mean_trajectory_height() const { return mean_traj_height_; }
+
+ private:
+  const engine::SimSubEngine* engine_;
+  Options options_;
+  geo::Mbr extent_;
+  double mean_traj_width_ = 0.0;
+  double mean_traj_height_ = 0.0;
+};
+
+}  // namespace simsub::service
+
+#endif  // SIMSUB_SERVICE_PLANNER_H_

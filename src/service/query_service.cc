@@ -1,0 +1,134 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace simsub::service {
+
+namespace {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+}  // namespace
+
+QueryService::QueryService(engine::SimSubEngine engine, ServiceOptions options)
+    : engine_(std::move(engine)),
+      options_(options),
+      planner_(engine_, options.planner),
+      pool_(std::make_unique<util::ThreadPool>(ResolveThreads(options.threads))),
+      worker_scratch_(static_cast<size_t>(pool_->size()) + 1) {
+  if (options_.build_rtree) engine_.BuildIndex();
+  if (options_.build_inverted_grid) {
+    engine_.BuildInvertedIndex(options_.inverted_grid_cols,
+                               options_.inverted_grid_rows);
+  }
+}
+
+engine::QueryReport QueryService::Execute(
+    const BatchQuery& query, const algo::SubtrajectorySearch& search,
+    similarity::EvaluatorCache& scratch) {
+  PlanDecision plan;
+  if (query.filter.has_value()) {
+    plan.filter = *query.filter;
+    plan.estimated_selectivity = -1.0;
+    plan.reason = "explicit filter";
+  } else {
+    plan = planner_.Plan(query.points, options_.index_margin);
+  }
+
+  engine::QueryOptions eo;
+  eo.k = query.k;
+  eo.filter = plan.filter;
+  eo.index_margin = options_.index_margin;
+  eo.threads = 1;  // inter-query parallelism only; the scan stays inline
+  eo.scratch = &scratch;
+  engine::QueryReport report = engine_.Query(query.points, search, eo);
+  report.planned_selectivity = plan.estimated_selectivity;
+  report.plan_reason = plan.reason;
+  return report;
+}
+
+void QueryService::CountPlan(engine::PruningFilter filter) {
+  switch (filter) {
+    case engine::PruningFilter::kNone:
+      ++stats_.plans_none;
+      break;
+    case engine::PruningFilter::kRTree:
+      ++stats_.plans_rtree;
+      break;
+    case engine::PruningFilter::kInvertedGrid:
+      ++stats_.plans_grid;
+      break;
+  }
+}
+
+std::vector<engine::QueryReport> QueryService::RunBatch(
+    std::span<const BatchQuery> queries,
+    const algo::SubtrajectorySearch& search) {
+  std::vector<engine::QueryReport> results(queries.size());
+  if (pool_->OnWorkerThread()) {
+    // Re-entrant call from one of our own workers (e.g. a task submitted to
+    // pool()): blocking on futures would deadlock behind the caller, so run
+    // the batch inline on this worker's scratch.
+    auto& scratch =
+        worker_scratch_[static_cast<size_t>(pool_->WorkerIndex())];
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = Execute(queries[i], search, scratch);
+    }
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      futures.push_back(pool_->Submit([this, &queries, &results, &search, i] {
+        int w = pool_->WorkerIndex();
+        size_t slot =
+            w >= 0 ? static_cast<size_t>(w) : worker_scratch_.size() - 1;
+        results[i] = Execute(queries[i], search, worker_scratch_[slot]);
+      }));
+    }
+    // Drain every future before propagating any failure: rethrowing while
+    // later tasks still run would leave them writing through dangling
+    // references into this frame's results/queries.
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  ++stats_.batches_served;
+  stats_.queries_served += static_cast<int64_t>(queries.size());
+  for (const auto& report : results) CountPlan(report.filter_used);
+  return results;
+}
+
+engine::QueryReport QueryService::RunOne(
+    const BatchQuery& query, const algo::SubtrajectorySearch& search) {
+  engine::QueryReport report =
+      Execute(query, search, worker_scratch_.back());
+  ++stats_.queries_served;
+  CountPlan(report.filter_used);
+  return report;
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats out = stats_;
+  for (const auto& cache : worker_scratch_) {
+    out.evaluator_reuses += cache.reuse_count();
+    out.evaluator_allocs += cache.alloc_count();
+  }
+  return out;
+}
+
+}  // namespace simsub::service

@@ -1,0 +1,123 @@
+// The persistent serving layer over SimSubEngine: a fixed worker pool, a
+// batch API, per-worker reusable evaluator scratch, and per-query planning.
+//
+// SimSubEngine::Query answers one query; under database-level traffic
+// (ROADMAP north star, paper Section 6.2) the caller used to pay thread
+// spawning and DP-scratch allocation per query. QueryService amortizes all
+// of it: workers live as long as the service, each worker owns one
+// similarity::EvaluatorCache whose DP rows persist across trajectories,
+// queries, and batches, and the planner picks the pruning filter per query
+// instead of hardcoding one per call site.
+//
+// Determinism: RunBatch() returns exactly what running each query through
+// RunOne() sequentially returns (same entries, bit-identical distances),
+// regardless of worker count — the engine's top-k order is total and the
+// planner is a pure function of the query and database statistics.
+//
+// Threading contract: the service expects a SINGLE dispatcher thread. All
+// concurrency comes from the internal pool; RunBatch/RunOne/stats must not
+// be called from multiple application threads at once (they share the
+// calling-thread scratch slot and the statistics counters without locks).
+// Calling RunBatch from inside one of the service's own pool tasks is safe:
+// it detects the re-entrancy and executes inline instead of deadlocking.
+#ifndef SIMSUB_SERVICE_QUERY_SERVICE_H_
+#define SIMSUB_SERVICE_QUERY_SERVICE_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "algo/search.h"
+#include "engine/engine.h"
+#include "service/planner.h"
+#include "similarity/measure.h"
+#include "util/thread_pool.h"
+
+namespace simsub::service {
+
+/// One query in a batch. The points span must stay valid until the batch
+/// call returns.
+struct BatchQuery {
+  std::span<const geo::Point> points;
+  int k = 10;
+  /// Explicit filter override; nullopt lets the planner decide.
+  std::optional<engine::PruningFilter> filter;
+};
+
+struct ServiceOptions {
+  /// Worker pool width; 0 = hardware concurrency.
+  int threads = 0;
+  /// R-tree MBR inflation (meters) applied to every query.
+  double index_margin = 0.0;
+  /// Indexes built at construction (the planner only considers built ones).
+  bool build_rtree = true;
+  bool build_inverted_grid = true;
+  int inverted_grid_cols = 64;
+  int inverted_grid_rows = 64;
+  QueryPlanner::Options planner;
+};
+
+/// Cumulative serving statistics.
+struct ServiceStats {
+  int64_t queries_served = 0;
+  int64_t batches_served = 0;
+  /// Evaluator scratch reuses vs fresh allocations across all workers.
+  int64_t evaluator_reuses = 0;
+  int64_t evaluator_allocs = 0;
+  /// Queries per planner outcome, indexed by PruningFilter value.
+  int64_t plans_none = 0;
+  int64_t plans_rtree = 0;
+  int64_t plans_grid = 0;
+};
+
+class QueryService {
+ public:
+  /// Takes ownership of the engine and builds the configured indexes.
+  QueryService(engine::SimSubEngine engine, ServiceOptions options = {});
+
+  // Self-referential (planner -> engine, tasks -> this): pin the address.
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  const engine::SimSubEngine& engine() const { return engine_; }
+  const QueryPlanner& planner() const { return planner_; }
+  util::ThreadPool& pool() { return *pool_; }
+
+  /// Executes `queries` concurrently on the worker pool with `search` as
+  /// the per-trajectory algorithm. results[i] answers queries[i]; each
+  /// report carries the filter used, the planner's selectivity estimate,
+  /// and the per-query latency in `seconds`.
+  std::vector<engine::QueryReport> RunBatch(
+      std::span<const BatchQuery> queries,
+      const algo::SubtrajectorySearch& search);
+
+  /// Plans and executes one query inline on the calling thread (no pool
+  /// hop); the reference semantics for RunBatch.
+  engine::QueryReport RunOne(const BatchQuery& query,
+                             const algo::SubtrajectorySearch& search);
+
+  /// Snapshot of the cumulative counters (not thread-safe against a
+  /// concurrently running batch).
+  ServiceStats stats() const;
+
+ private:
+  engine::QueryReport Execute(const BatchQuery& query,
+                              const algo::SubtrajectorySearch& search,
+                              similarity::EvaluatorCache& scratch);
+  void CountPlan(engine::PruningFilter filter);
+
+  engine::SimSubEngine engine_;
+  ServiceOptions options_;
+  QueryPlanner planner_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  /// One cache per pool worker plus one for the calling thread (RunOne and
+  /// the inline fallback), indexed by ThreadPool::WorkerIndex() with -1
+  /// mapping to the last slot.
+  std::vector<similarity::EvaluatorCache> worker_scratch_;
+  ServiceStats stats_;
+};
+
+}  // namespace simsub::service
+
+#endif  // SIMSUB_SERVICE_QUERY_SERVICE_H_

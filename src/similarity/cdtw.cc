@@ -13,13 +13,20 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// Sakoe-Chiba half-width for a query of m points (>= 1 so the diagonal is
+// always admissible).
+int BandFor(double band_fraction, size_t m) {
+  return std::max(
+      1, static_cast<int>(std::ceil(band_fraction * static_cast<double>(m))));
+}
+
 class CdtwEvaluator : public PrefixEvaluator {
  public:
-  CdtwEvaluator(std::span<const geo::Point> query, int band)
-      : query_(query), band_(band), row_(query.size(), kInf),
+  CdtwEvaluator(std::span<const geo::Point> query, double band_fraction)
+      : query_(query), band_fraction_(band_fraction),
+        band_(BandFor(band_fraction, query.size())), row_(query.size(), kInf),
         scratch_(query.size(), kInf) {
     SIMSUB_CHECK(!query.empty());
-    SIMSUB_CHECK_GE(band, 1);
   }
 
   double Start(const geo::Point& p) override {
@@ -68,8 +75,19 @@ class CdtwEvaluator : public PrefixEvaluator {
 
   int Length() const override { return length_; }
 
+  bool Reset(std::span<const geo::Point> query) override {
+    SIMSUB_CHECK(!query.empty());
+    query_ = query;
+    band_ = BandFor(band_fraction_, query.size());
+    row_.assign(query.size(), kInf);
+    scratch_.assign(query.size(), kInf);
+    length_ = 0;
+    return true;
+  }
+
  private:
   std::span<const geo::Point> query_;
+  double band_fraction_;
   int band_;
   std::vector<double> row_;
   std::vector<double> scratch_;
@@ -85,10 +103,7 @@ CdtwMeasure::CdtwMeasure(double band_fraction)
 
 std::unique_ptr<PrefixEvaluator> CdtwMeasure::NewEvaluator(
     std::span<const geo::Point> query) const {
-  int band = std::max(
-      1, static_cast<int>(std::ceil(band_fraction_ *
-                                    static_cast<double>(query.size()))));
-  return std::make_unique<CdtwEvaluator>(query, band);
+  return std::make_unique<CdtwEvaluator>(query, band_fraction_);
 }
 
 }  // namespace simsub::similarity

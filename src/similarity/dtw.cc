@@ -48,6 +48,15 @@ class DtwEvaluator : public PrefixEvaluator {
 
   int Length() const override { return length_; }
 
+  bool Reset(std::span<const geo::Point> query) override {
+    SIMSUB_CHECK(!query.empty());
+    query_ = query;
+    row_.resize(query.size());
+    scratch_.resize(query.size());
+    length_ = 0;
+    return true;
+  }
+
  private:
   std::span<const geo::Point> query_;
   std::vector<double> row_;

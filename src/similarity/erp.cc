@@ -20,11 +20,19 @@ class ErpEvaluator : public PrefixEvaluator {
       : query_(query), gap_(gap), base_(query.size()), row_(query.size()),
         scratch_(query.size()) {
     SIMSUB_CHECK(!query.empty());
-    double acc = 0.0;
-    for (size_t j = 0; j < query_.size(); ++j) {
-      acc += geo::Distance(query_[j], gap_);
-      base_[j] = acc;
-    }
+    FillBase();
+  }
+
+  bool Reset(std::span<const geo::Point> query) override {
+    SIMSUB_CHECK(!query.empty());
+    query_ = query;
+    base_.resize(query.size());
+    row_.resize(query.size());
+    scratch_.resize(query.size());
+    FillBase();
+    prior_gap_cost_ = 0.0;
+    length_ = 0;
+    return true;
   }
 
   double Start(const geo::Point& p) override {
@@ -71,6 +79,15 @@ class ErpEvaluator : public PrefixEvaluator {
   int Length() const override { return length_; }
 
  private:
+  // base_[j] = E[-1][j], the all-gap alignment cost of the query prefix.
+  void FillBase() {
+    double acc = 0.0;
+    for (size_t j = 0; j < query_.size(); ++j) {
+      acc += geo::Distance(query_[j], gap_);
+      base_[j] = acc;
+    }
+  }
+
   double PriorGapCost() const { return prior_gap_cost_; }
 
   std::span<const geo::Point> query_;

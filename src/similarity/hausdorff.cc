@@ -50,6 +50,15 @@ class HausdorffEvaluator : public PrefixEvaluator {
 
   int Length() const override { return length_; }
 
+  bool Reset(std::span<const geo::Point> query) override {
+    SIMSUB_CHECK(!query.empty());
+    query_ = query;
+    query_min_.resize(query.size());
+    sub_to_query_ = kInf;
+    length_ = 0;
+    return true;
+  }
+
  private:
   void Absorb(const geo::Point& p) {
     double nearest = kInf;

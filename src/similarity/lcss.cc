@@ -58,6 +58,15 @@ class LcssEvaluator : public PrefixEvaluator {
 
   int Length() const override { return length_; }
 
+  bool Reset(std::span<const geo::Point> query) override {
+    SIMSUB_CHECK(!query.empty());
+    query_ = query;
+    row_.resize(query.size());
+    scratch_.resize(query.size());
+    length_ = 0;
+    return true;
+  }
+
  private:
   std::span<const geo::Point> query_;
   double eps_;

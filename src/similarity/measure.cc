@@ -30,6 +30,24 @@ double SimilarityMeasure::Distance(std::span<const geo::Point> a,
   return eval->Current();
 }
 
+PrefixEvaluator* EvaluatorCache::Acquire(const SimilarityMeasure& measure,
+                                         std::span<const geo::Point> query) {
+  SIMSUB_CHECK(!query.empty());
+  for (Slot& slot : slots_) {
+    if (slot.measure != &measure) continue;
+    if (slot.evaluator->Reset(query)) {
+      ++reuse_count_;
+    } else {
+      slot.evaluator = measure.NewEvaluator(query);
+      ++alloc_count_;
+    }
+    return slot.evaluator.get();
+  }
+  slots_.push_back(Slot{&measure, measure.NewEvaluator(query)});
+  ++alloc_count_;
+  return slots_.back().evaluator.get();
+}
+
 std::vector<double> ComputeSuffixDistances(const SimilarityMeasure& measure,
                                            std::span<const geo::Point> data,
                                            std::span<const geo::Point> query) {

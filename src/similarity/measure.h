@@ -13,6 +13,7 @@
 #ifndef SIMSUB_SIMILARITY_MEASURE_H_
 #define SIMSUB_SIMILARITY_MEASURE_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -47,6 +48,19 @@ class PrefixEvaluator {
 
   /// Number of points in the current subtrajectory (0 before Start()).
   virtual int Length() const = 0;
+
+  /// Rebinds this evaluator to a new query, reusing its allocated scratch
+  /// (DP rows etc.) instead of allocating fresh ones — the serving layer
+  /// keeps one evaluator per worker and Reset()s it per query/trajectory.
+  /// After a successful Reset the evaluator behaves exactly like a freshly
+  /// created one (pre-Start() state). Returns false when the implementation
+  /// does not support rebinding (e.g. learned measures with per-query
+  /// preprocessing); callers then fall back to NewEvaluator(). The span must
+  /// remain valid for as long as the evaluator is used against it.
+  virtual bool Reset(std::span<const geo::Point> query) {
+    (void)query;
+    return false;
+  }
 };
 
 /// How a raw distance d is inverted into a similarity Θ (paper Section 3.1:
@@ -88,6 +102,34 @@ class SimilarityMeasure {
   /// and Frechet; false for learned measures such as t2vec, where the
   /// reversed distance is only positively correlated — paper Section 4.3).
   virtual bool ReversalPreservesDistance() const { return true; }
+};
+
+/// Per-worker cache of PrefixEvaluators, one per measure, so the DP scratch
+/// is allocated once per worker instead of once per trajectory scan.
+///
+/// Acquire() rebinds the cached evaluator via PrefixEvaluator::Reset() when
+/// possible and falls back to SimilarityMeasure::NewEvaluator() otherwise
+/// (first use, measure that does not support Reset, or a different measure
+/// object). NOT thread-safe: each worker owns its own cache. The returned
+/// pointer stays valid until the next Acquire() for the same measure or the
+/// cache is destroyed.
+class EvaluatorCache {
+ public:
+  PrefixEvaluator* Acquire(const SimilarityMeasure& measure,
+                           std::span<const geo::Point> query);
+
+  /// Successful Reset() reuses vs fresh NewEvaluator() allocations.
+  int64_t reuse_count() const { return reuse_count_; }
+  int64_t alloc_count() const { return alloc_count_; }
+
+ private:
+  struct Slot {
+    const SimilarityMeasure* measure = nullptr;
+    std::unique_ptr<PrefixEvaluator> evaluator;
+  };
+  std::vector<Slot> slots_;
+  int64_t reuse_count_ = 0;
+  int64_t alloc_count_ = 0;
 };
 
 /// Computes suffix distances suffix[i] = dist(T[i..n-1]^R, Tq^R) for all i

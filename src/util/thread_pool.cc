@@ -1,0 +1,93 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace simsub::util {
+
+namespace {
+
+// Identifies the pool (and slot) owning the current thread. Thread-local so
+// WorkerIndex() needs no locking and works with any number of pools.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  SIMSUB_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  SIMSUB_CHECK(task != nullptr);
+  Task t;
+  t.fn = std::move(task);
+  std::future<void> result = t.done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SIMSUB_CHECK(!stop_) << "Submit() on a destroyed ThreadPool";
+    queue_.push_back(std::move(t));
+    ++pending_;
+  }
+  task_ready_.notify_one();
+  return result;
+}
+
+void ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+int ThreadPool::WorkerIndex() const {
+  return tls_pool == this ? tls_worker_index : -1;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task.fn();
+      task.done.set_value();
+    } catch (...) {
+      task.done.set_exception(std::current_exception());
+    }
+    bool drained;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      drained = --pending_ == 0;
+    }
+    if (drained) all_done_.notify_all();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* shared = new ThreadPool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return *shared;
+}
+
+}  // namespace simsub::util

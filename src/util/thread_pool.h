@@ -1,0 +1,80 @@
+// A persistent fixed-width worker pool shared across queries, replacing the
+// per-query std::thread spawning the engine used to do on its hot path.
+//
+// Design points:
+//   * Submit() enqueues a task and returns a std::future<void>; a task that
+//     throws stores the exception in the future (WaitAll() never throws).
+//   * WaitAll() blocks until the queue is empty AND no task is running —
+//     including tasks submitted by other tasks (nested Submit), because the
+//     pending counter is incremented at Submit time.
+//   * The pool is reusable: Submit() after WaitAll() is always valid; only
+//     destruction shuts the workers down.
+//   * WorkerIndex() identifies the calling pool thread, which lets callers
+//     keep per-worker scratch (e.g. similarity::EvaluatorCache) without
+//     locking. Blocking on a future from inside a worker of the same pool
+//     can deadlock; callers that may run on pool threads should check
+//     OnWorkerThread() and execute inline instead (see SimSubEngine::Query).
+#ifndef SIMSUB_UTIL_THREAD_POOL_H_
+#define SIMSUB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simsub::util {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Finishes every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task`. The future resolves when the task finishes; if the
+  /// task threw, future.get() rethrows the exception.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted from
+  /// within tasks) has finished. Exceptions stay in the futures.
+  void WaitAll();
+
+  /// Index in [0, size()) when called from one of this pool's workers,
+  /// -1 otherwise.
+  int WorkerIndex() const;
+  bool OnWorkerThread() const { return WorkerIndex() >= 0; }
+
+  /// Process-wide lazily-created pool with hardware_concurrency workers.
+  /// Never destroyed (intentionally leaked so late Submits cannot race
+  /// static teardown).
+  static ThreadPool& Shared();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::promise<void> done;
+  };
+
+  void WorkerLoop(int index);
+
+  mutable std::mutex mu_;
+  std::condition_variable task_ready_;  // signalled on Submit / shutdown
+  std::condition_variable all_done_;    // signalled when pending_ hits 0
+  std::deque<Task> queue_;
+  int64_t pending_ = 0;  // queued + running tasks
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace simsub::util
+
+#endif  // SIMSUB_UTIL_THREAD_POOL_H_

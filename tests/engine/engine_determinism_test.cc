@@ -1,0 +1,104 @@
+// Regression tests for top-k tie-break determinism: with equal-distance
+// candidates (e.g. duplicated trajectories), the engine's old heap merge
+// kept an arbitrary subset depending on the scan partitioning, so
+// multi-threaded queries could differ run-to-run. The total order
+// (distance, trajectory_id, range.start, range.end) pins the answer.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/exacts.h"
+#include "data/generator.h"
+#include "similarity/dtw.h"
+
+namespace simsub::engine {
+namespace {
+
+similarity::DtwMeasure kDtw;
+
+// Database of `copies` identical trajectories (distinct ids) plus a few
+// distinct decoys: every copy ties at distance 0 against the copy-query.
+std::vector<geo::Trajectory> TiedDatabase(int copies) {
+  data::Dataset d = data::GenerateDataset(data::DatasetKind::kPorto, 8, 903);
+  std::vector<geo::Trajectory> db;
+  for (int c = 0; c < copies; ++c) {
+    geo::Trajectory copy = d.trajectories[0];
+    copy.set_id(100 + c);
+    db.push_back(std::move(copy));
+  }
+  for (int i = 1; i < 5; ++i) {
+    db.push_back(d.trajectories[static_cast<size_t>(i)]);
+    db.back().set_id(i);
+  }
+  return db;
+}
+
+TEST(EngineDeterminismTest, EntryBetterIsAStrictTotalOrder) {
+  TopKEntry a{1, geo::SubRange(0, 3), 2.0};
+  TopKEntry b{2, geo::SubRange(0, 3), 2.0};
+  TopKEntry c{1, geo::SubRange(1, 3), 2.0};
+  TopKEntry d{1, geo::SubRange(0, 4), 2.0};
+  EXPECT_TRUE(EntryBetter(a, b));   // id breaks the distance tie
+  EXPECT_FALSE(EntryBetter(b, a));
+  EXPECT_TRUE(EntryBetter(a, c));   // range.start breaks the id tie
+  EXPECT_TRUE(EntryBetter(a, d));   // range.end breaks the start tie
+  EXPECT_FALSE(EntryBetter(a, a));  // irreflexive
+  EXPECT_TRUE(EntryBetter(TopKEntry{9, {}, 1.0}, a));  // distance first
+}
+
+TEST(EngineDeterminismTest, TiedEntriesKeepSmallestIdsAtAnyThreadCount) {
+  std::vector<geo::Trajectory> db = TiedDatabase(6);
+  SimSubEngine engine(db);
+  algo::ExactS exact(&kDtw);
+  // 6 copies tie at distance 0; k = 3 must keep ids 100, 101, 102 — the
+  // smallest under the total order — however the scan is partitioned.
+  std::span<const geo::Point> query = db[0].View();
+  for (int threads : {1, 2, 3, 8}) {
+    QueryReport report = engine.Query(query, exact, 3,
+                                      PruningFilter::kNone, 0.0, threads);
+    ASSERT_EQ(report.results.size(), 3u) << "threads=" << threads;
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(report.results[static_cast<size_t>(i)].trajectory_id, 100 + i)
+          << "threads=" << threads;
+      EXPECT_EQ(report.results[static_cast<size_t>(i)].distance, 0.0)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(EngineDeterminismTest, RepeatedParallelQueriesAreIdentical) {
+  std::vector<geo::Trajectory> db = TiedDatabase(4);
+  SimSubEngine engine(db);
+  algo::ExactS exact(&kDtw);
+  std::span<const geo::Point> query = db[0].View();
+  QueryReport first = engine.Query(query, exact, 5, PruningFilter::kNone,
+                                   0.0, 4);
+  for (int run = 0; run < 5; ++run) {
+    QueryReport again = engine.Query(query, exact, 5, PruningFilter::kNone,
+                                     0.0, 4);
+    ASSERT_EQ(again.results.size(), first.results.size()) << "run " << run;
+    for (size_t i = 0; i < first.results.size(); ++i) {
+      EXPECT_EQ(again.results[i].trajectory_id,
+                first.results[i].trajectory_id);
+      EXPECT_EQ(again.results[i].range, first.results[i].range);
+      EXPECT_EQ(again.results[i].distance, first.results[i].distance);
+    }
+  }
+}
+
+TEST(EngineDeterminismTest, ResultsAscendUnderTheTotalOrder) {
+  std::vector<geo::Trajectory> db = TiedDatabase(5);
+  SimSubEngine engine(db);
+  algo::ExactS exact(&kDtw);
+  QueryReport report =
+      engine.Query(db[0].View(), exact, 9, PruningFilter::kNone, 0.0, 2);
+  for (size_t i = 1; i < report.results.size(); ++i) {
+    EXPECT_TRUE(EntryBetter(report.results[i - 1], report.results[i]))
+        << "entries " << i - 1 << " and " << i;
+  }
+}
+
+}  // namespace
+}  // namespace simsub::engine

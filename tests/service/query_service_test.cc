@@ -1,0 +1,221 @@
+// QueryService and QueryPlanner behavior: batch/sequential equivalence,
+// planner decisions, explicit overrides, scratch reuse accounting.
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/exacts.h"
+#include "data/generator.h"
+#include "data/workload.h"
+#include "service/planner.h"
+#include "similarity/dtw.h"
+
+namespace simsub::service {
+namespace {
+
+similarity::DtwMeasure kDtw;
+
+data::Dataset SmallDataset() {
+  return data::GenerateDataset(data::DatasetKind::kPorto, 40, 4407);
+}
+
+QueryService MakeService(int threads) {
+  data::Dataset d = SmallDataset();
+  ServiceOptions options;
+  options.threads = threads;
+  return QueryService(engine::SimSubEngine(std::move(d.trajectories)),
+                      options);
+}
+
+TEST(QueryServiceTest, BuildsBothIndexes) {
+  QueryService service = MakeService(2);
+  EXPECT_TRUE(service.engine().has_index());
+  EXPECT_TRUE(service.engine().has_inverted_index());
+}
+
+TEST(QueryServiceTest, RunBatchMatchesSequentialExecutionBitwise) {
+  data::Dataset d = SmallDataset();
+  auto workload = data::SampleWorkload(d, 12, 4408);
+  QueryService service(engine::SimSubEngine(std::move(d.trajectories)),
+                       []{ ServiceOptions o; o.threads = 4; return o; }());
+  algo::ExactS exact(&kDtw);
+
+  std::vector<BatchQuery> queries;
+  for (const auto& pair : workload) {
+    queries.push_back(BatchQuery{pair.query.View(), 5, std::nullopt});
+  }
+  std::vector<engine::QueryReport> batch = service.RunBatch(queries, exact);
+  ASSERT_EQ(batch.size(), queries.size());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    engine::QueryReport one = service.RunOne(queries[i], exact);
+    ASSERT_EQ(batch[i].results.size(), one.results.size()) << "query " << i;
+    EXPECT_EQ(batch[i].filter_used, one.filter_used) << "query " << i;
+    EXPECT_EQ(batch[i].trajectories_scanned, one.trajectories_scanned);
+    for (size_t j = 0; j < one.results.size(); ++j) {
+      EXPECT_EQ(batch[i].results[j].trajectory_id,
+                one.results[j].trajectory_id);
+      EXPECT_EQ(batch[i].results[j].range, one.results[j].range);
+      // Bit-identical distances: the batch path must not change the math.
+      EXPECT_EQ(batch[i].results[j].distance, one.results[j].distance);
+    }
+  }
+}
+
+TEST(QueryServiceTest, ExplicitFilterOverridesThePlanner) {
+  QueryService service = MakeService(2);
+  algo::ExactS exact(&kDtw);
+  const auto& db = service.engine().database();
+  BatchQuery q{db[0].View(), 3, engine::PruningFilter::kNone};
+  engine::QueryReport report = service.RunOne(q, exact);
+  EXPECT_EQ(report.filter_used, engine::PruningFilter::kNone);
+  EXPECT_EQ(report.planned_selectivity, -1.0);
+  EXPECT_STREQ(report.plan_reason, "explicit filter");
+  // No pruning: every trajectory scanned.
+  EXPECT_EQ(report.trajectories_scanned,
+            static_cast<int64_t>(db.size()));
+}
+
+TEST(QueryServiceTest, PlannedQueriesRecordDecisionInReport) {
+  QueryService service = MakeService(1);
+  algo::ExactS exact(&kDtw);
+  BatchQuery q{service.engine().database()[3].View(), 3, std::nullopt};
+  engine::QueryReport report = service.RunOne(q, exact);
+  EXPECT_GE(report.planned_selectivity, 0.0);
+  EXPECT_LE(report.planned_selectivity, 1.0);
+  EXPECT_STRNE(report.plan_reason, "");
+}
+
+TEST(QueryServiceTest, ScratchIsReusedAcrossQueriesAndBatches) {
+  data::Dataset d = SmallDataset();
+  auto workload = data::SampleWorkload(d, 6, 4409);
+  QueryService service(engine::SimSubEngine(std::move(d.trajectories)),
+                       []{ ServiceOptions o; o.threads = 1; return o; }());
+  algo::ExactS exact(&kDtw);
+  std::vector<BatchQuery> queries;
+  for (const auto& pair : workload) {
+    queries.push_back(BatchQuery{pair.query.View(), 2, std::nullopt});
+  }
+  service.RunBatch(queries, exact);
+  service.RunBatch(queries, exact);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches_served, 2);
+  EXPECT_EQ(stats.queries_served, 12);
+  // One evaluator allocation per worker cache; everything else Reset()s it.
+  EXPECT_GT(stats.evaluator_reuses, stats.evaluator_allocs);
+}
+
+TEST(QueryServiceTest, ReentrantRunBatchFromPoolWorkerDoesNotDeadlock) {
+  // A task on the service's own (width-1) pool calls RunBatch: the service
+  // must detect the re-entrancy and run inline instead of blocking on
+  // futures queued behind the caller.
+  QueryService service = MakeService(1);
+  algo::ExactS exact(&kDtw);
+  std::vector<BatchQuery> queries = {
+      BatchQuery{service.engine().database()[0].View(), 2, std::nullopt}};
+  std::vector<engine::QueryReport> inner;
+  service.pool()
+      .Submit([&] { inner = service.RunBatch(queries, exact); })
+      .get();
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_FALSE(inner[0].results.empty());
+}
+
+TEST(QueryServiceTest, StatsCountPlannerOutcomes) {
+  QueryService service = MakeService(1);
+  algo::ExactS exact(&kDtw);
+  service.RunOne(
+      BatchQuery{service.engine().database()[0].View(), 1, std::nullopt},
+      exact);
+  service.RunOne(BatchQuery{service.engine().database()[1].View(), 1,
+                            engine::PruningFilter::kRTree},
+                 exact);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries_served, 2);
+  EXPECT_EQ(stats.plans_none + stats.plans_rtree + stats.plans_grid, 2);
+  EXPECT_GE(stats.plans_rtree, 1);  // the explicit override counts as rtree
+}
+
+TEST(QueryPlannerTest, WholeExtentQueryScansEverything) {
+  data::Dataset d = SmallDataset();
+  engine::SimSubEngine engine(std::move(d.trajectories));
+  engine.BuildIndex();
+  engine.BuildInvertedIndex();
+  QueryPlanner planner(engine);
+
+  // A query spanning the full database extent keeps every trajectory: the
+  // planner must refuse to pay for a useless filtering pass.
+  std::vector<geo::Point> corners = {
+      geo::Point(planner.extent().min_x, planner.extent().min_y),
+      geo::Point(planner.extent().max_x, planner.extent().max_y)};
+  PlanDecision decision = planner.Plan(corners);
+  EXPECT_EQ(decision.filter, engine::PruningFilter::kNone);
+  EXPECT_GE(decision.estimated_selectivity, 0.8);
+}
+
+TEST(QueryPlannerTest, TinyLocalizedQueryUsesTheGridFilter) {
+  data::Dataset d = SmallDataset();
+  engine::SimSubEngine engine(std::move(d.trajectories));
+  engine.BuildIndex();
+  engine.BuildInvertedIndex();
+  QueryPlanner planner(engine);
+
+  double cx = planner.extent().CenterX();
+  double cy = planner.extent().CenterY();
+  std::vector<geo::Point> tiny = {geo::Point(cx, cy),
+                                  geo::Point(cx + 1.0, cy + 1.0)};
+  PlanDecision decision = planner.Plan(tiny);
+  if (decision.estimated_selectivity <= 0.35) {
+    EXPECT_EQ(decision.filter, engine::PruningFilter::kInvertedGrid);
+  } else {
+    EXPECT_EQ(decision.filter, engine::PruningFilter::kRTree);
+  }
+}
+
+TEST(QueryPlannerTest, NoIndexesMeansFullScan) {
+  data::Dataset d = SmallDataset();
+  engine::SimSubEngine engine(std::move(d.trajectories));
+  QueryPlanner planner(engine);
+  std::vector<geo::Point> pts = {geo::Point(0, 0), geo::Point(10, 10)};
+  PlanDecision decision = planner.Plan(pts);
+  EXPECT_EQ(decision.filter, engine::PruningFilter::kNone);
+  EXPECT_STREQ(decision.reason, "no index built");
+}
+
+TEST(QueryPlannerTest, PositiveMarginExcludesTheGridFilter) {
+  data::Dataset d = SmallDataset();
+  engine::SimSubEngine engine(std::move(d.trajectories));
+  engine.BuildIndex();
+  engine.BuildInvertedIndex();
+  QueryPlanner planner(engine);
+  double cx = planner.extent().CenterX();
+  double cy = planner.extent().CenterY();
+  std::vector<geo::Point> tiny = {geo::Point(cx, cy),
+                                  geo::Point(cx + 1.0, cy + 1.0)};
+  // The inverted grid cannot honor an MBR margin, so the planner must not
+  // pick it when one is requested.
+  PlanDecision decision = planner.Plan(tiny, /*index_margin=*/50.0);
+  EXPECT_NE(decision.filter, engine::PruningFilter::kInvertedGrid);
+}
+
+TEST(QueryPlannerTest, SelectivityGrowsWithQueryExtent) {
+  data::Dataset d = SmallDataset();
+  engine::SimSubEngine engine(std::move(d.trajectories));
+  QueryPlanner planner(engine);
+  geo::Mbr small_box;
+  small_box.Extend(geo::Point(planner.extent().CenterX(),
+                              planner.extent().CenterY()));
+  small_box.Extend(geo::Point(planner.extent().CenterX() + 10.0,
+                              planner.extent().CenterY() + 10.0));
+  double small = planner.EstimateMbrSelectivity(small_box, 0.0);
+  double whole = planner.EstimateMbrSelectivity(planner.extent(), 0.0);
+  EXPECT_LT(small, whole);
+  EXPECT_LE(whole, 1.0);
+  // Margin inflates the effective query box, never shrinking the estimate.
+  EXPECT_GE(planner.EstimateMbrSelectivity(small_box, 100.0), small);
+}
+
+}  // namespace
+}  // namespace simsub::service

@@ -6,23 +6,34 @@
 //                       --episodes=8000 --skip=3 --out=policy.txt
 //   simsub_cli query    --data=city.csv --kind=porto --measure=dtw
 //                       --policy=policy.txt --query_id=17 --topk=5
+//   simsub_cli query    --data=city.csv --kind=porto --batch --batch_size=64
+//                       --threads=8 --plan=auto
 //
 // The query subcommand runs the chosen algorithm over the whole database
-// through the engine (R-tree pruned) and prints the top-k matches.
+// through the engine (R-tree pruned) and prints the top-k matches. With
+// --batch it samples a query workload and serves it concurrently through
+// service::QueryService (planner-chosen pruning, persistent worker pool,
+// reused evaluator scratch), printing throughput and tail latency.
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
+
+#include <vector>
 
 #include "algo/exacts.h"
 #include "algo/rls.h"
 #include "algo/splitting.h"
 #include "data/dataset.h"
 #include "data/generator.h"
+#include "data/workload.h"
 #include "engine/engine.h"
 #include "rl/policy_io.h"
 #include "rl/trainer.h"
+#include "service/query_service.h"
 #include "similarity/registry.h"
 #include "util/flags.h"
+#include "util/stats.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -117,6 +128,10 @@ int RunQuery(int argc, char** argv) {
   int topk = 5;
   int threads = 1;
   bool use_index = true;
+  bool batch = false;
+  int batch_size = 16;
+  int64_t batch_seed = 7;
+  std::string plan = "auto";
   util::FlagSet flags("simsub_cli query: top-k similar subtrajectory search");
   flags.AddString("data", &data_path, "database CSV");
   flags.AddString("kind", &kind_name, "porto | harbin | sports");
@@ -125,24 +140,21 @@ int RunQuery(int argc, char** argv) {
   flags.AddString("policy", &policy_path, "trained policy (for --algorithm=rls)");
   flags.AddInt("query_id", &query_id, "trajectory id used as the query");
   flags.AddInt("topk", &topk, "number of results");
-  flags.AddInt("threads", &threads, "parallel scan width");
+  flags.AddInt("threads", &threads,
+               "parallel scan width (batch: worker pool size)");
   flags.AddBool("index", &use_index, "use the R-tree filter");
+  flags.AddBool("batch", &batch,
+                "serve a sampled query batch through the QueryService");
+  flags.AddInt("batch_size", &batch_size, "queries per batch (with --batch)");
+  flags.AddInt("batch_seed", &batch_seed, "batch sampling seed");
+  flags.AddString("plan", &plan,
+                  "pruning filter for --batch: auto | none | rtree | grid");
   if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
 
   auto dataset = LoadDataset(data_path, kind_name);
   if (!dataset.ok()) return Fail(dataset.status());
   auto measure = similarity::MakeMeasure(measure_name);
   if (!measure.ok()) return Fail(measure.status());
-
-  const geo::Trajectory* query = nullptr;
-  for (const auto& t : dataset->trajectories) {
-    if (t.id() == query_id) query = &t;
-  }
-  if (query == nullptr) {
-    return Fail(util::Status::NotFound("no trajectory with id " +
-                                       std::to_string(query_id)));
-  }
-  geo::Trajectory query_copy = *query;  // engine takes ownership of the db
 
   std::unique_ptr<algo::SubtrajectorySearch> search;
   if (algorithm == "exact") {
@@ -161,6 +173,81 @@ int RunQuery(int argc, char** argv) {
     return Fail(util::Status::InvalidArgument("unknown algorithm: " +
                                               algorithm));
   }
+
+  if (batch) {
+    std::optional<engine::PruningFilter> filter_override;
+    if (plan == "none") {
+      filter_override = engine::PruningFilter::kNone;
+    } else if (plan == "rtree") {
+      filter_override = engine::PruningFilter::kRTree;
+    } else if (plan == "grid") {
+      filter_override = engine::PruningFilter::kInvertedGrid;
+    } else if (plan != "auto") {
+      return Fail(util::Status::InvalidArgument("unknown plan: " + plan));
+    }
+
+    // Sample query trajectories before the engine consumes the database.
+    std::vector<data::WorkloadPair> workload = data::SampleWorkload(
+        *dataset, batch_size, static_cast<uint64_t>(batch_seed));
+    engine::SimSubEngine engine(std::move(dataset->trajectories));
+
+    service::ServiceOptions service_options;
+    service_options.threads = threads;
+    service::QueryService service(std::move(engine), service_options);
+
+    std::vector<service::BatchQuery> queries;
+    queries.reserve(workload.size());
+    for (const auto& pair : workload) {
+      queries.push_back(
+          service::BatchQuery{pair.query.View(), topk, filter_override});
+    }
+
+    util::Stopwatch timer;
+    std::vector<engine::QueryReport> reports =
+        service.RunBatch(queries, *search);
+    double wall = timer.ElapsedSeconds();
+
+    std::vector<double> latencies_ms;
+    for (size_t i = 0; i < reports.size(); ++i) {
+      const auto& r = reports[i];
+      latencies_ms.push_back(r.seconds * 1e3);
+      std::printf(
+          "query %3zu (id %5lld): plan=%-5s scanned %5lld pruned %5lld "
+          "%8.2f ms  best d=%.3f\n",
+          i, static_cast<long long>(workload[i].query.id()),
+          engine::PruningFilterName(r.filter_used),
+          static_cast<long long>(r.trajectories_scanned),
+          static_cast<long long>(r.trajectories_pruned), r.seconds * 1e3,
+          r.results.empty() ? -1.0 : r.results.front().distance);
+    }
+    service::ServiceStats stats = service.stats();
+    std::printf(
+        "batch of %zu queries (%s/%s, pool=%d): %.1f ms wall, %.1f q/s, "
+        "p50 %.2f ms, p99 %.2f ms\n",
+        reports.size(), search->name().c_str(), measure_name.c_str(),
+        service.pool().size(), wall * 1e3,
+        wall > 0 ? static_cast<double>(reports.size()) / wall : 0.0,
+        util::Quantile(latencies_ms, 0.5), util::Quantile(latencies_ms, 0.99));
+    std::printf(
+        "plans: none=%lld rtree=%lld grid=%lld; evaluator scratch: "
+        "%lld reused / %lld allocated\n",
+        static_cast<long long>(stats.plans_none),
+        static_cast<long long>(stats.plans_rtree),
+        static_cast<long long>(stats.plans_grid),
+        static_cast<long long>(stats.evaluator_reuses),
+        static_cast<long long>(stats.evaluator_allocs));
+    return 0;
+  }
+
+  const geo::Trajectory* query = nullptr;
+  for (const auto& t : dataset->trajectories) {
+    if (t.id() == query_id) query = &t;
+  }
+  if (query == nullptr) {
+    return Fail(util::Status::NotFound("no trajectory with id " +
+                                       std::to_string(query_id)));
+  }
+  geo::Trajectory query_copy = *query;  // engine takes ownership of the db
 
   engine::SimSubEngine engine(std::move(dataset->trajectories));
   if (use_index) engine.BuildIndex();
