@@ -1,0 +1,335 @@
+// Kernel-level perf baseline: scalar AoS similarity kernels vs the SoA
+// two-pass kernels (geo/soa.h), and the engine's top-k scan with the
+// lower-bound pruning cascade on vs off.
+//
+// Three tiers are measured:
+//   1. distance-row primitives — the sqrt-per-element row fill that
+//      dominates every DP evaluator, AoS scalar vs SoA vectorized;
+//   2. the DTW evaluator — the pre-SoA per-cell implementation (replicated
+//      below verbatim) vs the production two-pass DtwEvaluator, streaming a
+//      long trajectory through Start/Extend;
+//   3. end-to-end engine top-k — SimSubEngine::Query with
+//      QueryOptions::prune off vs on (1 thread and hardware threads),
+//      asserting the results are bit-identical and reporting the prune
+//      counters (lb_skipped, dp_abandoned).
+//
+// Emits machine-readable BENCH_kernels.json (see bench/README.md for the
+// schema); exits non-zero if pruned and unpruned engine results differ.
+// Run a Release build; --quick shrinks the workload for CI smoke tests.
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algo/exacts.h"
+#include "common.h"
+#include "data/generator.h"
+#include "data/workload.h"
+#include "engine/engine.h"
+#include "geo/soa.h"
+#include "similarity/dtw.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace simsub;
+
+std::vector<geo::Point> RandomPoints(util::Rng& rng, int n, double extent) {
+  std::vector<geo::Point> pts;
+  pts.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.emplace_back(rng.Uniform(-extent, extent), rng.Uniform(-extent, extent));
+  }
+  return pts;
+}
+
+// The pre-SoA DtwEvaluator, kept verbatim as the scalar baseline: AoS
+// geo::Distance per cell inside the recurrence, initializer-list std::min.
+// The optimize attribute restores the pre-PR codegen (errno-preserving
+// sqrt, no autovectorization) that the project-wide -fno-math-errno flag
+// would otherwise grant this baseline too.
+#if defined(__GNUC__) && !defined(__clang__)
+#define SCALAR_BASELINE_CODEGEN \
+  __attribute__((optimize("math-errno", "no-tree-vectorize")))
+#else
+#define SCALAR_BASELINE_CODEGEN
+#endif
+
+class ScalarDtwEvaluator {
+ public:
+  explicit ScalarDtwEvaluator(std::span<const geo::Point> query)
+      : query_(query), row_(query.size()), scratch_(query.size()) {}
+
+  SCALAR_BASELINE_CODEGEN double Start(const geo::Point& p) {
+    double acc = 0.0;
+    for (size_t j = 0; j < query_.size(); ++j) {
+      acc += geo::Distance(p, query_[j]);
+      row_[j] = acc;
+    }
+    return row_.back();
+  }
+
+  SCALAR_BASELINE_CODEGEN double Extend(const geo::Point& p) {
+    scratch_[0] = row_[0] + geo::Distance(p, query_[0]);
+    for (size_t j = 1; j < query_.size(); ++j) {
+      double best = std::min({row_[j - 1], row_[j], scratch_[j - 1]});
+      scratch_[j] = geo::Distance(p, query_[j]) + best;
+    }
+    row_.swap(scratch_);
+    return row_.back();
+  }
+
+ private:
+  std::span<const geo::Point> query_;
+  std::vector<double> row_;
+  std::vector<double> scratch_;
+};
+
+struct RowBenchResult {
+  double scalar_ns = 0.0;  // per element
+  double soa_ns = 0.0;
+  double speedup() const { return soa_ns > 0 ? scalar_ns / soa_ns : 0.0; }
+};
+
+// Times one row-fill variant; the checksum defeats dead-code elimination.
+template <typename Fill>
+double TimeRowFill(int iters, int m, Fill&& fill, double* checksum) {
+  util::Stopwatch timer;
+  double acc = 0.0;
+  for (int it = 0; it < iters; ++it) acc += fill(it);
+  *checksum += acc;
+  return timer.ElapsedSeconds() * 1e9 / (static_cast<double>(iters) * m);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int query_len = 256;
+  int row_iters = 20000;
+  int stream_len = 4000;
+  int stream_iters = 40;
+  int trajectories = 300;
+  int queries = 12;
+  int k = 10;
+  std::string out = "BENCH_kernels.json";
+  util::FlagSet flags(
+      "Kernel baseline: scalar vs SoA similarity kernels, pruned vs unpruned "
+      "engine top-k");
+  flags.AddBool("quick", &quick, "shrink the workload for CI smoke runs");
+  flags.AddInt("query_len", &query_len, "query length m for the kernels");
+  flags.AddInt("row_iters", &row_iters, "distance-row fill iterations");
+  flags.AddInt("stream_len", &stream_len, "trajectory length for tier 2");
+  flags.AddInt("stream_iters", &stream_iters, "tier-2 stream repetitions");
+  flags.AddInt("trajectories", &trajectories, "engine database size");
+  flags.AddInt("queries", &queries, "engine query count");
+  flags.AddInt("k", &k, "engine top-k");
+  flags.AddString("out", &out, "JSON output path");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (quick) {
+    query_len = 128;
+    row_iters = 2000;
+    stream_len = 600;
+    stream_iters = 5;
+    trajectories = 60;
+    queries = 4;
+  }
+
+  bench::PrintBanner("bench_kernels",
+                     "SoA kernel + pruning-cascade perf baseline",
+                     "query_len=" + std::to_string(query_len) +
+                         " trajectories=" + std::to_string(trajectories) +
+                         " queries=" + std::to_string(queries) +
+                         (quick ? " (quick)" : ""));
+
+  util::Rng rng(20260730);
+  std::vector<geo::Point> query = RandomPoints(rng, query_len, 5000.0);
+  geo::FlatPoints query_soa{std::span<const geo::Point>(query)};
+  std::vector<geo::Point> stream = RandomPoints(rng, row_iters, 5000.0);
+  std::vector<double> row(static_cast<size_t>(query_len));
+  double checksum = 0.0;
+
+  // ---- Tier 1: distance-row fills. -----------------------------------------
+  // The row functions live in another TU (no LTO), so the calls cannot be
+  // dead-code-eliminated; one element per iteration feeds the checksum
+  // without adding a reduction pass that would mask the fill cost.
+  RowBenchResult dist_row;
+  dist_row.scalar_ns = TimeRowFill(
+      row_iters, query_len,
+      [&](int it) {
+        geo::DistanceRowScalar(stream[static_cast<size_t>(it)], query,
+                               row.data());
+        return row[static_cast<size_t>(it) % row.size()];
+      },
+      &checksum);
+  dist_row.soa_ns = TimeRowFill(
+      row_iters, query_len,
+      [&](int it) {
+        geo::DistanceRow(stream[static_cast<size_t>(it)], query_soa.View(),
+                         row.data());
+        return row[static_cast<size_t>(it) % row.size()];
+      },
+      &checksum);
+  RowBenchResult sq_row;
+  sq_row.scalar_ns = TimeRowFill(
+      row_iters, query_len,
+      [&](int it) {
+        geo::SquaredDistanceRowScalar(stream[static_cast<size_t>(it)], query,
+                                      row.data());
+        return row[static_cast<size_t>(it) % row.size()];
+      },
+      &checksum);
+  sq_row.soa_ns = TimeRowFill(
+      row_iters, query_len,
+      [&](int it) {
+        geo::SquaredDistanceRow(stream[static_cast<size_t>(it)],
+                                query_soa.View(), row.data());
+        return row[static_cast<size_t>(it) % row.size()];
+      },
+      &checksum);
+  std::printf("distance row: scalar %6.2f ns/elem | soa %6.2f ns/elem | "
+              "%.2fx\n",
+              dist_row.scalar_ns, dist_row.soa_ns, dist_row.speedup());
+  std::printf("squared row:  scalar %6.2f ns/elem | soa %6.2f ns/elem | "
+              "%.2fx\n",
+              sq_row.scalar_ns, sq_row.soa_ns, sq_row.speedup());
+
+  // ---- Tier 2: DTW evaluator stream. ---------------------------------------
+  std::vector<geo::Point> traj = RandomPoints(rng, stream_len, 5000.0);
+  similarity::DtwMeasure dtw;
+  RowBenchResult dtw_stream;
+  {
+    util::Stopwatch timer;
+    double acc = 0.0;
+    for (int it = 0; it < stream_iters; ++it) {
+      ScalarDtwEvaluator eval(query);
+      acc += eval.Start(traj[0]);
+      for (size_t i = 1; i < traj.size(); ++i) acc += eval.Extend(traj[i]);
+    }
+    checksum += acc;
+    dtw_stream.scalar_ns =
+        timer.ElapsedSeconds() * 1e9 /
+        (static_cast<double>(stream_iters) * stream_len * query_len);
+  }
+  {
+    util::Stopwatch timer;
+    double acc = 0.0;
+    for (int it = 0; it < stream_iters; ++it) {
+      auto eval = dtw.NewEvaluator(query);
+      acc += eval->Start(traj[0]);
+      for (size_t i = 1; i < traj.size(); ++i) acc += eval->Extend(traj[i]);
+    }
+    checksum += acc;
+    dtw_stream.soa_ns =
+        timer.ElapsedSeconds() * 1e9 /
+        (static_cast<double>(stream_iters) * stream_len * query_len);
+  }
+  std::printf("dtw extend:   scalar %6.2f ns/cell | soa %6.2f ns/cell | "
+              "%.2fx\n",
+              dtw_stream.scalar_ns, dtw_stream.soa_ns, dtw_stream.speedup());
+
+  // ---- Tier 3: engine top-k, pruned vs unpruned. ---------------------------
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, trajectories, 4242);
+  auto workload = data::SampleWorkloadWithQueryLength(
+      dataset, queries, data::LengthGroup{30, 45, "G1"}, 4243);
+  engine::SimSubEngine engine(std::move(dataset.trajectories));
+  algo::ExactS exact(&dtw);
+  int hw = static_cast<int>(std::max(2u, std::thread::hardware_concurrency()));
+
+  auto run_all = [&](bool prune, int threads, int64_t* lb_skipped,
+                     int64_t* dp_abandoned,
+                     std::vector<engine::QueryReport>* reports) {
+    util::Stopwatch timer;
+    for (const auto& pair : workload) {
+      engine::QueryOptions qo;
+      qo.k = k;
+      qo.threads = threads;
+      qo.prune = prune;
+      engine::QueryReport r = engine.Query(pair.query.View(), exact, qo);
+      if (lb_skipped != nullptr) *lb_skipped += r.lb_skipped;
+      if (dp_abandoned != nullptr) *dp_abandoned += r.dp_abandoned;
+      if (reports != nullptr) reports->push_back(std::move(r));
+    }
+    return timer.ElapsedSeconds();
+  };
+
+  std::vector<engine::QueryReport> unpruned_reports, pruned_reports;
+  double unpruned_s = run_all(false, 1, nullptr, nullptr, &unpruned_reports);
+  int64_t lb_skipped = 0, dp_abandoned = 0;
+  double pruned_s = run_all(true, 1, &lb_skipped, &dp_abandoned,
+                            &pruned_reports);
+  double pruned_mt_s = run_all(true, hw, nullptr, nullptr, nullptr);
+
+  bool identical = true;
+  for (size_t i = 0; i < unpruned_reports.size() && identical; ++i) {
+    const auto& a = unpruned_reports[i].results;
+    const auto& b = pruned_reports[i].results;
+    identical = a.size() == b.size();
+    for (size_t j = 0; identical && j < a.size(); ++j) {
+      identical = a[j].trajectory_id == b[j].trajectory_id &&
+                  a[j].range == b[j].range && a[j].distance == b[j].distance;
+    }
+  }
+
+  double engine_speedup = pruned_s > 0 ? unpruned_s / pruned_s : 0.0;
+  double engine_speedup_mt = pruned_mt_s > 0 ? unpruned_s / pruned_mt_s : 0.0;
+  std::printf("engine top-%d: unpruned %7.1f ms | pruned %7.1f ms (%.2fx) | "
+              "pruned %dT %7.1f ms (%.2fx)\n",
+              k, unpruned_s * 1e3, pruned_s * 1e3, engine_speedup, hw,
+              pruned_mt_s * 1e3, engine_speedup_mt);
+  std::printf("prune counters: lb_skipped=%lld dp_abandoned=%lld | "
+              "pruned==unpruned: %s\n",
+              static_cast<long long>(lb_skipped),
+              static_cast<long long>(dp_abandoned), identical ? "yes" : "NO");
+
+  std::FILE* json = std::fopen(out.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(
+      json,
+      "{\n"
+      "  \"bench\": \"kernels\",\n"
+      "  \"config\": {\"query_len\": %d, \"stream_len\": %d, "
+      "\"trajectories\": %d, \"queries\": %d, \"k\": %d, \"quick\": %s},\n"
+      "  \"distance_row\": {\"scalar_ns_per_elem\": %.3f, "
+      "\"soa_ns_per_elem\": %.3f, \"speedup\": %.3f},\n"
+      "  \"squared_distance_row\": {\"scalar_ns_per_elem\": %.3f, "
+      "\"soa_ns_per_elem\": %.3f, \"speedup\": %.3f},\n"
+      "  \"dtw_extend\": {\"scalar_ns_per_cell\": %.3f, "
+      "\"soa_ns_per_cell\": %.3f, \"speedup\": %.3f},\n"
+      "  \"engine_topk\": {\"unpruned_seconds\": %.6f, "
+      "\"pruned_seconds\": %.6f, \"pruned_mt_seconds\": %.6f, "
+      "\"mt_threads\": %d, \"speedup\": %.3f, \"speedup_mt\": %.3f,\n"
+      "                  \"lb_skipped\": %lld, \"dp_abandoned\": %lld, "
+      "\"pruned_identical_to_unpruned\": %s},\n"
+      "  \"checksum\": %.6e\n"
+      "}\n",
+      query_len, stream_len, trajectories, queries, k,
+      quick ? "true" : "false", dist_row.scalar_ns, dist_row.soa_ns,
+      dist_row.speedup(), sq_row.scalar_ns, sq_row.soa_ns, sq_row.speedup(),
+      dtw_stream.scalar_ns, dtw_stream.soa_ns, dtw_stream.speedup(),
+      unpruned_s, pruned_s, pruned_mt_s, hw, engine_speedup,
+      engine_speedup_mt, static_cast<long long>(lb_skipped),
+      static_cast<long long>(dp_abandoned), identical ? "true" : "false",
+      checksum);
+  std::fclose(json);
+  std::printf("wrote %s\n", out.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: pruned top-k differs from unpruned results\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -18,6 +18,10 @@ class ExactS : public SubtrajectorySearch {
 
   std::string name() const override { return "ExactS"; }
 
+  const similarity::SimilarityMeasure* measure() const override {
+    return measure_;
+  }
+
   /// Visits every subtrajectory range and its distance in the same
   /// enumeration order as Search (rows of fixed start, growing end). Used by
   /// the evaluation ranker and by the top-k machinery.
@@ -33,6 +37,11 @@ class ExactS : public SubtrajectorySearch {
   SearchResult DoSearchCached(
       std::span<const geo::Point> data, std::span<const geo::Point> query,
       similarity::EvaluatorCache& scratch) const override;
+
+  SearchResult DoSearchBounded(std::span<const geo::Point> data,
+                               std::span<const geo::Point> query,
+                               similarity::EvaluatorCache* scratch,
+                               double bailout) const override;
 
  private:
   const similarity::SimilarityMeasure* measure_;

@@ -1,0 +1,98 @@
+#include "algo/lower_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simsub::algo {
+
+std::vector<geo::Mbr> BuildMbrEnvelopes(std::span<const geo::Point> pts,
+                                        int w) {
+  const int n = static_cast<int>(pts.size());
+  std::vector<geo::Mbr> env(static_cast<size_t>(n));
+  auto slide = [&](auto key, bool want_max, auto assign) {
+    std::vector<int> dq;  // indices, values monotonic
+    int head = 0;
+    // Window for i is [i-w, i+w]; advance right edge to i+w as i grows.
+    int right = -1;
+    for (int i = 0; i < n; ++i) {
+      int hi = std::min(n - 1, i + w);
+      while (right < hi) {
+        ++right;
+        double v = key(pts[static_cast<size_t>(right)]);
+        while (static_cast<int>(dq.size()) > head) {
+          double back = key(pts[static_cast<size_t>(dq.back())]);
+          if ((want_max && back <= v) || (!want_max && back >= v)) {
+            dq.pop_back();
+          } else {
+            break;
+          }
+        }
+        dq.push_back(right);
+      }
+      int lo = std::max(0, i - w);
+      while (head < static_cast<int>(dq.size()) &&
+             dq[static_cast<size_t>(head)] < lo) {
+        ++head;
+      }
+      assign(&env[static_cast<size_t>(i)],
+             key(pts[static_cast<size_t>(dq[static_cast<size_t>(head)])]));
+    }
+  };
+  slide([](const geo::Point& p) { return p.x; }, /*want_max=*/false,
+        [](geo::Mbr* m, double v) { m->min_x = v; });
+  slide([](const geo::Point& p) { return p.x; }, /*want_max=*/true,
+        [](geo::Mbr* m, double v) { m->max_x = v; });
+  slide([](const geo::Point& p) { return p.y; }, /*want_max=*/false,
+        [](geo::Mbr* m, double v) { m->min_y = v; });
+  slide([](const geo::Point& p) { return p.y; }, /*want_max=*/true,
+        [](geo::Mbr* m, double v) { m->max_y = v; });
+  return env;
+}
+
+namespace {
+
+// Combines the two endpoint distances per the aggregation family. A
+// single-point query has only one endpoint; counting it twice would break
+// the kSum bound (one query point aligns once).
+double CombineEndpoints(similarity::DistanceAggregation aggregation,
+                        double d_front, double d_back, bool single_point) {
+  switch (aggregation) {
+    case similarity::DistanceAggregation::kSum:
+      return single_point ? d_front : d_front + d_back;
+    case similarity::DistanceAggregation::kMax:
+      return std::max(d_front, d_back);
+    case similarity::DistanceAggregation::kOther:
+      break;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double MbrLowerBound(similarity::DistanceAggregation aggregation,
+                     const geo::Mbr& data_mbr,
+                     std::span<const geo::Point> query) {
+  SIMSUB_CHECK(!query.empty());
+  if (aggregation == similarity::DistanceAggregation::kOther) return 0.0;
+  if (data_mbr.IsEmpty()) return 0.0;
+  return CombineEndpoints(aggregation, data_mbr.Distance(query.front()),
+                          data_mbr.Distance(query.back()),
+                          query.size() == 1);
+}
+
+double NearestEndpointLowerBound(similarity::DistanceAggregation aggregation,
+                                 geo::PointsView data,
+                                 std::span<const geo::Point> query) {
+  SIMSUB_CHECK(!query.empty());
+  SIMSUB_CHECK(!data.empty());
+  if (aggregation == similarity::DistanceAggregation::kOther) return 0.0;
+  double d_front = std::sqrt(geo::MinSquaredDistance(query.front(), data));
+  double d_back = query.size() == 1
+                      ? d_front
+                      : std::sqrt(geo::MinSquaredDistance(query.back(), data));
+  return CombineEndpoints(aggregation, d_front, d_back, query.size() == 1);
+}
+
+}  // namespace simsub::algo

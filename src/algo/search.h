@@ -14,6 +14,7 @@
 
 namespace simsub::similarity {
 class EvaluatorCache;
+class SimilarityMeasure;
 }  // namespace simsub::similarity
 
 namespace simsub::algo {
@@ -30,6 +31,9 @@ struct SearchStats {
   int64_t extend_calls = 0;
   /// Number of from-scratch similarity initializations (Phi_ini).
   int64_t start_calls = 0;
+  /// Number of start points whose extension scan was abandoned mid-DP
+  /// because the evaluator's lower bound exceeded the bailout threshold.
+  int64_t abandoned = 0;
 };
 
 /// Outcome of one SimSub search.
@@ -77,6 +81,31 @@ class SubtrajectorySearch {
                               : DoSearch(data, query);
   }
 
+  /// Pruned search: candidates provably worse than `bailout` may be skipped
+  /// without evaluation (via similarity::PrefixEvaluator's
+  /// ExtensionLowerBound early-abandoning hook). The contract on the
+  /// returned distance: it is EITHER the algorithm's exact answer (always
+  /// when <= bailout) OR some value > bailout standing in for an answer
+  /// that cannot matter to the caller — so an engine maintaining a best-kth
+  /// threshold gets bit-identical top-k either way. +infinity bailout
+  /// degrades to Search(data, query, scratch) plus intra-trajectory
+  /// best-so-far abandonment, which never changes the result.
+  SearchResult Search(std::span<const geo::Point> data,
+                      std::span<const geo::Point> query,
+                      similarity::EvaluatorCache* scratch,
+                      double bailout) const {
+    return DoSearchBounded(data, query, scratch, bailout);
+  }
+
+  /// The similarity measure this search evaluates candidates with, when it
+  /// is measure-driven (ExactS, SizeS, the splitting family); null for
+  /// algorithms without one single measure (e.g. learned policies over
+  /// mixed signals). The engine's lower-bound cascade keys on the measure's
+  /// aggregation() to decide which MBR bounds are sound.
+  virtual const similarity::SimilarityMeasure* measure() const {
+    return nullptr;
+  }
+
  protected:
   /// Implementation hook (non-virtual interface: both public Search
   /// overloads dispatch here, so derived classes never hide one of them).
@@ -88,6 +117,18 @@ class SubtrajectorySearch {
                                       std::span<const geo::Point> query,
                                       similarity::EvaluatorCache&) const {
     return DoSearch(data, query);
+  }
+
+  /// Bailout-threshold hook; the default ignores the threshold (always
+  /// correct: evaluating more candidates than necessary never changes the
+  /// returned optimum).
+  virtual SearchResult DoSearchBounded(std::span<const geo::Point> data,
+                                       std::span<const geo::Point> query,
+                                       similarity::EvaluatorCache* scratch,
+                                       double bailout) const {
+    (void)bailout;
+    return scratch != nullptr ? DoSearchCached(data, query, *scratch)
+                              : DoSearch(data, query);
   }
 };
 

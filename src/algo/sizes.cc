@@ -1,6 +1,8 @@
 #include "algo/sizes.h"
 
 #include <algorithm>
+#include <limits>
+#include <memory>
 
 #include "util/logging.h"
 
@@ -47,6 +49,51 @@ SearchResult SizeScan(similarity::PrefixEvaluator& eval,
   return result;
 }
 
+// Pruned size-window scan: a start point's window is abandoned once the
+// evaluator's lower bound exceeds min(bailout, best-so-far) — every
+// remaining candidate of the window (admissible or not) extends the current
+// state, so all are provably worse (see Search(.., bailout) contract).
+SearchResult SizeScanBounded(similarity::PrefixEvaluator& eval,
+                             std::span<const geo::Point> data,
+                             std::span<const geo::Point> query, int xi,
+                             double bailout) {
+  SearchResult result;
+  const int n = static_cast<int>(data.size());
+  const int m = static_cast<int>(query.size());
+  const int min_size = std::max(1, std::min(m - xi, n));
+  const int max_size = m + xi;
+  for (int i = 0; i < n; ++i) {
+    if (i + min_size > n) break;  // No admissible subtrajectory starts here.
+    double d = eval.Start(data[static_cast<size_t>(i)]);
+    ++result.stats.start_calls;
+    int size = 1;
+    if (size >= min_size) {
+      ++result.stats.candidates;
+      if (d < result.distance) {
+        result.distance = d;
+        result.best = geo::SubRange(i, i);
+      }
+    }
+    for (int j = i + 1; j < n && size < max_size; ++j) {
+      if (eval.ExtensionLowerBound() > std::min(bailout, result.distance)) {
+        ++result.stats.abandoned;
+        break;
+      }
+      d = eval.Extend(data[static_cast<size_t>(j)]);
+      ++result.stats.extend_calls;
+      ++size;
+      if (size >= min_size) {
+        ++result.stats.candidates;
+        if (d < result.distance) {
+          result.distance = d;
+          result.best = geo::SubRange(i, j);
+        }
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 SizeS::SizeS(const similarity::SimilarityMeasure* measure, int xi)
@@ -69,6 +116,18 @@ SearchResult SizeS::DoSearchCached(std::span<const geo::Point> data,
   SIMSUB_CHECK(!data.empty());
   SIMSUB_CHECK(!query.empty());
   return SizeScan(*scratch.Acquire(*measure_, query), data, query, xi_);
+}
+
+SearchResult SizeS::DoSearchBounded(std::span<const geo::Point> data,
+                                    std::span<const geo::Point> query,
+                                    similarity::EvaluatorCache* scratch,
+                                    double bailout) const {
+  SIMSUB_CHECK(!data.empty());
+  SIMSUB_CHECK(!query.empty());
+  std::unique_ptr<similarity::PrefixEvaluator> owned;
+  similarity::PrefixEvaluator* eval =
+      similarity::AcquireEvaluator(*measure_, query, scratch, &owned);
+  return SizeScanBounded(*eval, data, query, xi_, bailout);
 }
 
 }  // namespace simsub::algo

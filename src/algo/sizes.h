@@ -21,6 +21,10 @@ class SizeS : public SubtrajectorySearch {
 
   int xi() const { return xi_; }
 
+  const similarity::SimilarityMeasure* measure() const override {
+    return measure_;
+  }
+
   // (see SubtrajectorySearch::Search)
  protected:
   SearchResult DoSearch(std::span<const geo::Point> data,
@@ -29,6 +33,11 @@ class SizeS : public SubtrajectorySearch {
   SearchResult DoSearchCached(
       std::span<const geo::Point> data, std::span<const geo::Point> query,
       similarity::EvaluatorCache& scratch) const override;
+
+  SearchResult DoSearchBounded(std::span<const geo::Point> data,
+                               std::span<const geo::Point> query,
+                               similarity::EvaluatorCache* scratch,
+                               double bailout) const override;
 
  private:
   const similarity::SimilarityMeasure* measure_;

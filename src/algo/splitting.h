@@ -20,6 +20,10 @@ class PssSearch : public SubtrajectorySearch {
 
   std::string name() const override { return "PSS"; }
 
+  const similarity::SimilarityMeasure* measure() const override {
+    return measure_;
+  }
+
   // (see SubtrajectorySearch::Search)
  protected:
   SearchResult DoSearch(std::span<const geo::Point> data,
@@ -29,10 +33,20 @@ class PssSearch : public SubtrajectorySearch {
       std::span<const geo::Point> data, std::span<const geo::Point> query,
       similarity::EvaluatorCache& scratch) const override;
 
+  SearchResult DoSearchBounded(std::span<const geo::Point> data,
+                               std::span<const geo::Point> query,
+                               similarity::EvaluatorCache* scratch,
+                               double bailout) const override;
+
  private:
   SearchResult PrefixSuffixScan(similarity::PrefixEvaluator& eval,
                                 std::span<const geo::Point> data,
                                 std::span<const geo::Point> query) const;
+
+  SearchResult PrefixSuffixScanBounded(similarity::PrefixEvaluator& eval,
+                                       std::span<const geo::Point> data,
+                                       std::span<const geo::Point> query,
+                                       double bailout) const;
 
   const similarity::SimilarityMeasure* measure_;
 };
@@ -43,6 +57,10 @@ class PosSearch : public SubtrajectorySearch {
   explicit PosSearch(const similarity::SimilarityMeasure* measure);
 
   std::string name() const override { return "POS"; }
+
+  const similarity::SimilarityMeasure* measure() const override {
+    return measure_;
+  }
 
   // (see SubtrajectorySearch::Search)
  protected:
@@ -62,6 +80,10 @@ class PosDSearch : public SubtrajectorySearch {
   std::string name() const override { return "POS-D"; }
 
   int delay() const { return delay_; }
+
+  const similarity::SimilarityMeasure* measure() const override {
+    return measure_;
+  }
 
   // (see SubtrajectorySearch::Search)
  protected:

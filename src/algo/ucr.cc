@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "algo/lower_bounds.h"
 #include "geo/mbr.h"
 #include "similarity/dtw.h"
 #include "util/logging.h"
@@ -15,50 +16,6 @@ namespace simsub::algo {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// Sliding-window MBR envelopes: env[i] = MBR(points[max(0,i-w) .. min(end,i+w)]).
-// Monotonic-deque sliding min/max over each coordinate, O(n) total.
-std::vector<geo::Mbr> BuildEnvelopes(std::span<const geo::Point> pts, int w) {
-  const int n = static_cast<int>(pts.size());
-  std::vector<geo::Mbr> env(static_cast<size_t>(n));
-  auto slide = [&](auto key, bool want_max, auto assign) {
-    std::vector<int> dq;  // indices, values monotonic
-    int head = 0;
-    // Window for i is [i-w, i+w]; advance right edge to i+w as i grows.
-    int right = -1;
-    for (int i = 0; i < n; ++i) {
-      int hi = std::min(n - 1, i + w);
-      while (right < hi) {
-        ++right;
-        double v = key(pts[static_cast<size_t>(right)]);
-        while (static_cast<int>(dq.size()) > head) {
-          double back = key(pts[static_cast<size_t>(dq.back())]);
-          if ((want_max && back <= v) || (!want_max && back >= v)) {
-            dq.pop_back();
-          } else {
-            break;
-          }
-        }
-        dq.push_back(right);
-      }
-      int lo = std::max(0, i - w);
-      while (head < static_cast<int>(dq.size()) && dq[static_cast<size_t>(head)] < lo) {
-        ++head;
-      }
-      assign(&env[static_cast<size_t>(i)],
-             key(pts[static_cast<size_t>(dq[static_cast<size_t>(head)])]));
-    }
-  };
-  slide([](const geo::Point& p) { return p.x; }, /*want_max=*/false,
-        [](geo::Mbr* m, double v) { m->min_x = v; });
-  slide([](const geo::Point& p) { return p.x; }, /*want_max=*/true,
-        [](geo::Mbr* m, double v) { m->max_x = v; });
-  slide([](const geo::Point& p) { return p.y; }, /*want_max=*/false,
-        [](geo::Mbr* m, double v) { m->min_y = v; });
-  slide([](const geo::Point& p) { return p.y; }, /*want_max=*/true,
-        [](geo::Mbr* m, double v) { m->max_y = v; });
-  return env;
-}
 
 // Banded DTW between candidate and query (both length m) that abandons as
 // soon as (row minimum + LB_Keogh suffix remainder) exceeds the threshold.
@@ -129,8 +86,8 @@ SearchResult UcrSearch::DoSearch(std::span<const geo::Point> data,
   // positions (for the reversed bound). Data envelopes use the global
   // sliding window, a superset of the candidate-local window, so the bound
   // stays valid for every candidate offset.
-  std::vector<geo::Mbr> query_env = BuildEnvelopes(query, w);
-  std::vector<geo::Mbr> data_env = BuildEnvelopes(data, w);
+  std::vector<geo::Mbr> query_env = BuildMbrEnvelopes(query, w);
+  std::vector<geo::Mbr> data_env = BuildMbrEnvelopes(data, w);
 
   // Reordering: positions sorted by descending distance of the query point
   // from the query centroid (see header).

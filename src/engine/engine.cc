@@ -1,10 +1,13 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <future>
+#include <limits>
 #include <queue>
 #include <vector>
 
+#include "algo/lower_bounds.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -63,8 +66,20 @@ bool EntryBetter(const TopKEntry& a, const TopKEntry& b) {
 }
 
 SimSubEngine::SimSubEngine(std::vector<geo::Trajectory> database)
-    : database_(std::move(database)) {
+    : database_(std::move(database)), soa_(std::make_unique<SoaCache>()) {
   SIMSUB_CHECK(!database_.empty());
+  mbrs_.reserve(database_.size());
+  for (const auto& t : database_) {
+    mbrs_.push_back(geo::ComputeMbr(t.View()));
+  }
+}
+
+const std::vector<geo::FlatPoints>& SimSubEngine::EnsureSoa() const {
+  std::call_once(soa_->once, [this] {
+    soa_->per_trajectory.reserve(database_.size());
+    for (const auto& t : database_) soa_->per_trajectory.emplace_back(t.View());
+  });
+  return soa_->per_trajectory;
 }
 
 int64_t SimSubEngine::TotalPoints() const {
@@ -78,8 +93,7 @@ void SimSubEngine::BuildIndex(int node_capacity) {
   std::vector<index::RTreeEntry> entries;
   entries.reserve(database_.size());
   for (size_t i = 0; i < database_.size(); ++i) {
-    entries.push_back(index::RTreeEntry{geo::ComputeMbr(database_[i].View()),
-                                        static_cast<int64_t>(i)});
+    entries.push_back(index::RTreeEntry{mbrs_[i], static_cast<int64_t>(i)});
   }
   index_ = index::RTree::BulkLoad(std::move(entries), node_capacity);
 }
@@ -87,7 +101,7 @@ void SimSubEngine::BuildIndex(int node_capacity) {
 void SimSubEngine::BuildInvertedIndex(int cols, int rows) {
   if (inverted_.has_value()) return;
   geo::Mbr extent;
-  for (const auto& t : database_) extent.Extend(geo::ComputeMbr(t.View()));
+  for (const auto& mbr : mbrs_) extent.Extend(mbr);
   inverted_ = index::InvertedGridIndex::Build(database_, extent, cols, rows);
 }
 
@@ -132,16 +146,71 @@ QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
   report.trajectories_pruned = static_cast<int64_t>(database_.size()) -
                                static_cast<int64_t>(candidates.size());
 
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Best-kth-distance bound shared across scan partitions: monotonically
+  // tightened (CAS-min) by any worker whose local heap fills. Any candidate
+  // whose distance provably exceeds it is strictly worse than k already-
+  // found entries and can never enter the merged top-k — not even through
+  // the (distance, id, range) tie-break, which requires distance equality.
+  std::atomic<double> shared_bound{kInf};
+  const similarity::SimilarityMeasure* measure =
+      options.prune ? search.measure() : nullptr;
+  const similarity::DistanceAggregation agg =
+      measure != nullptr ? measure->aggregation()
+                         : similarity::DistanceAggregation::kOther;
+  if (agg != similarity::DistanceAggregation::kOther) {
+    // Warm the lazy SoA cache on the coordinating thread, not under the
+    // workers' first nearest-endpoint call.
+    EnsureSoa();
+  }
+
   auto scan_range = [&](size_t lo, size_t hi, TopKHeap& heap,
-                        int64_t& scanned,
+                        int64_t& scanned, int64_t& lb_skipped,
+                        int64_t& dp_abandoned,
                         similarity::EvaluatorCache* scratch) {
     for (size_t c = lo; c < hi; ++c) {
-      const geo::Trajectory& traj =
-          database_[static_cast<size_t>(candidates[c])];
+      const int64_t ordinal = candidates[c];
+      const geo::Trajectory& traj = database_[static_cast<size_t>(ordinal)];
       if (traj.empty()) continue;
       ++scanned;
-      algo::SearchResult r = search.Search(traj.View(), query, scratch);
+
+      double threshold = kInf;
+      if (options.prune) {
+        if (static_cast<int>(heap.size()) == options.k) {
+          threshold = heap.top().distance;
+        }
+        threshold =
+            std::min(threshold, shared_bound.load(std::memory_order_relaxed));
+      }
+
+      // Lower-bound cascade: O(1) MBR endpoint bound, then the O(n)
+      // vectorized nearest-endpoint bound over the cached SoA copy. Both
+      // bound dist(sub, query) for EVERY subtrajectory, so a strict excess
+      // over the best-kth threshold discards the whole trajectory.
+      if (threshold < kInf &&
+          agg != similarity::DistanceAggregation::kOther) {
+        if (algo::MbrLowerBound(agg, TrajectoryMbr(ordinal), query) >
+                threshold ||
+            algo::NearestEndpointLowerBound(agg, TrajectorySoa(ordinal),
+                                            query) > threshold) {
+          ++lb_skipped;
+          continue;
+        }
+      }
+
+      algo::SearchResult r =
+          options.prune ? search.Search(traj.View(), query, scratch, threshold)
+                        : search.Search(traj.View(), query, scratch);
+      dp_abandoned += r.stats.abandoned;
       OfferEntry(heap, options.k, TopKEntry{traj.id(), r.best, r.distance});
+
+      if (options.prune && static_cast<int>(heap.size()) == options.k) {
+        double kth = heap.top().distance;
+        double cur = shared_bound.load(std::memory_order_relaxed);
+        while (kth < cur && !shared_bound.compare_exchange_weak(
+                                cur, kth, std::memory_order_relaxed)) {
+        }
+      }
     }
   };
 
@@ -161,7 +230,7 @@ QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
     similarity::EvaluatorCache* scratch =
         options.scratch != nullptr ? options.scratch : &local_scratch;
     scan_range(0, candidates.size(), heap, report.trajectories_scanned,
-               scratch);
+               report.lb_skipped, report.dp_abandoned, scratch);
   } else {
     // Partition candidates into one task per requested thread; each task
     // keeps a local top-k heap and evaluator scratch, merged after the
@@ -172,6 +241,8 @@ QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
     size_t workers = static_cast<size_t>(options.threads);
     std::vector<TopKHeap> heaps(workers);
     std::vector<int64_t> scanned(workers, 0);
+    std::vector<int64_t> lb_skipped(workers, 0);
+    std::vector<int64_t> dp_abandoned(workers, 0);
     std::vector<std::future<void>> futures;
     size_t chunk = (candidates.size() + workers - 1) / workers;
     for (size_t w = 0; w < workers; ++w) {
@@ -180,7 +251,8 @@ QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
       if (lo >= hi) break;
       futures.push_back(pool->Submit([&, lo, hi, w] {
         similarity::EvaluatorCache chunk_scratch;
-        scan_range(lo, hi, heaps[w], scanned[w], &chunk_scratch);
+        scan_range(lo, hi, heaps[w], scanned[w], lb_skipped[w],
+                   dp_abandoned[w], &chunk_scratch);
       }));
     }
     // Drain every future before propagating any failure: rethrowing while
@@ -197,6 +269,8 @@ QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
     if (first_error) std::rethrow_exception(first_error);
     for (size_t w = 0; w < workers; ++w) {
       report.trajectories_scanned += scanned[w];
+      report.lb_skipped += lb_skipped[w];
+      report.dp_abandoned += dp_abandoned[w];
       while (!heaps[w].empty()) {
         OfferEntry(heap, options.k, heaps[w].top());
         heaps[w].pop();

@@ -9,16 +9,26 @@
 // similarity::EvaluatorCache. Results are deterministic regardless of the
 // thread count: top-k ties are broken by (distance, trajectory_id,
 // range.start, range.end).
+//
+// Top-k queries additionally run a lower-bound pruning cascade (UCR-style,
+// see algo/lower_bounds.h): a best-kth-distance threshold shared atomically
+// across workers discards candidates from their cached MBR / SoA lower
+// bounds and early-abandons the DP inside the per-trajectory search.
+// Pruned results are bit-identical to unpruned ones at any thread count;
+// QueryOptions::prune turns the cascade off for measurement.
 #ifndef SIMSUB_ENGINE_ENGINE_H_
 #define SIMSUB_ENGINE_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "algo/search.h"
 #include "algo/topk.h"
 #include "geo/mbr.h"
+#include "geo/soa.h"
 #include "geo/trajectory.h"
 #include "index/inverted_grid.h"
 #include "index/rtree.h"
@@ -55,6 +65,15 @@ struct QueryReport {
   std::vector<TopKEntry> results;  // ascending by EntryBetter
   int64_t trajectories_scanned = 0;
   int64_t trajectories_pruned = 0;
+  /// Candidates discarded by the lower-bound cascade (MBR or
+  /// nearest-endpoint bound already above the best-kth distance) without
+  /// running the per-trajectory search. Counted within
+  /// trajectories_scanned. Timing-dependent under multi-threaded scans
+  /// (the shared bound tightens as workers progress); the RESULTS are not.
+  int64_t lb_skipped = 0;
+  /// Start points whose DP extension scan was abandoned early inside the
+  /// per-trajectory search (best-so-far / bailout threshold exceeded).
+  int64_t dp_abandoned = 0;
   double seconds = 0.0;
 
   /// Pruning filter that actually ran (the planner's choice when the query
@@ -80,6 +99,13 @@ struct QueryOptions {
   /// Caller-owned per-worker evaluator scratch, used by the sequential path
   /// (parallel partitions keep their own). Null allocates a transient cache.
   similarity::EvaluatorCache* scratch = nullptr;
+  /// Lower-bound pruning cascade: maintain a best-kth-distance threshold
+  /// (shared atomically across scan partitions), discard candidates whose
+  /// MBR / nearest-endpoint lower bound exceeds it, and pass it into the
+  /// search as a DP bailout. Results are bit-identical with pruning on or
+  /// off — only candidates that provably cannot enter the top-k (strictly
+  /// worse than the kth best, so no tie-break can admit them) are skipped.
+  bool prune = true;
 };
 
 /// An immutable trajectory database with optional index acceleration.
@@ -145,12 +171,41 @@ class SimSubEngine {
       const similarity::SimilarityMeasure& measure, int k,
       PruningFilter filter = PruningFilter::kNone, int min_size = 1) const;
 
+  /// Cached per-trajectory MBRs (built at construction — tiny, and shared
+  /// by the index builders and the cascade's O(1) bound).
+  const geo::Mbr& TrajectoryMbr(int64_t ordinal) const {
+    return mbrs_[static_cast<size_t>(ordinal)];
+  }
+
+  /// Cached SoA coordinate copy of a data trajectory, for vectorized
+  /// passes (the cascade's nearest-endpoint bound). The copies duplicate
+  /// ~2/3 of the database's coordinate storage, so they are built lazily —
+  /// on the first query that can use them (pruned, sum/max-aggregating
+  /// measure) — and never for workloads that cannot (pruning off, or only
+  /// edit-count/learned measures). Thread-safe; concurrent first callers
+  /// block until the one-time build finishes.
+  geo::PointsView TrajectorySoa(int64_t ordinal) const {
+    return EnsureSoa()[static_cast<size_t>(ordinal)].View();
+  }
+
  private:
   std::vector<int64_t> CandidateOrdinals(std::span<const geo::Point> query,
                                          PruningFilter filter,
                                          double index_margin) const;
 
+  /// Lazily-built SoA copies. Heap-held so the engine stays movable
+  /// (std::once_flag is neither movable nor copyable).
+  struct SoaCache {
+    std::once_flag once;
+    std::vector<geo::FlatPoints> per_trajectory;
+  };
+
+  /// Builds the per-trajectory SoA copies on first use (std::call_once).
+  const std::vector<geo::FlatPoints>& EnsureSoa() const;
+
   std::vector<geo::Trajectory> database_;
+  std::vector<geo::Mbr> mbrs_;  // one per trajectory
+  std::unique_ptr<SoaCache> soa_;  // lazy; see TrajectorySoa
   std::optional<index::RTree> index_;
   std::optional<index::InvertedGridIndex> inverted_;
 };

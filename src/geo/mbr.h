@@ -63,9 +63,12 @@ struct Mbr {
   }
 
   /// Shortest Euclidean distance from p to this rectangle (0 if inside).
+  /// Nested std::max instead of the initializer-list overload: this runs
+  /// per element inside the LB_Keogh envelope loops, and the
+  /// initializer_list temporary blocks autovectorization on GCC.
   double Distance(const Point& p) const {
-    double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
-    double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+    double dx = std::max(std::max(min_x - p.x, 0.0), p.x - max_x);
+    double dy = std::max(std::max(min_y - p.y, 0.0), p.y - max_y);
     return std::sqrt(dx * dx + dy * dy);
   }
 

@@ -1,0 +1,59 @@
+#include "geo/soa.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace simsub::geo {
+
+void FlatPoints::Assign(std::span<const Point> pts) {
+  x_.resize(pts.size());
+  y_.resize(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    x_[i] = pts[i].x;
+    y_[i] = pts[i].y;
+  }
+}
+
+void DistanceRow(const Point& p, PointsView q, double* out) {
+  const double px = p.x;
+  const double py = p.y;
+  const double* qx = q.x;
+  const double* qy = q.y;
+  for (size_t j = 0; j < q.size; ++j) {
+    double dx = px - qx[j];
+    double dy = py - qy[j];
+    out[j] = std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+void SquaredDistanceRow(const Point& p, PointsView q, double* out) {
+  const double px = p.x;
+  const double py = p.y;
+  const double* qx = q.x;
+  const double* qy = q.y;
+  for (size_t j = 0; j < q.size; ++j) {
+    double dx = px - qx[j];
+    double dy = py - qy[j];
+    out[j] = dx * dx + dy * dy;
+  }
+}
+
+double MinSquaredDistance(const Point& p, PointsView q) {
+  SIMSUB_CHECK(!q.empty());
+  const double px = p.x;
+  const double py = p.y;
+  const double* qx = q.x;
+  const double* qy = q.y;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < q.size; ++j) {
+    double dx = px - qx[j];
+    double dy = py - qy[j];
+    double d = dx * dx + dy * dy;
+    best = d < best ? d : best;
+  }
+  return best;
+}
+
+}  // namespace simsub::geo

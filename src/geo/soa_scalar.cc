@@ -1,0 +1,31 @@
+// Scalar AoS reference row fills — the BASELINE side of the kernel
+// equivalence tests and of bench_kernels.
+//
+// This translation unit is compiled with -fmath-errno -fno-tree-vectorize
+// (see geo/CMakeLists.txt): exactly the codegen the evaluators had before
+// the SoA rewrite, when the project-wide -fno-math-errno flag did not exist
+// and sqrt's errno contract kept the loops scalar. Keeping the old codegen
+// here makes the bench's "scalar vs SoA" speedups describe the actual
+// before/after of the hot path, not two equally-vectorized loops. The
+// VALUES are unaffected by the flags (sqrt is correctly rounded either
+// way), which is what the bit-identity tests rely on.
+#include <span>
+
+#include "geo/soa.h"
+
+namespace simsub::geo {
+
+void DistanceRowScalar(const Point& p, std::span<const Point> q, double* out) {
+  for (size_t j = 0; j < q.size(); ++j) {
+    out[j] = Distance(p, q[j]);
+  }
+}
+
+void SquaredDistanceRowScalar(const Point& p, std::span<const Point> q,
+                              double* out) {
+  for (size_t j = 0; j < q.size(); ++j) {
+    out[j] = SquaredDistance(p, q[j]);
+  }
+}
+
+}  // namespace simsub::geo

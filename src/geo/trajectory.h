@@ -49,9 +49,12 @@ class Trajectory {
   int size() const { return static_cast<int>(points_.size()); }
   bool empty() const { return points_.empty(); }
 
+  // Bounds checks are debug-only: operator[] sits inside the kernel scan
+  // loops, and a Release branch per point is measurable (enable
+  // SIMSUB_FORCE_DCHECK to keep them in optimized builds).
   const Point& operator[](int i) const {
-    SIMSUB_CHECK_GE(i, 0);
-    SIMSUB_CHECK_LT(i, size());
+    SIMSUB_DCHECK_GE(i, 0);
+    SIMSUB_DCHECK_LT(i, size());
     return points_[static_cast<size_t>(i)];
   }
 

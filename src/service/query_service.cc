@@ -49,6 +49,7 @@ engine::QueryReport QueryService::Execute(
   eo.index_margin = options_.index_margin;
   eo.threads = 1;  // inter-query parallelism only; the scan stays inline
   eo.scratch = &scratch;
+  eo.prune = options_.prune;
   engine::QueryReport report = engine_.Query(query.points, search, eo);
   report.planned_selectivity = plan.estimated_selectivity;
   report.plan_reason = plan.reason;
@@ -109,7 +110,11 @@ std::vector<engine::QueryReport> QueryService::RunBatch(
 
   ++stats_.batches_served;
   stats_.queries_served += static_cast<int64_t>(queries.size());
-  for (const auto& report : results) CountPlan(report.filter_used);
+  for (const auto& report : results) {
+    CountPlan(report.filter_used);
+    stats_.lb_skipped += report.lb_skipped;
+    stats_.dp_abandoned += report.dp_abandoned;
+  }
   return results;
 }
 
@@ -119,6 +124,8 @@ engine::QueryReport QueryService::RunOne(
       Execute(query, search, worker_scratch_.back());
   ++stats_.queries_served;
   CountPlan(report.filter_used);
+  stats_.lb_skipped += report.lb_skipped;
+  stats_.dp_abandoned += report.dp_abandoned;
   return report;
 }
 

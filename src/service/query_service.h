@@ -50,6 +50,9 @@ struct ServiceOptions {
   int threads = 0;
   /// R-tree MBR inflation (meters) applied to every query.
   double index_margin = 0.0;
+  /// Lower-bound pruning cascade inside the engine scan (bit-identical
+  /// results either way; off is only useful for measurement).
+  bool prune = true;
   /// Indexes built at construction (the planner only considers built ones).
   bool build_rtree = true;
   bool build_inverted_grid = true;
@@ -69,6 +72,10 @@ struct ServiceStats {
   int64_t plans_none = 0;
   int64_t plans_rtree = 0;
   int64_t plans_grid = 0;
+  /// Cumulative lower-bound cascade counters across all served queries
+  /// (see engine::QueryReport::lb_skipped / dp_abandoned).
+  int64_t lb_skipped = 0;
+  int64_t dp_abandoned = 0;
 };
 
 class QueryService {

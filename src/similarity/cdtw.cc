@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "geo/soa.h"
 #include "util/logging.h"
 
 namespace simsub::similarity {
@@ -20,10 +21,15 @@ int BandFor(double band_fraction, size_t m) {
       1, static_cast<int>(std::ceil(band_fraction * static_cast<double>(m))));
 }
 
+// Banded kernel over the SoA query copy with the distance computed inline
+// (the recurrence is latency-bound, so the sqrt hides under the carried min
+// chain). The tracked in-band row minimum is non-decreasing across rows
+// (out-of-band cells are +inf and never lower it), giving
+// ExtensionLowerBound().
 class CdtwEvaluator : public PrefixEvaluator {
  public:
   CdtwEvaluator(std::span<const geo::Point> query, double band_fraction)
-      : query_(query), band_fraction_(band_fraction),
+      : qsoa_(query), band_fraction_(band_fraction),
         band_(BandFor(band_fraction, query.size())), row_(query.size(), kInf),
         scratch_(query.size(), kInf) {
     SIMSUB_CHECK(!query.empty());
@@ -32,37 +38,54 @@ class CdtwEvaluator : public PrefixEvaluator {
   double Start(const geo::Point& p) override {
     length_ = 1;
     std::fill(row_.begin(), row_.end(), kInf);
+    const geo::PointsView q = qsoa_.View();
+    const double px = p.x;
+    const double py = p.y;
     // Row r = 0 (local index); band admits j in [0, band_].
+    size_t hi = std::min(q.size, static_cast<size_t>(band_) + 1);
     double acc = 0.0;
-    size_t hi = std::min(query_.size(), static_cast<size_t>(band_) + 1);
     for (size_t j = 0; j < hi; ++j) {
-      acc += geo::Distance(p, query_[j]);
+      double dx = px - q.x[j];
+      double dy = py - q.y[j];
+      acc += std::sqrt(dx * dx + dy * dy);
       row_[j] = acc;
     }
+    row_min_ = row_[0];  // prefix sums are non-decreasing
     return Current();
   }
 
   double Extend(const geo::Point& p) override {
-    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    SIMSUB_DCHECK_GT(length_, 0) << "Extend() before Start()";
     int r = length_;  // local row index of the new point
     ++length_;
     std::fill(scratch_.begin(), scratch_.end(), kInf);
+    const geo::PointsView q = qsoa_.View();
+    const double px = p.x;
+    const double py = p.y;
     size_t j_lo = r > band_ ? static_cast<size_t>(r - band_) : 0;
-    size_t j_hi = std::min(query_.size(), static_cast<size_t>(r + band_) + 1);
+    size_t j_hi = std::min(q.size, static_cast<size_t>(r + band_) + 1);
+    if (j_lo >= j_hi) {
+      // Band slid past the end of the query: the row is all-unreachable.
+      row_.swap(scratch_);
+      row_min_ = kInf;
+      return Current();
+    }
+    double row_min = kInf;
     for (size_t j = j_lo; j < j_hi; ++j) {
-      double best = kInf;
-      best = std::min(best, row_[j]);
+      double best = row_[j];
       if (j > 0) {
-        best = std::min(best, row_[j - 1]);
-        best = std::min(best, scratch_[j - 1]);
+        best = std::min(best, std::min(row_[j - 1], scratch_[j - 1]));
       }
-      if (best == kInf) {
-        scratch_[j] = kInf;
-      } else {
-        scratch_[j] = geo::Distance(p, query_[j]) + best;
+      if (best != kInf) {
+        double dx = px - q.x[j];
+        double dy = py - q.y[j];
+        double v = std::sqrt(dx * dx + dy * dy) + best;
+        scratch_[j] = v;
+        row_min = v < row_min ? v : row_min;
       }
     }
     row_.swap(scratch_);
+    row_min_ = row_min;
     return Current();
   }
 
@@ -75,9 +98,13 @@ class CdtwEvaluator : public PrefixEvaluator {
 
   int Length() const override { return length_; }
 
+  double ExtensionLowerBound() const override {
+    return length_ > 0 ? row_min_ : 0.0;
+  }
+
   bool Reset(std::span<const geo::Point> query) override {
     SIMSUB_CHECK(!query.empty());
-    query_ = query;
+    qsoa_.Assign(query);
     band_ = BandFor(band_fraction_, query.size());
     row_.assign(query.size(), kInf);
     scratch_.assign(query.size(), kInf);
@@ -86,11 +113,12 @@ class CdtwEvaluator : public PrefixEvaluator {
   }
 
  private:
-  std::span<const geo::Point> query_;
+  geo::FlatPoints qsoa_;
   double band_fraction_;
   int band_;
   std::vector<double> row_;
   std::vector<double> scratch_;
+  double row_min_ = 0.0;
   int length_ = 0;
 };
 

@@ -29,6 +29,12 @@ class CdtwMeasure : public SimilarityMeasure {
   std::unique_ptr<PrefixEvaluator> NewEvaluator(
       std::span<const geo::Point> query) const override;
 
+  /// Every banded warping path is an unconstrained DTW path, so DTW's
+  /// sum-style endpoint bounds remain valid lower bounds for CDTW.
+  DistanceAggregation aggregation() const override {
+    return DistanceAggregation::kSum;
+  }
+
  private:
   double band_fraction_;
 };

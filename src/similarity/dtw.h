@@ -22,6 +22,12 @@ class DtwMeasure : public SimilarityMeasure {
   /// Direct O(|a|*|b|) computation (reference implementation for tests).
   double Distance(std::span<const geo::Point> a,
                   std::span<const geo::Point> b) const override;
+
+  /// DTW sums point distances along an alignment covering every query
+  /// point, so the engine's endpoint MBR/nearest-point sum bounds apply.
+  DistanceAggregation aggregation() const override {
+    return DistanceAggregation::kSum;
+  }
 };
 
 /// Free-function DTW between two point sequences.

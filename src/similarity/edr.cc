@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "geo/soa.h"
 #include "util/logging.h"
 
 namespace simsub::similarity {
@@ -19,39 +20,67 @@ bool Matches(const geo::Point& a, const geo::Point& b, double eps) {
 
 // Rows are E[r][j] = EDR(T[i..i+r], q[0..j]) with the virtual base row
 // E[-1][j] = j + 1 (delete the whole query prefix).
+//
+// EDR consumes no distances, only the eps-match predicate, computed
+// branch-free inline over the SoA query copy (unit-stride x[]/y[] reads;
+// the predicate work hides under the latency-bound carried min chain).
+// Edit costs are nonnegative and the E[r][-1] boundary (r + 1) only grows,
+// so the minimum over the extended row is non-decreasing — a valid
+// ExtensionLowerBound().
 class EdrEvaluator : public PrefixEvaluator {
  public:
   EdrEvaluator(std::span<const geo::Point> query, double eps)
-      : query_(query), eps_(eps), row_(query.size()), scratch_(query.size()) {
+      : qsoa_(query), eps_(eps), row_(query.size()), scratch_(query.size()) {
     SIMSUB_CHECK(!query.empty());
   }
 
   double Start(const geo::Point& p) override {
     length_ = 1;
-    for (size_t j = 0; j < query_.size(); ++j) {
+    const geo::PointsView q = qsoa_.View();
+    const double px = p.x;
+    const double py = p.y;
+    double prev = 1.0;  // E[0][-1]
+    double row_min = kInf;
+    for (size_t j = 0; j < q.size; ++j) {
+      bool match =
+          std::abs(px - q.x[j]) <= eps_ && std::abs(py - q.y[j]) <= eps_;
       double base_diag = static_cast<double>(j);      // E[-1][j-1] = j
       double base_up = static_cast<double>(j) + 1.0;  // E[-1][j]
-      double sub = base_diag + (Matches(p, query_[j], eps_) ? 0.0 : 1.0);
-      double del_q = (j > 0 ? row_[j - 1] : 1.0 /*E[0][-1]*/) + 1.0;
+      double sub = base_diag + (match ? 0.0 : 1.0);
+      double del_q = prev + 1.0;  // row_[j-1], or E[0][-1] for j = 0
       double del_p = base_up + 1.0;
-      row_[j] = std::min({sub, del_q, del_p});
+      prev = std::min(std::min(sub, del_q), del_p);
+      row_[j] = prev;
+      row_min = prev < row_min ? prev : row_min;
     }
+    row_min_ = row_min;
     return row_.back();
   }
 
   double Extend(const geo::Point& p) override {
-    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    SIMSUB_DCHECK_GT(length_, 0) << "Extend() before Start()";
     ++length_;
+    const geo::PointsView q = qsoa_.View();
+    const double px = p.x;
+    const double py = p.y;
     double left_boundary = static_cast<double>(length_);  // E[r][-1] = r + 1
-    for (size_t j = 0; j < query_.size(); ++j) {
-      double diag = (j > 0 ? row_[j - 1]
-                           : static_cast<double>(length_) - 1.0);  // E[r-1][-1]
-      double sub = diag + (Matches(p, query_[j], eps_) ? 0.0 : 1.0);
-      double del_q = (j > 0 ? scratch_[j - 1] : left_boundary) + 1.0;
-      double del_p = row_[j] + 1.0;
-      scratch_[j] = std::min({sub, del_q, del_p});
+    double diag = left_boundary - 1.0;                    // E[r-1][-1]
+    double cur = left_boundary;
+    double row_min = kInf;
+    for (size_t j = 0; j < q.size; ++j) {
+      bool match =
+          std::abs(px - q.x[j]) <= eps_ && std::abs(py - q.y[j]) <= eps_;
+      double up = row_[j];
+      double sub = diag + (match ? 0.0 : 1.0);
+      double del_q = cur + 1.0;
+      double del_p = up + 1.0;
+      cur = std::min(std::min(sub, del_q), del_p);
+      diag = up;
+      scratch_[j] = cur;
+      row_min = cur < row_min ? cur : row_min;
     }
     row_.swap(scratch_);
+    row_min_ = row_min;
     return row_.back();
   }
 
@@ -59,9 +88,16 @@ class EdrEvaluator : public PrefixEvaluator {
 
   int Length() const override { return length_; }
 
+  double ExtensionLowerBound() const override {
+    // The left boundary E[r][-1] = r + 1 for the current row also bounds
+    // every future boundary value.
+    return length_ > 0 ? std::min(row_min_, static_cast<double>(length_))
+                       : 0.0;
+  }
+
   bool Reset(std::span<const geo::Point> query) override {
     SIMSUB_CHECK(!query.empty());
-    query_ = query;
+    qsoa_.Assign(query);
     row_.resize(query.size());
     scratch_.resize(query.size());
     length_ = 0;
@@ -69,10 +105,11 @@ class EdrEvaluator : public PrefixEvaluator {
   }
 
  private:
-  std::span<const geo::Point> query_;
+  geo::FlatPoints qsoa_;
   double eps_;
   std::vector<double> row_;
   std::vector<double> scratch_;
+  double row_min_ = 0.0;
   int length_ = 0;
 };
 
@@ -100,7 +137,7 @@ double EdrDistance(std::span<const geo::Point> a,
     for (size_t j = 1; j <= m; ++j) {
       double sub =
           prev[j - 1] + (Matches(a[i - 1], b[j - 1], eps) ? 0.0 : 1.0);
-      cur[j] = std::min({sub, prev[j] + 1.0, cur[j - 1] + 1.0});
+      cur[j] = std::min(std::min(sub, prev[j] + 1.0), cur[j - 1] + 1.0);
     }
     prev.swap(cur);
   }

@@ -1,9 +1,11 @@
 #include "similarity/erp.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
+#include "geo/soa.h"
 #include "util/logging.h"
 
 namespace simsub::similarity {
@@ -14,22 +16,24 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // DP over rows: E[r][j] = ERP(T[i..i+r], q[0..j]). The virtual row E[-1][*]
 // is the all-gap alignment of the query prefix: E[-1][j] = sum_k d(q_k, g).
+//
+// The per-query gap row d(q_j, g) and its prefix sums are precomputed once
+// at bind time with the vectorized geo::DistanceRow; the sweeps read the
+// query through its SoA copy with d(p, q_j) computed inline (the recurrence
+// is latency-bound, so the sqrt hides under the carried min chain). The
+// sweep tracks the minimum over the extended row (DP cells plus the
+// E[r][-1] all-gap boundary); every future cell derives from these values
+// by adding nonnegative costs, so the tracked minimum is a valid
+// ExtensionLowerBound().
 class ErpEvaluator : public PrefixEvaluator {
  public:
   ErpEvaluator(std::span<const geo::Point> query, const geo::Point& gap)
-      : query_(query), gap_(gap), base_(query.size()), row_(query.size()),
-        scratch_(query.size()) {
-    SIMSUB_CHECK(!query.empty());
-    FillBase();
+      : gap_(gap) {
+    Bind(query);
   }
 
   bool Reset(std::span<const geo::Point> query) override {
-    SIMSUB_CHECK(!query.empty());
-    query_ = query;
-    base_.resize(query.size());
-    row_.resize(query.size());
-    scratch_.resize(query.size());
-    FillBase();
+    Bind(query);
     prior_gap_cost_ = 0.0;
     length_ = 0;
     return true;
@@ -37,37 +41,63 @@ class ErpEvaluator : public PrefixEvaluator {
 
   double Start(const geo::Point& p) override {
     length_ = 1;
+    const geo::PointsView q = qsoa_.View();
+    const double px = p.x;
+    const double py = p.y;
     double dpg = geo::Distance(p, gap_);
     prior_gap_cost_ = dpg;  // E[r][-1] boundary for the next Extend().
-    // E[0][0] = min(match, delete-p + gap-q0, gap both ways).
-    row_[0] = std::min({geo::Distance(p, query_[0]),          // match
-                        dpg + geo::Distance(query_[0], gap_)  // both gapped
-                       });
-    for (size_t j = 1; j < query_.size(); ++j) {
-      double match = base_[j - 1] + geo::Distance(p, query_[j]);
-      double skip_q = row_[j - 1] + geo::Distance(query_[j], gap_);
+    // E[0][0] = min(match, gap both ways).
+    double dx = px - q.x[0];
+    double dy = py - q.y[0];
+    double cur = std::min(std::sqrt(dx * dx + dy * dy), dpg + gap_row_[0]);
+    row_[0] = cur;
+    double row_min = cur;
+    for (size_t j = 1; j < q.size; ++j) {
+      dx = px - q.x[j];
+      dy = py - q.y[j];
+      double match = base_[j - 1] + std::sqrt(dx * dx + dy * dy);
+      double skip_q = cur + gap_row_[j];
       double skip_p = base_[j] + dpg;
-      row_[j] = std::min({match, skip_q, skip_p});
+      cur = std::min(std::min(match, skip_q), skip_p);
+      row_[j] = cur;
+      row_min = cur < row_min ? cur : row_min;
     }
+    row_min_ = row_min;
     return row_.back();
   }
 
   double Extend(const geo::Point& p) override {
-    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    SIMSUB_DCHECK_GT(length_, 0) << "Extend() before Start()";
     ++length_;
+    const geo::PointsView q = qsoa_.View();
+    const double px = p.x;
+    const double py = p.y;
     double dpg = geo::Distance(p, gap_);
     // Column j = 0: either p matches q0 after deleting the earlier
     // subtrajectory points, or p is gapped.
-    double all_prior_gapped = PriorGapCost();
-    scratch_[0] = std::min({all_prior_gapped + geo::Distance(p, query_[0]),
-                            row_[0] + dpg});
-    for (size_t j = 1; j < query_.size(); ++j) {
-      double match = row_[j - 1] + geo::Distance(p, query_[j]);
-      double skip_p = row_[j] + dpg;
-      double skip_q = scratch_[j - 1] + geo::Distance(query_[j], gap_);
-      scratch_[j] = std::min({match, skip_p, skip_q});
+    double dx = px - q.x[0];
+    double dy = py - q.y[0];
+    double diag = PriorGapCost();  // E[r-1][-1]
+    double up = row_[0];
+    double cur =
+        std::min(diag + std::sqrt(dx * dx + dy * dy), up + dpg);
+    scratch_[0] = cur;
+    double row_min = cur;
+    for (size_t j = 1; j < q.size; ++j) {
+      dx = px - q.x[j];
+      dy = py - q.y[j];
+      double d = std::sqrt(dx * dx + dy * dy);
+      diag = up;  // row_[j - 1]
+      up = row_[j];
+      double match = diag + d;
+      double skip_p = up + dpg;
+      double skip_q = cur + gap_row_[j];
+      cur = std::min(std::min(match, skip_p), skip_q);
+      scratch_[j] = cur;
+      row_min = cur < row_min ? cur : row_min;
     }
     row_.swap(scratch_);
+    row_min_ = row_min;
     // Cost of gapping every subtrajectory point so far (kept incrementally
     // for the j = 0 boundary of the next row).
     prior_gap_cost_ += dpg;
@@ -78,24 +108,40 @@ class ErpEvaluator : public PrefixEvaluator {
 
   int Length() const override { return length_; }
 
+  double ExtensionLowerBound() const override {
+    // The E[r][-1] boundary only grows, so it joins the row minimum as a
+    // bound on everything derivable from this state.
+    return length_ > 0 ? std::min(row_min_, prior_gap_cost_) : 0.0;
+  }
+
  private:
-  // base_[j] = E[-1][j], the all-gap alignment cost of the query prefix.
-  void FillBase() {
+  void Bind(std::span<const geo::Point> query) {
+    SIMSUB_CHECK(!query.empty());
+    qsoa_.Assign(query);
+    const size_t m = query.size();
+    base_.resize(m);
+    row_.resize(m);
+    scratch_.resize(m);
+    gap_row_.resize(m);
+    // gap_row_[j] = d(q_j, g); base_[j] = E[-1][j] = sum_{k<=j} gap_row_[k].
+    geo::DistanceRow(gap_, qsoa_.View(), gap_row_.data());
     double acc = 0.0;
-    for (size_t j = 0; j < query_.size(); ++j) {
-      acc += geo::Distance(query_[j], gap_);
+    for (size_t j = 0; j < m; ++j) {
+      acc += gap_row_[j];
       base_[j] = acc;
     }
   }
 
   double PriorGapCost() const { return prior_gap_cost_; }
 
-  std::span<const geo::Point> query_;
+  geo::FlatPoints qsoa_;
   geo::Point gap_;
-  std::vector<double> base_;  // E[-1][j] = sum_{k<=j} d(q_k, g)
+  std::vector<double> base_;     // E[-1][j] = sum_{k<=j} d(q_k, g)
   std::vector<double> row_;
   std::vector<double> scratch_;
+  std::vector<double> gap_row_;  // d(q_j, g), fixed per query
   double prior_gap_cost_ = 0.0;
+  double row_min_ = 0.0;
   int length_ = 0;
 };
 
@@ -126,7 +172,7 @@ double ErpDistance(std::span<const geo::Point> a,
       double match = prev[j - 1] + geo::Distance(a[i - 1], b[j - 1]);
       double skip_a = prev[j] + geo::Distance(a[i - 1], gap);
       double skip_b = cur[j - 1] + geo::Distance(b[j - 1], gap);
-      cur[j] = std::min({match, skip_a, skip_b});
+      cur[j] = std::min(std::min(match, skip_a), skip_b);
     }
     prev.swap(cur);
   }

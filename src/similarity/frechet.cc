@@ -1,9 +1,11 @@
 #include "similarity/frechet.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
+#include "geo/soa.h"
 #include "util/logging.h"
 
 namespace simsub::similarity {
@@ -13,44 +15,82 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// One DP row F[r][0..m-1]: discrete Frechet between T[i..i+r] and q[0..j].
+///
+/// The recurrence only ever takes min/max of point distances — never sums —
+/// so the whole DP runs in squared-distance space (min and max commute with
+/// the monotone sqrt) and a single sqrt at the readout recovers exactly the
+/// value the scalar evaluator produced: the same cell is selected at every
+/// min/max, so the result is bit-identical. The sweep reads the query
+/// through its SoA copy with the (sqrt-free) squared distance computed
+/// inline — the recurrence is latency-bound on the carried min/max chain,
+/// so the mul/add distance work hides under it. The tracked row minimum is
+/// non-decreasing across rows, giving ExtensionLowerBound().
 class FrechetEvaluator : public PrefixEvaluator {
  public:
   explicit FrechetEvaluator(std::span<const geo::Point> query)
-      : query_(query), row_(query.size()), scratch_(query.size()) {
+      : qsoa_(query), row_(query.size()), scratch_(query.size()) {
     SIMSUB_CHECK(!query.empty());
   }
 
   double Start(const geo::Point& p) override {
     length_ = 1;
+    const geo::PointsView q = qsoa_.View();
+    const double px = p.x;
+    const double py = p.y;
     // F[1][j] = max_{k<=j} d(p, q_k)  (Equation 2, i = 1 case).
     double acc = 0.0;
-    for (size_t j = 0; j < query_.size(); ++j) {
-      acc = std::max(acc, geo::Distance(p, query_[j]));
+    for (size_t j = 0; j < q.size; ++j) {
+      double dx = px - q.x[j];
+      double dy = py - q.y[j];
+      acc = std::max(acc, dx * dx + dy * dy);
       row_[j] = acc;
     }
-    return row_.back();
+    row_min2_ = row_[0];  // running max is non-decreasing
+    return std::sqrt(row_.back());
   }
 
   double Extend(const geo::Point& p) override {
-    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    SIMSUB_DCHECK_GT(length_, 0) << "Extend() before Start()";
     ++length_;
+    const geo::PointsView q = qsoa_.View();
+    const double px = p.x;
+    const double py = p.y;
     // F[r][0] = max(F[r-1][0], d(p, q_0))  (Equation 2, j = 1 case).
-    scratch_[0] = std::max(row_[0], geo::Distance(p, query_[0]));
-    for (size_t j = 1; j < query_.size(); ++j) {
-      double best = std::min({row_[j - 1], row_[j], scratch_[j - 1]});
-      scratch_[j] = std::max(geo::Distance(p, query_[j]), best);
+    double dx = px - q.x[0];
+    double dy = py - q.y[0];
+    double up = row_[0];
+    double cur = std::max(up, dx * dx + dy * dy);
+    scratch_[0] = cur;
+    double row_min = cur;
+    for (size_t j = 1; j < q.size; ++j) {
+      dx = px - q.x[j];
+      dy = py - q.y[j];
+      double d2 = dx * dx + dy * dy;
+      double diag = up;  // row_[j - 1]
+      up = row_[j];
+      double best = std::min(std::min(diag, up), cur);
+      cur = std::max(d2, best);
+      scratch_[j] = cur;
+      row_min = cur < row_min ? cur : row_min;
     }
     row_.swap(scratch_);
-    return row_.back();
+    row_min2_ = row_min;
+    return std::sqrt(row_.back());
   }
 
-  double Current() const override { return length_ > 0 ? row_.back() : kInf; }
+  double Current() const override {
+    return length_ > 0 ? std::sqrt(row_.back()) : kInf;
+  }
 
   int Length() const override { return length_; }
 
+  double ExtensionLowerBound() const override {
+    return length_ > 0 ? std::sqrt(row_min2_) : 0.0;
+  }
+
   bool Reset(std::span<const geo::Point> query) override {
     SIMSUB_CHECK(!query.empty());
-    query_ = query;
+    qsoa_.Assign(query);
     row_.resize(query.size());
     scratch_.resize(query.size());
     length_ = 0;
@@ -58,9 +98,10 @@ class FrechetEvaluator : public PrefixEvaluator {
   }
 
  private:
-  std::span<const geo::Point> query_;
-  std::vector<double> row_;
+  geo::FlatPoints qsoa_;
+  std::vector<double> row_;      // squared-distance space
   std::vector<double> scratch_;
+  double row_min2_ = 0.0;
   int length_ = 0;
 };
 
@@ -94,7 +135,8 @@ double FrechetDistance(std::span<const geo::Point> a,
       } else if (j == 0) {
         cur[j] = std::max(prev[j], d);
       } else {
-        cur[j] = std::max(d, std::min({prev[j - 1], prev[j], cur[j - 1]}));
+        cur[j] = std::max(
+            d, std::min(std::min(prev[j - 1], prev[j]), cur[j - 1]));
       }
     }
     prev.swap(cur);

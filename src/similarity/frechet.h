@@ -20,6 +20,12 @@ class FrechetMeasure : public SimilarityMeasure {
 
   double Distance(std::span<const geo::Point> a,
                   std::span<const geo::Point> b) const override;
+
+  /// Frechet is a max over aligned point distances with every query point
+  /// covered, so endpoint max-style lower bounds apply.
+  DistanceAggregation aggregation() const override {
+    return DistanceAggregation::kMax;
+  }
 };
 
 /// Free-function discrete Frechet distance between two point sequences.

@@ -1,9 +1,11 @@
 #include "similarity/hausdorff.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
+#include "geo/soa.h"
 #include "util/logging.h"
 
 namespace simsub::similarity {
@@ -12,71 +14,82 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Incremental state:
-//  * sub_to_query_: max over subtrajectory points of min_j d(p, q_j) — each
-//    new point contributes one O(m) nearest-query lookup, and the max only
-//    grows;
-//  * query_min_[j]: min over subtrajectory points of d(q_j, p) — each new
-//    point can only lower these, so one O(m) sweep per Extend keeps them
-//    exact.
+// Incremental state (all in squared-distance space — Hausdorff only ever
+// takes min/max of point distances, which commute with the monotone sqrt,
+// so one sqrt at the readout reproduces the scalar evaluator bit-for-bit):
+//  * sub_to_query2_: max over subtrajectory points of min_j d2(p, q_j) —
+//    each new point contributes one vectorized geo::SquaredDistanceRow
+//    pass, and the max only grows;
+//  * query_min2_[j]: min over subtrajectory points of d2(q_j, p) — each new
+//    point can only lower these, so one elementwise-min sweep per Extend
+//    keeps them exact.
 class HausdorffEvaluator : public PrefixEvaluator {
  public:
   explicit HausdorffEvaluator(std::span<const geo::Point> query)
-      : query_(query), query_min_(query.size()) {
+      : qsoa_(query), query_min2_(query.size()), dist2_(query.size()) {
     SIMSUB_CHECK(!query.empty());
   }
 
   double Start(const geo::Point& p) override {
     length_ = 1;
-    sub_to_query_ = kInf;
-    std::fill(query_min_.begin(), query_min_.end(), kInf);
-    Absorb(p);
+    geo::SquaredDistanceRow(p, qsoa_.View(), dist2_.data());
+    double nearest = kInf;
+    for (size_t j = 0; j < qsoa_.size(); ++j) {
+      double d2 = dist2_[j];
+      query_min2_[j] = d2;
+      nearest = d2 < nearest ? d2 : nearest;
+    }
+    sub_to_query2_ = nearest;
     return Current();
   }
 
   double Extend(const geo::Point& p) override {
-    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    SIMSUB_DCHECK_GT(length_, 0) << "Extend() before Start()";
     ++length_;
-    Absorb(p);
+    geo::SquaredDistanceRow(p, qsoa_.View(), dist2_.data());
+    double nearest = kInf;
+    for (size_t j = 0; j < qsoa_.size(); ++j) {
+      double d2 = dist2_[j];
+      double m = query_min2_[j];
+      query_min2_[j] = d2 < m ? d2 : m;
+      nearest = d2 < nearest ? d2 : nearest;
+    }
+    sub_to_query2_ = std::max(sub_to_query2_, nearest);
     return Current();
   }
 
   double Current() const override {
     if (length_ == 0) return kInf;
-    double query_to_sub = 0.0;
-    for (double d : query_min_) query_to_sub = std::max(query_to_sub, d);
-    return std::max(sub_to_query_ == kInf ? 0.0 : sub_to_query_, query_to_sub);
+    double query_to_sub2 = 0.0;
+    for (double d2 : query_min2_) {
+      query_to_sub2 = d2 > query_to_sub2 ? d2 : query_to_sub2;
+    }
+    return std::sqrt(std::max(sub_to_query2_, query_to_sub2));
   }
 
   int Length() const override { return length_; }
 
+  double ExtensionLowerBound() const override {
+    // sub_to_query only grows as points are absorbed; query_to_sub can
+    // shrink, so only the former bounds every extension.
+    return length_ > 0 ? std::sqrt(sub_to_query2_) : 0.0;
+  }
+
   bool Reset(std::span<const geo::Point> query) override {
     SIMSUB_CHECK(!query.empty());
-    query_ = query;
-    query_min_.resize(query.size());
-    sub_to_query_ = kInf;
+    qsoa_.Assign(query);
+    query_min2_.resize(query.size());
+    dist2_.resize(query.size());
+    sub_to_query2_ = kInf;
     length_ = 0;
     return true;
   }
 
  private:
-  void Absorb(const geo::Point& p) {
-    double nearest = kInf;
-    for (size_t j = 0; j < query_.size(); ++j) {
-      double d = geo::Distance(p, query_[j]);
-      nearest = std::min(nearest, d);
-      query_min_[j] = std::min(query_min_[j], d);
-    }
-    if (length_ == 1) {
-      sub_to_query_ = nearest;
-    } else {
-      sub_to_query_ = std::max(sub_to_query_, nearest);
-    }
-  }
-
-  std::span<const geo::Point> query_;
-  std::vector<double> query_min_;
-  double sub_to_query_ = kInf;
+  geo::FlatPoints qsoa_;
+  std::vector<double> query_min2_;
+  std::vector<double> dist2_;
+  double sub_to_query2_ = kInf;
   int length_ = 0;
 };
 

@@ -23,6 +23,12 @@ class HausdorffMeasure : public SimilarityMeasure {
 
   double Distance(std::span<const geo::Point> a,
                   std::span<const geo::Point> b) const override;
+
+  /// Hausdorff is at least the distance from every query point to its
+  /// nearest subtrajectory point, so endpoint max-style bounds apply.
+  DistanceAggregation aggregation() const override {
+    return DistanceAggregation::kMax;
+  }
 };
 
 /// Free-function symmetric Hausdorff distance.

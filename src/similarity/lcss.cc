@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "geo/soa.h"
 #include "util/logging.h"
 
 namespace simsub::similarity {
@@ -15,36 +16,49 @@ bool Matches(const geo::Point& a, const geo::Point& b, double eps) {
   return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps;
 }
 
+// Max-recurrence sweep with the eps-match predicate computed branch-free
+// inline over the SoA query copy (unit-stride reads; the predicate hides
+// under the carried max chain). LCSS keeps the default
+// ExtensionLowerBound() of 0: its normalized distance 1 - L/min(len, m)
+// can DECREASE as the subtrajectory grows (the match count catches up with
+// the denominator), so no early-abandoning bound exists.
 class LcssEvaluator : public PrefixEvaluator {
  public:
   LcssEvaluator(std::span<const geo::Point> query, double eps)
-      : query_(query), eps_(eps), row_(query.size()), scratch_(query.size()) {
+      : qsoa_(query), eps_(eps), row_(query.size()), scratch_(query.size()) {
     SIMSUB_CHECK(!query.empty());
   }
 
   double Start(const geo::Point& p) override {
     length_ = 1;
+    const geo::PointsView q = qsoa_.View();
+    const double px = p.x;
+    const double py = p.y;
     // L(1, j): 1 once p matched any query point up to j.
     int seen = 0;
-    for (size_t j = 0; j < query_.size(); ++j) {
-      if (Matches(p, query_[j], eps_)) seen = 1;
+    for (size_t j = 0; j < q.size; ++j) {
+      seen |= static_cast<int>(std::abs(px - q.x[j]) <= eps_ &&
+                               std::abs(py - q.y[j]) <= eps_);
       row_[j] = seen;
     }
     return Current();
   }
 
   double Extend(const geo::Point& p) override {
-    SIMSUB_CHECK_GT(length_, 0) << "Extend() before Start()";
+    SIMSUB_DCHECK_GT(length_, 0) << "Extend() before Start()";
     ++length_;
-    for (size_t j = 0; j < query_.size(); ++j) {
-      int diag = j > 0 ? row_[j - 1] : 0;
-      if (Matches(p, query_[j], eps_)) {
-        scratch_[j] = diag + 1;
-      } else {
-        int up = row_[j];
-        int left = j > 0 ? scratch_[j - 1] : 0;
-        scratch_[j] = std::max(up, left);
-      }
+    const geo::PointsView q = qsoa_.View();
+    const double px = p.x;
+    const double py = p.y;
+    int diag = 0;  // row_[j - 1], with the j = 0 boundary of 0
+    int left = 0;  // scratch_[j - 1], same boundary
+    for (size_t j = 0; j < q.size; ++j) {
+      bool match =
+          std::abs(px - q.x[j]) <= eps_ && std::abs(py - q.y[j]) <= eps_;
+      int up = row_[j];
+      left = match ? diag + 1 : std::max(up, left);
+      scratch_[j] = left;
+      diag = up;
     }
     row_.swap(scratch_);
     return Current();
@@ -52,7 +66,7 @@ class LcssEvaluator : public PrefixEvaluator {
 
   double Current() const override {
     if (length_ == 0) return std::numeric_limits<double>::infinity();
-    int denom = std::min(length_, static_cast<int>(query_.size()));
+    int denom = std::min(length_, static_cast<int>(qsoa_.size()));
     return 1.0 - static_cast<double>(row_.back()) / denom;
   }
 
@@ -60,7 +74,7 @@ class LcssEvaluator : public PrefixEvaluator {
 
   bool Reset(std::span<const geo::Point> query) override {
     SIMSUB_CHECK(!query.empty());
-    query_ = query;
+    qsoa_.Assign(query);
     row_.resize(query.size());
     scratch_.resize(query.size());
     length_ = 0;
@@ -68,7 +82,7 @@ class LcssEvaluator : public PrefixEvaluator {
   }
 
  private:
-  std::span<const geo::Point> query_;
+  geo::FlatPoints qsoa_;
   double eps_;
   std::vector<int> row_;
   std::vector<int> scratch_;

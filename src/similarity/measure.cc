@@ -35,17 +35,32 @@ PrefixEvaluator* EvaluatorCache::Acquire(const SimilarityMeasure& measure,
   SIMSUB_CHECK(!query.empty());
   for (Slot& slot : slots_) {
     if (slot.measure != &measure) continue;
-    if (slot.evaluator->Reset(query)) {
+    // Reset() regrows DP rows but never returns their capacity; once the
+    // query shrinks far below the slot's high-water mark, replace the
+    // evaluator outright so the worker's footprint tracks its workload.
+    bool oversized = query.size() * kShrinkFactor < slot.high_water;
+    if (!oversized && slot.evaluator->Reset(query)) {
       ++reuse_count_;
+      slot.high_water = std::max(slot.high_water, query.size());
     } else {
       slot.evaluator = measure.NewEvaluator(query);
+      slot.high_water = query.size();
       ++alloc_count_;
     }
     return slot.evaluator.get();
   }
-  slots_.push_back(Slot{&measure, measure.NewEvaluator(query)});
+  slots_.push_back(Slot{&measure, measure.NewEvaluator(query), query.size()});
   ++alloc_count_;
   return slots_.back().evaluator.get();
+}
+
+PrefixEvaluator* AcquireEvaluator(const SimilarityMeasure& measure,
+                                  std::span<const geo::Point> query,
+                                  EvaluatorCache* scratch,
+                                  std::unique_ptr<PrefixEvaluator>* owned) {
+  if (scratch != nullptr) return scratch->Acquire(measure, query);
+  *owned = measure.NewEvaluator(query);
+  return owned->get();
 }
 
 std::vector<double> ComputeSuffixDistances(const SimilarityMeasure& measure,

@@ -61,7 +61,26 @@ class PrefixEvaluator {
     (void)query;
     return false;
   }
+
+  /// A lower bound on Current() and on EVERY future Extend() result from
+  /// the current state — the early-abandoning hook. Once this exceeds the
+  /// caller's best-so-far threshold, no extension of the current start
+  /// point can beat it and the caller may abandon the candidate (DP-row
+  /// measures return the running row minimum, which is non-decreasing
+  /// across rows). The default 0.0 means "cannot bound extensions" and
+  /// disables abandonment (e.g. LCSS, whose normalized distance can shrink
+  /// as the subtrajectory grows).
+  virtual double ExtensionLowerBound() const { return 0.0; }
 };
+
+/// How per-point distances aggregate into the measure's value — the trait
+/// the engine's lower-bound cascade keys on (see algo/lower_bounds.h).
+/// kSum: the distance is a sum of nonnegative point distances along an
+/// alignment that visits every query point (DTW, constrained DTW).
+/// kMax: the distance is a max over such point distances (Frechet,
+/// Hausdorff). kOther: neither holds (edit-count and gap-cost measures,
+/// learned embeddings) — no MBR bound applies.
+enum class DistanceAggregation { kSum, kMax, kOther };
 
 /// How a raw distance d is inverted into a similarity Θ (paper Section 3.1:
 /// "applying some inverse operation such as taking the ratio between 1 and a
@@ -102,6 +121,12 @@ class SimilarityMeasure {
   /// and Frechet; false for learned measures such as t2vec, where the
   /// reversed distance is only positively correlated — paper Section 4.3).
   virtual bool ReversalPreservesDistance() const { return true; }
+
+  /// Aggregation family for lower-bound pruning; kOther (the safe default)
+  /// opts the measure out of the engine's MBR cascade.
+  virtual DistanceAggregation aggregation() const {
+    return DistanceAggregation::kOther;
+  }
 };
 
 /// Per-worker cache of PrefixEvaluators, one per measure, so the DP scratch
@@ -122,15 +147,32 @@ class EvaluatorCache {
   int64_t reuse_count() const { return reuse_count_; }
   int64_t alloc_count() const { return alloc_count_; }
 
+  /// Queries at least this factor smaller than the largest query a cached
+  /// evaluator has served cause a fresh allocation instead of a Reset, so a
+  /// long-lived worker that once saw a huge query doesn't pin its DP-row
+  /// capacity forever (vectors never shrink on resize).
+  static constexpr size_t kShrinkFactor = 4;
+
  private:
   struct Slot {
     const SimilarityMeasure* measure = nullptr;
     std::unique_ptr<PrefixEvaluator> evaluator;
+    /// Largest query size the current evaluator instance has been bound to.
+    size_t high_water = 0;
   };
   std::vector<Slot> slots_;
   int64_t reuse_count_ = 0;
   int64_t alloc_count_ = 0;
 };
+
+/// Returns an evaluator for `query`: rebound from `scratch` when a cache is
+/// provided, otherwise freshly allocated into `*owned` (which keeps it
+/// alive for the caller's scope). The shared preamble of every
+/// scratch-optional search path.
+PrefixEvaluator* AcquireEvaluator(const SimilarityMeasure& measure,
+                                  std::span<const geo::Point> query,
+                                  EvaluatorCache* scratch,
+                                  std::unique_ptr<PrefixEvaluator>* owned);
 
 /// Computes suffix distances suffix[i] = dist(T[i..n-1]^R, Tq^R) for all i
 /// in one O(n * Phi_inc) backward pass (PSS Algorithm 2, lines 2-3; also the

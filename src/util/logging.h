@@ -68,6 +68,29 @@ class FatalLogMessage {
 #define SIMSUB_CHECK_GT(a, b) SIMSUB_CHECK_OP(a, b, >)
 #define SIMSUB_CHECK_GE(a, b) SIMSUB_CHECK_OP(a, b, >=)
 
+// Debug-only checks for hot-path invariants (per-element bounds checks in
+// the similarity kernels and Trajectory::operator[]): full SIMSUB_CHECKs in
+// Debug and sanitizer builds, compiled out of Release so the kernels don't
+// pay a branch per point. Define SIMSUB_FORCE_DCHECK to keep them in any
+// build type.
+#if !defined(NDEBUG) || defined(SIMSUB_FORCE_DCHECK)
+#define SIMSUB_DCHECK_ENABLED 1
+#define SIMSUB_DCHECK(condition) SIMSUB_CHECK(condition)
+#else
+#define SIMSUB_DCHECK_ENABLED 0
+// Swallows the condition (unevaluated) and any streamed message.
+#define SIMSUB_DCHECK(condition) \
+  while (false && (condition)) std::ostringstream()
+#endif
+
+#define SIMSUB_DCHECK_OP(a, b, op) SIMSUB_DCHECK((a)op(b))
+#define SIMSUB_DCHECK_EQ(a, b) SIMSUB_DCHECK_OP(a, b, ==)
+#define SIMSUB_DCHECK_NE(a, b) SIMSUB_DCHECK_OP(a, b, !=)
+#define SIMSUB_DCHECK_LT(a, b) SIMSUB_DCHECK_OP(a, b, <)
+#define SIMSUB_DCHECK_LE(a, b) SIMSUB_DCHECK_OP(a, b, <=)
+#define SIMSUB_DCHECK_GT(a, b) SIMSUB_DCHECK_OP(a, b, >)
+#define SIMSUB_DCHECK_GE(a, b) SIMSUB_DCHECK_OP(a, b, >=)
+
 /// Aborts when a Status-returning expression fails; for call sites where an
 /// error is a programming bug (e.g. writing to an already-validated path).
 #define SIMSUB_CHECK_OK(expr)                             \

@@ -1,0 +1,90 @@
+// algo/lower_bounds: the envelopes must equal the brute-force sliding
+// window MBRs, and the endpoint bounds must actually LOWER-bound the best
+// subtrajectory distance for every measure that claims an aggregation
+// family (validity is what makes engine pruning lossless).
+#include "algo/lower_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/exacts.h"
+#include "geo/soa.h"
+#include "similarity/cdtw.h"
+#include "similarity/dtw.h"
+#include "similarity/frechet.h"
+#include "similarity/hausdorff.h"
+#include "util/random.h"
+
+namespace simsub::algo {
+namespace {
+
+std::vector<geo::Point> RandomPoints(util::Rng& rng, int n) {
+  std::vector<geo::Point> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.emplace_back(rng.Uniform(-400.0, 400.0), rng.Uniform(-400.0, 400.0));
+  }
+  return pts;
+}
+
+TEST(LowerBoundsTest, EnvelopesMatchBruteForceWindows) {
+  util::Rng rng(11);
+  std::vector<geo::Point> pts = RandomPoints(rng, 30);
+  for (int w : {0, 1, 3, 29, 100}) {
+    std::vector<geo::Mbr> env = BuildMbrEnvelopes(pts, w);
+    ASSERT_EQ(env.size(), pts.size());
+    for (int i = 0; i < static_cast<int>(pts.size()); ++i) {
+      geo::Mbr want;
+      int lo = std::max(0, i - w);
+      int hi = std::min(static_cast<int>(pts.size()) - 1, i + w);
+      for (int j = lo; j <= hi; ++j) want.Extend(pts[static_cast<size_t>(j)]);
+      EXPECT_EQ(env[static_cast<size_t>(i)], want) << "w=" << w << " i=" << i;
+    }
+  }
+}
+
+TEST(LowerBoundsTest, BoundsAreValidAndOrdered) {
+  util::Rng rng(12);
+  similarity::DtwMeasure dtw;
+  similarity::CdtwMeasure cdtw(0.2);
+  similarity::FrechetMeasure frechet;
+  similarity::HausdorffMeasure hausdorff;
+  std::vector<const similarity::SimilarityMeasure*> measures = {
+      &dtw, &cdtw, &frechet, &hausdorff};
+
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<geo::Point> data = RandomPoints(rng, 20);
+    std::vector<geo::Point> query = RandomPoints(rng, 7);
+    geo::Mbr mbr = geo::ComputeMbr(data);
+    geo::FlatPoints soa{std::span<const geo::Point>(data)};
+
+    for (const similarity::SimilarityMeasure* m : measures) {
+      double lb_mbr = MbrLowerBound(m->aggregation(), mbr, query);
+      double lb_near =
+          NearestEndpointLowerBound(m->aggregation(), soa.View(), query);
+      // The nearest-endpoint bound refines the MBR bound...
+      EXPECT_LE(lb_mbr, lb_near) << m->name();
+      // ...and both must lower-bound the best subtrajectory distance.
+      ExactS search(m);
+      SearchResult best = search.Search(data, query);
+      EXPECT_LE(lb_near, best.distance) << m->name() << " trial " << trial;
+    }
+  }
+}
+
+TEST(LowerBoundsTest, SinglePointQueryCountsOneEndpoint) {
+  geo::Mbr mbr;
+  mbr.Extend(geo::Point(0.0, 0.0));
+  mbr.Extend(geo::Point(10.0, 10.0));
+  std::vector<geo::Point> q = {geo::Point(20.0, 10.0)};  // 10m from the box
+  EXPECT_DOUBLE_EQ(
+      MbrLowerBound(similarity::DistanceAggregation::kSum, mbr, q), 10.0);
+  EXPECT_DOUBLE_EQ(
+      MbrLowerBound(similarity::DistanceAggregation::kMax, mbr, q), 10.0);
+  EXPECT_EQ(MbrLowerBound(similarity::DistanceAggregation::kOther, mbr, q),
+            0.0);
+}
+
+}  // namespace
+}  // namespace simsub::algo

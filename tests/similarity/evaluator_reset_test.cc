@@ -89,6 +89,50 @@ TEST(EvaluatorResetTest, CacheReusesPerMeasureAndCounts) {
   for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
 }
 
+TEST(EvaluatorResetTest, CacheReplacesEvaluatorWhenQueryShrinksFar) {
+  // A worker that once served a huge query must not pin the huge DP rows
+  // forever: a query more than kShrinkFactor smaller than the slot's
+  // high-water mark forces a fresh allocation (and resets the mark, so
+  // subsequent small queries reuse again).
+  util::Rng rng(777);
+  std::vector<geo::Point> data = RandomPoints(rng, 6);
+  std::vector<geo::Point> huge = RandomPoints(rng, 200);
+  std::vector<geo::Point> small = RandomPoints(rng, 10);
+  std::vector<geo::Point> mid = RandomPoints(rng, 60);
+  auto dtw = MakeMeasure("dtw");
+  ASSERT_TRUE(dtw.ok());
+
+  EvaluatorCache cache;
+  cache.Acquire(**dtw, huge);
+  EXPECT_EQ(cache.alloc_count(), 1);
+
+  // 10 * 4 < 200: regrowth cap kicks in — fresh evaluator, not a Reset.
+  PrefixEvaluator* small_eval = cache.Acquire(**dtw, small);
+  EXPECT_EQ(cache.alloc_count(), 2);
+  EXPECT_EQ(cache.reuse_count(), 0);
+
+  // Same small query again: plain reuse (high-water is now 10).
+  cache.Acquire(**dtw, small);
+  EXPECT_EQ(cache.alloc_count(), 2);
+  EXPECT_EQ(cache.reuse_count(), 1);
+
+  // Growing back within the factor reuses too (Reset regrows the rows).
+  cache.Acquire(**dtw, mid);
+  EXPECT_EQ(cache.alloc_count(), 2);
+  EXPECT_EQ(cache.reuse_count(), 2);
+
+  // 60 / 4 > 10 but high-water is 60 now; 10 * 4 < 60 evicts again.
+  cache.Acquire(**dtw, small);
+  EXPECT_EQ(cache.alloc_count(), 3);
+
+  // The freshly allocated evaluator computes correctly.
+  auto fresh = (*dtw)->NewEvaluator(small);
+  std::vector<double> got = Trace(*cache.Acquire(**dtw, small), data);
+  std::vector<double> want = Trace(*fresh, data);
+  for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+  (void)small_eval;
+}
+
 TEST(EvaluatorResetTest, CacheFallsBackWhenResetUnsupported) {
   // A measure whose evaluator rejects Reset: the cache must allocate fresh
   // evaluators every time and count them as allocations.

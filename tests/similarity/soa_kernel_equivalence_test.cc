@@ -1,0 +1,145 @@
+// The SoA two-pass kernels must be BIT-IDENTICAL to the scalar reference
+// implementations for every builtin measure: the vectorized DistanceRow
+// performs exactly the per-element arithmetic of geo::Distance, and the
+// recurrence sweeps only reorder min/max operand selection (value-neutral).
+// Every EXPECT_EQ below is an exact double comparison on purpose.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "geo/soa.h"
+#include "similarity/cdtw.h"
+#include "similarity/dtw.h"
+#include "similarity/edr.h"
+#include "similarity/erp.h"
+#include "similarity/frechet.h"
+#include "similarity/hausdorff.h"
+#include "similarity/lcss.h"
+#include "similarity/registry.h"
+#include "util/random.h"
+
+namespace simsub::similarity {
+namespace {
+
+std::vector<geo::Point> RandomPoints(util::Rng& rng, int n, double extent) {
+  std::vector<geo::Point> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.emplace_back(rng.Uniform(-extent, extent), rng.Uniform(-extent, extent));
+  }
+  return pts;
+}
+
+TEST(SoaKernelTest, DistanceRowMatchesScalarBitwise) {
+  util::Rng rng(7);
+  std::vector<geo::Point> q = RandomPoints(rng, 37, 1000.0);
+  geo::FlatPoints soa(q);
+  std::vector<double> got(q.size()), want(q.size());
+  for (int trial = 0; trial < 20; ++trial) {
+    geo::Point p(rng.Uniform(-1000.0, 1000.0), rng.Uniform(-1000.0, 1000.0));
+    geo::DistanceRow(p, soa.View(), got.data());
+    geo::DistanceRowScalar(p, q, want.data());
+    for (size_t j = 0; j < q.size(); ++j) EXPECT_EQ(got[j], want[j]) << j;
+    geo::SquaredDistanceRow(p, soa.View(), got.data());
+    geo::SquaredDistanceRowScalar(p, q, want.data());
+    for (size_t j = 0; j < q.size(); ++j) EXPECT_EQ(got[j], want[j]) << j;
+  }
+}
+
+TEST(SoaKernelTest, SlicedDistanceRowMatchesScalar) {
+  util::Rng rng(8);
+  std::vector<geo::Point> q = RandomPoints(rng, 23, 500.0);
+  geo::FlatPoints soa(q);
+  geo::Point p(12.5, -3.0);
+  std::vector<double> got(q.size()), want(q.size());
+  geo::DistanceRowScalar(p, q, want.data());
+  geo::DistanceRow(p, soa.View().Slice(5, 11), got.data());
+  for (size_t j = 0; j < 11; ++j) EXPECT_EQ(got[j], want[j + 5]) << j;
+}
+
+TEST(SoaKernelTest, MinSquaredDistanceMatchesScalarScan) {
+  util::Rng rng(9);
+  std::vector<geo::Point> pts = RandomPoints(rng, 64, 800.0);
+  geo::FlatPoints soa(pts);
+  for (int trial = 0; trial < 10; ++trial) {
+    geo::Point p(rng.Uniform(-800.0, 800.0), rng.Uniform(-800.0, 800.0));
+    double want = std::numeric_limits<double>::infinity();
+    for (const auto& q : pts) want = std::min(want, geo::SquaredDistance(p, q));
+    EXPECT_EQ(geo::MinSquaredDistance(p, soa.View()), want);
+  }
+}
+
+// Reference distance for a (slice, query) pair computed by the independent
+// scalar full-DP implementation of each measure. CDTW's band is local to
+// the evaluated slice, so BandedDtwDistance over the slice is exact.
+double ReferenceDistance(const std::string& name,
+                         std::span<const geo::Point> slice,
+                         std::span<const geo::Point> query) {
+  MeasureOptions opts;
+  if (name == "dtw") return DtwDistance(slice, query);
+  if (name == "frechet") return FrechetDistance(slice, query);
+  if (name == "hausdorff") return HausdorffDistance(slice, query);
+  if (name == "erp") return ErpDistance(slice, query, opts.erp_gap);
+  if (name == "edr") return EdrDistance(slice, query, opts.edr_eps);
+  if (name == "lcss") return LcssDistance(slice, query, opts.lcss_eps);
+  if (name == "cdtw") {
+    int m = static_cast<int>(query.size());
+    int band = std::max(
+        1, static_cast<int>(std::ceil(opts.cdtw_band_fraction * m)));
+    return BandedDtwDistance(slice, query, band);
+  }
+  ADD_FAILURE() << "no reference for " << name;
+  return 0.0;
+}
+
+void CheckAllSubtrajectories(const std::string& name,
+                             std::span<const geo::Point> data,
+                             std::span<const geo::Point> query) {
+  auto measure = MakeMeasure(name);
+  ASSERT_TRUE(measure.ok()) << name;
+  auto eval = (*measure)->NewEvaluator(query);
+  const int n = static_cast<int>(data.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double got = (j == i) ? eval->Start(data[static_cast<size_t>(i)])
+                            : eval->Extend(data[static_cast<size_t>(j)]);
+      double want = ReferenceDistance(
+          name, data.subspan(static_cast<size_t>(i),
+                             static_cast<size_t>(j - i + 1)),
+          query);
+      EXPECT_EQ(got, want) << name << " T[" << i << ".." << j << "]";
+      // A valid ExtensionLowerBound never exceeds the current distance.
+      EXPECT_LE(eval->ExtensionLowerBound(), got)
+          << name << " T[" << i << ".." << j << "]";
+    }
+  }
+}
+
+TEST(SoaKernelTest, EvaluatorsBitIdenticalToScalarReferences) {
+  util::Rng rng(42);
+  // Mid-scale coordinates so EDR/LCSS eps thresholds see both outcomes.
+  std::vector<geo::Point> data = RandomPoints(rng, 16, 250.0);
+  std::vector<geo::Point> query = RandomPoints(rng, 9, 250.0);
+  for (const std::string& name : BuiltinMeasureNames()) {
+    CheckAllSubtrajectories(name, data, query);
+  }
+}
+
+TEST(SoaKernelTest, DegenerateSinglePointAndDuplicates) {
+  util::Rng rng(43);
+  std::vector<geo::Point> one = {geo::Point(10.0, -20.0)};
+  std::vector<geo::Point> dup(5, geo::Point(3.0, 4.0));
+  std::vector<geo::Point> query = RandomPoints(rng, 6, 50.0);
+  std::vector<geo::Point> one_q = {geo::Point(-7.0, 7.0)};
+  for (const std::string& name : BuiltinMeasureNames()) {
+    CheckAllSubtrajectories(name, one, query);      // 1-point trajectory
+    CheckAllSubtrajectories(name, dup, query);      // duplicate points
+    CheckAllSubtrajectories(name, dup, one_q);      // 1-point query
+    CheckAllSubtrajectories(name, one, one_q);      // both single
+  }
+}
+
+}  // namespace
+}  // namespace simsub::similarity

@@ -128,6 +128,7 @@ int RunQuery(int argc, char** argv) {
   int topk = 5;
   int threads = 1;
   bool use_index = true;
+  bool prune = true;
   bool batch = false;
   int batch_size = 16;
   int64_t batch_seed = 7;
@@ -143,6 +144,9 @@ int RunQuery(int argc, char** argv) {
   flags.AddInt("threads", &threads,
                "parallel scan width (batch: worker pool size)");
   flags.AddBool("index", &use_index, "use the R-tree filter");
+  flags.AddBool("prune", &prune,
+                "lower-bound pruning cascade (results are identical either "
+                "way; --prune=false measures the unpruned scan)");
   flags.AddBool("batch", &batch,
                 "serve a sampled query batch through the QueryService");
   flags.AddInt("batch_size", &batch_size, "queries per batch (with --batch)");
@@ -193,6 +197,7 @@ int RunQuery(int argc, char** argv) {
 
     service::ServiceOptions service_options;
     service_options.threads = threads;
+    service_options.prune = prune;
     service::QueryService service(std::move(engine), service_options);
 
     std::vector<service::BatchQuery> queries;
@@ -252,17 +257,24 @@ int RunQuery(int argc, char** argv) {
   engine::SimSubEngine engine(std::move(dataset->trajectories));
   if (use_index) engine.BuildIndex();
   util::Stopwatch timer;
-  engine::QueryReport report = engine.Query(
-      query_copy.View(), *search, topk,
-      use_index ? engine::PruningFilter::kRTree : engine::PruningFilter::kNone,
-      /*index_margin=*/0.0, threads);
+  engine::QueryOptions query_options;
+  query_options.k = topk;
+  query_options.filter = use_index ? engine::PruningFilter::kRTree
+                                   : engine::PruningFilter::kNone;
+  query_options.threads = threads;
+  query_options.prune = prune;
+  engine::QueryReport report =
+      engine.Query(query_copy.View(), *search, query_options);
   std::printf(
-      "%s/%s over %lld trajectories: %.1f ms (%lld scanned, %lld pruned)\n",
+      "%s/%s over %lld trajectories: %.1f ms (%lld scanned, %lld pruned, "
+      "%lld lb-skipped, %lld dp-abandoned)\n",
       search->name().c_str(), measure_name.c_str(),
       static_cast<long long>(engine.database().size()),
       timer.ElapsedMillis(),
       static_cast<long long>(report.trajectories_scanned),
-      static_cast<long long>(report.trajectories_pruned));
+      static_cast<long long>(report.trajectories_pruned),
+      static_cast<long long>(report.lb_skipped),
+      static_cast<long long>(report.dp_abandoned));
   for (const auto& hit : report.results) {
     std::printf("  trajectory %6lld  range [%4d, %4d]  distance %.3f\n",
                 static_cast<long long>(hit.trajectory_id), hit.range.start,
