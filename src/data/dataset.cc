@@ -1,12 +1,37 @@
 #include "data/dataset.h"
 
 #include <charconv>
+#include <fstream>
 #include <map>
 
 #include "util/csv.h"
 #include "util/logging.h"
 
 namespace simsub::data {
+
+namespace {
+
+/// Parses a complete numeric field; rejects empty fields, trailing junk,
+/// and anything std::from_chars does not consume ("12x", "1,2", "nan?"...).
+/// Surrounding whitespace is tolerated ("1, 0.5" splits to " 0.5"), as the
+/// pre-from_chars strtod path accepted it.
+template <typename T>
+bool ParseField(const std::string& field, T* out) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  while (end > begin && (end[-1] == ' ' || end[-1] == '\t')) --end;
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end && begin != end;
+}
+
+util::Status RowError(const std::string& path, int64_t line,
+                      const std::string& detail) {
+  return util::Status::InvalidArgument(path + ":" + std::to_string(line) +
+                                       ": malformed dataset row: " + detail);
+}
+
+}  // namespace
 
 const char* DatasetKindName(DatasetKind kind) {
   switch (kind) {
@@ -50,30 +75,57 @@ util::Status SaveCsv(const Dataset& dataset, const std::string& path) {
 
 util::Result<Dataset> LoadCsv(const std::string& path, const std::string& name,
                               DatasetKind kind) {
-  auto rows = util::ReadCsvFile(path);
-  if (!rows.ok()) return rows.status();
+  std::ifstream in(path);
+  if (!in) return util::Status::IOError("cannot open for reading: " + path);
   Dataset dataset;
   dataset.name = name;
   dataset.kind = kind;
-  // Preserve first-appearance order of trajectory ids.
+  // Preserve first-appearance order of trajectory ids; the common case of
+  // consecutive rows sharing an id (SaveCsv output) skips the map lookup.
   std::map<int64_t, size_t> id_to_index;
-  for (size_t r = 0; r < rows->size(); ++r) {
-    const auto& row = (*rows)[r];
-    if (r == 0 && !row.empty() && row[0] == "trajectory_id") continue;
+  geo::Trajectory* last_trajectory = nullptr;
+  int64_t last_id = 0;
+  std::string line;
+  int64_t line_no = 0;    // 1-based physical line in the file
+  bool first_row = true;  // header detection applies to the first data row
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> row = util::SplitCsvLine(line);
+    if (first_row) {
+      first_row = false;
+      if (!row.empty() && row[0] == "trajectory_id") continue;
+    }
     if (row.size() != 4) {
-      return util::Status::IOError("bad dataset row " + std::to_string(r) +
-                                   " in " + path);
+      return RowError(path, line_no,
+                      "expected 4 fields (trajectory_id,x,y,t), got " +
+                          std::to_string(row.size()));
     }
-    char* end = nullptr;
-    int64_t id = std::strtoll(row[0].c_str(), &end, 10);
-    double x = std::strtod(row[1].c_str(), nullptr);
-    double y = std::strtod(row[2].c_str(), nullptr);
-    double t = std::strtod(row[3].c_str(), nullptr);
-    auto [it, inserted] = id_to_index.try_emplace(id, dataset.trajectories.size());
-    if (inserted) {
-      dataset.trajectories.emplace_back(std::vector<geo::Point>{}, id);
+    int64_t id;
+    geo::Point p;
+    if (!ParseField(row[0], &id)) {
+      return RowError(path, line_no, "bad trajectory_id '" + row[0] + "'");
     }
-    dataset.trajectories[it->second].Append(geo::Point(x, y, t));
+    if (!ParseField(row[1], &p.x)) {
+      return RowError(path, line_no, "bad x coordinate '" + row[1] + "'");
+    }
+    if (!ParseField(row[2], &p.y)) {
+      return RowError(path, line_no, "bad y coordinate '" + row[2] + "'");
+    }
+    if (!ParseField(row[3], &p.t)) {
+      return RowError(path, line_no, "bad timestamp '" + row[3] + "'");
+    }
+    if (last_trajectory == nullptr || id != last_id) {
+      auto [it, inserted] =
+          id_to_index.try_emplace(id, dataset.trajectories.size());
+      if (inserted) {
+        dataset.trajectories.emplace_back(std::vector<geo::Point>{}, id);
+      }
+      last_trajectory = &dataset.trajectories[it->second];
+      last_id = id;
+    }
+    last_trajectory->Append(p);
   }
   return dataset;
 }

@@ -48,7 +48,10 @@ struct Dataset {
 util::Status SaveCsv(const Dataset& dataset, const std::string& path);
 
 /// Loads a dataset written by SaveCsv. `kind`/`name` are caller-supplied
-/// (they are not stored in the CSV).
+/// (they are not stored in the CSV). Malformed rows fail the load with an
+/// InvalidArgument status of the form "<path>:<line>: malformed dataset
+/// row: <detail>" (1-based physical line number) instead of silently
+/// coercing bad fields; blank lines and an optional header row are skipped.
 util::Result<Dataset> LoadCsv(const std::string& path, const std::string& name,
                               DatasetKind kind);
 

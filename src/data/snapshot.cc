@@ -1,0 +1,404 @@
+#include "data/snapshot.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <type_traits>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "util/logging.h"
+
+namespace simsub::data {
+
+namespace {
+
+// ---- Format constants (see the layout comment in snapshot.h). -------------
+
+constexpr char kMagic[8] = {'S', 'I', 'M', 'S', 'U', 'B', 'S', 'N'};
+constexpr uint64_t kVersion = 1;
+constexpr uint64_t kEndianMarker = 0x0102030405060708ull;
+constexpr size_t kHeaderSize = 96;
+// Upper bound on counts read from untrusted headers, chosen so the payload
+// size computation below cannot overflow uint64.
+constexpr uint64_t kMaxCount = 1ull << 40;
+
+// The MBR section is written as the raw geo::Mbr array; pin the layout the
+// format depends on so a struct change cannot silently corrupt snapshots.
+static_assert(std::is_trivially_copyable_v<geo::Mbr>);
+static_assert(sizeof(geo::Mbr) == 4 * sizeof(double));
+static_assert(offsetof(geo::Mbr, min_x) == 0);
+static_assert(offsetof(geo::Mbr, min_y) == 8);
+static_assert(offsetof(geo::Mbr, max_x) == 16);
+static_assert(offsetof(geo::Mbr, max_y) == 24);
+
+uint64_t ByteSwap64(uint64_t v) {
+  return ((v & 0x00000000000000ffull) << 56) |
+         ((v & 0x000000000000ff00ull) << 40) |
+         ((v & 0x0000000000ff0000ull) << 24) |
+         ((v & 0x00000000ff000000ull) << 8) |
+         ((v & 0x000000ff00000000ull) >> 8) |
+         ((v & 0x0000ff0000000000ull) >> 24) |
+         ((v & 0x00ff000000000000ull) >> 40) |
+         ((v & 0xff00000000000000ull) >> 56);
+}
+
+/// FNV-1a folded over 8-byte words instead of bytes: the payload is 8-byte
+/// granular by construction, and the word-wide variant checksums at memory
+/// speed instead of one multiply per byte (this pass dominates verified
+/// snapshot opens).
+class WordHasher {
+ public:
+  /// `bytes` must be a multiple of 8 and `data` 8-byte aligned.
+  void Update(const void* data, size_t bytes) {
+    SIMSUB_DCHECK_EQ(bytes % 8, 0u);
+    const uint64_t* w = static_cast<const uint64_t*>(data);
+    uint64_t h = hash_;
+    for (size_t i = 0; i < bytes / 8; ++i) {
+      h = (h ^ w[i]) * 0x100000001b3ull;
+    }
+    hash_ = h;
+  }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+};
+
+size_t PayloadSize(uint64_t count, uint64_t total_points) {
+  return static_cast<size_t>(count * sizeof(int64_t) +            // ids
+                             (count + 1) * sizeof(uint64_t) +     // offsets
+                             count * sizeof(geo::Mbr) +           // mbrs
+                             3 * total_points * sizeof(double));  // x, y, t
+}
+
+// ---- Header encoding. ------------------------------------------------------
+
+struct Header {
+  uint64_t version = kVersion;
+  uint64_t trajectory_count = 0;
+  uint64_t total_points = 0;
+  uint64_t payload_checksum = 0;
+  geo::CorpusStats stats;
+};
+
+void EncodeHeader(const Header& h, unsigned char out[kHeaderSize]) {
+  std::memcpy(out, kMagic, 8);
+  std::memcpy(out + 8, &h.version, 8);
+  std::memcpy(out + 16, &kEndianMarker, 8);
+  std::memcpy(out + 24, &h.trajectory_count, 8);
+  std::memcpy(out + 32, &h.total_points, 8);
+  std::memcpy(out + 40, &h.payload_checksum, 8);
+  std::memcpy(out + 48, &h.stats.extent.min_x, 8);
+  std::memcpy(out + 56, &h.stats.extent.min_y, 8);
+  std::memcpy(out + 64, &h.stats.extent.max_x, 8);
+  std::memcpy(out + 72, &h.stats.extent.max_y, 8);
+  std::memcpy(out + 80, &h.stats.mean_trajectory_width, 8);
+  std::memcpy(out + 88, &h.stats.mean_trajectory_height, 8);
+}
+
+util::Status DecodeHeader(const unsigned char* data, const std::string& path,
+                          Header* out) {
+  if (std::memcmp(data, kMagic, 8) != 0) {
+    return util::Status::InvalidArgument("not a simsub snapshot (bad magic): " +
+                                         path);
+  }
+  uint64_t endian;
+  std::memcpy(&out->version, data + 8, 8);
+  std::memcpy(&endian, data + 16, 8);
+  if (endian == ByteSwap64(kEndianMarker)) {
+    return util::Status::InvalidArgument(
+        "snapshot was written on a foreign-endian machine: " + path);
+  }
+  if (endian != kEndianMarker) {
+    return util::Status::InvalidArgument(
+        "corrupt snapshot header (bad endianness marker): " + path);
+  }
+  if (out->version != kVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(out->version) +
+        " (this reader understands version " + std::to_string(kVersion) +
+        "): " + path);
+  }
+  std::memcpy(&out->trajectory_count, data + 24, 8);
+  std::memcpy(&out->total_points, data + 32, 8);
+  std::memcpy(&out->payload_checksum, data + 40, 8);
+  std::memcpy(&out->stats.extent.min_x, data + 48, 8);
+  std::memcpy(&out->stats.extent.min_y, data + 56, 8);
+  std::memcpy(&out->stats.extent.max_x, data + 64, 8);
+  std::memcpy(&out->stats.extent.max_y, data + 72, 8);
+  std::memcpy(&out->stats.mean_trajectory_width, data + 80, 8);
+  std::memcpy(&out->stats.mean_trajectory_height, data + 88, 8);
+  return util::Status::OK();
+}
+
+// ---- Read-side file backing: mmap or a heap buffer. ------------------------
+
+class FileBacking {
+ public:
+  ~FileBacking() {
+#ifndef _WIN32
+    if (map_ != nullptr) ::munmap(map_, map_size_);
+#endif
+  }
+
+  static util::Result<std::shared_ptr<FileBacking>> Open(
+      const std::string& path, bool use_mmap) {
+    auto backing = std::shared_ptr<FileBacking>(new FileBacking());
+#ifndef _WIN32
+    if (use_mmap) {
+      int fd = ::open(path.c_str(), O_RDONLY);
+      if (fd < 0) {
+        return util::Status::IOError("cannot open snapshot: " + path);
+      }
+      struct stat st;
+      if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        return util::Status::IOError("cannot stat snapshot: " + path);
+      }
+      size_t size = static_cast<size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        return util::Status::InvalidArgument("truncated snapshot (empty file): " +
+                                             path);
+      }
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map == MAP_FAILED) {
+        return util::Status::IOError("mmap failed for snapshot: " + path);
+      }
+      backing->map_ = map;
+      backing->map_size_ = size;
+      return backing;
+    }
+#else
+    (void)use_mmap;
+#endif
+    // Buffered fallback: read the whole file into the heap.
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) return util::Status::IOError("cannot open snapshot: " + path);
+    std::streamsize size = in.tellg();
+    in.seekg(0);
+    backing->buffer_.resize(static_cast<size_t>(size));
+    if (size > 0 &&
+        !in.read(reinterpret_cast<char*>(backing->buffer_.data()), size)) {
+      return util::Status::IOError("cannot read snapshot: " + path);
+    }
+    return backing;
+  }
+
+  const unsigned char* data() const {
+    return map_ != nullptr ? static_cast<const unsigned char*>(map_)
+                           : buffer_.data();
+  }
+  size_t size() const { return map_ != nullptr ? map_size_ : buffer_.size(); }
+
+ private:
+  FileBacking() = default;
+  void* map_ = nullptr;
+  size_t map_size_ = 0;
+  std::vector<unsigned char> buffer_;
+};
+
+bool WriteChunk(std::FILE* f, WordHasher* hasher, const void* data,
+                size_t bytes) {
+  if (bytes == 0) return true;
+  hasher->Update(data, bytes);
+  return std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+}  // namespace
+
+// ---- Writer. ---------------------------------------------------------------
+
+util::Status WriteSnapshot(const Dataset& dataset, const std::string& path) {
+  const size_t count = dataset.trajectories.size();
+
+  // Trajectory table: ids, offsets, MBRs (computed exactly as the engine's
+  // constructor computes its MBR cache, in corpus order).
+  std::vector<int64_t> ids;
+  std::vector<uint64_t> offsets;
+  std::vector<geo::Mbr> mbrs;
+  ids.reserve(count);
+  offsets.reserve(count + 1);
+  mbrs.reserve(count);
+  offsets.push_back(0);
+  uint64_t total = 0;
+  for (const geo::Trajectory& t : dataset.trajectories) {
+    ids.push_back(t.id());
+    total += static_cast<uint64_t>(t.size());
+    offsets.push_back(total);
+    mbrs.push_back(geo::ComputeMbr(t.View()));
+  }
+
+  Header header;
+  header.trajectory_count = count;
+  header.total_points = total;
+  header.stats = geo::ComputeCorpusStats(mbrs);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IOError("cannot open snapshot for writing: " + path);
+  }
+  auto fail = [&] {
+    std::fclose(f);
+    std::remove(path.c_str());
+    return util::Status::IOError("snapshot write failed: " + path);
+  };
+
+  // Header placeholder first (checksum not known yet), payload streamed
+  // through the hasher, then the finalized header over the placeholder.
+  unsigned char encoded[kHeaderSize];
+  EncodeHeader(header, encoded);
+  if (std::fwrite(encoded, 1, kHeaderSize, f) != kHeaderSize) return fail();
+
+  WordHasher hasher;
+  if (!WriteChunk(f, &hasher, ids.data(), ids.size() * sizeof(int64_t)) ||
+      !WriteChunk(f, &hasher, offsets.data(),
+                  offsets.size() * sizeof(uint64_t)) ||
+      !WriteChunk(f, &hasher, mbrs.data(), mbrs.size() * sizeof(geo::Mbr))) {
+    return fail();
+  }
+  // Coordinate columns, one pass per column so the file is truly columnar;
+  // each trajectory is staged through a small contiguous buffer.
+  std::vector<double> column;
+  for (int c = 0; c < 3; ++c) {
+    for (const geo::Trajectory& t : dataset.trajectories) {
+      column.clear();
+      column.reserve(static_cast<size_t>(t.size()));
+      for (const geo::Point& p : t.points()) {
+        column.push_back(c == 0 ? p.x : c == 1 ? p.y : p.t);
+      }
+      if (!WriteChunk(f, &hasher, column.data(),
+                      column.size() * sizeof(double))) {
+        return fail();
+      }
+    }
+  }
+
+  header.payload_checksum = hasher.hash();
+  EncodeHeader(header, encoded);
+  if (std::fseek(f, 0, SEEK_SET) != 0 ||
+      std::fwrite(encoded, 1, kHeaderSize, f) != kHeaderSize) {
+    return fail();
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(path.c_str());
+    return util::Status::IOError("snapshot write failed: " + path);
+  }
+  return util::Status::OK();
+}
+
+// ---- Reader. ---------------------------------------------------------------
+
+util::Result<std::shared_ptr<const CorpusSnapshot>> CorpusSnapshot::Open(
+    const std::string& path, const SnapshotOpenOptions& options) {
+  auto backing = FileBacking::Open(path, options.use_mmap);
+  if (!backing.ok()) return backing.status();
+  const unsigned char* data = (*backing)->data();
+  const size_t size = (*backing)->size();
+
+  if (size < kHeaderSize) {
+    return util::Status::InvalidArgument(
+        "truncated snapshot (" + std::to_string(size) + " bytes, header is " +
+        std::to_string(kHeaderSize) + "): " + path);
+  }
+  Header header;
+  SIMSUB_RETURN_IF_ERROR(DecodeHeader(data, path, &header));
+  if (header.trajectory_count > kMaxCount || header.total_points > kMaxCount) {
+    return util::Status::InvalidArgument(
+        "corrupt snapshot header (implausible counts): " + path);
+  }
+  const size_t payload_size =
+      PayloadSize(header.trajectory_count, header.total_points);
+  if (size != kHeaderSize + payload_size) {
+    return util::Status::InvalidArgument(
+        "truncated snapshot (expected " +
+        std::to_string(kHeaderSize + payload_size) + " bytes, got " +
+        std::to_string(size) + "): " + path);
+  }
+
+  const unsigned char* payload = data + kHeaderSize;
+  if (options.verify_checksum) {
+    WordHasher hasher;
+    hasher.Update(payload, payload_size);
+    if (hasher.hash() != header.payload_checksum) {
+      return util::Status::InvalidArgument(
+          "snapshot checksum mismatch (corrupt file): " + path);
+    }
+  }
+
+  const size_t count = static_cast<size_t>(header.trajectory_count);
+  const size_t total = static_cast<size_t>(header.total_points);
+  const int64_t* ids = reinterpret_cast<const int64_t*>(payload);
+  const uint64_t* offsets =
+      reinterpret_cast<const uint64_t*>(payload + count * sizeof(int64_t));
+  const geo::Mbr* mbrs = reinterpret_cast<const geo::Mbr*>(
+      payload + count * sizeof(int64_t) + (count + 1) * sizeof(uint64_t));
+  const double* x = reinterpret_cast<const double*>(mbrs + count);
+  const double* y = x + total;
+  const double* t = y + total;
+
+  if (offsets[0] != 0 || offsets[count] != header.total_points) {
+    return util::Status::InvalidArgument(
+        "corrupt snapshot (bad offsets table): " + path);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return util::Status::InvalidArgument(
+          "corrupt snapshot (non-monotone offsets): " + path);
+    }
+  }
+
+  auto snapshot = std::shared_ptr<CorpusSnapshot>(new CorpusSnapshot());
+  snapshot->mapping_ = *backing;
+  snapshot->offsets_ = offsets;
+  snapshot->t_ = t;
+  snapshot->total_points_ = static_cast<int64_t>(total);
+  snapshot->ids_.assign(ids, ids + count);
+  snapshot->mbrs_.assign(mbrs, mbrs + count);
+  snapshot->stats_ = header.stats;
+  snapshot->store_ = std::make_shared<const geo::PointsStore>(
+      geo::PointsStore::FromColumns(x, y, offsets, count, *backing));
+  return std::shared_ptr<const CorpusSnapshot>(std::move(snapshot));
+}
+
+geo::Trajectory CorpusSnapshot::MaterializeTrajectory(size_t ordinal) const {
+  SIMSUB_CHECK_LT(ordinal, trajectory_count());
+  const size_t lo = static_cast<size_t>(offsets_[ordinal]);
+  const size_t hi = static_cast<size_t>(offsets_[ordinal + 1]);
+  const geo::PointsView all = store_->All();
+  std::vector<geo::Point> points;
+  points.reserve(hi - lo);
+  for (size_t i = lo; i < hi; ++i) {
+    points.emplace_back(all.x[i], all.y[i], t_[i]);
+  }
+  return geo::Trajectory(std::move(points), ids_[ordinal]);
+}
+
+std::vector<geo::Trajectory> CorpusSnapshot::MaterializeTrajectories() const {
+  std::vector<geo::Trajectory> out;
+  out.reserve(trajectory_count());
+  for (size_t i = 0; i < trajectory_count(); ++i) {
+    out.push_back(MaterializeTrajectory(i));
+  }
+  return out;
+}
+
+Dataset CorpusSnapshot::ToDataset(const std::string& name,
+                                  DatasetKind kind) const {
+  Dataset dataset;
+  dataset.name = name;
+  dataset.kind = kind;
+  dataset.trajectories = MaterializeTrajectories();
+  return dataset;
+}
+
+}  // namespace simsub::data

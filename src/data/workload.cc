@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "data/snapshot.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -21,6 +22,27 @@ std::vector<WorkloadPair> SampleWorkload(const Dataset& dataset, int count,
     WorkloadPair pair;
     pair.data_index = static_cast<int>(a);
     pair.query = dataset.trajectories[static_cast<size_t>(b)];
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+std::vector<WorkloadPair> SampleWorkload(const CorpusSnapshot& snapshot,
+                                         int count, uint64_t seed) {
+  SIMSUB_CHECK_GE(snapshot.trajectory_count(), 2u);
+  util::Rng rng(seed);
+  std::vector<WorkloadPair> out;
+  out.reserve(static_cast<size_t>(count));
+  const int64_t n = static_cast<int64_t>(snapshot.trajectory_count());
+  // Identical draw sequence to the Dataset overload; only the picked query
+  // ordinals are interleaved out of the columns.
+  for (int i = 0; i < count; ++i) {
+    int64_t a = rng.UniformInt(0, n - 1);
+    int64_t b = rng.UniformInt(0, n - 2);
+    if (b >= a) ++b;  // distinct pair, uniform over ordered pairs
+    WorkloadPair pair;
+    pair.data_index = static_cast<int>(a);
+    pair.query = snapshot.MaterializeTrajectory(static_cast<size_t>(b));
     out.push_back(std::move(pair));
   }
   return out;

@@ -11,6 +11,8 @@
 
 namespace simsub::data {
 
+class CorpusSnapshot;
+
 /// One evaluation unit: a data trajectory (by dataset index) and an owned
 /// query trajectory.
 struct WorkloadPair {
@@ -22,6 +24,13 @@ struct WorkloadPair {
 /// another full trajectory from the dataset, as in the paper.
 std::vector<WorkloadPair> SampleWorkload(const Dataset& dataset, int count,
                                          uint64_t seed);
+
+/// Same sampling over an opened columnar snapshot: identical RNG draws, so
+/// the workload matches the Dataset overload on the same corpus and seed —
+/// but only the sampled query trajectories are materialized from the
+/// columns, never the whole corpus.
+std::vector<WorkloadPair> SampleWorkload(const CorpusSnapshot& snapshot,
+                                         int count, uint64_t seed);
 
 /// Query-length groups from the paper: G1 = [30,45), G2 = [45,60),
 /// G3 = [60,75), G4 = [75,90).

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "algo/lower_bounds.h"
+#include "data/snapshot.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -72,14 +73,24 @@ SimSubEngine::SimSubEngine(std::vector<geo::Trajectory> database)
   for (const auto& t : database_) {
     mbrs_.push_back(geo::ComputeMbr(t.View()));
   }
+  corpus_stats_ = geo::ComputeCorpusStats(mbrs_);
 }
 
-const std::vector<geo::FlatPoints>& SimSubEngine::EnsureSoa() const {
+SimSubEngine::SimSubEngine(const data::CorpusSnapshot& snapshot)
+    : database_(snapshot.MaterializeTrajectories()),
+      mbrs_(snapshot.mbrs()),
+      corpus_stats_(snapshot.stats()),
+      store_(snapshot.store()),
+      soa_(std::make_unique<SoaCache>()) {
+  SIMSUB_CHECK(!database_.empty());
+}
+
+const geo::PointsStore& SimSubEngine::EnsureSoa() const {
+  if (store_ != nullptr) return *store_;
   std::call_once(soa_->once, [this] {
-    soa_->per_trajectory.reserve(database_.size());
-    for (const auto& t : database_) soa_->per_trajectory.emplace_back(t.View());
+    soa_->store = geo::PointsStore::FromTrajectories(database_);
   });
-  return soa_->per_trajectory;
+  return soa_->store;
 }
 
 int64_t SimSubEngine::TotalPoints() const {
@@ -100,9 +111,11 @@ void SimSubEngine::BuildIndex(int node_capacity) {
 
 void SimSubEngine::BuildInvertedIndex(int cols, int rows) {
   if (inverted_.has_value()) return;
-  geo::Mbr extent;
-  for (const auto& mbr : mbrs_) extent.Extend(mbr);
-  inverted_ = index::InvertedGridIndex::Build(database_, extent, cols, rows);
+  // The corpus extent hydrates from construction-time statistics — persisted
+  // envelope stats when the engine sits on a snapshot — instead of being
+  // re-folded from the MBR cache here.
+  inverted_ = index::InvertedGridIndex::Build(database_, corpus_stats_.extent,
+                                              cols, rows);
 }
 
 std::vector<int64_t> SimSubEngine::CandidateOrdinals(

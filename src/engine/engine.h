@@ -28,12 +28,17 @@
 #include "algo/search.h"
 #include "algo/topk.h"
 #include "geo/mbr.h"
+#include "geo/points_store.h"
 #include "geo/soa.h"
 #include "geo/trajectory.h"
 #include "index/inverted_grid.h"
 #include "index/rtree.h"
 #include "similarity/measure.h"
 #include "util/thread_pool.h"
+
+namespace simsub::data {
+class CorpusSnapshot;
+}  // namespace simsub::data
 
 namespace simsub::engine {
 
@@ -113,6 +118,15 @@ class SimSubEngine {
  public:
   explicit SimSubEngine(std::vector<geo::Trajectory> database);
 
+  /// Constructs the engine over an opened columnar snapshot
+  /// (data/snapshot.h). The AoS database is materialized from the mapped
+  /// columns in one interleaving pass, while the MBR cache and the corpus
+  /// statistics load straight from the persisted sections and the SoA
+  /// coordinate reads stay zero-copy over the mapping for the engine's
+  /// lifetime (the engine shares ownership of the mapping through the
+  /// snapshot's PointsStore; the snapshot object itself may be dropped).
+  explicit SimSubEngine(const data::CorpusSnapshot& snapshot);
+
   const std::vector<geo::Trajectory>& database() const { return database_; }
   int64_t TotalPoints() const;
 
@@ -177,34 +191,51 @@ class SimSubEngine {
     return mbrs_[static_cast<size_t>(ordinal)];
   }
 
-  /// Cached SoA coordinate copy of a data trajectory, for vectorized
-  /// passes (the cascade's nearest-endpoint bound). The copies duplicate
-  /// ~2/3 of the database's coordinate storage, so they are built lazily —
-  /// on the first query that can use them (pruned, sum/max-aggregating
-  /// measure) — and never for workloads that cannot (pruning off, or only
-  /// edit-count/learned measures). Thread-safe; concurrent first callers
-  /// block until the one-time build finishes.
+  /// Cached SoA coordinate view of a data trajectory, for vectorized
+  /// passes (the cascade's nearest-endpoint bound). When the engine was
+  /// constructed over a snapshot these are zero-copy views into the mapped
+  /// columns. Otherwise they point into an owning corpus-level
+  /// geo::PointsStore that duplicates ~2/3 of the database's coordinate
+  /// storage, so it is built lazily — on the first query that can use it
+  /// (pruned, sum/max-aggregating measure) — and never for workloads that
+  /// cannot (pruning off, or only edit-count/learned measures).
+  /// Thread-safe; concurrent first callers block until the one-time build
+  /// finishes.
   geo::PointsView TrajectorySoa(int64_t ordinal) const {
-    return EnsureSoa()[static_cast<size_t>(ordinal)].View();
+    return EnsureSoa().TrajectoryView(static_cast<size_t>(ordinal));
   }
+
+  /// Corpus-level statistics for the planner's selectivity model. Loaded
+  /// from the persisted header when constructed over a snapshot; otherwise
+  /// computed once from the MBR cache at construction.
+  const geo::CorpusStats& corpus_stats() const { return corpus_stats_; }
+
+  /// True when the engine reads its SoA columns from a mapped snapshot.
+  bool from_snapshot() const { return store_ != nullptr; }
 
  private:
   std::vector<int64_t> CandidateOrdinals(std::span<const geo::Point> query,
                                          PruningFilter filter,
                                          double index_margin) const;
 
-  /// Lazily-built SoA copies. Heap-held so the engine stays movable
-  /// (std::once_flag is neither movable nor copyable).
+  /// Lazily-built owning SoA store (CSV/in-memory construction path only).
+  /// Heap-held so the engine stays movable (std::once_flag is neither
+  /// movable nor copyable).
   struct SoaCache {
     std::once_flag once;
-    std::vector<geo::FlatPoints> per_trajectory;
+    geo::PointsStore store;
   };
 
-  /// Builds the per-trajectory SoA copies on first use (std::call_once).
-  const std::vector<geo::FlatPoints>& EnsureSoa() const;
+  /// Returns the mapped store when one backs the engine; otherwise builds
+  /// the owning store on first use (std::call_once).
+  const geo::PointsStore& EnsureSoa() const;
 
   std::vector<geo::Trajectory> database_;
   std::vector<geo::Mbr> mbrs_;  // one per trajectory
+  geo::CorpusStats corpus_stats_;
+  /// Zero-copy SoA columns over a mapped snapshot (null for the in-memory
+  /// construction path; shares ownership of the file mapping).
+  std::shared_ptr<const geo::PointsStore> store_;
   std::unique_ptr<SoaCache> soa_;  // lazy; see TrajectorySoa
   std::optional<index::RTree> index_;
   std::optional<index::InvertedGridIndex> inverted_;

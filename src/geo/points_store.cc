@@ -1,0 +1,67 @@
+#include "geo/points_store.h"
+
+#include "util/logging.h"
+
+namespace simsub::geo {
+
+CorpusStats ComputeCorpusStats(std::span<const Mbr> mbrs) {
+  CorpusStats stats;
+  double sum_w = 0.0;
+  double sum_h = 0.0;
+  for (const Mbr& mbr : mbrs) {
+    stats.extent.Extend(mbr);
+    sum_w += mbr.Width();
+    sum_h += mbr.Height();
+  }
+  if (!mbrs.empty()) {
+    double n = static_cast<double>(mbrs.size());
+    stats.mean_trajectory_width = sum_w / n;
+    stats.mean_trajectory_height = sum_h / n;
+  }
+  return stats;
+}
+
+PointsStore PointsStore::FromTrajectories(
+    std::span<const Trajectory> trajectories) {
+  PointsStore store;
+  store.count_ = trajectories.size();
+  if (store.count_ == 0) return store;
+
+  size_t total = 0;
+  store.owned_offsets_.reserve(store.count_ + 1);
+  store.owned_offsets_.push_back(0);
+  for (const Trajectory& t : trajectories) {
+    total += static_cast<size_t>(t.size());
+    store.owned_offsets_.push_back(static_cast<uint64_t>(total));
+  }
+  store.owned_x_.reserve(total);
+  store.owned_y_.reserve(total);
+  for (const Trajectory& t : trajectories) {
+    for (const Point& p : t.points()) {
+      store.owned_x_.push_back(p.x);
+      store.owned_y_.push_back(p.y);
+    }
+  }
+  store.x_ = store.owned_x_.data();
+  store.y_ = store.owned_y_.data();
+  store.offsets_ = store.owned_offsets_.data();
+  return store;
+}
+
+PointsStore PointsStore::FromColumns(const double* x, const double* y,
+                                     const uint64_t* offsets,
+                                     size_t trajectory_count,
+                                     std::shared_ptr<const void> keep_alive) {
+  PointsStore store;
+  store.count_ = trajectory_count;
+  if (trajectory_count == 0) return store;
+  SIMSUB_CHECK(x != nullptr && y != nullptr && offsets != nullptr);
+  SIMSUB_CHECK_EQ(offsets[0], 0u);
+  store.x_ = x;
+  store.y_ = y;
+  store.offsets_ = offsets;
+  store.keep_alive_ = std::move(keep_alive);
+  return store;
+}
+
+}  // namespace simsub::geo

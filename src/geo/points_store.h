@@ -1,0 +1,105 @@
+// Corpus-level structure-of-arrays point storage: every trajectory's
+// coordinates in two contiguous x[] / y[] columns plus an offsets table.
+//
+// PointsStore is the storage half of the SoA kernel design in geo/soa.h.
+// FlatPoints owns one trajectory's SoA copy; PointsStore holds a whole
+// corpus in two allocations (or in zero allocations, when the columns live
+// in externally owned memory such as a mmap'd snapshot — see
+// data/snapshot.h). Per-trajectory access hands out the same non-owning
+// PointsView the vectorized row primitives consume, so the kernels cannot
+// tell an in-RAM store from a mapped one.
+//
+// Two construction paths:
+//  * FromTrajectories — flattens an AoS trajectory vector into owning
+//    columns (the engine's fallback when no snapshot backs the corpus);
+//  * FromColumns — wraps externally owned columns without copying; the
+//    keep_alive handle retains whatever owns the memory (the file mapping)
+//    for the store's lifetime.
+#ifndef SIMSUB_GEO_POINTS_STORE_H_
+#define SIMSUB_GEO_POINTS_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geo/mbr.h"
+#include "geo/soa.h"
+#include "geo/trajectory.h"
+
+namespace simsub::geo {
+
+/// Corpus-level geometry statistics: the spatial extent and the mean
+/// per-trajectory MBR dimensions. Computed once (at engine construction or
+/// snapshot ingest), persisted in snapshots, and consumed by the query
+/// planner's selectivity model — the statistics-at-construction design.
+struct CorpusStats {
+  Mbr extent;
+  double mean_trajectory_width = 0.0;
+  double mean_trajectory_height = 0.0;
+};
+
+/// Folds per-trajectory MBRs into CorpusStats. Deterministic: iterates in
+/// order, so persisted stats are bit-identical to freshly computed ones.
+CorpusStats ComputeCorpusStats(std::span<const Mbr> mbrs);
+
+/// SoA columns for a whole corpus with per-trajectory offsets.
+///
+/// Move-only. Moves keep views valid (vector buffers transfer; external
+/// pointers are unaffected), but views must not outlive the store.
+class PointsStore {
+ public:
+  PointsStore() = default;
+  PointsStore(PointsStore&&) = default;
+  PointsStore& operator=(PointsStore&&) = default;
+  PointsStore(const PointsStore&) = delete;
+  PointsStore& operator=(const PointsStore&) = delete;
+
+  /// Flattens `trajectories` into freshly allocated owning columns
+  /// (timestamps are dropped, as in FlatPoints).
+  static PointsStore FromTrajectories(std::span<const Trajectory> trajectories);
+
+  /// Wraps externally owned columns without copying. `offsets` must have
+  /// `trajectory_count + 1` monotone entries with offsets[0] == 0;
+  /// trajectory i spans [offsets[i], offsets[i+1]) of x/y. `keep_alive`
+  /// retains the memory owner (e.g. a file mapping) while the store lives.
+  static PointsStore FromColumns(const double* x, const double* y,
+                                 const uint64_t* offsets,
+                                 size_t trajectory_count,
+                                 std::shared_ptr<const void> keep_alive);
+
+  size_t trajectory_count() const { return count_; }
+  size_t total_points() const {
+    return count_ == 0 ? 0 : static_cast<size_t>(offsets_[count_]);
+  }
+  bool empty() const { return count_ == 0; }
+
+  /// SoA view of trajectory `ordinal` (position in the corpus, not id).
+  PointsView TrajectoryView(size_t ordinal) const {
+    SIMSUB_DCHECK_LT(ordinal, count_);
+    const size_t lo = static_cast<size_t>(offsets_[ordinal]);
+    const size_t hi = static_cast<size_t>(offsets_[ordinal + 1]);
+    return PointsView{x_ + lo, y_ + lo, hi - lo};
+  }
+
+  /// View of the whole corpus as one concatenated sequence.
+  PointsView All() const { return PointsView{x_, y_, total_points()}; }
+
+ private:
+  const double* x_ = nullptr;
+  const double* y_ = nullptr;
+  const uint64_t* offsets_ = nullptr;  // count_ + 1 entries when count_ > 0
+  size_t count_ = 0;
+
+  // Backing storage for FromTrajectories (raw pointers above point into
+  // these; vector moves keep data() stable so the defaulted moves are safe).
+  std::vector<double> owned_x_;
+  std::vector<double> owned_y_;
+  std::vector<uint64_t> owned_offsets_;
+  // Retains externally owned memory for FromColumns.
+  std::shared_ptr<const void> keep_alive_;
+};
+
+}  // namespace simsub::geo
+
+#endif  // SIMSUB_GEO_POINTS_STORE_H_

@@ -10,17 +10,14 @@ QueryPlanner::QueryPlanner(const engine::SimSubEngine& engine,
                            const Options& options)
     : engine_(&engine), options_(options) {
   SIMSUB_CHECK_GT(options.full_scan_threshold, options.grid_threshold);
-  double sum_w = 0.0;
-  double sum_h = 0.0;
-  for (const auto& traj : engine.database()) {
-    geo::Mbr mbr = geo::ComputeMbr(traj.View());
-    extent_.Extend(mbr);
-    sum_w += mbr.Width();
-    sum_h += mbr.Height();
-  }
-  double n = static_cast<double>(engine.database().size());
-  mean_traj_width_ = sum_w / n;
-  mean_traj_height_ = sum_h / n;
+  // The engine owns the statistics-at-construction pass: computed from its
+  // MBR cache for in-memory databases, loaded from the persisted header for
+  // snapshot-backed ones. Either way the planner reads, never recomputes —
+  // the values are bit-identical across the two paths.
+  const geo::CorpusStats& stats = engine.corpus_stats();
+  extent_ = stats.extent;
+  mean_traj_width_ = stats.mean_trajectory_width;
+  mean_traj_height_ = stats.mean_trajectory_height;
 }
 
 double QueryPlanner::EstimateMbrSelectivity(const geo::Mbr& query_mbr,

@@ -40,8 +40,9 @@ class QueryPlanner {
     double grid_threshold = 0.35;
   };
 
-  /// Collects database statistics (extent, mean trajectory MBR dimensions)
-  /// from `engine`, which must outlive the planner.
+  /// Reads the database statistics (extent, mean trajectory MBR dimensions)
+  /// collected — or, for snapshot-backed engines, loaded from the persisted
+  /// header — at engine construction. `engine` must outlive the planner.
   explicit QueryPlanner(const engine::SimSubEngine& engine)
       : QueryPlanner(engine, Options()) {}
   QueryPlanner(const engine::SimSubEngine& engine, const Options& options);

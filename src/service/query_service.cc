@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "data/snapshot.h"
 #include "util/logging.h"
 
 namespace simsub::service {
@@ -30,6 +31,10 @@ QueryService::QueryService(engine::SimSubEngine engine, ServiceOptions options)
                                options_.inverted_grid_rows);
   }
 }
+
+QueryService::QueryService(const data::CorpusSnapshot& snapshot,
+                           ServiceOptions options)
+    : QueryService(engine::SimSubEngine(snapshot), options) {}
 
 engine::QueryReport QueryService::Execute(
     const BatchQuery& query, const algo::SubtrajectorySearch& search,

@@ -34,6 +34,10 @@
 #include "similarity/measure.h"
 #include "util/thread_pool.h"
 
+namespace simsub::data {
+class CorpusSnapshot;
+}  // namespace simsub::data
+
 namespace simsub::service {
 
 /// One query in a batch. The points span must stay valid until the batch
@@ -82,6 +86,14 @@ class QueryService {
  public:
   /// Takes ownership of the engine and builds the configured indexes.
   QueryService(engine::SimSubEngine engine, ServiceOptions options = {});
+
+  /// Serves directly over an opened columnar snapshot (data/snapshot.h):
+  /// the engine materializes its AoS database from the mapped columns, SoA
+  /// reads stay zero-copy over the mapping, and the planner consumes the
+  /// persisted corpus statistics instead of a fresh collection pass. The
+  /// snapshot object may be dropped after construction.
+  explicit QueryService(const data::CorpusSnapshot& snapshot,
+                        ServiceOptions options = {});
 
   // Self-referential (planner -> engine, tasks -> this): pin the address.
   QueryService(const QueryService&) = delete;

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "data/generator.h"
 
@@ -64,6 +66,112 @@ TEST(DatasetTest, CsvRoundTrip) {
 
 TEST(DatasetTest, LoadMissingFileFails) {
   EXPECT_FALSE(LoadCsv("/no/such/file.csv", "x", DatasetKind::kPorto).ok());
+}
+
+std::string WriteTempCsv(const std::string& name, const std::string& content) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  return path;
+}
+
+TEST(DatasetTest, LoadCsvReportsWrongFieldCountWithLineNumber) {
+  std::string path = WriteTempCsv("simsub_badcols.csv",
+                                  "trajectory_id,x,y,t\n"
+                                  "1,0.5,0.5,0\n"
+                                  "1,2.5,3.5\n");
+  auto loaded = LoadCsv(path, "porto", DatasetKind::kPorto);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find(path + ":3"), std::string::npos)
+      << loaded.status();
+  EXPECT_NE(loaded.status().message().find("expected 4 fields"),
+            std::string::npos)
+      << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadCsvReportsMalformedNumbersInsteadOfCoercingToZero) {
+  struct Case {
+    const char* row;
+    const char* detail;  // expected substring naming the bad column
+  };
+  const Case cases[] = {
+      {"abc,1,2,3", "bad trajectory_id 'abc'"},
+      {"7,12x,2,3", "bad x coordinate '12x'"},  // trailing junk, not just 12
+      {"7,1,,3", "bad y coordinate ''"},
+      {"7,1,2,12:30", "bad timestamp '12:30'"},
+  };
+  for (const Case& c : cases) {
+    std::string path = WriteTempCsv(
+        "simsub_badnum.csv",
+        std::string("trajectory_id,x,y,t\n1,0.5,0.5,0\n") + c.row + "\n");
+    auto loaded = LoadCsv(path, "porto", DatasetKind::kPorto);
+    ASSERT_FALSE(loaded.ok()) << c.row;
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+    EXPECT_NE(loaded.status().message().find(":3"), std::string::npos)
+        << loaded.status();
+    EXPECT_NE(loaded.status().message().find(c.detail), std::string::npos)
+        << loaded.status();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(DatasetTest, LoadCsvLineNumbersCountBlankLines) {
+  // The reported number is the physical file line, so an editor jumps to
+  // the right place even with blank separator lines in the file.
+  std::string path = WriteTempCsv("simsub_blanklines.csv",
+                                  "trajectory_id,x,y,t\n"
+                                  "\n"
+                                  "1,0.5,0.5,0\n"
+                                  "\n"
+                                  "oops,1,2,3\n");
+  auto loaded = LoadCsv(path, "porto", DatasetKind::kPorto);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":5"), std::string::npos)
+      << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadCsvToleratesWhitespacePadding) {
+  // Space-padded fields (common in hand-made CSVs) parsed fine under the
+  // old strtod path and must keep loading; only genuine junk is rejected.
+  std::string path = WriteTempCsv("simsub_padded.csv",
+                                  "trajectory_id,x,y,t\n"
+                                  "1, 0.5,\t2.5 , 7\n");
+  auto loaded = LoadCsv(path, "porto", DatasetKind::kPorto);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->trajectories.size(), 1u);
+  EXPECT_EQ(loaded->trajectories[0][0], geo::Point(0.5, 2.5, 7));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadCsvWithoutHeaderStillLoads) {
+  std::string path = WriteTempCsv("simsub_noheader.csv",
+                                  "3,1.0,2.0,0\n"
+                                  "3,1.5,2.5,15\n");
+  auto loaded = LoadCsv(path, "porto", DatasetKind::kPorto);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->trajectories.size(), 1u);
+  EXPECT_EQ(loaded->trajectories[0].id(), 3);
+  EXPECT_EQ(loaded->trajectories[0].size(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadCsvInterleavedIdsMergeByFirstAppearance) {
+  std::string path = WriteTempCsv("simsub_interleaved.csv",
+                                  "5,0,0,0\n"
+                                  "9,1,1,0\n"
+                                  "5,2,2,1\n");
+  auto loaded = LoadCsv(path, "porto", DatasetKind::kPorto);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->trajectories.size(), 2u);
+  EXPECT_EQ(loaded->trajectories[0].id(), 5);
+  EXPECT_EQ(loaded->trajectories[0].size(), 2);
+  EXPECT_EQ(loaded->trajectories[1].id(), 9);
+  EXPECT_EQ(loaded->trajectories[1].size(), 1);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
 #include "data/generator.h"
+#include "data/snapshot.h"
 
 namespace simsub::data {
 namespace {
@@ -69,6 +74,29 @@ TEST(WorkloadTest, LengthGroupedTimestampsAreCoherent) {
           << "sliced queries keep increasing timestamps";
     }
   }
+}
+
+TEST(WorkloadTest, SnapshotOverloadSamplesIdenticalWorkload) {
+  Dataset d = GenerateDataset(DatasetKind::kPorto, 15, 21);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "simsub_workload.snap")
+          .string();
+  ASSERT_TRUE(WriteSnapshot(d, path).ok());
+  auto snapshot = CorpusSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+
+  auto from_dataset = SampleWorkload(d, 8, 33);
+  auto from_snapshot = SampleWorkload(**snapshot, 8, 33);
+  ASSERT_EQ(from_dataset.size(), from_snapshot.size());
+  for (size_t i = 0; i < from_dataset.size(); ++i) {
+    EXPECT_EQ(from_dataset[i].data_index, from_snapshot[i].data_index);
+    EXPECT_EQ(from_dataset[i].query.id(), from_snapshot[i].query.id());
+    ASSERT_EQ(from_dataset[i].query.size(), from_snapshot[i].query.size());
+    for (int j = 0; j < from_dataset[i].query.size(); ++j) {
+      EXPECT_EQ(from_dataset[i].query[j], from_snapshot[i].query[j]);
+    }
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for BENCH_kernels-style JSON results.
+
+Compares the speedup ratios of freshly measured kernel-bench runs against a
+checked-in baseline and fails (exit 1) when any ratio regressed by more than
+the threshold. Only RATIOS are compared — scalar-vs-SoA and unpruned-vs-
+pruned from the same run on the same machine — so the gate is portable
+across CI runner generations, unlike absolute ns/op numbers.
+
+Noise handling:
+  * the baseline and the fresh runs must use the same workload config
+    (the `config.quick` flag) — quick-mode ratios are not comparable to
+    full-workload ones, so CI gates against BENCH_kernels_quick.json;
+  * --fresh may be given several times; each ratio takes the best value
+    across the runs (run the cheap quick bench twice and single-run noise
+    mostly cancels), while the pruned==unpruned identity must hold in
+    EVERY run;
+  * the threshold is deliberately generous (25%): a real regression (lost
+    autovectorization, broken pruning cascade) lands far below it.
+
+Usage:
+  check_bench.py --baseline BENCH_kernels_quick.json \
+      --fresh build/q1.json --fresh build/q2.json
+  check_bench.py --self-test --baseline BENCH_kernels.json
+
+--self-test exercises the gate itself: the baseline must pass against an
+identical copy, and must demonstrably FAIL against a synthetically regressed
+copy (every speedup scaled to 50%). CI runs the real comparison; ctest runs
+the self-test so the gate cannot silently rot.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+# (json path, human label) of every gated ratio. All are "bigger is better".
+CHECKED_RATIOS = [
+    (("distance_row", "speedup"), "distance row SoA speedup"),
+    (("squared_distance_row", "speedup"), "squared distance row SoA speedup"),
+    (("dtw_extend", "speedup"), "DTW extend SoA speedup"),
+    (("engine_topk", "speedup"), "engine top-k pruning speedup"),
+]
+
+
+def lookup(doc, path):
+    value = doc
+    for key in path:
+        if not isinstance(value, dict) or key not in value:
+            return None
+        value = value[key]
+    return value
+
+
+def merge_best(fresh_docs):
+    """Folds several runs into one doc with the best value per gated ratio;
+    the pruning identity bit is AND-ed (it must hold in every run)."""
+    merged = copy.deepcopy(fresh_docs[0])
+    for doc in fresh_docs[1:]:
+        for path, _ in CHECKED_RATIOS:
+            a = lookup(merged, path)
+            b = lookup(doc, path)
+            if a is not None and b is not None and b > a:
+                lookup(merged, path[:-1])[path[-1]] = b
+        identical = ("engine_topk", "pruned_identical_to_unpruned")
+        if lookup(doc, identical) is not True:
+            parent = lookup(merged, identical[:-1])
+            if isinstance(parent, dict):
+                parent[identical[-1]] = False
+            # else: merged lacks engine_topk entirely; check() reports the
+            # missing section as its own failure.
+    return merged
+
+
+def check(baseline, fresh, threshold):
+    """Returns a list of failure strings (empty = gate passes)."""
+    failures = []
+    base_quick = lookup(baseline, ("config", "quick"))
+    fresh_quick = lookup(fresh, ("config", "quick"))
+    if base_quick != fresh_quick:
+        failures.append(
+            f"config mismatch: baseline quick={base_quick}, fresh "
+            f"quick={fresh_quick} — quick and full workloads have different "
+            "expected ratios; gate against the matching baseline file")
+        return failures
+    print(f"{'ratio':<36} {'baseline':>9} {'fresh':>9} {'rel':>7}  verdict")
+    for path, label in CHECKED_RATIOS:
+        base = lookup(baseline, path)
+        new = lookup(fresh, path)
+        if base is None:
+            failures.append(f"baseline is missing {'.'.join(path)}")
+            continue
+        if new is None:
+            failures.append(f"fresh results are missing {'.'.join(path)}")
+            continue
+        rel = new / base if base > 0 else float("inf")
+        ok = rel >= 1.0 - threshold
+        print(f"{label:<36} {base:>8.2f}x {new:>8.2f}x {rel:>6.0%}  "
+              f"{'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append(
+                f"{label} regressed: {base:.2f}x -> {new:.2f}x "
+                f"({rel:.0%} of baseline, floor is {1.0 - threshold:.0%})")
+    identical = lookup(fresh, ("engine_topk", "pruned_identical_to_unpruned"))
+    if identical is not True:
+        failures.append(
+            "engine_topk.pruned_identical_to_unpruned is not true in every "
+            "fresh run — the pruning cascade changed results")
+    return failures
+
+
+def self_test(baseline, threshold):
+    ok_failures = check(baseline, copy.deepcopy(baseline), threshold)
+    if ok_failures:
+        print("self-test FAILED: baseline does not pass against itself:")
+        for f in ok_failures:
+            print(f"  {f}")
+        return 1
+
+    regressed = copy.deepcopy(baseline)
+    for path, _ in CHECKED_RATIOS:
+        parent = lookup(regressed, path[:-1])
+        parent[path[-1]] = parent[path[-1]] * 0.5
+    print("\ninjecting a 50% regression into every ratio:")
+    bad_failures = check(baseline, regressed, threshold)
+    if len(bad_failures) != len(CHECKED_RATIOS):
+        print("self-test FAILED: injected regression was not caught "
+              f"({len(bad_failures)}/{len(CHECKED_RATIOS)} ratios flagged)")
+        return 1
+
+    mismatched = copy.deepcopy(baseline)
+    mismatched["config"]["quick"] = not mismatched["config"].get("quick")
+    if not check(baseline, mismatched, threshold):
+        print("self-test FAILED: config mismatch was not rejected")
+        return 1
+    print(f"\nself-test OK: identical copy passes, injected regression "
+          f"trips all {len(CHECKED_RATIOS)} checks, config mismatch rejected")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON (workload must match "
+                             "the fresh runs: BENCH_kernels_quick.json for "
+                             "--quick runs, BENCH_kernels.json otherwise)")
+    parser.add_argument("--fresh", action="append", default=[],
+                        help="freshly measured BENCH json (repeatable; best "
+                             "value per ratio wins)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated relative regression (default 0.25)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate passes an identical copy and "
+                             "fails an injected regression")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    if args.self_test:
+        return self_test(baseline, args.threshold)
+
+    if not args.fresh:
+        parser.error("--fresh is required unless --self-test is given")
+    fresh_docs = []
+    for path in args.fresh:
+        with open(path) as f:
+            fresh_docs.append(json.load(f))
+    failures = check(baseline, merge_best(fresh_docs), args.threshold)
+    if failures:
+        print("\nbench-regression gate FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nbench-regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

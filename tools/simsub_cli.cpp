@@ -1,19 +1,25 @@
-// simsub command-line tool: generate datasets, train RLS policies, and run
-// SimSub queries against trajectory CSV files without writing any C++.
+// simsub command-line tool: generate datasets, ingest them into binary
+// columnar snapshots, train RLS policies, and run SimSub queries without
+// writing any C++.
 //
 //   simsub_cli generate --kind=porto --count=1000 --out=city.csv
+//   simsub_cli ingest   --data=city.csv --kind=porto --out=city.snap
 //   simsub_cli train    --data=city.csv --kind=porto --measure=dtw
 //                       --episodes=8000 --skip=3 --out=policy.txt
 //   simsub_cli query    --data=city.csv --kind=porto --measure=dtw
 //                       --policy=policy.txt --query_id=17 --topk=5
-//   simsub_cli query    --data=city.csv --kind=porto --batch --batch_size=64
+//   simsub_cli query    --snapshot=city.snap --batch --batch_size=64
 //                       --threads=8 --plan=auto
 //
 // The query subcommand runs the chosen algorithm over the whole database
 // through the engine (R-tree pruned) and prints the top-k matches. With
-// --batch it samples a query workload and serves it concurrently through
-// service::QueryService (planner-chosen pruning, persistent worker pool,
-// reused evaluator scratch), printing throughput and tail latency.
+// --snapshot the database comes from a mmap'd columnar snapshot (see
+// data/snapshot.h) instead of a CSV parse: the engine's SoA reads are
+// zero-copy over the mapping and the MBR cache and planner statistics load
+// from the persisted sections. With --batch it samples a query workload and
+// serves it concurrently through service::QueryService (planner-chosen
+// pruning, persistent worker pool, reused evaluator scratch), printing
+// throughput and tail latency.
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -26,6 +32,7 @@
 #include "algo/splitting.h"
 #include "data/dataset.h"
 #include "data/generator.h"
+#include "data/snapshot.h"
 #include "data/workload.h"
 #include "engine/engine.h"
 #include "rl/policy_io.h"
@@ -75,6 +82,45 @@ util::Result<data::Dataset> LoadDataset(const std::string& path,
   return data::LoadCsv(path, kind_name, *kind);
 }
 
+int RunIngest(int argc, char** argv) {
+  std::string data_path = "dataset.csv";
+  std::string kind_name = "porto";
+  std::string out = "dataset.snap";
+  util::FlagSet flags(
+      "simsub_cli ingest: convert a trajectory CSV into a binary columnar "
+      "snapshot (mmap-able by 'query --snapshot')");
+  flags.AddString("data", &data_path, "input CSV path");
+  flags.AddString("kind", &kind_name, "porto | harbin | sports");
+  flags.AddString("out", &out, "output snapshot path");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+
+  util::Stopwatch timer;
+  auto dataset = LoadDataset(data_path, kind_name);
+  if (!dataset.ok()) return Fail(dataset.status());
+  double load_s = timer.ElapsedSeconds();
+
+  util::Stopwatch write_timer;
+  if (auto st = data::WriteSnapshot(*dataset, out); !st.ok()) return Fail(st);
+  double write_s = write_timer.ElapsedSeconds();
+
+  // Re-open what we just wrote: proves the snapshot verifies end-to-end and
+  // reports the persisted statistics.
+  auto snapshot = data::CorpusSnapshot::Open(out);
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  std::printf(
+      "ingested %zu trajectories (%lld points) from %s\n"
+      "  csv parse %.2f s, snapshot write %.2f s -> %s\n",
+      (*snapshot)->trajectory_count(),
+      static_cast<long long>((*snapshot)->total_points()), data_path.c_str(),
+      load_s, write_s, out.c_str());
+  const geo::CorpusStats& stats = (*snapshot)->stats();
+  std::printf("  extent [%.1f, %.1f] x [%.1f, %.1f], mean traj mbr %.1f x %.1f\n",
+              stats.extent.min_x, stats.extent.max_x, stats.extent.min_y,
+              stats.extent.max_y, stats.mean_trajectory_width,
+              stats.mean_trajectory_height);
+  return 0;
+}
+
 int RunTrain(int argc, char** argv) {
   std::string data_path = "dataset.csv";
   std::string kind_name = "porto";
@@ -120,6 +166,7 @@ int RunTrain(int argc, char** argv) {
 
 int RunQuery(int argc, char** argv) {
   std::string data_path = "dataset.csv";
+  std::string snapshot_path;
   std::string kind_name = "porto";
   std::string measure_name = "dtw";
   std::string algorithm = "exact";
@@ -135,6 +182,9 @@ int RunQuery(int argc, char** argv) {
   std::string plan = "auto";
   util::FlagSet flags("simsub_cli query: top-k similar subtrajectory search");
   flags.AddString("data", &data_path, "database CSV");
+  flags.AddString("snapshot", &snapshot_path,
+                  "binary columnar snapshot (from 'ingest'); overrides "
+                  "--data and serves the database over a mmap'd store");
   flags.AddString("kind", &kind_name, "porto | harbin | sports");
   flags.AddString("measure", &measure_name, "dtw | frechet | erp | ...");
   flags.AddString("algorithm", &algorithm, "exact | pss | rls");
@@ -155,8 +205,19 @@ int RunQuery(int argc, char** argv) {
                   "pruning filter for --batch: auto | none | rtree | grid");
   if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
 
-  auto dataset = LoadDataset(data_path, kind_name);
-  if (!dataset.ok()) return Fail(dataset.status());
+  auto kind = data::DatasetKindFromName(kind_name);
+  if (!kind.ok()) return Fail(kind.status());
+  std::shared_ptr<const data::CorpusSnapshot> snapshot;
+  data::Dataset dataset;  // CSV path only; the snapshot path stays columnar
+  if (!snapshot_path.empty()) {
+    auto opened = data::CorpusSnapshot::Open(snapshot_path);
+    if (!opened.ok()) return Fail(opened.status());
+    snapshot = *opened;
+  } else {
+    auto loaded = data::LoadCsv(data_path, kind_name, *kind);
+    if (!loaded.ok()) return Fail(loaded.status());
+    dataset = std::move(*loaded);
+  }
   auto measure = similarity::MakeMeasure(measure_name);
   if (!measure.ok()) return Fail(measure.status());
 
@@ -191,14 +252,27 @@ int RunQuery(int argc, char** argv) {
     }
 
     // Sample query trajectories before the engine consumes the database.
-    std::vector<data::WorkloadPair> workload = data::SampleWorkload(
-        *dataset, batch_size, static_cast<uint64_t>(batch_seed));
-    engine::SimSubEngine engine(std::move(dataset->trajectories));
+    // The snapshot overload materializes only the sampled queries from the
+    // columns, never the whole corpus.
+    std::vector<data::WorkloadPair> workload =
+        snapshot != nullptr
+            ? data::SampleWorkload(*snapshot, batch_size,
+                                   static_cast<uint64_t>(batch_seed))
+            : data::SampleWorkload(dataset, batch_size,
+                                   static_cast<uint64_t>(batch_seed));
 
     service::ServiceOptions service_options;
     service_options.threads = threads;
     service_options.prune = prune;
-    service::QueryService service(std::move(engine), service_options);
+    // QueryService pins its address (self-referential planner/pool), so
+    // construct the chosen variant in place.
+    std::optional<service::QueryService> service;
+    if (snapshot != nullptr) {
+      service.emplace(*snapshot, service_options);
+    } else {
+      service.emplace(engine::SimSubEngine(std::move(dataset.trajectories)),
+                      service_options);
+    }
 
     std::vector<service::BatchQuery> queries;
     queries.reserve(workload.size());
@@ -209,7 +283,7 @@ int RunQuery(int argc, char** argv) {
 
     util::Stopwatch timer;
     std::vector<engine::QueryReport> reports =
-        service.RunBatch(queries, *search);
+        service->RunBatch(queries, *search);
     double wall = timer.ElapsedSeconds();
 
     std::vector<double> latencies_ms;
@@ -225,12 +299,12 @@ int RunQuery(int argc, char** argv) {
           static_cast<long long>(r.trajectories_pruned), r.seconds * 1e3,
           r.results.empty() ? -1.0 : r.results.front().distance);
     }
-    service::ServiceStats stats = service.stats();
+    service::ServiceStats stats = service->stats();
     std::printf(
         "batch of %zu queries (%s/%s, pool=%d): %.1f ms wall, %.1f q/s, "
         "p50 %.2f ms, p99 %.2f ms\n",
         reports.size(), search->name().c_str(), measure_name.c_str(),
-        service.pool().size(), wall * 1e3,
+        service->pool().size(), wall * 1e3,
         wall > 0 ? static_cast<double>(reports.size()) / wall : 0.0,
         util::Quantile(latencies_ms, 0.5), util::Quantile(latencies_ms, 0.99));
     std::printf(
@@ -244,17 +318,39 @@ int RunQuery(int argc, char** argv) {
     return 0;
   }
 
-  const geo::Trajectory* query = nullptr;
-  for (const auto& t : dataset->trajectories) {
-    if (t.id() == query_id) query = &t;
+  geo::Trajectory query_copy;  // owned: the engine consumes the database
+  if (snapshot != nullptr) {
+    // Materialize only the query trajectory from the columns; the engine
+    // builds its own AoS database straight from the mapping.
+    const auto& ids = snapshot->ids();
+    size_t ordinal = ids.size();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == query_id) ordinal = i;
+    }
+    if (ordinal == ids.size()) {
+      return Fail(util::Status::NotFound("no trajectory with id " +
+                                         std::to_string(query_id)));
+    }
+    query_copy = snapshot->MaterializeTrajectory(ordinal);
+  } else {
+    const geo::Trajectory* query = nullptr;
+    for (const auto& t : dataset.trajectories) {
+      if (t.id() == query_id) query = &t;
+    }
+    if (query == nullptr) {
+      return Fail(util::Status::NotFound("no trajectory with id " +
+                                         std::to_string(query_id)));
+    }
+    query_copy = *query;
   }
-  if (query == nullptr) {
-    return Fail(util::Status::NotFound("no trajectory with id " +
-                                       std::to_string(query_id)));
-  }
-  geo::Trajectory query_copy = *query;  // engine takes ownership of the db
 
-  engine::SimSubEngine engine(std::move(dataset->trajectories));
+  std::optional<engine::SimSubEngine> engine_storage;
+  if (snapshot != nullptr) {
+    engine_storage.emplace(*snapshot);
+  } else {
+    engine_storage.emplace(std::move(dataset.trajectories));
+  }
+  engine::SimSubEngine& engine = *engine_storage;
   if (use_index) engine.BuildIndex();
   util::Stopwatch timer;
   engine::QueryOptions query_options;
@@ -289,6 +385,7 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "\n"
                "subcommands:\n"
                "  generate  synthesize a trajectory dataset and write it as CSV\n"
+               "  ingest    convert a CSV dataset into a binary columnar snapshot\n"
                "  train     train an RLS/RLS-Skip policy on a dataset\n"
                "  query     run a top-k similar subtrajectory search\n"
                "\n"
@@ -312,6 +409,7 @@ int main(int argc, char** argv) {
   int sub_argc = argc - 1;
   char** sub_argv = argv + 1;
   if (subcommand == "generate") return RunGenerate(sub_argc, sub_argv);
+  if (subcommand == "ingest") return RunIngest(sub_argc, sub_argv);
   if (subcommand == "train") return RunTrain(sub_argc, sub_argv);
   if (subcommand == "query") return RunQuery(sub_argc, sub_argv);
   std::fprintf(stderr, "unknown subcommand: %s\n", subcommand.c_str());
