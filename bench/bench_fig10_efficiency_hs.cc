@@ -77,10 +77,14 @@ int main(int argc, char** argv) {
         if (use_index) engine.BuildIndex();
         auto workload = data::SampleWorkload(db, queries, 2201);
         std::vector<std::string> row = {std::to_string(engine.TotalPoints())};
+        engine::QueryOptions query_options;
+        query_options.k = topk;
+        query_options.filter = use_index ? engine::PruningFilter::kRTree
+                                         : engine::PruningFilter::kNone;
         for (const auto* algorithm : algorithms) {
           util::Stopwatch timer;
           for (const auto& pair : workload) {
-            engine.Query(pair.query.View(), *algorithm, topk, use_index);
+            engine.Query(pair.query.View(), *algorithm, query_options);
           }
           row.push_back(
               util::TablePrinter::Fmt(timer.ElapsedSeconds() / queries, 3));

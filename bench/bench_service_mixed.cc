@@ -1,0 +1,192 @@
+// Mixed-spec async serving throughput: a batch where every request is its
+// own declarative service::QuerySpec — three measures (dtw / frechet / edr)
+// crossed with three algorithms (exacts / pss / sizes) plus the
+// subtrajectory-level "topk-sub" mode — submitted through the async
+// QueryService::SubmitBatch API and compared against serving the same specs
+// one at a time with RunOne on the calling thread.
+//
+// Checks one acceptance property and exits non-zero when it fails: the
+// async reports must be bit-identical to the sequential ones (same
+// entries, same distances, same plans) — the determinism contract of the
+// QuerySpec path under concurrency.
+//
+// Reports end-to-end speedup plus queueing vs execution tail latency
+// (p50/p99), and emits machine-readable BENCH_service_mixed.json gated in
+// CI by tools/check_bench.py (suite "service_mixed": the speedup ratio and
+// the identity bit).
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "data/generator.h"
+#include "data/workload.h"
+#include "engine/engine.h"
+#include "service/query_service.h"
+#include "service/query_spec.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace simsub;
+
+  int trajectories = 400;
+  int queries = 48;
+  int k = 10;
+  int threads = 0;
+  bool quick = false;
+  std::string out = "BENCH_service_mixed.json";
+  util::FlagSet flags(
+      "Mixed-spec async serving: SubmitBatch vs sequential RunOne");
+  flags.AddInt("trajectories", &trajectories, "database size");
+  flags.AddInt("queries", &queries, "specs per batch");
+  flags.AddInt("k", &k, "results per query");
+  flags.AddInt("threads", &threads, "pool width (0 = hardware)");
+  flags.AddBool("quick", &quick,
+                "CI workload: smaller corpus, fixed 2-thread pool (ratios "
+                "are only comparable between runs of the same mode)");
+  flags.AddString("out", &out, "JSON output path");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (quick) {
+    trajectories = 150;
+    queries = 24;
+    threads = 2;
+  }
+
+  bench::PrintBanner(
+      "bench_service_mixed",
+      "multi-tenant Section 6.2 workload: per-request measure/algorithm",
+      "trajectories=" + std::to_string(trajectories) +
+          " queries=" + std::to_string(queries) + " k=" + std::to_string(k) +
+          " threads=" + std::to_string(threads) +
+          (quick ? " (quick)" : ""));
+
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, trajectories, 9700);
+  auto workload = data::SampleWorkloadWithQueryLength(
+      dataset, queries, data::LengthGroup{30, 45, "G1"}, 9701);
+
+  service::ServiceOptions options;
+  options.threads = threads;
+  service::QueryService service(
+      engine::SimSubEngine(std::move(dataset.trajectories)), options);
+
+  // The mixed request mix: every spec names its own measure and algorithm.
+  const char* measures[] = {"dtw", "frechet", "edr"};
+  const char* algorithms[] = {"exacts", "pss", "sizes", "topk-sub"};
+  std::vector<service::QuerySpec> specs;
+  specs.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    service::QuerySpec spec;
+    spec.points = workload[i].query.View();
+    spec.measure = measures[i % 3];
+    spec.algorithm = algorithms[(i / 3) % 4];
+    spec.algorithm_options.sizes_xi = 5;
+    spec.k = k;
+    spec.min_size = 2;
+    specs.push_back(spec);
+  }
+
+  // ---- Sequential reference: one spec at a time on the calling thread.
+  std::vector<engine::QueryReport> sequential;
+  sequential.reserve(specs.size());
+  util::Stopwatch timer;
+  for (const auto& spec : specs) sequential.push_back(service.RunOne(spec));
+  double sequential_seconds = timer.ElapsedSeconds();
+
+  // ---- Async: the whole batch through Submit futures.
+  timer.Restart();
+  std::vector<std::future<engine::QueryReport>> futures =
+      service.SubmitBatch(specs);
+  std::vector<engine::QueryReport> async_reports;
+  async_reports.reserve(futures.size());
+  for (auto& f : futures) async_reports.push_back(f.get());
+  double async_seconds = timer.ElapsedSeconds();
+  service::ServiceStats stats = service.stats();
+
+  bool identical = true;
+  for (size_t i = 0; i < specs.size() && identical; ++i) {
+    const auto& a = async_reports[i];
+    const auto& b = sequential[i];
+    identical = a.status.ok() && b.status.ok() &&
+                a.results.size() == b.results.size() &&
+                a.filter_used == b.filter_used &&
+                a.trajectories_scanned == b.trajectories_scanned;
+    for (size_t j = 0; identical && j < a.results.size(); ++j) {
+      identical = a.results[j].trajectory_id == b.results[j].trajectory_id &&
+                  a.results[j].range == b.results[j].range &&
+                  a.results[j].distance == b.results[j].distance;
+    }
+  }
+
+  std::vector<double> exec_ms;
+  std::vector<double> queue_ms;
+  for (const auto& r : async_reports) {
+    exec_ms.push_back(r.seconds * 1e3);
+    queue_ms.push_back(r.queue_seconds * 1e3);
+  }
+  double exec_p50 = util::Quantile(exec_ms, 0.5);
+  double exec_p99 = util::Quantile(exec_ms, 0.99);
+  double queue_p50 = util::Quantile(queue_ms, 0.5);
+  double queue_p99 = util::Quantile(queue_ms, 0.99);
+  double n = static_cast<double>(specs.size());
+  double sequential_qps = sequential_seconds > 0 ? n / sequential_seconds : 0;
+  double async_qps = async_seconds > 0 ? n / async_seconds : 0;
+  double speedup = async_seconds > 0 ? sequential_seconds / async_seconds : 0;
+
+  std::printf("sequential RunOne: %8.1f ms  %7.1f q/s\n",
+              sequential_seconds * 1e3, sequential_qps);
+  std::printf("async SubmitBatch: %8.1f ms  %7.1f q/s (pool=%d)\n",
+              async_seconds * 1e3, async_qps, service.pool().size());
+  std::printf(
+      "speedup %.2fx | exec p50 %.2f ms p99 %.2f ms | queue p50 %.2f ms "
+      "p99 %.2f ms\n",
+      speedup, exec_p50, exec_p99, queue_p50, queue_p99);
+  std::printf(
+      "resolved-spec cache: %lld hits / %lld misses | async==sequential: "
+      "%s\n",
+      static_cast<long long>(stats.spec_cache_hits),
+      static_cast<long long>(stats.spec_cache_misses),
+      identical ? "yes" : "NO");
+
+  std::FILE* json = std::fopen(out.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(
+      json,
+      "{\n"
+      "  \"bench\": \"service_mixed\",\n"
+      "  \"config\": {\"trajectories\": %d, \"queries\": %d, \"k\": %d, "
+      "\"pool_threads\": %d, \"quick\": %s},\n"
+      "  \"sequential\": {\"seconds\": %.6f, \"qps\": %.2f},\n"
+      "  \"async\": {\"seconds\": %.6f, \"qps\": %.2f, "
+      "\"exec_p50_ms\": %.3f, \"exec_p99_ms\": %.3f, "
+      "\"queue_p50_ms\": %.3f, \"queue_p99_ms\": %.3f},\n"
+      "  \"speedup\": %.3f,\n"
+      "  \"spec_cache\": {\"hits\": %lld, \"misses\": %lld},\n"
+      "  \"identical_to_sequential\": %s\n"
+      "}\n",
+      trajectories, static_cast<int>(n), k, service.pool().size(),
+      quick ? "true" : "false", sequential_seconds, sequential_qps,
+      async_seconds, async_qps, exec_p50, exec_p99, queue_p50, queue_p99,
+      speedup, static_cast<long long>(stats.spec_cache_hits),
+      static_cast<long long>(stats.spec_cache_misses),
+      identical ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote %s\n", out.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: async SubmitBatch differs from sequential RunOne\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

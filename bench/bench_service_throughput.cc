@@ -80,11 +80,13 @@ int main(int argc, char** argv) {
   // one sequential full-scan query at a time.
   engine::SimSubEngine baseline_engine(dataset.trajectories);
   std::vector<engine::QueryReport> baseline_reports;
+  engine::QueryOptions baseline_options;
+  baseline_options.k = k;
+  baseline_options.threads = 1;
   util::Stopwatch timer;
   for (const auto& pair : workload) {
-    baseline_reports.push_back(baseline_engine.Query(
-        pair.query.View(), exact, k, engine::PruningFilter::kNone,
-        /*index_margin=*/0.0, /*threads=*/1));
+    baseline_reports.push_back(
+        baseline_engine.Query(pair.query.View(), exact, baseline_options));
   }
   double baseline_seconds = timer.ElapsedSeconds();
 

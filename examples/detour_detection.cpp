@@ -70,8 +70,11 @@ int main(int argc, char** argv) {
   for (const algo::SubtrajectorySearch* search :
        std::initializer_list<const algo::SubtrajectorySearch*>{&exact, &rls}) {
     util::Stopwatch timer;
+    engine::QueryOptions query_options;
+    query_options.k = topk;
+    query_options.filter = engine::PruningFilter::kRTree;
     engine::QueryReport report =
-        engine.Query(detour.View(), *search, topk, /*use_index=*/true);
+        engine.Query(detour.View(), *search, query_options);
     std::printf("%s: top-%d matches in %.1f ms (%lld scanned, %lld pruned)\n",
                 search->name().c_str(), topk, timer.ElapsedMillis(),
                 static_cast<long long>(report.trajectories_scanned),

@@ -1,0 +1,128 @@
+#include "algo/registry.h"
+
+#include <utility>
+
+#include "algo/exacts.h"
+#include "algo/random_s.h"
+#include "algo/rls.h"
+#include "algo/simtra.h"
+#include "algo/sizes.h"
+#include "algo/splitting.h"
+#include "algo/spring.h"
+#include "algo/ucr.h"
+#include "rl/policy_io.h"
+
+namespace simsub::algo {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<SubtrajectorySearch>> MakeRls(
+    const std::string& name, const similarity::SimilarityMeasure* measure,
+    const SearchOptions& options) {
+  rl::TrainedPolicy policy;
+  if (options.rls_policy != nullptr) {
+    policy = *options.rls_policy;
+  } else if (!options.rls_policy_path.empty()) {
+    auto loaded = rl::LoadPolicyFromFile(options.rls_policy_path);
+    if (!loaded.ok()) return loaded.status();
+    policy = std::move(*loaded);
+  } else {
+    return Status::InvalidArgument(
+        name + " requires a trained policy (SearchOptions::rls_policy or "
+               "rls_policy_path)");
+  }
+  const bool wants_skip = name == "rls-skip";
+  if (wants_skip && policy.env_options.skip_count <= 0) {
+    return Status::InvalidArgument(
+        "rls-skip requires a policy trained with skip actions "
+        "(skip_count > 0); this policy has none");
+  }
+  if (!wants_skip && policy.env_options.skip_count > 0) {
+    return Status::InvalidArgument(
+        "rls requires a plain policy (skip_count == 0); this policy was "
+        "trained with skip actions — name it rls-skip");
+  }
+  return std::unique_ptr<SubtrajectorySearch>(
+      new RlsSearch(measure, std::move(policy)));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SubtrajectorySearch>> MakeSearch(
+    const std::string& name, const similarity::SimilarityMeasure* measure,
+    const SearchOptions& options) {
+  if (measure == nullptr) {
+    return Status::InvalidArgument("MakeSearch(\"" + name +
+                                   "\"): measure must not be null");
+  }
+  if (name == "exacts" || name == "exact") {
+    return std::unique_ptr<SubtrajectorySearch>(new ExactS(measure));
+  }
+  if (name == "sizes") {
+    if (options.sizes_xi < 0) {
+      return Status::InvalidArgument(
+          "sizes: xi must be >= 0, got " + std::to_string(options.sizes_xi));
+    }
+    return std::unique_ptr<SubtrajectorySearch>(
+        new SizeS(measure, options.sizes_xi));
+  }
+  if (name == "pss") {
+    return std::unique_ptr<SubtrajectorySearch>(new PssSearch(measure));
+  }
+  if (name == "pos") {
+    return std::unique_ptr<SubtrajectorySearch>(new PosSearch(measure));
+  }
+  if (name == "pos-d") {
+    if (options.posd_delay < 0) {
+      return Status::InvalidArgument("pos-d: delay must be >= 0, got " +
+                                     std::to_string(options.posd_delay));
+    }
+    return std::unique_ptr<SubtrajectorySearch>(
+        new PosDSearch(measure, options.posd_delay));
+  }
+  if (name == "simtra") {
+    return std::unique_ptr<SubtrajectorySearch>(new SimTraSearch(measure));
+  }
+  if (name == "random-s") {
+    if (options.random_s_samples <= 0) {
+      return Status::InvalidArgument(
+          "random-s: samples must be > 0, got " +
+          std::to_string(options.random_s_samples));
+    }
+    return std::unique_ptr<SubtrajectorySearch>(new RandomSSearch(
+        measure, options.random_s_samples, options.random_s_seed));
+  }
+  if (name == "spring" || name == "ucr") {
+    // Both run the DTW recurrence directly; silently ignoring a different
+    // requested measure would serve wrong answers.
+    if (measure->name() != "dtw") {
+      return Status::InvalidArgument(name + " is DTW-only; requested measure "
+                                     "is " + measure->name());
+    }
+    if (options.band_fraction <= 0.0 || options.band_fraction > 1.0) {
+      return Status::InvalidArgument(
+          name + ": band_fraction must be in (0, 1], got " +
+          std::to_string(options.band_fraction));
+    }
+    if (name == "spring") {
+      return std::unique_ptr<SubtrajectorySearch>(
+          new SpringSearch(options.band_fraction));
+    }
+    return std::unique_ptr<SubtrajectorySearch>(
+        new UcrSearch(options.band_fraction));
+  }
+  if (name == "rls" || name == "rls-skip") {
+    return MakeRls(name, measure, options);
+  }
+  return Status::InvalidArgument("unknown search algorithm: " + name);
+}
+
+std::vector<std::string> BuiltinSearchNames() {
+  return {"exacts", "sizes",  "pss",    "pos", "pos-d",   "simtra",
+          "random-s", "spring", "ucr", "rls", "rls-skip"};
+}
+
+}  // namespace simsub::algo

@@ -182,6 +182,12 @@ QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
                         int64_t& dp_abandoned,
                         similarity::EvaluatorCache* scratch) {
     for (size_t c = lo; c < hi; ++c) {
+      // Cooperative cancellation between per-trajectory searches: a relaxed
+      // load per candidate is noise next to even one DP row.
+      if (options.cancel != nullptr &&
+          options.cancel->load(std::memory_order_relaxed)) {
+        return;
+      }
       const int64_t ordinal = candidates[c];
       const geo::Trajectory& traj = database_[static_cast<size_t>(ordinal)];
       if (traj.empty()) continue;
@@ -292,6 +298,10 @@ QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
   }
 
   report.results = ExtractAscending(heap);
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed)) {
+    report.status = util::Status::Cancelled("query cancelled mid-scan");
+  }
   report.seconds = timer.ElapsedSeconds();
   return report;
 }

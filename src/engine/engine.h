@@ -19,6 +19,7 @@
 #ifndef SIMSUB_ENGINE_ENGINE_H_
 #define SIMSUB_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -34,6 +35,7 @@
 #include "index/inverted_grid.h"
 #include "index/rtree.h"
 #include "similarity/measure.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace simsub::data {
@@ -79,7 +81,17 @@ struct QueryReport {
   /// Start points whose DP extension scan was abandoned early inside the
   /// per-trajectory search (best-so-far / bailout threshold exceeded).
   int64_t dp_abandoned = 0;
+  /// Execution time of the scan itself.
   double seconds = 0.0;
+  /// Time the request spent queued between submission and execution start
+  /// (service::QueryService::Submit path; 0 for direct engine calls).
+  double queue_seconds = 0.0;
+
+  /// OK for a completed query. Cancelled when QueryOptions::cancel tripped
+  /// mid-scan (results are partial and must not be used), DeadlineExceeded /
+  /// InvalidArgument for service-layer requests that never ran (expired in
+  /// the queue, or named an unknown measure/algorithm).
+  util::Status status;
 
   /// Pruning filter that actually ran (the planner's choice when the query
   /// went through service::QueryService with auto-planning).
@@ -111,6 +123,11 @@ struct QueryOptions {
   /// off — only candidates that provably cannot enter the top-k (strictly
   /// worse than the kth best, so no tie-break can admit them) are skipped.
   bool prune = true;
+  /// Cooperative cancellation flag (caller-owned, may be flipped from any
+  /// thread). Checked between per-trajectory searches in every scan
+  /// partition: once set, the scan stops early and the report comes back
+  /// with status Cancelled and partial results. Null = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// An immutable trajectory database with optional index acceleration.
@@ -151,28 +168,6 @@ class SimSubEngine {
   QueryReport Query(std::span<const geo::Point> query,
                     const algo::SubtrajectorySearch& search,
                     const QueryOptions& options) const;
-
-  /// Positional convenience overload.
-  QueryReport Query(std::span<const geo::Point> query,
-                    const algo::SubtrajectorySearch& search, int k,
-                    PruningFilter filter, double index_margin = 0.0,
-                    int threads = 1) const {
-    QueryOptions options;
-    options.k = k;
-    options.filter = filter;
-    options.index_margin = index_margin;
-    options.threads = threads;
-    return Query(query, search, options);
-  }
-
-  /// Back-compat convenience: use_index selects kRTree vs kNone.
-  QueryReport Query(std::span<const geo::Point> query,
-                    const algo::SubtrajectorySearch& search, int k,
-                    bool use_index, double index_margin = 0.0) const {
-    return Query(query, search, k,
-                 use_index ? PruningFilter::kRTree : PruningFilter::kNone,
-                 index_margin);
-  }
 
   /// Global *subtrajectory-level* top-k (paper Section 3.1's "top-k similar
   /// subtrajectories" generalization): exhaustively enumerates every

@@ -1,11 +1,12 @@
 #include "service/query_service.h"
 
 #include <algorithm>
-#include <future>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
 #include "data/snapshot.h"
+#include "similarity/registry.h"
 #include "util/logging.h"
 
 namespace simsub::service {
@@ -17,14 +18,64 @@ int ResolveThreads(int requested) {
   return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 }
 
+double SecondsSince(std::chrono::steady_clock::time_point from,
+                    std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Cache key of a spec's resolvable part: measure + measure options +
+/// algorithm + algorithm options. Doubles print with %.17g (round-trip
+/// exact), so two specs share an entry iff they resolve identically.
+/// Specs carrying an in-memory rls_policy pointer are never cached (see
+/// ResolveSpec): a pointer identity can be reused by a different policy
+/// after free, which would serve stale results forever.
+std::string SpecKey(const QuerySpec& spec) {
+  const similarity::MeasureOptions& m = spec.measure_options;
+  const algo::SearchOptions& a = spec.algorithm_options;
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf), "|%.17g|%.17g|%.17g|%.17g|%.17g|%d|%d|%d|%llu|%.17g|",
+      m.cdtw_band_fraction, m.edr_eps, m.lcss_eps, m.erp_gap.x, m.erp_gap.y,
+      a.sizes_xi, a.posd_delay, a.random_s_samples,
+      static_cast<unsigned long long>(a.random_s_seed), a.band_fraction);
+  return spec.measure + buf + spec.algorithm + "|" + a.rls_policy_path;
+}
+
 }  // namespace
+
+/// Scratch for the calling thread: a pool worker uses its own slot (no
+/// locking — a worker runs one task at a time), a foreign thread leases a
+/// cache from the shared pool for the duration of the call.
+struct QueryService::ScratchLease {
+  explicit ScratchLease(QueryService& service) : service_(service) {
+    int worker = service.pool_->WorkerIndex();
+    if (worker >= 0) {
+      cache_ = &service.worker_scratch_[static_cast<size_t>(worker)];
+    } else {
+      cache_ = service.AcquireCallerScratch();
+      leased_ = true;
+    }
+  }
+  ~ScratchLease() {
+    if (leased_) service_.ReleaseCallerScratch(cache_);
+  }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  similarity::EvaluatorCache& get() { return *cache_; }
+
+ private:
+  QueryService& service_;
+  similarity::EvaluatorCache* cache_ = nullptr;
+  bool leased_ = false;
+};
 
 QueryService::QueryService(engine::SimSubEngine engine, ServiceOptions options)
     : engine_(std::move(engine)),
       options_(options),
       planner_(engine_, options.planner),
       pool_(std::make_unique<util::ThreadPool>(ResolveThreads(options.threads))),
-      worker_scratch_(static_cast<size_t>(pool_->size()) + 1) {
+      worker_scratch_(static_cast<size_t>(pool_->size())) {
   if (options_.build_rtree) engine_.BuildIndex();
   if (options_.build_inverted_grid) {
     engine_.BuildInvertedIndex(options_.inverted_grid_cols,
@@ -35,6 +86,230 @@ QueryService::QueryService(engine::SimSubEngine engine, ServiceOptions options)
 QueryService::QueryService(const data::CorpusSnapshot& snapshot,
                            ServiceOptions options)
     : QueryService(engine::SimSubEngine(snapshot), options) {}
+
+similarity::EvaluatorCache* QueryService::AcquireCallerScratch() {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  if (!caller_scratch_free_.empty()) {
+    similarity::EvaluatorCache* cache = caller_scratch_free_.back();
+    caller_scratch_free_.pop_back();
+    return cache;
+  }
+  caller_scratch_.push_back(std::make_unique<similarity::EvaluatorCache>());
+  return caller_scratch_.back().get();
+}
+
+void QueryService::ReleaseCallerScratch(similarity::EvaluatorCache* scratch) {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  caller_scratch_free_.push_back(scratch);
+}
+
+util::Result<std::shared_ptr<const QueryService::Resolved>>
+QueryService::ResolveSpec(const QuerySpec& spec) {
+  // An in-memory RLS policy is identified only by its address, which the
+  // allocator may hand to a different policy later (ABA): resolve fresh
+  // every time instead of risking a stale cache hit. (Path-named policies
+  // cache by path; retraining a file in place behaves like any file-backed
+  // cache and needs a new path to take effect.)
+  const bool cacheable = spec.algorithm_options.rls_policy == nullptr;
+  std::string key = cacheable ? SpecKey(spec) : std::string();
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(resolved_mu_);
+    auto it = resolved_.find(key);
+    if (it != resolved_.end()) {
+      stats_.spec_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  stats_.spec_cache_misses.fetch_add(1, std::memory_order_relaxed);
+
+  // Construct outside the lock: registry work (and a possible RLS policy
+  // file read) must not serialize every dispatcher.
+  auto resolved = std::make_shared<Resolved>();
+  auto measure = similarity::MakeMeasure(spec.measure, spec.measure_options);
+  if (!measure.ok()) return measure.status();
+  resolved->measure = std::move(*measure);
+  resolved->algorithm = spec.algorithm;
+  resolved->search_options = spec.algorithm_options;
+  if (spec.algorithm == "topk-sub") {
+    resolved->topk_mode = true;
+  } else {
+    auto search = algo::MakeSearch(spec.algorithm, resolved->measure.get(),
+                                   spec.algorithm_options);
+    if (!search.ok()) return search.status();
+    if (spec.algorithm == "random-s") {
+      // Random-S draws from an internal RNG stream, so a shared instance is
+      // neither thread-safe nor deterministic; every execution rebuilds one
+      // from the spec's seed instead (identical draws per request).
+      resolved->per_execution_search = true;
+    } else {
+      resolved->search = std::move(*search);
+    }
+  }
+
+  if (!cacheable) return std::shared_ptr<const Resolved>(std::move(resolved));
+
+  std::lock_guard<std::mutex> lock(resolved_mu_);
+  // Bound the cache against knob-sweeping clients (every distinct
+  // floating-point option mints a new key): at the cap, drop everything
+  // and start over. In-flight requests hold their own shared_ptr, so the
+  // flush frees nothing that is still executing; the steady-state serving
+  // mix is far below the cap and never hits this.
+  if (resolved_.size() >= kMaxResolvedSpecs &&
+      resolved_.find(key) == resolved_.end()) {
+    resolved_.clear();
+  }
+  auto [it, inserted] = resolved_.emplace(key, std::move(resolved));
+  // A racing dispatcher may have inserted first; its entry wins and ours is
+  // dropped — both resolve identically, so either answer is correct.
+  return it->second;
+}
+
+size_t QueryService::resolved_cache_size() const {
+  std::lock_guard<std::mutex> lock(resolved_mu_);
+  return resolved_.size();
+}
+
+engine::QueryReport QueryService::ExecuteSpec(
+    const QuerySpec& spec, const Resolved& resolved,
+    similarity::EvaluatorCache& scratch) {
+  PlanDecision plan;
+  if (spec.filter.has_value()) {
+    plan.filter = *spec.filter;
+    plan.estimated_selectivity = -1.0;
+    plan.reason = "explicit filter";
+  } else {
+    plan = planner_.Plan(spec.points, options_.index_margin);
+  }
+
+  engine::QueryReport report;
+  if (resolved.topk_mode) {
+    report = engine_.QueryTopKSubtrajectories(spec.points, *resolved.measure,
+                                              spec.k, plan.filter,
+                                              spec.min_size);
+  } else {
+    const algo::SubtrajectorySearch* search = resolved.search.get();
+    std::unique_ptr<algo::SubtrajectorySearch> fresh;
+    if (resolved.per_execution_search) {
+      auto made = algo::MakeSearch(resolved.algorithm, resolved.measure.get(),
+                                   resolved.search_options);
+      SIMSUB_CHECK(made.ok());  // parameters were validated at resolve time
+      fresh = std::move(*made);
+      search = fresh.get();
+    }
+    engine::QueryOptions eo;
+    eo.k = spec.k;
+    eo.filter = plan.filter;
+    eo.index_margin = options_.index_margin;
+    eo.threads = 1;  // inter-query parallelism only; the scan stays inline
+    eo.scratch = &scratch;
+    eo.prune = options_.prune && spec.prune;
+    eo.cancel = spec.cancel;
+    report = engine_.Query(spec.points, *search, eo);
+  }
+  report.planned_selectivity = plan.estimated_selectivity;
+  report.plan_reason = plan.reason;
+  return report;
+}
+
+engine::QueryReport QueryService::ServeSpec(
+    const QuerySpec& spec, std::chrono::steady_clock::time_point submitted) {
+  auto started = std::chrono::steady_clock::now();
+  engine::QueryReport report;
+  report.queue_seconds = SecondsSince(submitted, started);
+
+  if (spec.cancel != nullptr &&
+      spec.cancel->load(std::memory_order_relaxed)) {
+    report.status = util::Status::Cancelled("request cancelled in queue");
+    stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+    return report;
+  }
+  if (spec.deadline_ms > 0.0 &&
+      report.queue_seconds * 1e3 > spec.deadline_ms) {
+    report.status = util::Status::DeadlineExceeded(
+        "deadline expired after " + std::to_string(report.queue_seconds * 1e3) +
+        " ms in queue (deadline " + std::to_string(spec.deadline_ms) + " ms)");
+    stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+    return report;
+  }
+
+  util::Status invalid;
+  if (spec.points.empty()) {
+    invalid = util::Status::InvalidArgument("spec.points must be non-empty");
+  } else if (spec.k <= 0) {
+    invalid = util::Status::InvalidArgument("spec.k must be > 0, got " +
+                                            std::to_string(spec.k));
+  } else if (spec.min_size < 1) {
+    invalid = util::Status::InvalidArgument(
+        "spec.min_size must be >= 1, got " + std::to_string(spec.min_size));
+  } else if (spec.deadline_ms < 0.0) {
+    invalid = util::Status::InvalidArgument("spec.deadline_ms must be >= 0");
+  } else if (spec.filter == engine::PruningFilter::kRTree &&
+             !engine_.has_index()) {
+    invalid = util::Status::InvalidArgument(
+        "spec.filter = rtree but the service built no R-tree "
+        "(ServiceOptions::build_rtree)");
+  } else if (spec.filter == engine::PruningFilter::kInvertedGrid &&
+             !engine_.has_inverted_index()) {
+    invalid = util::Status::InvalidArgument(
+        "spec.filter = grid but the service built no inverted grid "
+        "(ServiceOptions::build_inverted_grid)");
+  }
+  if (!invalid.ok()) {
+    report.status = std::move(invalid);
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return report;
+  }
+
+  auto resolved = ResolveSpec(spec);
+  if (!resolved.ok()) {
+    report.status = resolved.status();
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return report;
+  }
+
+  double queue_seconds = report.queue_seconds;
+  {
+    ScratchLease lease(*this);
+    report = ExecuteSpec(spec, **resolved, lease.get());
+  }
+  report.queue_seconds = queue_seconds;
+
+  if (report.status.ok()) {
+    stats_.queries_served.fetch_add(1, std::memory_order_relaxed);
+    CountReport(report);
+  } else {
+    // The only in-execution failure today is cooperative cancellation.
+    stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+  }
+  return report;
+}
+
+std::future<engine::QueryReport> QueryService::Submit(const QuerySpec& spec) {
+  auto promise = std::make_shared<std::promise<engine::QueryReport>>();
+  std::future<engine::QueryReport> future = promise->get_future();
+  auto submitted = std::chrono::steady_clock::now();
+  pool_->Submit([this, promise, submitted, spec]() {
+    try {
+      promise->set_value(ServeSpec(spec, submitted));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+std::vector<std::future<engine::QueryReport>> QueryService::SubmitBatch(
+    std::span<const QuerySpec> specs) {
+  std::vector<std::future<engine::QueryReport>> futures;
+  futures.reserve(specs.size());
+  for (const QuerySpec& spec : specs) futures.push_back(Submit(spec));
+  stats_.batches_served.fetch_add(1, std::memory_order_relaxed);
+  return futures;
+}
+
+engine::QueryReport QueryService::RunOne(const QuerySpec& spec) {
+  return ServeSpec(spec, std::chrono::steady_clock::now());
+}
 
 engine::QueryReport QueryService::Execute(
     const BatchQuery& query, const algo::SubtrajectorySearch& search,
@@ -64,15 +339,22 @@ engine::QueryReport QueryService::Execute(
 void QueryService::CountPlan(engine::PruningFilter filter) {
   switch (filter) {
     case engine::PruningFilter::kNone:
-      ++stats_.plans_none;
+      stats_.plans_none.fetch_add(1, std::memory_order_relaxed);
       break;
     case engine::PruningFilter::kRTree:
-      ++stats_.plans_rtree;
+      stats_.plans_rtree.fetch_add(1, std::memory_order_relaxed);
       break;
     case engine::PruningFilter::kInvertedGrid:
-      ++stats_.plans_grid;
+      stats_.plans_grid.fetch_add(1, std::memory_order_relaxed);
       break;
   }
+}
+
+void QueryService::CountReport(const engine::QueryReport& report) {
+  CountPlan(report.filter_used);
+  stats_.lb_skipped.fetch_add(report.lb_skipped, std::memory_order_relaxed);
+  stats_.dp_abandoned.fetch_add(report.dp_abandoned,
+                                std::memory_order_relaxed);
 }
 
 std::vector<engine::QueryReport> QueryService::RunBatch(
@@ -83,20 +365,17 @@ std::vector<engine::QueryReport> QueryService::RunBatch(
     // Re-entrant call from one of our own workers (e.g. a task submitted to
     // pool()): blocking on futures would deadlock behind the caller, so run
     // the batch inline on this worker's scratch.
-    auto& scratch =
-        worker_scratch_[static_cast<size_t>(pool_->WorkerIndex())];
+    ScratchLease lease(*this);
     for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = Execute(queries[i], search, scratch);
+      results[i] = Execute(queries[i], search, lease.get());
     }
   } else {
     std::vector<std::future<void>> futures;
     futures.reserve(queries.size());
     for (size_t i = 0; i < queries.size(); ++i) {
       futures.push_back(pool_->Submit([this, &queries, &results, &search, i] {
-        int w = pool_->WorkerIndex();
-        size_t slot =
-            w >= 0 ? static_cast<size_t>(w) : worker_scratch_.size() - 1;
-        results[i] = Execute(queries[i], search, worker_scratch_[slot]);
+        ScratchLease lease(*this);
+        results[i] = Execute(queries[i], search, lease.get());
       }));
     }
     // Drain every future before propagating any failure: rethrowing while
@@ -113,32 +392,49 @@ std::vector<engine::QueryReport> QueryService::RunBatch(
     if (first_error) std::rethrow_exception(first_error);
   }
 
-  ++stats_.batches_served;
-  stats_.queries_served += static_cast<int64_t>(queries.size());
-  for (const auto& report : results) {
-    CountPlan(report.filter_used);
-    stats_.lb_skipped += report.lb_skipped;
-    stats_.dp_abandoned += report.dp_abandoned;
-  }
+  stats_.batches_served.fetch_add(1, std::memory_order_relaxed);
+  stats_.queries_served.fetch_add(static_cast<int64_t>(queries.size()),
+                                  std::memory_order_relaxed);
+  for (const auto& report : results) CountReport(report);
   return results;
 }
 
 engine::QueryReport QueryService::RunOne(
     const BatchQuery& query, const algo::SubtrajectorySearch& search) {
-  engine::QueryReport report =
-      Execute(query, search, worker_scratch_.back());
-  ++stats_.queries_served;
-  CountPlan(report.filter_used);
-  stats_.lb_skipped += report.lb_skipped;
-  stats_.dp_abandoned += report.dp_abandoned;
+  engine::QueryReport report;
+  {
+    ScratchLease lease(*this);
+    report = Execute(query, search, lease.get());
+  }
+  stats_.queries_served.fetch_add(1, std::memory_order_relaxed);
+  CountReport(report);
   return report;
 }
 
 ServiceStats QueryService::stats() const {
-  ServiceStats out = stats_;
+  ServiceStats out;
+  out.queries_served = stats_.queries_served.load(std::memory_order_relaxed);
+  out.batches_served = stats_.batches_served.load(std::memory_order_relaxed);
+  out.deadline_expired =
+      stats_.deadline_expired.load(std::memory_order_relaxed);
+  out.cancelled = stats_.cancelled.load(std::memory_order_relaxed);
+  out.rejected = stats_.rejected.load(std::memory_order_relaxed);
+  out.spec_cache_hits = stats_.spec_cache_hits.load(std::memory_order_relaxed);
+  out.spec_cache_misses =
+      stats_.spec_cache_misses.load(std::memory_order_relaxed);
+  out.plans_none = stats_.plans_none.load(std::memory_order_relaxed);
+  out.plans_rtree = stats_.plans_rtree.load(std::memory_order_relaxed);
+  out.plans_grid = stats_.plans_grid.load(std::memory_order_relaxed);
+  out.lb_skipped = stats_.lb_skipped.load(std::memory_order_relaxed);
+  out.dp_abandoned = stats_.dp_abandoned.load(std::memory_order_relaxed);
   for (const auto& cache : worker_scratch_) {
     out.evaluator_reuses += cache.reuse_count();
     out.evaluator_allocs += cache.alloc_count();
+  }
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  for (const auto& cache : caller_scratch_) {
+    out.evaluator_reuses += cache->reuse_count();
+    out.evaluator_allocs += cache->alloc_count();
   }
   return out;
 }

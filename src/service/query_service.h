@@ -1,4 +1,5 @@
 // The persistent serving layer over SimSubEngine: a fixed worker pool, a
+// declarative async request API (QuerySpec -> std::future<QueryReport>), a
 // batch API, per-worker reusable evaluator scratch, and per-query planning.
 //
 // SimSubEngine::Query answers one query; under database-level traffic
@@ -6,31 +7,46 @@
 // spawning and DP-scratch allocation per query. QueryService amortizes all
 // of it: workers live as long as the service, each worker owns one
 // similarity::EvaluatorCache whose DP rows persist across trajectories,
-// queries, and batches, and the planner picks the pruning filter per query
-// instead of hardcoding one per call site.
+// queries, and batches, the planner picks the pruning filter per query
+// instead of hardcoding one per call site, and resolved (measure, search)
+// pairs are cached per service so a QuerySpec costs two registry lookups
+// only on its first use.
 //
-// Determinism: RunBatch() returns exactly what running each query through
-// RunOne() sequentially returns (same entries, bit-identical distances),
-// regardless of worker count — the engine's top-k order is total and the
-// planner is a pure function of the query and database statistics.
+// Determinism: a SubmitBatch() over specs resolves to exactly what running
+// each spec through RunOne() sequentially returns (same entries,
+// bit-identical distances), regardless of worker count or how many
+// dispatcher threads submitted — the engine's top-k order is total, the
+// planner is a pure function of the query and database statistics, and
+// resolved searches are immutable ("random-s" gets a fresh
+// deterministically-seeded instance per execution instead of a shared one).
 //
-// Threading contract: the service expects a SINGLE dispatcher thread. All
-// concurrency comes from the internal pool; RunBatch/RunOne/stats must not
-// be called from multiple application threads at once (they share the
-// calling-thread scratch slot and the statistics counters without locks).
-// Calling RunBatch from inside one of the service's own pool tasks is safe:
-// it detects the re-entrancy and executes inline instead of deadlocking.
+// Threading contract: every public method is safe to call from multiple
+// application threads concurrently — Submit/SubmitBatch/RunBatch/RunOne/
+// stats may all overlap. Statistics counters are atomic (stats() is safe
+// to read during a running batch), pool workers own their scratch slot by
+// worker index, and foreign calling threads lease scratch from a
+// mutex-guarded pool. Calling RunBatch from inside one of the service's own
+// pool tasks is safe: it detects the re-entrancy and executes inline
+// instead of deadlocking. Blocking on a Submit() future from inside a pool
+// task is NOT safe (the task would wait on work queued behind itself).
 #ifndef SIMSUB_SERVICE_QUERY_SERVICE_H_
 #define SIMSUB_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "algo/search.h"
 #include "engine/engine.h"
 #include "service/planner.h"
+#include "service/query_spec.h"
 #include "similarity/measure.h"
 #include "util/thread_pool.h"
 
@@ -40,8 +56,8 @@ class CorpusSnapshot;
 
 namespace simsub::service {
 
-/// One query in a batch. The points span must stay valid until the batch
-/// call returns.
+/// One query in a pre-resolved batch (RunBatch with a caller-owned search).
+/// The points span must stay valid until the batch call returns.
 struct BatchQuery {
   std::span<const geo::Point> points;
   int k = 10;
@@ -65,10 +81,20 @@ struct ServiceOptions {
   QueryPlanner::Options planner;
 };
 
-/// Cumulative serving statistics.
+/// Cumulative serving statistics (a coherent-enough snapshot of relaxed
+/// atomic counters; safe to take while batches are running).
 struct ServiceStats {
+  /// Requests that executed to completion (status OK).
   int64_t queries_served = 0;
   int64_t batches_served = 0;
+  /// Requests answered without running: expired in the queue, cancelled
+  /// before/while running, or rejected by spec validation / the registries.
+  int64_t deadline_expired = 0;
+  int64_t cancelled = 0;
+  int64_t rejected = 0;
+  /// QuerySpec resolutions: cache hits vs full registry constructions.
+  int64_t spec_cache_hits = 0;
+  int64_t spec_cache_misses = 0;
   /// Evaluator scratch reuses vs fresh allocations across all workers.
   int64_t evaluator_reuses = 0;
   int64_t evaluator_allocs = 0;
@@ -103,38 +129,129 @@ class QueryService {
   const QueryPlanner& planner() const { return planner_; }
   util::ThreadPool& pool() { return *pool_; }
 
+  /// Enqueues one declarative request; the future resolves to its report
+  /// once a worker has executed (or refused) it. Never throws for bad
+  /// specs: unknown measure/algorithm names, invalid parameters, empty
+  /// points or k <= 0 come back as an InvalidArgument-status report, an
+  /// expired deadline as DeadlineExceeded, a tripped cancel flag as
+  /// Cancelled. `spec.points` (and `spec.cancel`, when set) must outlive
+  /// the future's resolution; the rest of the spec is copied.
+  std::future<engine::QueryReport> Submit(const QuerySpec& spec);
+
+  /// Submits every spec and returns their futures in order (futures[i]
+  /// answers specs[i]). Results are bit-identical to calling RunOne on each
+  /// spec sequentially, whatever the worker count.
+  std::vector<std::future<engine::QueryReport>> SubmitBatch(
+      std::span<const QuerySpec> specs);
+
+  /// Resolves and executes one spec inline on the calling thread (no pool
+  /// hop, queue_seconds == 0); the reference semantics for Submit.
+  engine::QueryReport RunOne(const QuerySpec& spec);
+
   /// Executes `queries` concurrently on the worker pool with `search` as
-  /// the per-trajectory algorithm. results[i] answers queries[i]; each
-  /// report carries the filter used, the planner's selectivity estimate,
-  /// and the per-query latency in `seconds`.
+  /// the per-trajectory algorithm — the pre-resolved escape hatch for
+  /// callers that constructed their own search. results[i] answers
+  /// queries[i]; each report carries the filter used, the planner's
+  /// selectivity estimate, and the per-query latency in `seconds`.
   std::vector<engine::QueryReport> RunBatch(
       std::span<const BatchQuery> queries,
       const algo::SubtrajectorySearch& search);
 
-  /// Plans and executes one query inline on the calling thread (no pool
-  /// hop); the reference semantics for RunBatch.
+  /// Plans and executes one pre-resolved query inline on the calling
+  /// thread; the reference semantics for RunBatch.
   engine::QueryReport RunOne(const BatchQuery& query,
                              const algo::SubtrajectorySearch& search);
 
-  /// Snapshot of the cumulative counters (not thread-safe against a
-  /// concurrently running batch).
+  /// Snapshot of the cumulative counters. Safe to call at any time,
+  /// including while batches are running on other threads.
   ServiceStats stats() const;
 
+  /// Number of distinct (measure, algorithm) pairs currently cached.
+  size_t resolved_cache_size() const;
+
+  /// Cap on distinct cached (measure, algorithm) resolutions; reaching it
+  /// flushes the cache (guards knob-sweeping clients — every distinct
+  /// option value is its own entry — without an LRU). Specs carrying an
+  /// in-memory SearchOptions::rls_policy pointer are never cached at all:
+  /// a freed-and-reused address must not serve a stale policy.
+  static constexpr size_t kMaxResolvedSpecs = 256;
+
  private:
+  /// A resolved (measure, search) pair, immutable once constructed and
+  /// shared by every request with the same measure/algorithm configuration.
+  /// `search` is null in topk_mode (the "topk-sub" engine path) and for
+  /// the non-shareable "random-s" (fresh instance per execution).
+  struct Resolved {
+    std::unique_ptr<similarity::SimilarityMeasure> measure;
+    std::unique_ptr<algo::SubtrajectorySearch> search;
+    bool topk_mode = false;
+    bool per_execution_search = false;  // "random-s"
+    algo::SearchOptions search_options;  // for per_execution_search rebuilds
+    std::string algorithm;
+  };
+
+  /// Relaxed atomic twins of ServiceStats (see stats()).
+  struct AtomicStats {
+    std::atomic<int64_t> queries_served{0};
+    std::atomic<int64_t> batches_served{0};
+    std::atomic<int64_t> deadline_expired{0};
+    std::atomic<int64_t> cancelled{0};
+    std::atomic<int64_t> rejected{0};
+    std::atomic<int64_t> spec_cache_hits{0};
+    std::atomic<int64_t> spec_cache_misses{0};
+    std::atomic<int64_t> plans_none{0};
+    std::atomic<int64_t> plans_rtree{0};
+    std::atomic<int64_t> plans_grid{0};
+    std::atomic<int64_t> lb_skipped{0};
+    std::atomic<int64_t> dp_abandoned{0};
+  };
+
+  /// Validates + resolves through the per-service cache.
+  util::Result<std::shared_ptr<const Resolved>> ResolveSpec(
+      const QuerySpec& spec);
+
+  /// The full request lifecycle minus queueing: deadline/cancel checks,
+  /// resolution, planning, execution, stats. `submitted` is when the
+  /// request entered the service (Submit time, or now for RunOne).
+  engine::QueryReport ServeSpec(
+      const QuerySpec& spec,
+      std::chrono::steady_clock::time_point submitted);
+
+  engine::QueryReport ExecuteSpec(const QuerySpec& spec,
+                                  const Resolved& resolved,
+                                  similarity::EvaluatorCache& scratch);
+
   engine::QueryReport Execute(const BatchQuery& query,
                               const algo::SubtrajectorySearch& search,
                               similarity::EvaluatorCache& scratch);
   void CountPlan(engine::PruningFilter filter);
+  void CountReport(const engine::QueryReport& report);
+
+  /// Scratch for the calling thread: the worker's own slot on a pool
+  /// thread, otherwise a leased cache returned by the RAII lease below.
+  similarity::EvaluatorCache* AcquireCallerScratch();
+  void ReleaseCallerScratch(similarity::EvaluatorCache* scratch);
+  struct ScratchLease;
 
   engine::SimSubEngine engine_;
   ServiceOptions options_;
   QueryPlanner planner_;
   std::unique_ptr<util::ThreadPool> pool_;
-  /// One cache per pool worker plus one for the calling thread (RunOne and
-  /// the inline fallback), indexed by ThreadPool::WorkerIndex() with -1
-  /// mapping to the last slot.
+  /// One cache per pool worker, indexed by ThreadPool::WorkerIndex(); pool
+  /// workers run one task at a time, so each slot stays single-threaded.
   std::vector<similarity::EvaluatorCache> worker_scratch_;
-  ServiceStats stats_;
+  /// Leased caches for foreign calling threads (RunOne from N dispatcher
+  /// threads at once): `caller_scratch_` owns every cache ever created
+  /// (stable addresses; also the stats() enumeration), `free_` holds the
+  /// currently leasable ones.
+  mutable std::mutex scratch_mu_;
+  std::vector<std::unique_ptr<similarity::EvaluatorCache>> caller_scratch_;
+  std::vector<similarity::EvaluatorCache*> caller_scratch_free_;
+
+  mutable std::mutex resolved_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Resolved>> resolved_;
+
+  AtomicStats stats_;
 };
 
 }  // namespace simsub::service

@@ -40,17 +40,17 @@ PrefixEvaluator* EvaluatorCache::Acquire(const SimilarityMeasure& measure,
     // evaluator outright so the worker's footprint tracks its workload.
     bool oversized = query.size() * kShrinkFactor < slot.high_water;
     if (!oversized && slot.evaluator->Reset(query)) {
-      ++reuse_count_;
+      reuse_count_.fetch_add(1, std::memory_order_relaxed);
       slot.high_water = std::max(slot.high_water, query.size());
     } else {
       slot.evaluator = measure.NewEvaluator(query);
       slot.high_water = query.size();
-      ++alloc_count_;
+      alloc_count_.fetch_add(1, std::memory_order_relaxed);
     }
     return slot.evaluator.get();
   }
   slots_.push_back(Slot{&measure, measure.NewEvaluator(query), query.size()});
-  ++alloc_count_;
+  alloc_count_.fetch_add(1, std::memory_order_relaxed);
   return slots_.back().evaluator.get();
 }
 

@@ -13,6 +13,7 @@
 #ifndef SIMSUB_SIMILARITY_MEASURE_H_
 #define SIMSUB_SIMILARITY_MEASURE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -137,15 +138,20 @@ class SimilarityMeasure {
 /// (first use, measure that does not support Reset, or a different measure
 /// object). NOT thread-safe: each worker owns its own cache. The returned
 /// pointer stays valid until the next Acquire() for the same measure or the
-/// cache is destroyed.
+/// cache is destroyed. The reuse/alloc counters alone are atomic, so a
+/// monitoring thread may read them while the owning worker runs.
 class EvaluatorCache {
  public:
   PrefixEvaluator* Acquire(const SimilarityMeasure& measure,
                            std::span<const geo::Point> query);
 
   /// Successful Reset() reuses vs fresh NewEvaluator() allocations.
-  int64_t reuse_count() const { return reuse_count_; }
-  int64_t alloc_count() const { return alloc_count_; }
+  int64_t reuse_count() const {
+    return reuse_count_.load(std::memory_order_relaxed);
+  }
+  int64_t alloc_count() const {
+    return alloc_count_.load(std::memory_order_relaxed);
+  }
 
   /// Queries at least this factor smaller than the largest query a cached
   /// evaluator has served cause a fresh allocation instead of a Reset, so a
@@ -161,8 +167,8 @@ class EvaluatorCache {
     size_t high_water = 0;
   };
   std::vector<Slot> slots_;
-  int64_t reuse_count_ = 0;
-  int64_t alloc_count_ = 0;
+  std::atomic<int64_t> reuse_count_{0};
+  std::atomic<int64_t> alloc_count_{0};
 };
 
 /// Returns an evaluator for `query`: rebound from `scratch` when a cache is

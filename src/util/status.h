@@ -21,6 +21,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kIOError,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Returns a short human-readable name for a status code ("OK", "IOError"...).
@@ -55,6 +57,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,143 @@
+// Registry error paths and round-trip construction: every name listed for
+// --help must construct, unknown names and bad parameters must come back as
+// InvalidArgument (never a crash), and the RLS names must reject policies
+// that contradict them. Also covers the similarity::MakeMeasure side, which
+// the serving layer resolves through the same QuerySpec path.
+#include "algo/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/generator.h"
+#include "rl/trainer.h"
+#include "similarity/dtw.h"
+#include "similarity/registry.h"
+
+namespace simsub::algo {
+namespace {
+
+similarity::DtwMeasure kDtw;
+
+rl::TrainedPolicy TrainTinyPolicy(int skip_count) {
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetKind::kPorto, 10, 611);
+  rl::RlsTrainOptions options;
+  options.episodes = 5;
+  options.env.skip_count = skip_count;
+  options.seed = 612;
+  rl::RlsTrainer trainer(&kDtw, options);
+  return trainer.Train(dataset.trajectories, dataset.trajectories);
+}
+
+TEST(SearchRegistryTest, UnknownNameIsInvalidArgument) {
+  auto result = MakeSearch("bogus", &kDtw);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SearchRegistryTest, NullMeasureIsInvalidArgument) {
+  auto result = MakeSearch("exacts", nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SearchRegistryTest, BadParametersAreInvalidArgument) {
+  SearchOptions bad_xi;
+  bad_xi.sizes_xi = -1;
+  EXPECT_EQ(MakeSearch("sizes", &kDtw, bad_xi).status().code(),
+            util::StatusCode::kInvalidArgument);
+
+  SearchOptions bad_delay;
+  bad_delay.posd_delay = -2;
+  EXPECT_EQ(MakeSearch("pos-d", &kDtw, bad_delay).status().code(),
+            util::StatusCode::kInvalidArgument);
+
+  SearchOptions bad_samples;
+  bad_samples.random_s_samples = 0;
+  EXPECT_EQ(MakeSearch("random-s", &kDtw, bad_samples).status().code(),
+            util::StatusCode::kInvalidArgument);
+
+  SearchOptions bad_band;
+  bad_band.band_fraction = 0.0;
+  EXPECT_EQ(MakeSearch("spring", &kDtw, bad_band).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeSearch("ucr", &kDtw, bad_band).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(SearchRegistryTest, SpringAndUcrRejectNonDtwMeasures) {
+  auto frechet = similarity::MakeMeasure("frechet");
+  ASSERT_TRUE(frechet.ok());
+  EXPECT_EQ(MakeSearch("spring", frechet->get()).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeSearch("ucr", frechet->get()).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(SearchRegistryTest, RlsWithoutPolicyIsInvalidArgument) {
+  EXPECT_EQ(MakeSearch("rls", &kDtw).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeSearch("rls-skip", &kDtw).status().code(),
+            util::StatusCode::kInvalidArgument);
+
+  SearchOptions missing_file;
+  missing_file.rls_policy_path = "/nonexistent/policy.txt";
+  EXPECT_FALSE(MakeSearch("rls", &kDtw, missing_file).ok());
+}
+
+TEST(SearchRegistryTest, RlsNamesRejectContradictingPolicies) {
+  rl::TrainedPolicy plain = TrainTinyPolicy(/*skip_count=*/0);
+  rl::TrainedPolicy skip = TrainTinyPolicy(/*skip_count=*/3);
+
+  SearchOptions with_plain;
+  with_plain.rls_policy = &plain;
+  SearchOptions with_skip;
+  with_skip.rls_policy = &skip;
+
+  // Matching name/policy pairs construct...
+  EXPECT_TRUE(MakeSearch("rls", &kDtw, with_plain).ok());
+  EXPECT_TRUE(MakeSearch("rls-skip", &kDtw, with_skip).ok());
+  // ... mismatched ones are rejected, not silently renamed.
+  EXPECT_EQ(MakeSearch("rls", &kDtw, with_skip).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeSearch("rls-skip", &kDtw, with_plain).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(SearchRegistryTest, EveryListedNameConstructsWithValidOptions) {
+  rl::TrainedPolicy plain = TrainTinyPolicy(/*skip_count=*/0);
+  rl::TrainedPolicy skip = TrainTinyPolicy(/*skip_count=*/3);
+  for (const std::string& name : BuiltinSearchNames()) {
+    SearchOptions options;
+    options.rls_policy = name == "rls-skip" ? &skip : &plain;
+    auto result = MakeSearch(name, &kDtw, options);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_NE(result->get(), nullptr) << name;
+  }
+}
+
+TEST(SearchRegistryTest, ExactAliasResolves) {
+  auto canonical = MakeSearch("exacts", &kDtw);
+  auto alias = MakeSearch("exact", &kDtw);
+  ASSERT_TRUE(canonical.ok());
+  ASSERT_TRUE(alias.ok());
+  EXPECT_EQ((*canonical)->name(), (*alias)->name());
+}
+
+TEST(MeasureRegistryTest, UnknownNameIsInvalidArgument) {
+  auto result = similarity::MakeMeasure("bogus");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(MeasureRegistryTest, EveryListedNameConstructs) {
+  for (const std::string& name : similarity::BuiltinMeasureNames()) {
+    auto result = similarity::MakeMeasure(name);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_EQ((*result)->name(), name);
+  }
+}
+
+}  // namespace
+}  // namespace simsub::algo

@@ -18,6 +18,14 @@ namespace {
 
 similarity::DtwMeasure kDtw;
 
+QueryReport RunQuery(const SimSubEngine& engine, std::span<const geo::Point> query,
+                const algo::SubtrajectorySearch& search, int k, int threads) {
+  QueryOptions options;
+  options.k = k;
+  options.threads = threads;
+  return engine.Query(query, search, options);
+}
+
 // Database of `copies` identical trajectories (distinct ids) plus a few
 // distinct decoys: every copy ties at distance 0 against the copy-query.
 std::vector<geo::Trajectory> TiedDatabase(int copies) {
@@ -56,8 +64,7 @@ TEST(EngineDeterminismTest, TiedEntriesKeepSmallestIdsAtAnyThreadCount) {
   // smallest under the total order — however the scan is partitioned.
   std::span<const geo::Point> query = db[0].View();
   for (int threads : {1, 2, 3, 8}) {
-    QueryReport report = engine.Query(query, exact, 3,
-                                      PruningFilter::kNone, 0.0, threads);
+    QueryReport report = RunQuery(engine, query, exact, 3, threads);
     ASSERT_EQ(report.results.size(), 3u) << "threads=" << threads;
     for (int i = 0; i < 3; ++i) {
       EXPECT_EQ(report.results[static_cast<size_t>(i)].trajectory_id, 100 + i)
@@ -73,11 +80,9 @@ TEST(EngineDeterminismTest, RepeatedParallelQueriesAreIdentical) {
   SimSubEngine engine(db);
   algo::ExactS exact(&kDtw);
   std::span<const geo::Point> query = db[0].View();
-  QueryReport first = engine.Query(query, exact, 5, PruningFilter::kNone,
-                                   0.0, 4);
+  QueryReport first = RunQuery(engine, query, exact, 5, 4);
   for (int run = 0; run < 5; ++run) {
-    QueryReport again = engine.Query(query, exact, 5, PruningFilter::kNone,
-                                     0.0, 4);
+    QueryReport again = RunQuery(engine, query, exact, 5, 4);
     ASSERT_EQ(again.results.size(), first.results.size()) << "run " << run;
     for (size_t i = 0; i < first.results.size(); ++i) {
       EXPECT_EQ(again.results[i].trajectory_id,
@@ -92,8 +97,7 @@ TEST(EngineDeterminismTest, ResultsAscendUnderTheTotalOrder) {
   std::vector<geo::Trajectory> db = TiedDatabase(5);
   SimSubEngine engine(db);
   algo::ExactS exact(&kDtw);
-  QueryReport report =
-      engine.Query(db[0].View(), exact, 9, PruningFilter::kNone, 0.0, 2);
+  QueryReport report = RunQuery(engine, db[0].View(), exact, 9, 2);
   for (size_t i = 1; i < report.results.size(); ++i) {
     EXPECT_TRUE(EntryBetter(report.results[i - 1], report.results[i]))
         << "entries " << i - 1 << " and " << i;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 
 #include "algo/exacts.h"
@@ -17,12 +18,22 @@ data::Dataset SmallDataset() {
   return data::GenerateDataset(data::DatasetKind::kPorto, 25, 2025);
 }
 
+QueryReport RunQuery(const SimSubEngine& engine, std::span<const geo::Point> query,
+                const algo::SubtrajectorySearch& search, int k,
+                PruningFilter filter = PruningFilter::kNone, int threads = 1) {
+  QueryOptions options;
+  options.k = k;
+  options.filter = filter;
+  options.threads = threads;
+  return engine.Query(query, search, options);
+}
+
 TEST(EngineTest, TopKOrderedAscending) {
   data::Dataset d = SmallDataset();
   SimSubEngine engine(d.trajectories);
   algo::ExactS exact(&kDtw);
   const auto& query = d.trajectories[0];
-  auto report = engine.Query(query.View(), exact, 5, /*use_index=*/false);
+  auto report = RunQuery(engine, query.View(), exact, 5);
   ASSERT_LE(report.results.size(), 5u);
   ASSERT_GE(report.results.size(), 1u);
   for (size_t i = 1; i < report.results.size(); ++i) {
@@ -30,13 +41,14 @@ TEST(EngineTest, TopKOrderedAscending) {
   }
   EXPECT_EQ(report.trajectories_scanned, 25);
   EXPECT_EQ(report.trajectories_pruned, 0);
+  EXPECT_TRUE(report.status.ok());
 }
 
 TEST(EngineTest, TopKEntriesComeFromDistinctTrajectories) {
   data::Dataset d = SmallDataset();
   SimSubEngine engine(d.trajectories);
   algo::ExactS exact(&kDtw);
-  auto report = engine.Query(d.trajectories[3].View(), exact, 10, false);
+  auto report = RunQuery(engine, d.trajectories[3].View(), exact, 10);
   std::set<int64_t> ids;
   for (const auto& e : report.results) {
     EXPECT_TRUE(ids.insert(e.trajectory_id).second);
@@ -47,7 +59,7 @@ TEST(EngineTest, KLargerThanDatabase) {
   data::Dataset d = SmallDataset();
   SimSubEngine engine(d.trajectories);
   algo::ExactS exact(&kDtw);
-  auto report = engine.Query(d.trajectories[0].View(), exact, 100, false);
+  auto report = RunQuery(engine, d.trajectories[0].View(), exact, 100);
   EXPECT_EQ(report.results.size(), 25u);
 }
 
@@ -58,8 +70,8 @@ TEST(EngineTest, IndexPrunesWithoutChangingTopWhenMarginLarge) {
   ASSERT_TRUE(engine.has_index());
   algo::ExactS exact(&kDtw);
   const auto& query = d.trajectories[7];
-  auto no_index = engine.Query(query.View(), exact, 3, false);
-  auto with_index = engine.Query(query.View(), exact, 3, true);
+  auto no_index = RunQuery(engine, query.View(), exact, 3);
+  auto with_index = RunQuery(engine, query.View(), exact, 3, PruningFilter::kRTree);
   // The paper observes the R-tree filter may drop true answers, but the
   // top-1 for a query drawn from the dataset itself overlaps its own MBR.
   ASSERT_FALSE(with_index.results.empty());
@@ -76,8 +88,8 @@ TEST(EngineTest, IndexedSubsetOfScanResults) {
   engine.BuildIndex();
   algo::ExactS exact(&kDtw);
   const auto& query = d.trajectories[11];
-  auto all = engine.Query(query.View(), exact, 25, false);
-  auto indexed = engine.Query(query.View(), exact, 25, true);
+  auto all = RunQuery(engine, query.View(), exact, 25);
+  auto indexed = RunQuery(engine, query.View(), exact, 25, PruningFilter::kRTree);
   // Every indexed result must also appear in the full scan with the same
   // distance.
   for (const auto& e : indexed.results) {
@@ -96,8 +108,10 @@ TEST(EngineTest, ReportsTiming) {
   data::Dataset d = SmallDataset();
   SimSubEngine engine(d.trajectories);
   algo::ExactS exact(&kDtw);
-  auto report = engine.Query(d.trajectories[0].View(), exact, 1, false);
+  auto report = RunQuery(engine, d.trajectories[0].View(), exact, 1);
   EXPECT_GT(report.seconds, 0.0);
+  // Queue time is a service-layer concept; direct engine calls report none.
+  EXPECT_EQ(report.queue_seconds, 0.0);
 }
 
 TEST(EngineTest, TotalPoints) {
@@ -113,8 +127,8 @@ TEST(EngineTest, InvertedGridFilterPrunesAndFindsSelf) {
   ASSERT_TRUE(engine.has_inverted_index());
   algo::ExactS exact(&kDtw);
   const auto& query = d.trajectories[5];
-  auto report = engine.Query(query.View(), exact, 3,
-                             PruningFilter::kInvertedGrid);
+  auto report =
+      RunQuery(engine, query.View(), exact, 3, PruningFilter::kInvertedGrid);
   ASSERT_FALSE(report.results.empty());
   // The query is a database trajectory; it must survive its own filter and
   // rank first.
@@ -122,20 +136,37 @@ TEST(EngineTest, InvertedGridFilterPrunesAndFindsSelf) {
   EXPECT_EQ(report.trajectories_scanned + report.trajectories_pruned, 25);
 }
 
-TEST(EngineTest, FilterEnumMatchesBoolOverload) {
+TEST(EngineTest, PreCancelledQueryStopsBeforeScanning) {
   data::Dataset d = SmallDataset();
   SimSubEngine engine(d.trajectories);
-  engine.BuildIndex();
+  algo::ExactS exact(&kDtw);
+  std::atomic<bool> cancel{true};
+  QueryOptions options;
+  options.k = 5;
+  options.cancel = &cancel;
+  auto report = engine.Query(d.trajectories[0].View(), exact, options);
+  EXPECT_EQ(report.status.code(), util::StatusCode::kCancelled);
+  EXPECT_EQ(report.trajectories_scanned, 0);
+  EXPECT_TRUE(report.results.empty());
+}
+
+TEST(EngineTest, UncancelledFlagLeavesResultsIntact) {
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
   algo::ExactS exact(&kDtw);
   const auto& query = d.trajectories[2];
-  auto via_bool = engine.Query(query.View(), exact, 5, /*use_index=*/true);
-  auto via_enum = engine.Query(query.View(), exact, 5, PruningFilter::kRTree);
-  ASSERT_EQ(via_bool.results.size(), via_enum.results.size());
-  for (size_t i = 0; i < via_bool.results.size(); ++i) {
-    EXPECT_EQ(via_bool.results[i].trajectory_id,
-              via_enum.results[i].trajectory_id);
-    EXPECT_DOUBLE_EQ(via_bool.results[i].distance,
-                     via_enum.results[i].distance);
+  std::atomic<bool> cancel{false};
+  QueryOptions options;
+  options.k = 5;
+  options.cancel = &cancel;
+  auto with_flag = engine.Query(query.View(), exact, options);
+  auto without = RunQuery(engine, query.View(), exact, 5);
+  EXPECT_TRUE(with_flag.status.ok());
+  ASSERT_EQ(with_flag.results.size(), without.results.size());
+  for (size_t i = 0; i < without.results.size(); ++i) {
+    EXPECT_EQ(with_flag.results[i].trajectory_id,
+              without.results[i].trajectory_id);
+    EXPECT_EQ(with_flag.results[i].distance, without.results[i].distance);
   }
 }
 
@@ -144,10 +175,10 @@ TEST(EngineTest, ParallelScanMatchesSequential) {
   SimSubEngine engine(d.trajectories);
   algo::ExactS exact(&kDtw);
   const auto& query = d.trajectories[9];
-  auto seq = engine.Query(query.View(), exact, 8, PruningFilter::kNone,
-                          /*index_margin=*/0.0, /*threads=*/1);
-  auto par = engine.Query(query.View(), exact, 8, PruningFilter::kNone,
-                          /*index_margin=*/0.0, /*threads=*/4);
+  auto seq = RunQuery(engine, query.View(), exact, 8, PruningFilter::kNone,
+                 /*threads=*/1);
+  auto par = RunQuery(engine, query.View(), exact, 8, PruningFilter::kNone,
+                 /*threads=*/4);
   EXPECT_EQ(seq.trajectories_scanned, par.trajectories_scanned);
   ASSERT_EQ(seq.results.size(), par.results.size());
   for (size_t i = 0; i < seq.results.size(); ++i) {
@@ -183,7 +214,7 @@ TEST(EngineTest, SubtrajectoryTopKTop1MatchesExactSearch) {
   SimSubEngine engine(d.trajectories);
   algo::ExactS exact(&kDtw);
   const auto& query = d.trajectories[8];
-  auto per_traj = engine.Query(query.View(), exact, 1, false);
+  auto per_traj = RunQuery(engine, query.View(), exact, 1);
   auto global = engine.QueryTopKSubtrajectories(query.View(), kDtw, 1);
   ASSERT_EQ(global.results.size(), 1u);
   EXPECT_EQ(global.results[0].trajectory_id, per_traj.results[0].trajectory_id);
@@ -208,10 +239,10 @@ TEST(EngineTest, ParallelWithFilterMatchesSequential) {
   engine.BuildInvertedIndex();
   algo::ExactS exact(&kDtw);
   const auto& query = d.trajectories[14];
-  auto seq = engine.Query(query.View(), exact, 5,
-                          PruningFilter::kInvertedGrid, 0.0, 1);
-  auto par = engine.Query(query.View(), exact, 5,
-                          PruningFilter::kInvertedGrid, 0.0, 3);
+  auto seq = RunQuery(engine, query.View(), exact, 5, PruningFilter::kInvertedGrid,
+                 /*threads=*/1);
+  auto par = RunQuery(engine, query.View(), exact, 5, PruningFilter::kInvertedGrid,
+                 /*threads=*/3);
   ASSERT_EQ(seq.results.size(), par.results.size());
   for (size_t i = 0; i < seq.results.size(); ++i) {
     EXPECT_EQ(seq.results[i].trajectory_id, par.results[i].trajectory_id);

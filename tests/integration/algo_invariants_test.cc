@@ -139,8 +139,10 @@ TEST(AlgoInvariantsTest, ExactSAgreesWithTopKSubtrajectoriesTop1) {
       engine::SimSubEngine engine(db);
       algo::ExactS exact(measure->get());
 
+      engine::QueryOptions top1;
+      top1.k = 1;
       engine::QueryReport trajectory_level =
-          engine.Query(query.View(), exact, 1, engine::PruningFilter::kNone);
+          engine.Query(query.View(), exact, top1);
       engine::QueryReport subtrajectory_level =
           engine.QueryTopKSubtrajectories(query.View(), *measure->get(), 1);
 
@@ -168,10 +170,15 @@ TEST(AlgoInvariantsTest, EngineResultsInvariantUnderThreadCount) {
       algo::ExactS exact(measure->get());
       engine::SimSubEngine engine(db);
 
-      engine::QueryReport sequential = engine.Query(
-          query.View(), exact, 5, engine::PruningFilter::kNone, 0.0, 1);
-      engine::QueryReport parallel = engine.Query(
-          query.View(), exact, 5, engine::PruningFilter::kNone, 0.0, 8);
+      engine::QueryOptions seq_options;
+      seq_options.k = 5;
+      seq_options.threads = 1;
+      engine::QueryOptions par_options = seq_options;
+      par_options.threads = 8;
+      engine::QueryReport sequential =
+          engine.Query(query.View(), exact, seq_options);
+      engine::QueryReport parallel =
+          engine.Query(query.View(), exact, par_options);
 
       ASSERT_EQ(sequential.results.size(), parallel.results.size()) << name;
       for (size_t i = 0; i < sequential.results.size(); ++i) {

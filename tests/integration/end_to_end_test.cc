@@ -101,7 +101,10 @@ TEST(EndToEndTest, EngineTopKWithTrainedRlsSkip) {
   engine::SimSubEngine engine(dataset.trajectories);
   engine.BuildIndex();
   auto query = dataset.trajectories[0];
-  auto report = engine.Query(query.View(), rls_skip, 10, /*use_index=*/true);
+  engine::QueryOptions query_options;
+  query_options.k = 10;
+  query_options.filter = engine::PruningFilter::kRTree;
+  auto report = engine.Query(query.View(), rls_skip, query_options);
   ASSERT_LE(report.results.size(), 10u);
   ASSERT_FALSE(report.results.empty());
   for (size_t i = 1; i < report.results.size(); ++i) {

@@ -1,26 +1,38 @@
 #!/usr/bin/env python3
-"""Bench-regression gate for BENCH_kernels-style JSON results.
+"""Bench-regression gate for the checked-in BENCH_*.json results.
 
-Compares the speedup ratios of freshly measured kernel-bench runs against a
+Compares the speedup ratios of freshly measured bench runs against a
 checked-in baseline and fails (exit 1) when any ratio regressed by more than
-the threshold. Only RATIOS are compared — scalar-vs-SoA and unpruned-vs-
-pruned from the same run on the same machine — so the gate is portable
+the threshold. Only RATIOS are compared — e.g. scalar-vs-SoA, or async-vs-
+sequential from the same run on the same machine — so the gate is portable
 across CI runner generations, unlike absolute ns/op numbers.
+
+The gate is suite-aware: every BENCH json names its suite in the top-level
+"bench" field, and SUITES below lists the gated ratios and identity bits per
+suite. Currently gated:
+  * "kernels"        (bench_kernels): SoA kernel speedups + the
+                     pruned==unpruned engine identity;
+  * "service_mixed"  (bench_service_mixed): mixed-spec async-vs-sequential
+                     speedup + the async==sequential identity.
+The baseline and every fresh run must come from the same suite; mixing
+suites is rejected, as is a quick/full workload mismatch.
 
 Noise handling:
   * the baseline and the fresh runs must use the same workload config
     (the `config.quick` flag) — quick-mode ratios are not comparable to
-    full-workload ones, so CI gates against BENCH_kernels_quick.json;
+    full-workload ones, so CI gates against the *_quick.json baselines;
   * --fresh may be given several times; each ratio takes the best value
     across the runs (run the cheap quick bench twice and single-run noise
-    mostly cancels), while the pruned==unpruned identity must hold in
-    EVERY run;
+    mostly cancels), while every identity bit must hold in EVERY run;
   * the threshold is deliberately generous (25%): a real regression (lost
-    autovectorization, broken pruning cascade) lands far below it.
+    autovectorization, broken pruning cascade, a serialized worker pool)
+    lands far below it.
 
 Usage:
   check_bench.py --baseline BENCH_kernels_quick.json \
       --fresh build/q1.json --fresh build/q2.json
+  check_bench.py --baseline BENCH_service_mixed_quick.json \
+      --fresh build/BENCH_service_mixed_quick.json
   check_bench.py --self-test --baseline BENCH_kernels.json
 
 --self-test exercises the gate itself: the baseline must pass against an
@@ -34,13 +46,33 @@ import copy
 import json
 import sys
 
-# (json path, human label) of every gated ratio. All are "bigger is better".
-CHECKED_RATIOS = [
-    (("distance_row", "speedup"), "distance row SoA speedup"),
-    (("squared_distance_row", "speedup"), "squared distance row SoA speedup"),
-    (("dtw_extend", "speedup"), "DTW extend SoA speedup"),
-    (("engine_topk", "speedup"), "engine top-k pruning speedup"),
-]
+# Per-suite gate definition. "ratios" are (json path, human label) pairs,
+# all "bigger is better"; "identities" are boolean paths that must be true
+# in every fresh run.
+SUITES = {
+    "kernels": {
+        "ratios": [
+            (("distance_row", "speedup"), "distance row SoA speedup"),
+            (("squared_distance_row", "speedup"),
+             "squared distance row SoA speedup"),
+            (("dtw_extend", "speedup"), "DTW extend SoA speedup"),
+            (("engine_topk", "speedup"), "engine top-k pruning speedup"),
+        ],
+        "identities": [
+            (("engine_topk", "pruned_identical_to_unpruned"),
+             "pruned results identical to unpruned"),
+        ],
+    },
+    "service_mixed": {
+        "ratios": [
+            (("speedup",), "mixed-spec async-vs-sequential speedup"),
+        ],
+        "identities": [
+            (("identical_to_sequential",),
+             "async results identical to sequential"),
+        ],
+    },
+}
 
 
 def lookup(doc, path):
@@ -52,29 +84,47 @@ def lookup(doc, path):
     return value
 
 
-def merge_best(fresh_docs):
+def suite_of(doc, fallback="kernels"):
+    # Pre-suite kernel baselines carry "bench": "kernels" already; the
+    # fallback only covers hand-rolled files with no bench field.
+    return doc.get("bench", fallback)
+
+
+def merge_best(suite, fresh_docs):
     """Folds several runs into one doc with the best value per gated ratio;
-    the pruning identity bit is AND-ed (it must hold in every run)."""
+    identity bits are AND-ed (they must hold in every run)."""
     merged = copy.deepcopy(fresh_docs[0])
     for doc in fresh_docs[1:]:
-        for path, _ in CHECKED_RATIOS:
+        for path, _ in suite["ratios"]:
             a = lookup(merged, path)
             b = lookup(doc, path)
             if a is not None and b is not None and b > a:
                 lookup(merged, path[:-1])[path[-1]] = b
-        identical = ("engine_topk", "pruned_identical_to_unpruned")
-        if lookup(doc, identical) is not True:
-            parent = lookup(merged, identical[:-1])
-            if isinstance(parent, dict):
-                parent[identical[-1]] = False
-            # else: merged lacks engine_topk entirely; check() reports the
-            # missing section as its own failure.
+        for path, _ in suite["identities"]:
+            if lookup(doc, path) is not True:
+                parent = lookup(merged, path[:-1])
+                if isinstance(parent, dict):
+                    parent[path[-1]] = False
+                # else: merged lacks the section entirely; check() reports
+                # the missing identity as its own failure.
     return merged
 
 
 def check(baseline, fresh, threshold):
     """Returns a list of failure strings (empty = gate passes)."""
     failures = []
+    base_suite = suite_of(baseline)
+    fresh_suite = suite_of(fresh)
+    if base_suite != fresh_suite:
+        failures.append(
+            f"suite mismatch: baseline is '{base_suite}', fresh is "
+            f"'{fresh_suite}' — gate each bench against its own baseline")
+        return failures
+    if base_suite not in SUITES:
+        failures.append(f"unknown bench suite '{base_suite}' — add it to "
+                        "SUITES in tools/check_bench.py")
+        return failures
+    suite = SUITES[base_suite]
     base_quick = lookup(baseline, ("config", "quick"))
     fresh_quick = lookup(fresh, ("config", "quick"))
     if base_quick != fresh_quick:
@@ -83,8 +133,9 @@ def check(baseline, fresh, threshold):
             f"quick={fresh_quick} — quick and full workloads have different "
             "expected ratios; gate against the matching baseline file")
         return failures
-    print(f"{'ratio':<36} {'baseline':>9} {'fresh':>9} {'rel':>7}  verdict")
-    for path, label in CHECKED_RATIOS:
+    print(f"suite: {base_suite}")
+    print(f"{'ratio':<40} {'baseline':>9} {'fresh':>9} {'rel':>7}  verdict")
+    for path, label in suite["ratios"]:
         base = lookup(baseline, path)
         new = lookup(fresh, path)
         if base is None:
@@ -95,21 +146,26 @@ def check(baseline, fresh, threshold):
             continue
         rel = new / base if base > 0 else float("inf")
         ok = rel >= 1.0 - threshold
-        print(f"{label:<36} {base:>8.2f}x {new:>8.2f}x {rel:>6.0%}  "
+        print(f"{label:<40} {base:>8.2f}x {new:>8.2f}x {rel:>6.0%}  "
               f"{'ok' if ok else 'REGRESSED'}")
         if not ok:
             failures.append(
                 f"{label} regressed: {base:.2f}x -> {new:.2f}x "
                 f"({rel:.0%} of baseline, floor is {1.0 - threshold:.0%})")
-    identical = lookup(fresh, ("engine_topk", "pruned_identical_to_unpruned"))
-    if identical is not True:
-        failures.append(
-            "engine_topk.pruned_identical_to_unpruned is not true in every "
-            "fresh run — the pruning cascade changed results")
+    for path, label in suite["identities"]:
+        if lookup(fresh, path) is not True:
+            failures.append(
+                f"{'.'.join(path)} is not true in every fresh run — "
+                f"{label} was violated")
     return failures
 
 
 def self_test(baseline, threshold):
+    suite_name = suite_of(baseline)
+    if suite_name not in SUITES:
+        print(f"self-test FAILED: unknown suite '{suite_name}'")
+        return 1
+    suite = SUITES[suite_name]
     ok_failures = check(baseline, copy.deepcopy(baseline), threshold)
     if ok_failures:
         print("self-test FAILED: baseline does not pass against itself:")
@@ -118,14 +174,21 @@ def self_test(baseline, threshold):
         return 1
 
     regressed = copy.deepcopy(baseline)
-    for path, _ in CHECKED_RATIOS:
+    for path, _ in suite["ratios"]:
         parent = lookup(regressed, path[:-1])
         parent[path[-1]] = parent[path[-1]] * 0.5
     print("\ninjecting a 50% regression into every ratio:")
     bad_failures = check(baseline, regressed, threshold)
-    if len(bad_failures) != len(CHECKED_RATIOS):
+    if len(bad_failures) != len(suite["ratios"]):
         print("self-test FAILED: injected regression was not caught "
-              f"({len(bad_failures)}/{len(CHECKED_RATIOS)} ratios flagged)")
+              f"({len(bad_failures)}/{len(suite['ratios'])} ratios flagged)")
+        return 1
+
+    broken = copy.deepcopy(baseline)
+    for path, _ in suite["identities"]:
+        lookup(broken, path[:-1])[path[-1]] = False
+    if len(check(baseline, broken, threshold)) != len(suite["identities"]):
+        print("self-test FAILED: violated identity bit was not caught")
         return 1
 
     mismatched = copy.deepcopy(baseline)
@@ -133,17 +196,18 @@ def self_test(baseline, threshold):
     if not check(baseline, mismatched, threshold):
         print("self-test FAILED: config mismatch was not rejected")
         return 1
-    print(f"\nself-test OK: identical copy passes, injected regression "
-          f"trips all {len(CHECKED_RATIOS)} checks, config mismatch rejected")
+    print(f"\nself-test OK ({suite_name}): identical copy passes, injected "
+          f"regression trips all {len(suite['ratios'])} ratios, broken "
+          "identity and config mismatch rejected")
     return 0
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
-                        help="checked-in baseline JSON (workload must match "
-                             "the fresh runs: BENCH_kernels_quick.json for "
-                             "--quick runs, BENCH_kernels.json otherwise)")
+                        help="checked-in baseline JSON (suite and workload "
+                             "must match the fresh runs: the *_quick.json "
+                             "baselines for --quick runs)")
     parser.add_argument("--fresh", action="append", default=[],
                         help="freshly measured BENCH json (repeatable; best "
                              "value per ratio wins)")
@@ -166,7 +230,8 @@ def main():
     for path in args.fresh:
         with open(path) as f:
             fresh_docs.append(json.load(f))
-    failures = check(baseline, merge_best(fresh_docs), args.threshold)
+    suite = SUITES.get(suite_of(baseline), SUITES["kernels"])
+    failures = check(baseline, merge_best(suite, fresh_docs), args.threshold)
     if failures:
         print("\nbench-regression gate FAILED:")
         for f in failures:

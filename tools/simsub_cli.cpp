@@ -7,19 +7,22 @@
 //   simsub_cli train    --data=city.csv --kind=porto --measure=dtw
 //                       --episodes=8000 --skip=3 --out=policy.txt
 //   simsub_cli query    --data=city.csv --kind=porto --measure=dtw
-//                       --policy=policy.txt --query_id=17 --topk=5
+//                       --algo=rls --policy=policy.txt --query_id=17 --topk=5
 //   simsub_cli query    --snapshot=city.snap --batch --batch_size=64
-//                       --threads=8 --plan=auto
+//                       --threads=8 --plan=auto --algo=pss --deadline_ms=50
 //
-// The query subcommand runs the chosen algorithm over the whole database
-// through the engine (R-tree pruned) and prints the top-k matches. With
-// --snapshot the database comes from a mmap'd columnar snapshot (see
-// data/snapshot.h) instead of a CSV parse: the engine's SoA reads are
-// zero-copy over the mapping and the MBR cache and planner statistics load
-// from the persisted sections. With --batch it samples a query workload and
-// serves it concurrently through service::QueryService (planner-chosen
-// pruning, persistent worker pool, reused evaluator scratch), printing
-// throughput and tail latency.
+// The query subcommand runs the chosen algorithm (--algo, any
+// algo::MakeSearch name plus "topk-sub") over the whole database through
+// the engine (R-tree pruned) and prints the top-k matches. With --snapshot
+// the database comes from a mmap'd columnar snapshot (see data/snapshot.h)
+// instead of a CSV parse: the engine's SoA reads are zero-copy over the
+// mapping and the MBR cache and planner statistics load from the persisted
+// sections. With --batch it samples a query workload, wraps every query in
+// a declarative service::QuerySpec (measure + algorithm names resolved and
+// cached inside the service, optional per-request --deadline_ms), serves it
+// through QueryService::SubmitBatch (planner-chosen pruning, persistent
+// worker pool, reused evaluator scratch), and prints throughput plus
+// queueing vs execution tail latency.
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -27,9 +30,7 @@
 
 #include <vector>
 
-#include "algo/exacts.h"
-#include "algo/rls.h"
-#include "algo/splitting.h"
+#include "algo/registry.h"
 #include "data/dataset.h"
 #include "data/generator.h"
 #include "data/snapshot.h"
@@ -38,6 +39,7 @@
 #include "rl/policy_io.h"
 #include "rl/trainer.h"
 #include "service/query_service.h"
+#include "service/query_spec.h"
 #include "similarity/registry.h"
 #include "util/flags.h"
 #include "util/stats.h"
@@ -169,7 +171,7 @@ int RunQuery(int argc, char** argv) {
   std::string snapshot_path;
   std::string kind_name = "porto";
   std::string measure_name = "dtw";
-  std::string algorithm = "exact";
+  std::string algo_name = "exacts";
   std::string policy_path;
   int64_t query_id = 0;
   int topk = 5;
@@ -179,6 +181,7 @@ int RunQuery(int argc, char** argv) {
   bool batch = false;
   int batch_size = 16;
   int64_t batch_seed = 7;
+  double deadline_ms = 0.0;
   std::string plan = "auto";
   util::FlagSet flags("simsub_cli query: top-k similar subtrajectory search");
   flags.AddString("data", &data_path, "database CSV");
@@ -187,8 +190,12 @@ int RunQuery(int argc, char** argv) {
                   "--data and serves the database over a mmap'd store");
   flags.AddString("kind", &kind_name, "porto | harbin | sports");
   flags.AddString("measure", &measure_name, "dtw | frechet | erp | ...");
-  flags.AddString("algorithm", &algorithm, "exact | pss | rls");
-  flags.AddString("policy", &policy_path, "trained policy (for --algorithm=rls)");
+  flags.AddString("algo", &algo_name,
+                  "exacts | sizes | pss | pos | pos-d | simtra | random-s | "
+                  "spring | ucr | rls | rls-skip | topk-sub");
+  flags.AddString("algorithm", &algo_name, "alias for --algo");
+  flags.AddString("policy", &policy_path,
+                  "trained policy (for --algo=rls / rls-skip)");
   flags.AddInt("query_id", &query_id, "trajectory id used as the query");
   flags.AddInt("topk", &topk, "number of results");
   flags.AddInt("threads", &threads,
@@ -198,9 +205,14 @@ int RunQuery(int argc, char** argv) {
                 "lower-bound pruning cascade (results are identical either "
                 "way; --prune=false measures the unpruned scan)");
   flags.AddBool("batch", &batch,
-                "serve a sampled query batch through the QueryService");
+                "serve a sampled query batch through the QueryService's "
+                "async QuerySpec API");
   flags.AddInt("batch_size", &batch_size, "queries per batch (with --batch)");
   flags.AddInt("batch_seed", &batch_seed, "batch sampling seed");
+  flags.AddDouble("deadline_ms", &deadline_ms,
+                  "per-request deadline for --batch; requests still queued "
+                  "past it return DeadlineExceeded instead of running "
+                  "(0 = none)");
   flags.AddString("plan", &plan,
                   "pruning filter for --batch: auto | none | rtree | grid");
   if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
@@ -218,27 +230,6 @@ int RunQuery(int argc, char** argv) {
     if (!loaded.ok()) return Fail(loaded.status());
     dataset = std::move(*loaded);
   }
-  auto measure = similarity::MakeMeasure(measure_name);
-  if (!measure.ok()) return Fail(measure.status());
-
-  std::unique_ptr<algo::SubtrajectorySearch> search;
-  if (algorithm == "exact") {
-    search = std::make_unique<algo::ExactS>(measure->get());
-  } else if (algorithm == "pss") {
-    search = std::make_unique<algo::PssSearch>(measure->get());
-  } else if (algorithm == "rls") {
-    if (policy_path.empty()) {
-      return Fail(util::Status::InvalidArgument(
-          "--algorithm=rls requires --policy"));
-    }
-    auto policy = rl::LoadPolicyFromFile(policy_path);
-    if (!policy.ok()) return Fail(policy.status());
-    search = std::make_unique<algo::RlsSearch>(measure->get(), *policy);
-  } else {
-    return Fail(util::Status::InvalidArgument("unknown algorithm: " +
-                                              algorithm));
-  }
-
   if (batch) {
     std::optional<engine::PruningFilter> filter_override;
     if (plan == "none") {
@@ -274,48 +265,94 @@ int RunQuery(int argc, char** argv) {
                       service_options);
     }
 
-    std::vector<service::BatchQuery> queries;
-    queries.reserve(workload.size());
+    // Every request is one declarative QuerySpec: the service resolves the
+    // measure/algorithm names through its registries (cached after the
+    // first request) and answers through a future.
+    std::vector<service::QuerySpec> specs;
+    specs.reserve(workload.size());
     for (const auto& pair : workload) {
-      queries.push_back(
-          service::BatchQuery{pair.query.View(), topk, filter_override});
+      service::QuerySpec spec;
+      spec.points = pair.query.View();
+      spec.measure = measure_name;
+      spec.algorithm = algo_name;
+      spec.algorithm_options.rls_policy_path = policy_path;
+      spec.k = topk;
+      spec.filter = filter_override;
+      spec.prune = prune;
+      spec.deadline_ms = deadline_ms;
+      specs.push_back(spec);
     }
 
     util::Stopwatch timer;
-    std::vector<engine::QueryReport> reports =
-        service->RunBatch(queries, *search);
+    std::vector<std::future<engine::QueryReport>> futures =
+        service->SubmitBatch(specs);
+    std::vector<engine::QueryReport> reports;
+    reports.reserve(futures.size());
+    for (auto& f : futures) reports.push_back(f.get());
     double wall = timer.ElapsedSeconds();
 
     std::vector<double> latencies_ms;
     for (size_t i = 0; i < reports.size(); ++i) {
       const auto& r = reports[i];
+      if (!r.status.ok()) {
+        std::printf("query %3zu (id %5lld): %s (queued %.2f ms)\n", i,
+                    static_cast<long long>(workload[i].query.id()),
+                    r.status.ToString().c_str(), r.queue_seconds * 1e3);
+        continue;
+      }
       latencies_ms.push_back(r.seconds * 1e3);
       std::printf(
           "query %3zu (id %5lld): plan=%-5s scanned %5lld pruned %5lld "
-          "%8.2f ms  best d=%.3f\n",
+          "queued %6.2f ms exec %8.2f ms  best d=%.3f\n",
           i, static_cast<long long>(workload[i].query.id()),
           engine::PruningFilterName(r.filter_used),
           static_cast<long long>(r.trajectories_scanned),
-          static_cast<long long>(r.trajectories_pruned), r.seconds * 1e3,
+          static_cast<long long>(r.trajectories_pruned),
+          r.queue_seconds * 1e3, r.seconds * 1e3,
           r.results.empty() ? -1.0 : r.results.front().distance);
     }
     service::ServiceStats stats = service->stats();
     std::printf(
-        "batch of %zu queries (%s/%s, pool=%d): %.1f ms wall, %.1f q/s, "
-        "p50 %.2f ms, p99 %.2f ms\n",
-        reports.size(), search->name().c_str(), measure_name.c_str(),
+        "batch of %zu specs (%s/%s, pool=%d): %.1f ms wall, %.1f q/s, "
+        "exec p50 %.2f ms, p99 %.2f ms\n",
+        reports.size(), algo_name.c_str(), measure_name.c_str(),
         service->pool().size(), wall * 1e3,
         wall > 0 ? static_cast<double>(reports.size()) / wall : 0.0,
         util::Quantile(latencies_ms, 0.5), util::Quantile(latencies_ms, 0.99));
     std::printf(
-        "plans: none=%lld rtree=%lld grid=%lld; evaluator scratch: "
-        "%lld reused / %lld allocated\n",
+        "served %lld, deadline-expired %lld, rejected %lld; plans: none=%lld "
+        "rtree=%lld grid=%lld; evaluator scratch: %lld reused / %lld "
+        "allocated\n",
+        static_cast<long long>(stats.queries_served),
+        static_cast<long long>(stats.deadline_expired),
+        static_cast<long long>(stats.rejected),
         static_cast<long long>(stats.plans_none),
         static_cast<long long>(stats.plans_rtree),
         static_cast<long long>(stats.plans_grid),
         static_cast<long long>(stats.evaluator_reuses),
         static_cast<long long>(stats.evaluator_allocs));
+    if (stats.rejected > 0) {
+      // Invalid specs (unknown measure/algorithm, bad parameters, missing
+      // policy) are per-request report statuses, but a batch that rejected
+      // anything must still fail the process for scripts keying off the
+      // exit code. Deadline expiry is an expected under-load outcome and
+      // does not fail the run.
+      std::fprintf(stderr, "error: %lld of %zu requests were rejected\n",
+                   static_cast<long long>(stats.rejected), reports.size());
+      return 1;
+    }
     return 0;
+  }
+
+  auto measure = similarity::MakeMeasure(measure_name);
+  if (!measure.ok()) return Fail(measure.status());
+  algo::SearchOptions search_options;
+  search_options.rls_policy_path = policy_path;
+  std::unique_ptr<algo::SubtrajectorySearch> search;
+  if (algo_name != "topk-sub") {
+    auto made = algo::MakeSearch(algo_name, measure->get(), search_options);
+    if (!made.ok()) return Fail(made.status());
+    search = std::move(*made);
   }
 
   geo::Trajectory query_copy;  // owned: the engine consumes the database
@@ -353,18 +390,25 @@ int RunQuery(int argc, char** argv) {
   engine::SimSubEngine& engine = *engine_storage;
   if (use_index) engine.BuildIndex();
   util::Stopwatch timer;
-  engine::QueryOptions query_options;
-  query_options.k = topk;
-  query_options.filter = use_index ? engine::PruningFilter::kRTree
-                                   : engine::PruningFilter::kNone;
-  query_options.threads = threads;
-  query_options.prune = prune;
-  engine::QueryReport report =
-      engine.Query(query_copy.View(), *search, query_options);
+  engine::PruningFilter filter = use_index ? engine::PruningFilter::kRTree
+                                           : engine::PruningFilter::kNone;
+  engine::QueryReport report;
+  if (algo_name == "topk-sub") {
+    report = engine.QueryTopKSubtrajectories(query_copy.View(),
+                                             *measure->get(), topk, filter);
+  } else {
+    engine::QueryOptions query_options;
+    query_options.k = topk;
+    query_options.filter = filter;
+    query_options.threads = threads;
+    query_options.prune = prune;
+    report = engine.Query(query_copy.View(), *search, query_options);
+  }
   std::printf(
       "%s/%s over %lld trajectories: %.1f ms (%lld scanned, %lld pruned, "
       "%lld lb-skipped, %lld dp-abandoned)\n",
-      search->name().c_str(), measure_name.c_str(),
+      search != nullptr ? search->name().c_str() : "topk-sub",
+      measure_name.c_str(),
       static_cast<long long>(engine.database().size()),
       timer.ElapsedMillis(),
       static_cast<long long>(report.trajectories_scanned),
