@@ -309,7 +309,7 @@ QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
 QueryReport SimSubEngine::QueryTopKSubtrajectories(
     std::span<const geo::Point> query,
     const similarity::SimilarityMeasure& measure, int k, PruningFilter filter,
-    int min_size) const {
+    int min_size, const std::atomic<bool>* cancel) const {
   SIMSUB_CHECK(!query.empty());
   SIMSUB_CHECK_GT(k, 0);
   util::Stopwatch timer;
@@ -321,6 +321,10 @@ QueryReport SimSubEngine::QueryTopKSubtrajectories(
                                static_cast<int64_t>(candidates.size());
   TopKHeap heap;
   for (int64_t ordinal : candidates) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      report.status = util::Status::Cancelled("query cancelled mid-scan");
+      break;
+    }
     const geo::Trajectory& traj = database_[static_cast<size_t>(ordinal)];
     if (traj.empty()) continue;
     ++report.trajectories_scanned;

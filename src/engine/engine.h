@@ -174,11 +174,15 @@ class SimSubEngine {
   /// subtrajectory of every candidate trajectory with the incremental
   /// evaluator and keeps the k best overall — a data trajectory may
   /// contribute several results. `min_size` filters near-duplicate
-  /// single-point answers (see algo::TopKExact).
+  /// single-point answers (see algo::TopKExact). `cancel` is the same
+  /// cooperative flag as QueryOptions::cancel: checked between per-
+  /// trajectory enumerations; once set, the scan stops and the report comes
+  /// back with status Cancelled and partial results.
   QueryReport QueryTopKSubtrajectories(
       std::span<const geo::Point> query,
       const similarity::SimilarityMeasure& measure, int k,
-      PruningFilter filter = PruningFilter::kNone, int min_size = 1) const;
+      PruningFilter filter = PruningFilter::kNone, int min_size = 1,
+      const std::atomic<bool>* cancel = nullptr) const;
 
   /// Cached per-trajectory MBRs (built at construction — tiny, and shared
   /// by the index builders and the cascade's O(1) bound).

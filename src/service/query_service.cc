@@ -8,6 +8,7 @@
 #include "data/snapshot.h"
 #include "similarity/registry.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace simsub::service {
 
@@ -171,7 +172,7 @@ size_t QueryService::resolved_cache_size() const {
 
 engine::QueryReport QueryService::ExecuteSpec(
     const QuerySpec& spec, const Resolved& resolved,
-    similarity::EvaluatorCache& scratch) {
+    similarity::EvaluatorCache* scratch) {
   PlanDecision plan;
   if (spec.filter.has_value()) {
     plan.filter = *spec.filter;
@@ -183,9 +184,11 @@ engine::QueryReport QueryService::ExecuteSpec(
 
   engine::QueryReport report;
   if (resolved.topk_mode) {
+    // Note: spec.prune does not apply here — the exhaustive subtrajectory
+    // enumeration has no lower-bound cascade (see QuerySpec::prune).
     report = engine_.QueryTopKSubtrajectories(spec.points, *resolved.measure,
                                               spec.k, plan.filter,
-                                              spec.min_size);
+                                              spec.min_size, spec.cancel);
   } else {
     const algo::SubtrajectorySearch* search = resolved.search.get();
     std::unique_ptr<algo::SubtrajectorySearch> fresh;
@@ -196,12 +199,13 @@ engine::QueryReport QueryService::ExecuteSpec(
       fresh = std::move(*made);
       search = fresh.get();
     }
+    SIMSUB_CHECK(scratch != nullptr);
     engine::QueryOptions eo;
     eo.k = spec.k;
     eo.filter = plan.filter;
     eo.index_margin = options_.index_margin;
     eo.threads = 1;  // inter-query parallelism only; the scan stays inline
-    eo.scratch = &scratch;
+    eo.scratch = scratch;
     eo.prune = options_.prune && spec.prune;
     eo.cancel = spec.cancel;
     report = engine_.Query(spec.points, *search, eo);
@@ -268,9 +272,13 @@ engine::QueryReport QueryService::ServeSpec(
   }
 
   double queue_seconds = report.queue_seconds;
-  {
+  if ((*resolved)->topk_mode) {
+    // The topk-sub engine path takes no evaluator cache: skip the lease
+    // (and its lock round-trip / possible allocation on foreign threads).
+    report = ExecuteSpec(spec, **resolved, nullptr);
+  } else {
     ScratchLease lease(*this);
-    report = ExecuteSpec(spec, **resolved, lease.get());
+    report = ExecuteSpec(spec, **resolved, &lease.get());
   }
   report.queue_seconds = queue_seconds;
 
@@ -278,8 +286,17 @@ engine::QueryReport QueryService::ServeSpec(
     stats_.queries_served.fetch_add(1, std::memory_order_relaxed);
     CountReport(report);
   } else {
-    // The only in-execution failure today is cooperative cancellation.
-    stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+    switch (report.status.code()) {
+      case util::StatusCode::kCancelled:
+        stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case util::StatusCode::kDeadlineExceeded:
+        stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        stats_.failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
   }
   return report;
 }
@@ -419,6 +436,7 @@ ServiceStats QueryService::stats() const {
       stats_.deadline_expired.load(std::memory_order_relaxed);
   out.cancelled = stats_.cancelled.load(std::memory_order_relaxed);
   out.rejected = stats_.rejected.load(std::memory_order_relaxed);
+  out.failed = stats_.failed.load(std::memory_order_relaxed);
   out.spec_cache_hits = stats_.spec_cache_hits.load(std::memory_order_relaxed);
   out.spec_cache_misses =
       stats_.spec_cache_misses.load(std::memory_order_relaxed);

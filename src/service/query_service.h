@@ -92,6 +92,9 @@ struct ServiceStats {
   int64_t deadline_expired = 0;
   int64_t cancelled = 0;
   int64_t rejected = 0;
+  /// Requests that started executing and came back with a non-OK status
+  /// other than Cancelled/DeadlineExceeded (those count above).
+  int64_t failed = 0;
   /// QuerySpec resolutions: cache hits vs full registry constructions.
   int64_t spec_cache_hits = 0;
   int64_t spec_cache_misses = 0;
@@ -134,8 +137,10 @@ class QueryService {
   /// specs: unknown measure/algorithm names, invalid parameters, empty
   /// points or k <= 0 come back as an InvalidArgument-status report, an
   /// expired deadline as DeadlineExceeded, a tripped cancel flag as
-  /// Cancelled. `spec.points` (and `spec.cancel`, when set) must outlive
-  /// the future's resolution; the rest of the spec is copied.
+  /// Cancelled. `spec.points`, `spec.cancel` (when set) and
+  /// `spec.algorithm_options.rls_policy` (when set — it is a raw pointer
+  /// read on the worker at resolve time, not deep-copied) must outlive the
+  /// future's resolution; the rest of the spec is copied.
   std::future<engine::QueryReport> Submit(const QuerySpec& spec);
 
   /// Submits every spec and returns their futures in order (futures[i]
@@ -197,6 +202,7 @@ class QueryService {
     std::atomic<int64_t> deadline_expired{0};
     std::atomic<int64_t> cancelled{0};
     std::atomic<int64_t> rejected{0};
+    std::atomic<int64_t> failed{0};
     std::atomic<int64_t> spec_cache_hits{0};
     std::atomic<int64_t> spec_cache_misses{0};
     std::atomic<int64_t> plans_none{0};
@@ -217,9 +223,11 @@ class QueryService {
       const QuerySpec& spec,
       std::chrono::steady_clock::time_point submitted);
 
+  /// `scratch` may be null only in topk_mode (whose engine path takes no
+  /// evaluator cache); the other paths require it.
   engine::QueryReport ExecuteSpec(const QuerySpec& spec,
                                   const Resolved& resolved,
-                                  similarity::EvaluatorCache& scratch);
+                                  similarity::EvaluatorCache* scratch);
 
   engine::QueryReport Execute(const BatchQuery& query,
                               const algo::SubtrajectorySearch& search,

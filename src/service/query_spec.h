@@ -24,9 +24,10 @@
 
 namespace simsub::service {
 
-/// One declarative query. The points span (and the cancel flag, when set)
-/// must stay valid until the request's future resolves; everything else is
-/// copied into the request.
+/// One declarative query. The points span, the cancel flag and the
+/// algorithm_options.rls_policy pointer (the latter two when set) must stay
+/// valid until the request's future resolves; everything else is copied
+/// into the request.
 struct QuerySpec {
   /// Query trajectory points (non-empty).
   std::span<const geo::Point> points;
@@ -51,7 +52,9 @@ struct QuerySpec {
   /// Explicit pruning filter; nullopt lets the planner decide per query.
   std::optional<engine::PruningFilter> filter;
   /// Per-request lower-bound-cascade toggle (AND-ed with the service-wide
-  /// ServiceOptions::prune; results are bit-identical either way).
+  /// ServiceOptions::prune; results are bit-identical either way). Does not
+  /// apply to "topk-sub": the exhaustive subtrajectory enumeration has no
+  /// lower-bound cascade to toggle.
   bool prune = true;
 
   /// Relative deadline in milliseconds, measured from Submit(). A request

@@ -1,10 +1,16 @@
 #include "similarity/measure.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/logging.h"
 
 namespace simsub::similarity {
+
+uint64_t SimilarityMeasure::NextIdentity() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 double ToSimilarity(double distance, SimilarityTransform transform) {
   switch (transform) {
@@ -33,8 +39,9 @@ double SimilarityMeasure::Distance(std::span<const geo::Point> a,
 PrefixEvaluator* EvaluatorCache::Acquire(const SimilarityMeasure& measure,
                                          std::span<const geo::Point> query) {
   SIMSUB_CHECK(!query.empty());
-  for (Slot& slot : slots_) {
-    if (slot.measure != &measure) continue;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.identity != measure.identity()) continue;
     // Reset() regrows DP rows but never returns their capacity; once the
     // query shrinks far below the slot's high-water mark, replace the
     // evaluator outright so the worker's footprint tracks its workload.
@@ -47,9 +54,19 @@ PrefixEvaluator* EvaluatorCache::Acquire(const SimilarityMeasure& measure,
       slot.high_water = query.size();
       alloc_count_.fetch_add(1, std::memory_order_relaxed);
     }
-    return slot.evaluator.get();
+    // LRU refresh: move the hit to the back so the front — evicted first at
+    // the cap — is always the least recently used slot, not merely the
+    // oldest-inserted one (a hot measure must survive a parameter sweep).
+    std::rotate(slots_.begin() + static_cast<ptrdiff_t>(i),
+                slots_.begin() + static_cast<ptrdiff_t>(i) + 1, slots_.end());
+    return slots_.back().evaluator.get();
   }
-  slots_.push_back(Slot{&measure, measure.NewEvaluator(query), query.size()});
+  // Identities are never reissued, so slots for dead measures can only be
+  // reclaimed by eviction: at the cap, the least recently used slot (front)
+  // goes first — under a parameter sweep that is exactly the dead one.
+  if (slots_.size() >= kMaxSlots) slots_.erase(slots_.begin());
+  slots_.push_back(
+      Slot{measure.identity(), measure.NewEvaluator(query), query.size()});
   alloc_count_.fetch_add(1, std::memory_order_relaxed);
   return slots_.back().evaluator.get();
 }

@@ -105,6 +105,16 @@ class SimilarityMeasure {
  public:
   virtual ~SimilarityMeasure() = default;
 
+  /// Process-unique identity token, minted at construction and never
+  /// reissued. Scratch caches (EvaluatorCache) key their slots by this
+  /// rather than the object address: an address can be handed to a brand-new
+  /// measure the moment this one is freed (ABA), and a slot matched on the
+  /// reused address would serve an evaluator built for the *old* measure's
+  /// type and parameters. Copies share the source's identity — a copy is
+  /// behaviorally identical (measures are immutable after construction), so
+  /// evaluators cached under the source remain valid for it.
+  uint64_t identity() const { return identity_; }
+
   /// Short identifier, e.g. "dtw", "frechet", "t2vec".
   virtual std::string name() const = 0;
 
@@ -128,6 +138,10 @@ class SimilarityMeasure {
   virtual DistanceAggregation aggregation() const {
     return DistanceAggregation::kOther;
   }
+
+ private:
+  static uint64_t NextIdentity();
+  uint64_t identity_ = NextIdentity();
 };
 
 /// Per-worker cache of PrefixEvaluators, one per measure, so the DP scratch
@@ -135,11 +149,17 @@ class SimilarityMeasure {
 ///
 /// Acquire() rebinds the cached evaluator via PrefixEvaluator::Reset() when
 /// possible and falls back to SimilarityMeasure::NewEvaluator() otherwise
-/// (first use, measure that does not support Reset, or a different measure
-/// object). NOT thread-safe: each worker owns its own cache. The returned
-/// pointer stays valid until the next Acquire() for the same measure or the
-/// cache is destroyed. The reuse/alloc counters alone are atomic, so a
-/// monitoring thread may read them while the owning worker runs.
+/// (first use, measure that does not support Reset, or a different measure).
+/// Slots are keyed by SimilarityMeasure::identity(), never by address, so a
+/// measure freed and replaced by a new allocation at the same address (the
+/// serving layer's resolved-spec cache does exactly this when flushed) can
+/// never match the dead measure's slot. NOT thread-safe: each worker owns
+/// its own cache. The returned pointer stays valid until the next Acquire()
+/// for the same measure, ANY Acquire() once the cache holds kMaxSlots
+/// measures (inserting a new slot then evicts the least recently used,
+/// destroying its evaluator), or the cache is destroyed. The reuse/alloc
+/// counters alone are atomic, so a monitoring thread may read them while
+/// the owning worker runs.
 class EvaluatorCache {
  public:
   PrefixEvaluator* Acquire(const SimilarityMeasure& measure,
@@ -153,15 +173,26 @@ class EvaluatorCache {
     return alloc_count_.load(std::memory_order_relaxed);
   }
 
+  /// Number of distinct measures currently holding a slot.
+  size_t slot_count() const { return slots_.size(); }
+
   /// Queries at least this factor smaller than the largest query a cached
   /// evaluator has served cause a fresh allocation instead of a Reset, so a
   /// long-lived worker that once saw a huge query doesn't pin its DP-row
   /// capacity forever (vectors never shrink on resize).
   static constexpr size_t kShrinkFactor = 4;
 
+  /// Cap on cached slots. Identity keys are never reused, so a client
+  /// sweeping measure parameters (each sweep step is a new measure, hence a
+  /// new identity) would otherwise strand one dead evaluator per step in
+  /// every worker forever; at the cap the least-recently-used slot is
+  /// evicted instead (Acquire hits refresh recency, so a hot measure
+  /// survives an interleaved sweep).
+  static constexpr size_t kMaxSlots = 32;
+
  private:
   struct Slot {
-    const SimilarityMeasure* measure = nullptr;
+    uint64_t identity = 0;
     std::unique_ptr<PrefixEvaluator> evaluator;
     /// Largest query size the current evaluator instance has been bound to.
     size_t high_water = 0;

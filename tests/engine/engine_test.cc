@@ -221,6 +221,34 @@ TEST(EngineTest, SubtrajectoryTopKTop1MatchesExactSearch) {
   EXPECT_DOUBLE_EQ(global.results[0].distance, per_traj.results[0].distance);
 }
 
+TEST(EngineTest, SubtrajectoryTopKHonorsCancelFlag) {
+  // The subtrajectory-level scan checks the cooperative flag between
+  // per-trajectory enumerations, same contract as QueryOptions::cancel on
+  // the regular scan — the serving layer's "topk-sub" path relies on it.
+  data::Dataset d = SmallDataset();
+  SimSubEngine engine(d.trajectories);
+  const auto& query = d.trajectories[4];
+  std::atomic<bool> cancel{true};
+  auto cancelled = engine.QueryTopKSubtrajectories(
+      query.View(), kDtw, 5, PruningFilter::kNone, /*min_size=*/1, &cancel);
+  EXPECT_EQ(cancelled.status.code(), util::StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.trajectories_scanned, 0);
+  EXPECT_TRUE(cancelled.results.empty());
+
+  // An untripped flag changes nothing.
+  cancel.store(false);
+  auto with_flag = engine.QueryTopKSubtrajectories(
+      query.View(), kDtw, 5, PruningFilter::kNone, /*min_size=*/1, &cancel);
+  auto without = engine.QueryTopKSubtrajectories(query.View(), kDtw, 5);
+  EXPECT_TRUE(with_flag.status.ok());
+  ASSERT_EQ(with_flag.results.size(), without.results.size());
+  for (size_t i = 0; i < without.results.size(); ++i) {
+    EXPECT_EQ(with_flag.results[i].trajectory_id,
+              without.results[i].trajectory_id);
+    EXPECT_EQ(with_flag.results[i].distance, without.results[i].distance);
+  }
+}
+
 TEST(EngineTest, SubtrajectoryTopKRespectsMinSize) {
   data::Dataset d = SmallDataset();
   SimSubEngine engine(d.trajectories);

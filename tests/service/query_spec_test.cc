@@ -316,17 +316,41 @@ TEST(QuerySpecTest, StatsAreReadableDuringARunningBatch) {
 
 TEST(QuerySpecTest, ResolvedCacheIsBoundedAgainstKnobSweeps) {
   // Every distinct option value mints its own cache key; a client sweeping
-  // a continuous knob must not grow service memory without limit.
+  // a continuous knob must not grow service memory without limit. The sweep
+  // also crosses the cache-flush boundary, which frees every cached measure:
+  // each result is checked against a cache-free reference so a scratch slot
+  // surviving a freed measure (address-reuse ABA) would be caught as a
+  // wrong distance, not just a green status.
   QueryService service = MakeService(1);
   QuerySpec spec;
   spec.points = service.engine().database()[0].View().first(3);
   spec.measure = "edr";
   spec.algorithm = "pss";
   spec.k = 1;
+  spec.filter = engine::PruningFilter::kNone;
   for (int i = 0; i < static_cast<int>(QueryService::kMaxResolvedSpecs) + 40;
        ++i) {
     spec.measure_options.edr_eps = 10.0 + i;
-    ASSERT_TRUE(service.RunOne(spec).status.ok());
+    engine::QueryReport got = service.RunOne(spec);
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+
+    auto measure = similarity::MakeMeasure(spec.measure, spec.measure_options);
+    ASSERT_TRUE(measure.ok());
+    auto search = algo::MakeSearch(spec.algorithm, measure->get(),
+                                   spec.algorithm_options);
+    ASSERT_TRUE(search.ok());
+    engine::QueryOptions eo;
+    eo.k = spec.k;
+    eo.filter = engine::PruningFilter::kNone;
+    engine::QueryReport want = service.engine().Query(spec.points, **search,
+                                                      eo);
+    ASSERT_EQ(got.results.size(), want.results.size()) << "eps step " << i;
+    for (size_t j = 0; j < want.results.size(); ++j) {
+      EXPECT_EQ(got.results[j].trajectory_id, want.results[j].trajectory_id)
+          << "eps step " << i;
+      EXPECT_EQ(got.results[j].distance, want.results[j].distance)
+          << "eps step " << i;
+    }
   }
   EXPECT_LE(service.resolved_cache_size(), QueryService::kMaxResolvedSpecs);
   // The sweep kept resolving fresh entries (each eps is a distinct miss).

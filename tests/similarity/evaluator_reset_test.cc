@@ -133,6 +133,88 @@ TEST(EvaluatorResetTest, CacheReplacesEvaluatorWhenQueryShrinksFar) {
   (void)small_eval;
 }
 
+TEST(EvaluatorResetTest, CacheKeysSlotsByIdentityNotAddress) {
+  // The serving layer frees cached measures when its resolved-spec cache
+  // flushes; the allocator may hand the freed address to the next measure
+  // (ABA). Slots key by the measure's process-unique identity, so a new
+  // measure — same type, different parameters, possibly the same address —
+  // can never match a dead measure's slot and inherit its evaluator.
+  util::Rng rng(888);
+  std::vector<geo::Point> data = RandomPoints(rng, 10);
+  std::vector<geo::Point> q = RandomPoints(rng, 6);
+  EvaluatorCache cache;
+
+  MeasureOptions tight;
+  tight.edr_eps = 1.0;
+  auto a = MakeMeasure("edr", tight);
+  ASSERT_TRUE(a.ok());
+  cache.Acquire(**a, q);
+  EXPECT_EQ(cache.alloc_count(), 1);
+  (*a).reset();  // the identity dies with the measure
+
+  MeasureOptions loose;
+  loose.edr_eps = 1e6;
+  auto b = MakeMeasure("edr", loose);
+  ASSERT_TRUE(b.ok());
+  PrefixEvaluator* got = cache.Acquire(**b, q);
+  // A fresh slot, never a reuse of the dead measure's evaluator.
+  EXPECT_EQ(cache.alloc_count(), 2);
+  EXPECT_EQ(cache.reuse_count(), 0);
+
+  // And the evaluator honors b's eps, not a's (with eps = 1e6 every point
+  // matches, so all prefix distances differ from the tight-eps evaluator).
+  auto fresh = (*b)->NewEvaluator(q);
+  std::vector<double> want = Trace(*fresh, data);
+  std::vector<double> have = Trace(*got, data);
+  for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(have[i], want[i]);
+}
+
+TEST(EvaluatorResetTest, IdentitiesAreUniqueAndSlotCountIsBounded) {
+  auto m1 = MakeMeasure("dtw");
+  auto m2 = MakeMeasure("dtw");
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  // Identical configuration, distinct objects: distinct identities.
+  EXPECT_NE((*m1)->identity(), (*m2)->identity());
+
+  // A parameter sweep mints a new identity per step; the cache must evict
+  // rather than strand one dead evaluator per step forever.
+  util::Rng rng(901);
+  std::vector<geo::Point> q = RandomPoints(rng, 4);
+  EvaluatorCache cache;
+  for (size_t i = 0; i < EvaluatorCache::kMaxSlots + 8; ++i) {
+    MeasureOptions opts;
+    opts.edr_eps = 1.0 + static_cast<double>(i);
+    auto m = MakeMeasure("edr", opts);
+    ASSERT_TRUE(m.ok());
+    cache.Acquire(**m, q);
+  }
+  EXPECT_EQ(cache.slot_count(), EvaluatorCache::kMaxSlots);
+}
+
+TEST(EvaluatorResetTest, LruEvictionKeepsHotMeasureAcrossSweeps) {
+  // A steady hot measure interleaved with a parameter sweep: Acquire hits
+  // refresh recency, so eviction at the cap always lands on a dead sweep
+  // slot and the hot measure's evaluator is never destroyed.
+  util::Rng rng(903);
+  std::vector<geo::Point> q = RandomPoints(rng, 4);
+  auto hot = MakeMeasure("dtw");
+  ASSERT_TRUE(hot.ok());
+  EvaluatorCache cache;
+  cache.Acquire(**hot, q);
+  const size_t kSteps = EvaluatorCache::kMaxSlots + 8;
+  for (size_t i = 0; i < kSteps; ++i) {
+    MeasureOptions opts;
+    opts.edr_eps = 1.0 + static_cast<double>(i);
+    auto m = MakeMeasure("edr", opts);
+    ASSERT_TRUE(m.ok());
+    cache.Acquire(**m, q);
+    cache.Acquire(**hot, q);
+  }
+  // Every hot re-acquire was a reuse: the sweep never evicted its slot.
+  EXPECT_EQ(cache.reuse_count(), static_cast<int64_t>(kSteps));
+  EXPECT_EQ(cache.alloc_count(), static_cast<int64_t>(kSteps) + 1);
+}
+
 TEST(EvaluatorResetTest, CacheFallsBackWhenResetUnsupported) {
   // A measure whose evaluator rejects Reset: the cache must allocate fresh
   // evaluators every time and count them as allocations.
