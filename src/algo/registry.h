@@ -45,7 +45,7 @@ struct SearchOptions {
 /// Thread safety: every returned search is immutable and safe to share
 /// across threads except "random-s", which draws from an internal RNG
 /// stream — give each thread (or each request) its own instance.
-util::Result<std::unique_ptr<SubtrajectorySearch>> MakeSearch(
+[[nodiscard]] util::Result<std::unique_ptr<SubtrajectorySearch>> MakeSearch(
     const std::string& name, const similarity::SimilarityMeasure* measure,
     const SearchOptions& options = {});
 

@@ -20,7 +20,7 @@ enum class DatasetKind { kPorto, kHarbin, kSports };
 const char* DatasetKindName(DatasetKind kind);
 
 /// Parses "porto" / "harbin" / "sports" (case-sensitive).
-util::Result<DatasetKind> DatasetKindFromName(const std::string& name);
+[[nodiscard]] util::Result<DatasetKind> DatasetKindFromName(const std::string& name);
 
 /// A named collection of trajectories plus its spatial extent.
 struct Dataset {
@@ -45,14 +45,14 @@ struct Dataset {
 };
 
 /// Persists one point per row: trajectory_id,x,y,t.
-util::Status SaveCsv(const Dataset& dataset, const std::string& path);
+[[nodiscard]] util::Status SaveCsv(const Dataset& dataset, const std::string& path);
 
 /// Loads a dataset written by SaveCsv. `kind`/`name` are caller-supplied
 /// (they are not stored in the CSV). Malformed rows fail the load with an
 /// InvalidArgument status of the form "<path>:<line>: malformed dataset
 /// row: <detail>" (1-based physical line number) instead of silently
 /// coercing bad fields; blank lines and an optional header row are skipped.
-util::Result<Dataset> LoadCsv(const std::string& path, const std::string& name,
+[[nodiscard]] util::Result<Dataset> LoadCsv(const std::string& path, const std::string& name,
                               DatasetKind kind);
 
 }  // namespace simsub::data

@@ -54,7 +54,7 @@
 namespace simsub::data {
 
 /// Writes `dataset` as a version-1 snapshot at `path` (overwriting).
-util::Status WriteSnapshot(const Dataset& dataset, const std::string& path);
+[[nodiscard]] util::Status WriteSnapshot(const Dataset& dataset, const std::string& path);
 
 struct SnapshotOpenOptions {
   /// Verify the payload checksum at open (one streaming pass over the file).
@@ -76,7 +76,7 @@ class CorpusSnapshot {
   /// Maps and validates the snapshot at `path`. Fails with a descriptive
   /// status on missing/truncated files, bad magic, unsupported versions,
   /// foreign endianness, malformed offsets, or checksum mismatch.
-  static util::Result<std::shared_ptr<const CorpusSnapshot>> Open(
+  [[nodiscard]] static util::Result<std::shared_ptr<const CorpusSnapshot>> Open(
       const std::string& path, const SnapshotOpenOptions& options = {});
 
   size_t trajectory_count() const { return ids_.size(); }

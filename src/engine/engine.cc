@@ -87,10 +87,14 @@ SimSubEngine::SimSubEngine(const data::CorpusSnapshot& snapshot)
 
 const geo::PointsStore& SimSubEngine::EnsureSoa() const {
   if (store_ != nullptr) return *store_;
-  std::call_once(soa_->once, [this] {
-    soa_->store = geo::PointsStore::FromTrajectories(database_);
-  });
-  return soa_->store;
+  if (!soa_->ready.load(std::memory_order_acquire)) {
+    util::MutexLock lock(soa_->mu);
+    if (!soa_->ready.load(std::memory_order_relaxed)) {
+      soa_->store = geo::PointsStore::FromTrajectories(database_);
+      soa_->ready.store(true, std::memory_order_release);
+    }
+  }
+  return soa_->published();
 }
 
 int64_t SimSubEngine::TotalPoints() const {

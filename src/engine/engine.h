@@ -22,7 +22,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -36,6 +35,7 @@
 #include "index/rtree.h"
 #include "similarity/measure.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace simsub::data {
@@ -218,15 +218,27 @@ class SimSubEngine {
                                          double index_margin) const;
 
   /// Lazily-built owning SoA store (CSV/in-memory construction path only).
-  /// Heap-held so the engine stays movable (std::once_flag is neither
-  /// movable nor copyable).
+  /// Heap-held so the engine stays movable (util::Mutex is neither movable
+  /// nor copyable). `store` is written exactly once, under `mu`, and then
+  /// published through the `ready` flag: writers release-store `ready`
+  /// after filling `store`, readers acquire-load it before touching
+  /// `store`, so the post-publication unlocked reads are race-free.
   struct SoaCache {
-    std::once_flag once;
-    geo::PointsStore store;
+    util::Mutex mu;
+    std::atomic<bool> ready{false};
+    geo::PointsStore store SIMSUB_GUARDED_BY(mu);
+
+    /// Unlocked access for readers that observed `ready` (acquire). The
+    /// analysis cannot see the atomic publication, hence the suppression;
+    /// the safety argument lives on the members above.
+    const geo::PointsStore& published() const
+        SIMSUB_NO_THREAD_SAFETY_ANALYSIS {
+      return store;
+    }
   };
 
   /// Returns the mapped store when one backs the engine; otherwise builds
-  /// the owning store on first use (std::call_once).
+  /// the owning store on first use (double-checked under SoaCache::mu).
   const geo::PointsStore& EnsureSoa() const;
 
   std::vector<geo::Trajectory> database_;

@@ -59,8 +59,8 @@ class GruCell {
   /// Registers this cell's parameters into `bag`.
   void RegisterParams(ParameterBag* bag);
 
-  util::Status Save(std::ostream& os) const;
-  static util::Result<GruCell> Load(std::istream& is);
+  [[nodiscard]] util::Status Save(std::ostream& os) const;
+  [[nodiscard]] static util::Result<GruCell> Load(std::istream& is);
 
   /// Copies weights from a same-shape cell.
   void CopyFrom(const GruCell& other);

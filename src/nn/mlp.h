@@ -96,8 +96,8 @@ class Mlp {
   const std::vector<DenseLayer>& layers() const { return layers_; }
 
   /// Text (de)serialization of architecture + weights.
-  util::Status Save(std::ostream& os) const;
-  static util::Result<Mlp> Load(std::istream& is);
+  [[nodiscard]] util::Status Save(std::ostream& os) const;
+  [[nodiscard]] static util::Result<Mlp> Load(std::istream& is);
 
  private:
   Mlp() = default;

@@ -13,15 +13,15 @@
 namespace simsub::rl {
 
 /// Writes the policy (env options + network) as plain text.
-util::Status SavePolicy(const TrainedPolicy& policy, std::ostream& os);
+[[nodiscard]] util::Status SavePolicy(const TrainedPolicy& policy, std::ostream& os);
 
 /// Reads a policy written by SavePolicy.
-util::Result<TrainedPolicy> LoadPolicy(std::istream& is);
+[[nodiscard]] util::Result<TrainedPolicy> LoadPolicy(std::istream& is);
 
 /// File conveniences.
-util::Status SavePolicyToFile(const TrainedPolicy& policy,
+[[nodiscard]] util::Status SavePolicyToFile(const TrainedPolicy& policy,
                               const std::string& path);
-util::Result<TrainedPolicy> LoadPolicyFromFile(const std::string& path);
+[[nodiscard]] util::Result<TrainedPolicy> LoadPolicyFromFile(const std::string& path);
 
 }  // namespace simsub::rl
 

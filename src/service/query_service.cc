@@ -89,7 +89,7 @@ QueryService::QueryService(const data::CorpusSnapshot& snapshot,
     : QueryService(engine::SimSubEngine(snapshot), options) {}
 
 similarity::EvaluatorCache* QueryService::AcquireCallerScratch() {
-  std::lock_guard<std::mutex> lock(scratch_mu_);
+  util::MutexLock lock(scratch_mu_);
   if (!caller_scratch_free_.empty()) {
     similarity::EvaluatorCache* cache = caller_scratch_free_.back();
     caller_scratch_free_.pop_back();
@@ -100,7 +100,7 @@ similarity::EvaluatorCache* QueryService::AcquireCallerScratch() {
 }
 
 void QueryService::ReleaseCallerScratch(similarity::EvaluatorCache* scratch) {
-  std::lock_guard<std::mutex> lock(scratch_mu_);
+  util::MutexLock lock(scratch_mu_);
   caller_scratch_free_.push_back(scratch);
 }
 
@@ -114,7 +114,7 @@ QueryService::ResolveSpec(const QuerySpec& spec) {
   const bool cacheable = spec.algorithm_options.rls_policy == nullptr;
   std::string key = cacheable ? SpecKey(spec) : std::string();
   if (cacheable) {
-    std::lock_guard<std::mutex> lock(resolved_mu_);
+    util::MutexLock lock(resolved_mu_);
     auto it = resolved_.find(key);
     if (it != resolved_.end()) {
       stats_.spec_cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -149,7 +149,7 @@ QueryService::ResolveSpec(const QuerySpec& spec) {
 
   if (!cacheable) return std::shared_ptr<const Resolved>(std::move(resolved));
 
-  std::lock_guard<std::mutex> lock(resolved_mu_);
+  util::MutexLock lock(resolved_mu_);
   // Bound the cache against knob-sweeping clients (every distinct
   // floating-point option mints a new key): at the cap, drop everything
   // and start over. In-flight requests hold their own shared_ptr, so the
@@ -166,7 +166,7 @@ QueryService::ResolveSpec(const QuerySpec& spec) {
 }
 
 size_t QueryService::resolved_cache_size() const {
-  std::lock_guard<std::mutex> lock(resolved_mu_);
+  util::MutexLock lock(resolved_mu_);
   return resolved_.size();
 }
 
@@ -449,7 +449,7 @@ ServiceStats QueryService::stats() const {
     out.evaluator_reuses += cache.reuse_count();
     out.evaluator_allocs += cache.alloc_count();
   }
-  std::lock_guard<std::mutex> lock(scratch_mu_);
+  util::MutexLock lock(scratch_mu_);
   for (const auto& cache : caller_scratch_) {
     out.evaluator_reuses += cache->reuse_count();
     out.evaluator_allocs += cache->alloc_count();

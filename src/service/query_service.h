@@ -36,7 +36,6 @@
 #include <chrono>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -48,6 +47,7 @@
 #include "service/planner.h"
 #include "service/query_spec.h"
 #include "similarity/measure.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace simsub::data {
@@ -169,10 +169,10 @@ class QueryService {
 
   /// Snapshot of the cumulative counters. Safe to call at any time,
   /// including while batches are running on other threads.
-  ServiceStats stats() const;
+  ServiceStats stats() const SIMSUB_EXCLUDES(scratch_mu_);
 
   /// Number of distinct (measure, algorithm) pairs currently cached.
-  size_t resolved_cache_size() const;
+  size_t resolved_cache_size() const SIMSUB_EXCLUDES(resolved_mu_);
 
   /// Cap on distinct cached (measure, algorithm) resolutions; reaching it
   /// flushes the cache (guards knob-sweeping clients — every distinct
@@ -213,8 +213,8 @@ class QueryService {
   };
 
   /// Validates + resolves through the per-service cache.
-  util::Result<std::shared_ptr<const Resolved>> ResolveSpec(
-      const QuerySpec& spec);
+  [[nodiscard]] util::Result<std::shared_ptr<const Resolved>> ResolveSpec(
+      const QuerySpec& spec) SIMSUB_EXCLUDES(resolved_mu_);
 
   /// The full request lifecycle minus queueing: deadline/cancel checks,
   /// resolution, planning, execution, stats. `submitted` is when the
@@ -237,8 +237,10 @@ class QueryService {
 
   /// Scratch for the calling thread: the worker's own slot on a pool
   /// thread, otherwise a leased cache returned by the RAII lease below.
-  similarity::EvaluatorCache* AcquireCallerScratch();
-  void ReleaseCallerScratch(similarity::EvaluatorCache* scratch);
+  similarity::EvaluatorCache* AcquireCallerScratch()
+      SIMSUB_EXCLUDES(scratch_mu_);
+  void ReleaseCallerScratch(similarity::EvaluatorCache* scratch)
+      SIMSUB_EXCLUDES(scratch_mu_);
   struct ScratchLease;
 
   engine::SimSubEngine engine_;
@@ -252,12 +254,15 @@ class QueryService {
   /// threads at once): `caller_scratch_` owns every cache ever created
   /// (stable addresses; also the stats() enumeration), `free_` holds the
   /// currently leasable ones.
-  mutable std::mutex scratch_mu_;
-  std::vector<std::unique_ptr<similarity::EvaluatorCache>> caller_scratch_;
-  std::vector<similarity::EvaluatorCache*> caller_scratch_free_;
+  mutable util::Mutex scratch_mu_;
+  std::vector<std::unique_ptr<similarity::EvaluatorCache>> caller_scratch_
+      SIMSUB_GUARDED_BY(scratch_mu_);
+  std::vector<similarity::EvaluatorCache*> caller_scratch_free_
+      SIMSUB_GUARDED_BY(scratch_mu_);
 
-  mutable std::mutex resolved_mu_;
-  std::unordered_map<std::string, std::shared_ptr<const Resolved>> resolved_;
+  mutable util::Mutex resolved_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Resolved>> resolved_
+      SIMSUB_GUARDED_BY(resolved_mu_);
 
   AtomicStats stats_;
 };

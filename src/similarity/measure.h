@@ -153,8 +153,13 @@ class SimilarityMeasure {
 /// Slots are keyed by SimilarityMeasure::identity(), never by address, so a
 /// measure freed and replaced by a new allocation at the same address (the
 /// serving layer's resolved-spec cache does exactly this when flushed) can
-/// never match the dead measure's slot. NOT thread-safe: each worker owns
-/// its own cache. The returned pointer stays valid until the next Acquire()
+/// never match the dead measure's slot. NOT thread-safe, by design rather
+/// than omission: each worker owns its own cache exclusively (the serving
+/// layer indexes by ThreadPool::WorkerIndex() or leases under a mutex — see
+/// util/thread_annotations.h for the lock-annotation conventions), so the
+/// slots deliberately carry no mutex and no SIMSUB_GUARDED_BY; adding
+/// cross-thread access here is a contract change, not a missing lock.
+/// The returned pointer stays valid until the next Acquire()
 /// for the same measure, ANY Acquire() once the cache holds kMaxSlots
 /// measures (inserting a new slot then evicts the least recently used,
 /// destroying its evaluator), or the cache is destroyed. The reuse/alloc
@@ -162,8 +167,8 @@ class SimilarityMeasure {
 /// the owning worker runs.
 class EvaluatorCache {
  public:
-  PrefixEvaluator* Acquire(const SimilarityMeasure& measure,
-                           std::span<const geo::Point> query);
+  [[nodiscard]] PrefixEvaluator* Acquire(const SimilarityMeasure& measure,
+                                         std::span<const geo::Point> query);
 
   /// Successful Reset() reuses vs fresh NewEvaluator() allocations.
   int64_t reuse_count() const {

@@ -23,7 +23,7 @@ struct MeasureOptions {
 
 /// Builds a measure by name: "dtw", "frechet", "cdtw", "erp", "edr", "lcss".
 /// Returns InvalidArgument for unknown names.
-util::Result<std::unique_ptr<SimilarityMeasure>> MakeMeasure(
+[[nodiscard]] util::Result<std::unique_ptr<SimilarityMeasure>> MakeMeasure(
     const std::string& name, const MeasureOptions& options = {});
 
 /// Names accepted by MakeMeasure, for --help text.

@@ -60,8 +60,8 @@ class TrajectoryEncoder {
 
   nn::ParameterBag& params() { return bag_; }
 
-  util::Status Save(std::ostream& os) const;
-  static util::Result<TrajectoryEncoder> Load(std::istream& is);
+  [[nodiscard]] util::Status Save(std::ostream& os) const;
+  [[nodiscard]] static util::Result<TrajectoryEncoder> Load(std::istream& is);
 
  private:
   TrajectoryEncoder() = default;

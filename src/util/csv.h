@@ -20,11 +20,11 @@ std::string JoinCsvLine(const std::vector<std::string>& fields,
                         char delim = ',');
 
 /// Reads an entire CSV file into rows of fields.
-Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+[[nodiscard]] Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path, char delim = ',');
 
 /// Writes rows to `path`, overwriting. Returns IOError on failure.
-Status WriteCsvFile(const std::string& path,
+[[nodiscard]] Status WriteCsvFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows,
                     char delim = ',');
 

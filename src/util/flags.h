@@ -37,7 +37,7 @@ class FlagSet {
 
   /// Parses argv, assigning registered targets. On `--help` prints usage and
   /// exits(0). Returns InvalidArgument for unknown flags or bad values.
-  Status Parse(int argc, char** argv);
+  [[nodiscard]] Status Parse(int argc, char** argv);
 
   /// Renders the usage text (also printed by --help).
   std::string Usage(const std::string& argv0) const;

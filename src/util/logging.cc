@@ -2,10 +2,20 @@
 
 #include <atomic>
 
+#include "util/thread_annotations.h"
+
 namespace simsub::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Serializes sink writes so concurrent workers' log lines cannot
+// interleave mid-line. Leaked: a log call during static teardown must not
+// touch a destroyed mutex.
+Mutex& SinkMutex() {
+  static Mutex* mu = new Mutex;
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -36,7 +46,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel()) {
-    std::cerr << stream_.str() << std::endl;
+    MutexLock lock(SinkMutex());
+    std::cerr << stream_.str() << '\n';  // cerr is unit-buffered; no endl
   }
 }
 
@@ -47,7 +58,11 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  std::cerr << stream_.str() << std::endl;
+  {
+    MutexLock lock(SinkMutex());
+    std::cerr << stream_.str() << '\n';
+  }
+  // Released before aborting: abort handlers that log must not deadlock.
   std::abort();
 }
 

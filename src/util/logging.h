@@ -46,6 +46,21 @@ class FatalLogMessage {
   std::ostringstream stream_;
 };
 
+/// Swallows everything streamed into it — the Release SIMSUB_DCHECK sink.
+/// No virtual calls, no allocation; the compiler deletes it entirely.
+struct NullStream {
+  template <typename T>
+  const NullStream& operator<<(const T&) const {
+    return *this;
+  }
+};
+
+/// Adapts a swallowed stream chain to type void so the Release
+/// SIMSUB_DCHECK ternary has matching arms ('&' binds looser than '<<').
+struct Voidify {
+  void operator&(const NullStream&) const {}
+};
+
 }  // namespace internal
 }  // namespace simsub::util
 
@@ -78,9 +93,14 @@ class FatalLogMessage {
 #define SIMSUB_DCHECK(condition) SIMSUB_CHECK(condition)
 #else
 #define SIMSUB_DCHECK_ENABLED 0
-// Swallows the condition (unevaluated) and any streamed message.
-#define SIMSUB_DCHECK(condition) \
-  while (false && (condition)) std::ostringstream()
+// A single void expression — ((void)0) after constant folding. The never-
+// taken ternary arm still odr-uses the condition and every streamed
+// operand, so debug-only locals don't trip -Wunused-variable/clang-tidy in
+// Release, while nothing is evaluated at runtime.
+#define SIMSUB_DCHECK(condition)               \
+  true ? (void)0                               \
+       : ::simsub::util::internal::Voidify() & \
+             (::simsub::util::internal::NullStream() << (condition))
 #endif
 
 #define SIMSUB_DCHECK_OP(a, b, op) SIMSUB_DCHECK((a)op(b))

@@ -30,38 +30,42 @@ const char* StatusCodeName(StatusCode code);
 
 /// Value type describing the outcome of a fallible operation.
 ///
+/// Statuses are [[nodiscard]]: a fallible call whose outcome is ignored
+/// is a bug, so discarding one is a compile-time warning at every call
+/// site.
+///
 /// A default-constructed Status is OK. Non-OK statuses carry a code and a
 /// message. Status is cheap to copy (small string optimization covers the
 /// common short messages).
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status DeadlineExceeded(std::string msg) {
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
-  static Status Cancelled(std::string msg) {
+  [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
 
@@ -92,7 +96,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 ///   if (!r.ok()) return r.status();
 ///   Use(r.value());
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}      // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {  // NOLINT

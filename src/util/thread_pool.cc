@@ -26,7 +26,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   task_ready_.notify_all();
@@ -39,7 +39,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   t.fn = std::move(task);
   std::future<void> result = t.done.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     SIMSUB_CHECK(!stop_) << "Submit() on a destroyed ThreadPool";
     queue_.push_back(std::move(t));
     ++pending_;
@@ -49,8 +49,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WaitAll() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  // Explicit loop, not a predicate lambda: the analysis checks lambda
+  // bodies as separate functions and could not see the lock held here.
+  while (pending_ != 0) all_done_.wait(mu_);
 }
 
 int ThreadPool::WorkerIndex() const {
@@ -63,8 +65,8 @@ void ThreadPool::WorkerLoop(int index) {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) task_ready_.wait(mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -77,7 +79,7 @@ void ThreadPool::WorkerLoop(int index) {
     }
     bool drained;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       drained = --pending_ == 0;
     }
     if (drained) all_done_.notify_all();

@@ -21,9 +21,10 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace simsub::util {
 
@@ -42,11 +43,11 @@ class ThreadPool {
 
   /// Enqueues `task`. The future resolves when the task finishes; if the
   /// task threw, future.get() rethrows the exception.
-  std::future<void> Submit(std::function<void()> task);
+  std::future<void> Submit(std::function<void()> task) SIMSUB_EXCLUDES(mu_);
 
   /// Blocks until every submitted task (including tasks submitted from
   /// within tasks) has finished. Exceptions stay in the futures.
-  void WaitAll();
+  void WaitAll() SIMSUB_EXCLUDES(mu_);
 
   /// Index in [0, size()) when called from one of this pool's workers,
   /// -1 otherwise.
@@ -64,15 +65,17 @@ class ThreadPool {
     std::promise<void> done;
   };
 
-  void WorkerLoop(int index);
+  void WorkerLoop(int index) SIMSUB_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable task_ready_;  // signalled on Submit / shutdown
-  std::condition_variable all_done_;    // signalled when pending_ hits 0
-  std::deque<Task> queue_;
-  int64_t pending_ = 0;  // queued + running tasks
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  mutable Mutex mu_;
+  // condition_variable_any waits directly on the annotated Mutex (it is
+  // BasicLockable), so the wait loops stay visible to the analysis.
+  std::condition_variable_any task_ready_;  // signalled on Submit / shutdown
+  std::condition_variable_any all_done_;    // signalled when pending_ hits 0
+  std::deque<Task> queue_ SIMSUB_GUARDED_BY(mu_);
+  int64_t pending_ SIMSUB_GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool stop_ SIMSUB_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only in ctor/dtor
 };
 
 }  // namespace simsub::util

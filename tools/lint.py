@@ -1,0 +1,314 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: repo-specific rules the generic tools can't see.
+
+Four rules, each encoding a contract an earlier PR established:
+
+  thread       No std::thread (or std::jthread) object use outside
+               util/thread_pool.* — all parallelism goes through the
+               persistent util::ThreadPool (PR 2's contract); per-call-site
+               thread spawning is exactly what that PR removed. Static
+               queries like std::thread::hardware_concurrency() are fine.
+
+  min-list     No initializer-list std::min({...})/std::max({...}) in the
+               src/geo and src/similarity hot kernels. PR 3 hoisted these
+               into nested two-argument std::min chains so the DP
+               recurrences autovectorize; an initializer-list overload
+               materializes a std::initializer_list and blocks that.
+
+  determinism  No direct time(), rand(), or srand() calls in src/. Results
+               must be reproducible from seeds (util::Rng) and timing comes
+               from util::Stopwatch / std::chrono; libc's global-state RNG
+               and wall-clock reads break run-to-run determinism (and
+               concurrency-mt-unsafe is pruned from .clang-tidy because
+               this rule covers the dangerous cases precisely).
+
+  nodiscard    Every util::Status- or util::Result-returning function
+               declaration in src/**/*.h carries [[nodiscard]]. Ignoring a
+               fallible outcome is a bug; the attribute turns it into a
+               compiler warning at every call site.
+
+Scope: src/ only (tests may spawn raw threads to provoke races; benches may
+time whatever they like). Comments and string literals are stripped before
+matching, so documentation may mention the banned spellings freely.
+
+Usage:
+  tools/lint.py [--root DIR]   # lint DIR (default: the repo root)
+  tools/lint.py --self-test    # prove each rule trips on a violation
+
+Exit codes: 0 clean, 1 findings, 2 usage/self-test failure.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SOURCE_EXTENSIONS = (".h", ".cc")
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving line structure
+    so finding line numbers stay valid. Handles // and /* */ comments,
+    "..." and '...' literals with backslash escapes. Raw strings are rare
+    here and not handled; the repo has none in src/."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def finding(path, line, rule, message):
+    return f"{path}:{line}: [{rule}] {message}"
+
+
+# --- rule: thread -----------------------------------------------------------
+
+THREAD_RE = re.compile(r"std::j?thread\b(?!\s*::)")
+
+
+def check_thread(rel, text):
+    if rel.replace(os.sep, "/").startswith("src/util/thread_pool."):
+        return []
+    out = []
+    for match in THREAD_RE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        out.append(finding(
+            rel, line, "thread",
+            "std::thread outside util/thread_pool.* — use util::ThreadPool "
+            "(PR 2 contract); std::thread::hardware_concurrency() is the "
+            "only allowed spelling"))
+    return out
+
+
+# --- rule: min-list ---------------------------------------------------------
+
+MIN_LIST_RE = re.compile(r"std::(?:min|max)\s*\(\s*\{")
+MIN_LIST_DIRS = ("src/geo/", "src/similarity/")
+
+
+def check_min_list(rel, text):
+    posix = rel.replace(os.sep, "/")
+    if not posix.startswith(MIN_LIST_DIRS):
+        return []
+    out = []
+    for match in MIN_LIST_RE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        out.append(finding(
+            rel, line, "min-list",
+            "initializer-list std::min({...}) in a hot kernel — PR 3 "
+            "replaced these with nested two-argument std::min so the DP "
+            "sweeps autovectorize; keep it that way"))
+    return out
+
+
+# --- rule: determinism ------------------------------------------------------
+
+# `(?<![\w.>])` rejects member calls (x.time(, p->time() while still
+# catching time(, ::time( and std::time(.
+DETERMINISM_RE = re.compile(r"(?<![\w.>])(?:std::)?(time|rand|srand)\s*\(")
+
+
+def check_determinism(rel, text):
+    out = []
+    for match in DETERMINISM_RE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        out.append(finding(
+            rel, line, "determinism",
+            f"direct {match.group(1)}() in src/ — results must reproduce "
+            "from seeds: use util::Rng for randomness and util::Stopwatch/"
+            "std::chrono for timing"))
+    return out
+
+
+# --- rule: nodiscard --------------------------------------------------------
+
+# A header-file function declaration returning Status / Result<...> by
+# value. Anchored to the line start (after indentation and the usual
+# declaration prefixes) so member types (`util::Status status;`),
+# constructors (`Status(StatusCode ...)`), and reference-returning
+# accessors (`const Status& status()`) don't match.
+NODISCARD_DECL_RE = re.compile(
+    r"^[ \t]*"
+    r"(?P<attr>\[\[nodiscard\]\][ \t]+)?"
+    r"(?:static[ \t]+|virtual[ \t]+|inline[ \t]+|constexpr[ \t]+|"
+    r"friend[ \t]+|explicit[ \t]+)*"
+    r"(?:util::|simsub::util::)?"
+    r"(?:Status|Result<[^;{}=]*>)"
+    r"[ \t]+[A-Za-z_]\w*[ \t]*\(")
+
+
+def check_nodiscard(rel, text):
+    if not rel.endswith(".h"):
+        return []
+    out = []
+    lines = text.split("\n")
+    for idx, line in enumerate(lines):
+        match = NODISCARD_DECL_RE.match(line)
+        if not match or match.group("attr"):
+            continue
+        # The attribute may sit alone on the preceding line.
+        if idx > 0 and "[[nodiscard]]" in lines[idx - 1]:
+            continue
+        out.append(finding(
+            rel, idx + 1, "nodiscard",
+            "Status/Result-returning declaration without [[nodiscard]] — "
+            "ignoring a fallible outcome must warn at the call site"))
+    return out
+
+
+RULES = (check_thread, check_min_list, check_determinism, check_nodiscard)
+
+
+def lint_tree(root):
+    findings = []
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        sys.exit(f"error: {src} does not exist — pass --root at a repo root")
+    for dirpath, _, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if not name.endswith(SOURCE_EXTENSIONS):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            with open(path, encoding="utf-8") as f:
+                text = strip_comments_and_strings(f.read())
+            for rule in RULES:
+                findings.extend(rule(rel, text))
+    return findings
+
+
+# --- self-test --------------------------------------------------------------
+
+# One injected violation per rule, each in a location the rule scopes to,
+# plus look-alikes that must NOT trip (allowed spellings, comments).
+SELF_TEST_CASES = [
+    ("thread", "src/engine/worker.cc", """
+#include <thread>
+void Spawn() {
+  std::thread t([] {});  // violation
+  t.join();
+}
+int Width() { return (int)std::thread::hardware_concurrency(); }  // ok
+"""),
+    ("min-list", "src/similarity/kernel.cc", """
+double Recur(double a, double b, double c) {
+  return std::min({a, b, c});  // violation
+}
+double Ok(double a, double b, double c) {
+  return std::min(a, std::min(b, c));  // ok
+}
+"""),
+    ("determinism", "src/data/sampler.cc", """
+#include <cstdlib>
+long Seed() {
+  return time(nullptr) + rand();  // two violations
+}
+// time( and rand( in a comment must not trip
+"""),
+    ("nodiscard", "src/util/io.h", """
+namespace simsub::util {
+Status WriteThing(const char* path);  // violation: no [[nodiscard]]
+[[nodiscard]] Status WriteOther(const char* path);  // ok
+const Status& last_status();  // ok: reference accessor
+}
+"""),
+]
+
+CLEAN_FILE = ("src/geo/clean.cc", """
+// std::thread in a comment is fine; "std::min({1, 2})" in a string too.
+#include <algorithm>
+double Fine(double a, double b) { return std::min(a, b); }
+""")
+
+
+def self_test():
+    failures = []
+    for rule_name, rel, content in SELF_TEST_CASES:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+            found = lint_tree(tmp)
+            tripped = [f for f in found if f"[{rule_name}]" in f]
+            others = [f for f in found if f"[{rule_name}]" not in f]
+            if not tripped:
+                failures.append(
+                    f"rule '{rule_name}' did not trip on its injected "
+                    f"violation in {rel}")
+            if others:
+                failures.append(
+                    f"rule cross-talk on {rel}: {others}")
+            print(f"rule '{rule_name}': "
+                  f"{'tripped as expected' if tripped else 'MISSED'} "
+                  f"({len(tripped)} finding(s))")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        rel, content = CLEAN_FILE
+        path = os.path.join(tmp, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+        found = lint_tree(tmp)
+        if found:
+            failures.append(f"clean file raised findings: {found}")
+        else:
+            print("clean file: no findings, as expected")
+
+    if failures:
+        print("\nself-test FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 2
+    print(f"\nself-test OK: all {len(SELF_TEST_CASES)} rules trip on "
+          "injected violations and stay quiet on clean code")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repository root to lint (default: this repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule trips on an injected "
+                             "violation, then exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = lint_tree(os.path.abspath(args.root))
+    if findings:
+        print(f"lint FAILED: {len(findings)} finding(s)\n")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    print("lint passed: src/ upholds all project invariants "
+          f"({', '.join(r.__name__.removeprefix('check_') for r in RULES)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

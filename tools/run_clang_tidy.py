@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the project's compilation database and gates on it.
+
+Feeds every first-party translation unit under src/ (optionally tests/,
+bench/, examples/, tools/ with --all) from build/compile_commands.json to
+clang-tidy in parallel, using the checked-in .clang-tidy configuration.
+Exits 1 when any diagnostic is emitted, so CI can use it as a hard gate;
+the curated check set lives in .clang-tidy, not here.
+
+Usage:
+  cmake -B build -S .          # CMAKE_EXPORT_COMPILE_COMMANDS is always on
+  tools/run_clang_tidy.py --build-dir build
+  tools/run_clang_tidy.py --build-dir build --all -j 8
+  tools/run_clang_tidy.py --build-dir build --allow-missing   # local opt-out
+
+clang-tidy is resolved from --binary, then `clang-tidy`, then the newest
+versioned `clang-tidy-N` on PATH. A missing binary is an error (exit 2)
+unless --allow-missing is given, which reports a skip and exits 0 so
+developer machines without LLVM can still run the full ctest suite.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# First-party directories gated by default. Tests and benches compile with
+# the same warnings but churn faster; --all opts them in.
+DEFAULT_DIRS = ("src",)
+ALL_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+
+def find_clang_tidy(explicit):
+    candidates = [explicit] if explicit else []
+    candidates.append("clang-tidy")
+    candidates.extend(f"clang-tidy-{v}" for v in range(25, 13, -1))
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_commands(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        sys.exit(f"error: {path} not found — configure with "
+                 "`cmake -B build -S .` first (the project always exports "
+                 "its compilation database)")
+    with open(path) as f:
+        return json.load(f)
+
+
+def select_files(commands, dirs):
+    prefixes = tuple(os.path.join(REPO_ROOT, d) + os.sep for d in dirs)
+    files = sorted({os.path.abspath(entry["file"]) for entry in commands})
+    return [f for f in files if f.startswith(prefixes)]
+
+
+def run_one(clang_tidy, build_dir, path):
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", path],
+        capture_output=True, text=True)
+    # clang-tidy prints findings on stdout; stderr carries the "N warnings
+    # generated" chatter plus real driver errors — keep only the errors.
+    errors = [line for line in proc.stderr.splitlines()
+              if "error:" in line.lower()]
+    return path, proc.returncode, proc.stdout.strip(), "\n".join(errors)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree containing compile_commands.json")
+    parser.add_argument("--binary", default=None,
+                        help="clang-tidy executable to use")
+    parser.add_argument("--all", action="store_true",
+                        help="lint tests/bench/examples/tools too, not just "
+                             "src/")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 2) - 1),
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="exit 0 with a notice when clang-tidy is not "
+                             "installed (local runs; CI must not pass this)")
+    args = parser.parse_args()
+
+    clang_tidy = find_clang_tidy(args.binary)
+    if clang_tidy is None:
+        msg = "clang-tidy not found on PATH"
+        if args.allow_missing:
+            print(f"SKIPPED: {msg} (--allow-missing)")
+            return 0
+        sys.exit(f"error: {msg} — install clang-tidy or pass "
+                 "--allow-missing to skip locally")
+
+    build_dir = os.path.abspath(args.build_dir)
+    commands = load_compile_commands(build_dir)
+    files = select_files(commands, ALL_DIRS if args.all else DEFAULT_DIRS)
+    if not files:
+        sys.exit("error: no first-party files matched the compilation "
+                 "database — was the build configured from the repo root?")
+
+    print(f"clang-tidy: {clang_tidy}")
+    print(f"linting {len(files)} translation units with {args.jobs} jobs")
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [pool.submit(run_one, clang_tidy, build_dir, f)
+                   for f in files]
+        for future in concurrent.futures.as_completed(futures):
+            path, returncode, findings, errors = future.result()
+            rel = os.path.relpath(path, REPO_ROOT)
+            if returncode != 0 or findings:
+                failures += 1
+                print(f"\nFAIL {rel}")
+                if findings:
+                    print(findings)
+                if errors:
+                    print(errors, file=sys.stderr)
+            else:
+                print(f"  ok {rel}")
+
+    if failures:
+        print(f"\nclang-tidy gate FAILED: {failures} of {len(files)} "
+              "translation units have diagnostics (check set: .clang-tidy)")
+        return 1
+    print(f"\nclang-tidy gate passed: {len(files)} translation units clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
