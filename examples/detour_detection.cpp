@@ -80,9 +80,10 @@ int main(int argc, char** argv) {
                 static_cast<long long>(report.trajectories_scanned),
                 static_cast<long long>(report.trajectories_pruned));
     for (const auto& hit : report.results) {
-      std::printf("  trip %4lld  subtrajectory [%3d, %3d]  DTW %.1f\n",
-                  static_cast<long long>(hit.trajectory_id), hit.range.start,
-                  hit.range.end, hit.distance);
+      std::printf("  trip %4lld  subtrajectory [%3lld, %3lld]  DTW %.1f\n",
+                  static_cast<long long>(hit.trajectory_id),
+                  static_cast<long long>(hit.range.start),
+                  static_cast<long long>(hit.range.end), hit.distance);
     }
     std::printf("\n");
   }

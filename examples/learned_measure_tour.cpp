@@ -88,8 +88,9 @@ int main(int argc, char** argv) {
             "ExactS/t2vec", exact_t2v.Search(hay, query)},
         {"PSS/t2vec", pss_t2v.Search(hay, query)},
         {"ExactS/DTW", exact_dtw.Search(hay, query)}}) {
-    std::printf("  %-14s -> [%3d, %3d] distance %.4f\n", name,
-                result.best.start, result.best.end, result.distance);
+    std::printf("  %-14s -> [%3lld, %3lld] distance %.4f\n", name,
+                static_cast<long long>(result.best.start),
+                static_cast<long long>(result.best.end), result.distance);
   }
   std::printf(
       "\nBoth measures should locate (a neighbourhood of) the planted slice\n"

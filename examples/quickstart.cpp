@@ -36,8 +36,9 @@ int main() {
        std::initializer_list<const algo::SubtrajectorySearch*>{
            &exact, &pss, &pos, &posd}) {
     algo::SearchResult r = search->Search(data, query);
-    std::printf("%-8s [%d, %d]%*s %-12.3f %-10.3f\n", search->name().c_str(),
-                r.best.start, r.best.end, 8, "", r.distance,
+    std::printf("%-8s [%lld, %lld]%*s %-12.3f %-10.3f\n",
+                search->name().c_str(), static_cast<long long>(r.best.start),
+                static_cast<long long>(r.best.end), 8, "", r.distance,
                 similarity::ToSimilarity(r.distance));
   }
 

@@ -59,8 +59,10 @@ int main(int argc, char** argv) {
       double ms = timer.ElapsedMillis();
       eval::RankEvaluation rank =
           eval::EvaluateRank(frechet, t.View(), play.View(), r.best);
-      std::printf("%-8s %-10d [%4d, %4d]  %-12.2f %-10lld %-8.2f\n",
-                  search->name().c_str(), track, r.best.start, r.best.end,
+      std::printf("%-8s %-10d [%4lld, %4lld]  %-12.2f %-10lld %-8.2f\n",
+                  search->name().c_str(), track,
+                  static_cast<long long>(r.best.start),
+                  static_cast<long long>(r.best.end),
                   rank.returned_distance, static_cast<long long>(rank.rank),
                   ms);
     }

@@ -62,9 +62,12 @@ int main(int argc, char** argv) {
     bool below = monitor.current_tail_distance() <= threshold;
     if (below && !in_match) {
       geo::SubRange match = monitor.current_tail_range();
-      std::printf("t=%6zu  ALERT match stream[%d..%d] (%d pts) DTW %.1f m\n",
-                  i, match.start, match.end, match.size(),
-                  monitor.current_tail_distance());
+      std::printf(
+          "t=%6zu  ALERT match stream[%lld..%lld] (%lld pts) DTW %.1f m\n", i,
+          static_cast<long long>(match.start),
+          static_cast<long long>(match.end),
+          static_cast<long long>(match.size()),
+          monitor.current_tail_distance());
       ++alerts;
     }
     in_match = below;

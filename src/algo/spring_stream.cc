@@ -10,19 +10,29 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-SpringStream::SpringStream(std::span<const geo::Point> query)
+SpringStream::SpringStream(std::span<const geo::Point> query,
+                           int64_t start_position)
     : query_(query),
       d_(query.size(), kInf),
       s_(query.size(), 0),
       d_prev_(query.size(), kInf),
-      s_prev_(query.size(), 0) {
+      s_prev_(query.size(), 0),
+      origin_(start_position),
+      count_(start_position) {
   SIMSUB_CHECK(!query.empty());
+  SIMSUB_CHECK_GE(start_position, 0);
 }
 
 void SpringStream::Reset() {
   std::fill(d_.begin(), d_.end(), kInf);
   std::fill(d_prev_.begin(), d_prev_.end(), kInf);
-  count_ = 0;
+  // The start arrays must be cleared too: leaving them stale would let a
+  // post-Reset push inherit a match start from the previous stream the
+  // moment a recurrence change (or a future kInf-propagation tweak) reads
+  // an s_ cell whose d_ cell it did not also write.
+  std::fill(s_.begin(), s_.end(), int64_t{0});
+  std::fill(s_prev_.begin(), s_prev_.end(), int64_t{0});
+  count_ = origin_;
   best_distance_ = kInf;
   best_range_ = geo::SubRange();
 }
@@ -63,20 +73,18 @@ void SpringStream::Push(const geo::Point& p) {
   ++count_;
   if (d_.back() < best_distance_) {
     best_distance_ = d_.back();
-    best_range_ = geo::SubRange(static_cast<int>(s_.back()),
-                                static_cast<int>(row));
+    best_range_ = geo::SubRange(s_.back(), row);
   }
 }
 
 double SpringStream::current_tail_distance() const {
-  SIMSUB_CHECK_GT(count_, 0) << "no points pushed";
+  SIMSUB_CHECK_GT(count_, origin_) << "no points pushed";
   return d_.back();
 }
 
 geo::SubRange SpringStream::current_tail_range() const {
-  SIMSUB_CHECK_GT(count_, 0) << "no points pushed";
-  return geo::SubRange(static_cast<int>(s_.back()),
-                       static_cast<int>(count_ - 1));
+  SIMSUB_CHECK_GT(count_, origin_) << "no points pushed";
+  return geo::SubRange(s_.back(), count_ - 1);
 }
 
 }  // namespace simsub::algo

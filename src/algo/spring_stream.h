@@ -16,16 +16,24 @@
 namespace simsub::algo {
 
 /// Online DTW subsequence matcher over an unbounded point stream.
+///
+/// Reported ranges are *stream* positions (64-bit): a long-lived monitor
+/// keeps counting past 2^31 points without wrapping. `start_position`
+/// seats the matcher at an arbitrary stream offset, so a monitor resuming
+/// from a checkpoint (or a sealed segment boundary) reports positions in
+/// the original stream's coordinates.
 class SpringStream {
  public:
-  /// `query` must outlive the matcher.
-  explicit SpringStream(std::span<const geo::Point> query);
+  /// `query` must outlive the matcher. The first pushed point is stream
+  /// position `start_position`.
+  explicit SpringStream(std::span<const geo::Point> query,
+                        int64_t start_position = 0);
 
   /// Feeds the next stream point; O(|query|).
   void Push(const geo::Point& p);
 
   /// Number of points consumed so far.
-  int64_t size() const { return count_; }
+  int64_t size() const { return count_ - origin_; }
 
   /// Best match ending at or before the current point: stream indices
   /// [start, end] (0-based) and its DTW distance. Valid once size() >= 1.
@@ -40,7 +48,7 @@ class SpringStream {
   /// Stream range of that path: [match start, current point].
   geo::SubRange current_tail_range() const;
 
-  /// Resets to the empty stream.
+  /// Resets to the empty stream (positions restart at `start_position`).
   void Reset();
 
  private:
@@ -49,7 +57,8 @@ class SpringStream {
   std::vector<int64_t> s_;      // match start per cell
   std::vector<double> d_prev_;
   std::vector<int64_t> s_prev_;
-  int64_t count_ = 0;
+  int64_t origin_ = 0;  // stream position of the first pushed point
+  int64_t count_ = 0;   // stream position of the NEXT point to push
   double best_distance_ = std::numeric_limits<double>::infinity();
   geo::SubRange best_range_;
 };

@@ -164,6 +164,14 @@ QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
                                static_cast<int64_t>(candidates.size());
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Deadline bookkeeping: `expired` is set by whichever partition first
+  // observes the clock past options.deadline; every partition then stops at
+  // its next per-trajectory check. The clock is only read when a deadline
+  // was actually set — a steady_clock::now() per candidate is cheap next to
+  // a DP, but not free on deadline-less bulk scans.
+  const bool has_deadline =
+      options.deadline != std::chrono::steady_clock::time_point::max();
+  std::atomic<bool> expired{false};
   // Best-kth-distance bound shared across scan partitions: monotonically
   // tightened (CAS-min) by any worker whose local heap fills. Any candidate
   // whose distance provably exceeds it is strictly worse than k already-
@@ -190,6 +198,16 @@ QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
       // load per candidate is noise next to even one DP row.
       if (options.cancel != nullptr &&
           options.cancel->load(std::memory_order_relaxed)) {
+        return;
+      }
+      // Execution-time deadline enforcement, same cadence as cancellation:
+      // an expired query stops mid-scan instead of running to completion,
+      // which is what lets the serving layer's load shedding actually bound
+      // work under overload.
+      if (has_deadline &&
+          (expired.load(std::memory_order_relaxed) ||
+           std::chrono::steady_clock::now() >= options.deadline)) {
+        expired.store(true, std::memory_order_relaxed);
         return;
       }
       const int64_t ordinal = candidates[c];
@@ -305,6 +323,9 @@ QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
   if (options.cancel != nullptr &&
       options.cancel->load(std::memory_order_relaxed)) {
     report.status = util::Status::Cancelled("query cancelled mid-scan");
+  } else if (expired.load(std::memory_order_relaxed)) {
+    report.status = util::Status::DeadlineExceeded(
+        "deadline expired mid-scan (partial results)");
   }
   report.seconds = timer.ElapsedSeconds();
   return report;
@@ -313,7 +334,8 @@ QueryReport SimSubEngine::Query(std::span<const geo::Point> query,
 QueryReport SimSubEngine::QueryTopKSubtrajectories(
     std::span<const geo::Point> query,
     const similarity::SimilarityMeasure& measure, int k, PruningFilter filter,
-    int min_size, const std::atomic<bool>* cancel) const {
+    int min_size, const std::atomic<bool>* cancel,
+    std::chrono::steady_clock::time_point deadline) const {
   SIMSUB_CHECK(!query.empty());
   SIMSUB_CHECK_GT(k, 0);
   util::Stopwatch timer;
@@ -323,10 +345,17 @@ QueryReport SimSubEngine::QueryTopKSubtrajectories(
       CandidateOrdinals(query, filter, /*index_margin=*/0.0);
   report.trajectories_pruned = static_cast<int64_t>(database_.size()) -
                                static_cast<int64_t>(candidates.size());
+  const bool has_deadline =
+      deadline != std::chrono::steady_clock::time_point::max();
   TopKHeap heap;
   for (int64_t ordinal : candidates) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       report.status = util::Status::Cancelled("query cancelled mid-scan");
+      break;
+    }
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      report.status = util::Status::DeadlineExceeded(
+          "deadline expired mid-scan (partial results)");
       break;
     }
     const geo::Trajectory& traj = database_[static_cast<size_t>(ordinal)];

@@ -20,6 +20,7 @@
 #define SIMSUB_ENGINE_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -128,6 +129,15 @@ struct QueryOptions {
   /// partition: once set, the scan stops early and the report comes back
   /// with status Cancelled and partial results. Null = not cancellable.
   const std::atomic<bool>* cancel = nullptr;
+  /// Absolute execution deadline. Checked alongside `cancel` between
+  /// per-trajectory searches in every scan partition: once the clock
+  /// passes it, the scan stops and the report comes back with status
+  /// DeadlineExceeded and partial results — the execution-time half of the
+  /// service's deadline contract (queue expiry is the service's half).
+  /// time_point::max() (the default) = no deadline, and the scan never
+  /// reads the clock.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// An immutable trajectory database with optional index acceleration.
@@ -177,12 +187,16 @@ class SimSubEngine {
   /// single-point answers (see algo::TopKExact). `cancel` is the same
   /// cooperative flag as QueryOptions::cancel: checked between per-
   /// trajectory enumerations; once set, the scan stops and the report comes
-  /// back with status Cancelled and partial results.
+  /// back with status Cancelled and partial results. `deadline` mirrors
+  /// QueryOptions::deadline: checked in the same enumeration loop; past
+  /// it, the report comes back DeadlineExceeded with partial results.
   QueryReport QueryTopKSubtrajectories(
       std::span<const geo::Point> query,
       const similarity::SimilarityMeasure& measure, int k,
       PruningFilter filter = PruningFilter::kNone, int min_size = 1,
-      const std::atomic<bool>* cancel = nullptr) const;
+      const std::atomic<bool>* cancel = nullptr,
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max()) const;
 
   /// Cached per-trajectory MBRs (built at construction — tiny, and shared
   /// by the index builders and the cascade's O(1) bound).

@@ -22,7 +22,7 @@ RankEvaluation EvaluateRank(const similarity::SimilarityMeasure& measure,
   // enumeration below, so equal ranges compare bit-identically).
   auto ev = measure.NewEvaluator(query);
   double returned_dist = ev->Start(data[static_cast<size_t>(returned.start)]);
-  for (int j = returned.start + 1; j <= returned.end; ++j) {
+  for (int64_t j = returned.start + 1; j <= returned.end; ++j) {
     returned_dist = ev->Extend(data[static_cast<size_t>(j)]);
   }
   eval.returned_distance = returned_dist;

@@ -15,14 +15,20 @@ namespace simsub::geo {
 
 /// Half-open-free inclusive index range [start, end] identifying the
 /// subtrajectory T[start..end] (0-based, unlike the paper's 1-based text).
+///
+/// Indices are 64-bit: stored trajectories stay comfortably below 2^31
+/// points, but streaming monitors (algo::SpringStream) report ranges in
+/// *stream* positions, which grow without bound over the life of a
+/// long-lived monitor — a 1 Hz feed crosses 2^31 in ~68 years, a 1 kHz
+/// sensor in ~25 days.
 struct SubRange {
-  int start = 0;
-  int end = 0;  // inclusive
+  int64_t start = 0;
+  int64_t end = 0;  // inclusive
 
   SubRange() = default;
-  SubRange(int s, int e) : start(s), end(e) {}
+  SubRange(int64_t s, int64_t e) : start(s), end(e) {}
 
-  int size() const { return end - start + 1; }
+  int64_t size() const { return end - start + 1; }
   bool operator==(const SubRange& o) const {
     return start == o.start && end == o.end;
   }

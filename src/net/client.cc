@@ -1,0 +1,106 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire.h"
+
+namespace simsub::net {
+
+util::Result<Client> Client::Connect(const std::string& host, int port,
+                                     ClientOptions options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return util::Status::IOError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Status::InvalidArgument("unparseable host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    util::Status status = util::Status::IOError(
+        "connect " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (options.read_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options.read_timeout_ms / 1000;
+    tv.tv_usec = (options.read_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  // Request/response with full frames per write(): disable Nagle so small
+  // query frames are not delayed behind the previous response's ACK.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd, std::move(options));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    options_ = std::move(other.options_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+util::Result<engine::QueryReport> Client::Query(
+    const service::QuerySpec& spec) {
+  if (fd_ < 0) return util::Status::FailedPrecondition("client not connected");
+  auto payload = EncodeQuery(spec, options_.client_id);
+  if (!payload.ok()) return payload.status();
+  SIMSUB_RETURN_IF_ERROR(WriteFrame(fd_, FrameType::kQuery, *payload));
+  auto frame = ReadFrame(fd_);
+  if (!frame.ok()) return frame.status();
+  if (!frame->has_value()) {
+    return util::Status::IOError("server closed the connection");
+  }
+  if ((*frame)->type == FrameType::kError) {
+    return DecodeError((*frame)->payload);
+  }
+  if ((*frame)->type != FrameType::kReport) {
+    return util::Status::IOError(
+        "expected REPORT frame, got type " +
+        std::to_string(static_cast<int>((*frame)->type)));
+  }
+  return DecodeReport((*frame)->payload);
+}
+
+util::Result<std::string> Client::Statz() {
+  if (fd_ < 0) return util::Status::FailedPrecondition("client not connected");
+  SIMSUB_RETURN_IF_ERROR(WriteFrame(fd_, FrameType::kStatz, {}));
+  auto frame = ReadFrame(fd_);
+  if (!frame.ok()) return frame.status();
+  if (!frame->has_value()) {
+    return util::Status::IOError("server closed the connection");
+  }
+  if ((*frame)->type == FrameType::kError) {
+    return DecodeError((*frame)->payload);
+  }
+  if ((*frame)->type != FrameType::kStatzText) {
+    return util::Status::IOError(
+        "expected STATZ_TEXT frame, got type " +
+        std::to_string(static_cast<int>((*frame)->type)));
+  }
+  return std::string(reinterpret_cast<const char*>((*frame)->payload.data()),
+                     (*frame)->payload.size());
+}
+
+}  // namespace simsub::net

@@ -1,0 +1,64 @@
+// Client side of the wire protocol (net/wire.h): a blocking
+// request/response connection to a simsub server. One Client is one TCP
+// connection with at most one request in flight — share nothing, open one
+// Client per thread (the load generator opens one per simulated client).
+#ifndef SIMSUB_NET_CLIENT_H_
+#define SIMSUB_NET_CLIENT_H_
+
+#include <string>
+#include <utility>
+
+#include "engine/engine.h"
+#include "service/query_spec.h"
+#include "util/status.h"
+
+namespace simsub::net {
+
+struct ClientOptions {
+  /// Identifies this caller to the server's per-client quota buckets;
+  /// empty = anonymous (all anonymous callers share one bucket).
+  std::string client_id;
+  /// Socket receive timeout; bounds how long Query()/Statz() block on a
+  /// stuck server. 0 = no timeout.
+  int read_timeout_ms = 30'000;
+};
+
+class Client {
+ public:
+  /// Connects to `host:port` (dotted-quad host, e.g. "127.0.0.1").
+  [[nodiscard]] static util::Result<Client> Connect(const std::string& host,
+                                                    int port,
+                                                    ClientOptions options = {});
+
+  ~Client();
+  Client(Client&& other) noexcept : fd_(other.fd_), options_(std::move(other.options_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one query and blocks for its report. A shed or refused request
+  /// comes back as an OK Result whose report.status is non-OK
+  /// (ResourceExhausted, DeadlineExceeded, ...); a non-OK Result means the
+  /// conversation itself failed (connection dropped, malformed frames,
+  /// protocol error) and the connection should be discarded.
+  [[nodiscard]] util::Result<engine::QueryReport> Query(
+      const service::QuerySpec& spec);
+
+  /// Fetches the server's plain-text stats dump ("name value" lines).
+  [[nodiscard]] util::Result<std::string> Statz();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Client(int fd, ClientOptions options)
+      : fd_(fd), options_(std::move(options)) {}
+
+  int fd_ = -1;
+  ClientOptions options_;
+};
+
+}  // namespace simsub::net
+
+#endif  // SIMSUB_NET_CLIENT_H_

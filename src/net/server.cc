@@ -1,0 +1,334 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "net/wire.h"
+#include "util/logging.h"
+
+namespace simsub::net {
+
+namespace {
+
+/// A shed/refusal answer: a full REPORT frame whose status explains the
+/// refusal — clients handle sheds exactly like any other non-OK report.
+engine::QueryReport ShedReport(util::Status status) {
+  engine::QueryReport report;
+  report.status = std::move(status);
+  return report;
+}
+
+void AppendLine(std::string& out, const char* name, int64_t value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s %lld\n", name,
+                static_cast<long long>(value));
+  out += buf;
+}
+
+}  // namespace
+
+Server::Server(service::QueryService& service, ServerOptions options)
+    : service_(service), options_(options) {
+  SIMSUB_CHECK_GE(options_.max_connections, 1);
+  SIMSUB_CHECK_GE(options_.poll_interval_ms, 1);
+}
+
+Server::~Server() { Stop(); }
+
+int Server::ResolvedMaxInflight() const {
+  if (options_.max_inflight > 0) return options_.max_inflight;
+  return 2 * service_.pool().size();
+}
+
+util::Status Server::Start() {
+  SIMSUB_CHECK(!serving_.load(std::memory_order_acquire));
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return util::Status::IOError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Status::InvalidArgument("unparseable bind address: " +
+                                         options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    util::Status status = util::Status::IOError(
+        "bind " + options_.host + ":" + std::to_string(options_.port) + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) != 0) {
+    util::Status status =
+        util::Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    util::Status status = util::Status::IOError(
+        std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  accept_pool_ = std::make_unique<util::ThreadPool>(1);
+  handler_pool_ =
+      std::make_unique<util::ThreadPool>(options_.max_connections);
+  serving_.store(true, std::memory_order_release);
+  // The future is intentionally dropped: the accept loop runs until Stop()
+  // and Stop() joins it through the pool destructor-free WaitAll().
+  (void)accept_pool_->Submit([this] { AcceptLoop(); });
+  return util::Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire) &&
+         !draining_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener gone (Stop() closed it)
+    }
+    if (ready == 0) continue;
+    int conn = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    timeval tv{};
+    tv.tv_sec = options_.read_timeout_ms / 1000;
+    tv.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    // Connection cap: `active_connections_` is incremented here, before
+    // the handler task is submitted, so the handler pool (one worker per
+    // allowed connection) always has a free worker for an admitted socket
+    // and an admitted connection never queues behind another.
+    int active = active_connections_.load(std::memory_order_acquire);
+    if (active >= options_.max_connections) {
+      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      std::vector<uint8_t> payload = EncodeError(util::Status::ResourceExhausted(
+          "server at max_connections=" +
+          std::to_string(options_.max_connections)));
+      (void)WriteFrame(conn, FrameType::kError, payload);
+      ::close(conn);
+      continue;
+    }
+    active_connections_.fetch_add(1, std::memory_order_acq_rel);
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    (void)handler_pool_->Submit([this, conn] { HandleConnection(conn); });
+  }
+}
+
+bool Server::AdmitQuota(const std::string& client_id) {
+  if (options_.quota_qps <= 0.0) return true;
+  const double rate = options_.quota_qps;
+  const double burst =
+      options_.quota_burst > 0.0 ? options_.quota_burst : std::max(1.0, rate);
+  auto now = std::chrono::steady_clock::now();
+  util::MutexLock lock(quota_mu_);
+  // Bound the table against client-id churn (each distinct id is an
+  // entry): at the cap, forget everyone — honest clients refill to burst
+  // immediately, so the reset only forgives, never starves.
+  if (buckets_.size() >= 4096 && buckets_.find(client_id) == buckets_.end()) {
+    buckets_.clear();
+  }
+  auto [it, inserted] = buckets_.try_emplace(client_id);
+  Bucket& b = it->second;
+  if (inserted) {
+    b.tokens = burst;
+    b.last = now;
+  }
+  double elapsed = std::chrono::duration<double>(now - b.last).count();
+  b.last = now;
+  b.tokens = std::min(burst, b.tokens + elapsed * rate);
+  if (b.tokens < 1.0) return false;
+  b.tokens -= 1.0;
+  return true;
+}
+
+void Server::HandleConnection(int fd) {
+  const int max_inflight = ResolvedMaxInflight();
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      // Idle tick: a draining server closes idle connections; one with a
+      // request mid-flight never reaches this (the response was written
+      // before the next poll).
+      if (draining_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+
+    auto frame = ReadFrame(fd, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      std::vector<uint8_t> payload = EncodeError(frame.status());
+      (void)WriteFrame(fd, FrameType::kError, payload);
+      break;
+    }
+    if (!frame->has_value()) break;  // clean peer close
+
+    if ((*frame)->type == FrameType::kStatz) {
+      stats_.statz_served.fetch_add(1, std::memory_order_relaxed);
+      std::string text = StatzText();
+      std::span<const uint8_t> bytes(
+          reinterpret_cast<const uint8_t*>(text.data()), text.size());
+      if (!WriteFrame(fd, FrameType::kStatzText, bytes).ok()) break;
+      continue;
+    }
+    if ((*frame)->type != FrameType::kQuery) {
+      stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+      std::vector<uint8_t> payload =
+          EncodeError(util::Status::InvalidArgument(
+              "unexpected frame type " +
+              std::to_string(static_cast<int>((*frame)->type))));
+      (void)WriteFrame(fd, FrameType::kError, payload);
+      break;
+    }
+
+    auto query = DecodeQuery((*frame)->payload);
+    if (!query.ok()) {
+      stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+      std::vector<uint8_t> payload = EncodeError(query.status());
+      (void)WriteFrame(fd, FrameType::kError, payload);
+      break;
+    }
+
+    engine::QueryReport report;
+    if (!AdmitQuota(query->client_id)) {
+      stats_.shed_quota.fetch_add(1, std::memory_order_relaxed);
+      report = ShedReport(util::Status::ResourceExhausted(
+          "client quota exceeded (" + std::to_string(options_.quota_qps) +
+          " qps)"));
+    } else if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
+               max_inflight) {
+      // In-flight window full: shed instead of queueing. This keeps the
+      // service's dispatch queue bounded, which is what holds served-query
+      // tail latency flat under overload.
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      stats_.shed_inflight.fetch_add(1, std::memory_order_relaxed);
+      report = ShedReport(util::Status::ResourceExhausted(
+          "server overloaded: " + std::to_string(max_inflight) +
+          " queries in flight"));
+    } else {
+      // `query` (the WireQuery) owns the point storage the spec views; it
+      // stays on this frame until the future resolves, so the span stays
+      // valid for the whole execution.
+      std::future<engine::QueryReport> future =
+          service_.Submit(std::move(query->spec));
+      report = future.get();
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      stats_.queries_answered.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::vector<uint8_t> payload = EncodeReport(report);
+    if (!WriteFrame(fd, FrameType::kReport, payload).ok()) break;
+    if (draining_.load(std::memory_order_acquire)) break;
+  }
+  ::close(fd);
+  active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+bool Server::Drain(std::chrono::milliseconds timeout) {
+  draining_.store(true, std::memory_order_release);
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (active_connections_.load(std::memory_order_acquire) > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    ::poll(nullptr, 0, 5);  // short sleep; handlers exit at poll ticks
+  }
+  bool drained = active_connections_.load(std::memory_order_acquire) == 0;
+  Stop();
+  return drained;
+}
+
+void Server::Stop() {
+  if (!serving_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  // Joining through WaitAll (not pool destruction) keeps Stop() callable
+  // from multiple threads: the pools stay alive until the destructor.
+  accept_pool_->WaitAll();
+  handler_pool_->WaitAll();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.connections_accepted =
+      stats_.connections_accepted.load(std::memory_order_relaxed);
+  out.connections_rejected =
+      stats_.connections_rejected.load(std::memory_order_relaxed);
+  out.queries_answered =
+      stats_.queries_answered.load(std::memory_order_relaxed);
+  out.shed_inflight = stats_.shed_inflight.load(std::memory_order_relaxed);
+  out.shed_quota = stats_.shed_quota.load(std::memory_order_relaxed);
+  out.malformed_frames =
+      stats_.malformed_frames.load(std::memory_order_relaxed);
+  out.statz_served = stats_.statz_served.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::string Server::StatzText() const {
+  ServerStats server = stats();
+  service::ServiceStats service = service_.stats();
+  std::string out;
+  out.reserve(1024);
+  AppendLine(out, "server.connections_accepted", server.connections_accepted);
+  AppendLine(out, "server.connections_rejected", server.connections_rejected);
+  AppendLine(out, "server.queries_answered", server.queries_answered);
+  AppendLine(out, "server.shed_inflight", server.shed_inflight);
+  AppendLine(out, "server.shed_quota", server.shed_quota);
+  AppendLine(out, "server.malformed_frames", server.malformed_frames);
+  AppendLine(out, "server.statz_served", server.statz_served);
+  AppendLine(out, "server.inflight",
+             inflight_.load(std::memory_order_relaxed));
+  AppendLine(out, "server.connections",
+             active_connections_.load(std::memory_order_relaxed));
+  AppendLine(out, "service.queries_served", service.queries_served);
+  AppendLine(out, "service.batches_served", service.batches_served);
+  AppendLine(out, "service.deadline_expired", service.deadline_expired);
+  AppendLine(out, "service.cancelled", service.cancelled);
+  AppendLine(out, "service.rejected", service.rejected);
+  AppendLine(out, "service.failed", service.failed);
+  AppendLine(out, "service.spec_cache_hits", service.spec_cache_hits);
+  AppendLine(out, "service.spec_cache_misses", service.spec_cache_misses);
+  AppendLine(out, "service.evaluator_reuses", service.evaluator_reuses);
+  AppendLine(out, "service.evaluator_allocs", service.evaluator_allocs);
+  AppendLine(out, "service.plans_none", service.plans_none);
+  AppendLine(out, "service.plans_rtree", service.plans_rtree);
+  AppendLine(out, "service.plans_grid", service.plans_grid);
+  AppendLine(out, "service.lb_skipped", service.lb_skipped);
+  AppendLine(out, "service.dp_abandoned", service.dp_abandoned);
+  return out;
+}
+
+}  // namespace simsub::net

@@ -1,0 +1,438 @@
+#include "net/wire.h"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+
+#include "util/thread_annotations.h"
+
+namespace simsub::net {
+
+namespace {
+
+// --- payload builder --------------------------------------------------------
+
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// --- payload parser ---------------------------------------------------------
+
+/// Sticky-failure reader: every accessor returns a zero value once a
+/// truncation is seen, and ok() reports it at the end — callers validate
+/// once instead of threading a Result through every field read.
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return data_[pos_++];
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+  std::string Str() {
+    uint32_t len = U32();
+    if (!Need(len)) return {};
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  /// True when `count` more items of `bytes_each` fit in the remaining
+  /// payload — the pre-allocation guard for length-prefixed arrays (a
+  /// hostile count must fail before the reserve, not after).
+  bool Fits(uint64_t count, size_t bytes_each) {
+    return !failed_ && count * bytes_each <= data_.size() - pos_;
+  }
+
+  bool ok() const { return !failed_; }
+  bool AtEnd() const { return !failed_ && pos_ == data_.size(); }
+
+ private:
+  bool Need(size_t n) {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// --- enum <-> wire tags -----------------------------------------------------
+
+// QuerySpec::filter is optional<PruningFilter>; 0 encodes "auto" (planner
+// decides), 1..3 the explicit filters.
+uint8_t FilterTag(const std::optional<engine::PruningFilter>& filter) {
+  if (!filter.has_value()) return 0;
+  switch (*filter) {
+    case engine::PruningFilter::kNone:
+      return 1;
+    case engine::PruningFilter::kRTree:
+      return 2;
+    case engine::PruningFilter::kInvertedGrid:
+      return 3;
+  }
+  return 0;
+}
+
+bool FilterFromTag(uint8_t tag,
+                   std::optional<engine::PruningFilter>* filter) {
+  switch (tag) {
+    case 0:
+      filter->reset();
+      return true;
+    case 1:
+      *filter = engine::PruningFilter::kNone;
+      return true;
+    case 2:
+      *filter = engine::PruningFilter::kRTree;
+      return true;
+    case 3:
+      *filter = engine::PruningFilter::kInvertedGrid;
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(util::StatusCode::kResourceExhausted);
+
+/// QueryReport::plan_reason is a `const char*` with static-storage
+/// semantics (the planner points it at string literals). A decoded report
+/// needs the same lifetime, so reasons are interned into a bounded
+/// process-lifetime table; unordered_set nodes never move, so the c_str()
+/// stays valid across rehashes.
+const char* InternPlanReason(const std::string& reason) {
+  if (reason.empty()) return "";
+  constexpr size_t kMaxInterned = 256;  // planner reasons are a small set
+  static util::Mutex mu;
+  static std::unordered_set<std::string>* table SIMSUB_GUARDED_BY(mu) =
+      new std::unordered_set<std::string>();
+  util::MutexLock lock(mu);
+  auto it = table->find(reason);
+  if (it != table->end()) return it->c_str();
+  if (table->size() >= kMaxInterned) return "";
+  return table->insert(reason).first->c_str();
+}
+
+}  // namespace
+
+// --- query ------------------------------------------------------------------
+
+util::Result<std::vector<uint8_t>> EncodeQuery(const service::QuerySpec& spec,
+                                               const std::string& client_id) {
+  if (spec.algorithm_options.rls_policy != nullptr) {
+    return util::Status::InvalidArgument(
+        "spec.algorithm_options.rls_policy is an in-memory pointer and "
+        "cannot cross the wire; set rls_policy_path instead");
+  }
+  Writer w;
+  w.U8(kWireVersion);
+  w.Str(client_id);
+  w.Str(spec.measure);
+  const similarity::MeasureOptions& m = spec.measure_options;
+  w.F64(m.cdtw_band_fraction);
+  w.F64(m.edr_eps);
+  w.F64(m.lcss_eps);
+  w.F64(m.erp_gap.x);
+  w.F64(m.erp_gap.y);
+  w.F64(m.erp_gap.t);
+  w.Str(spec.algorithm);
+  const algo::SearchOptions& a = spec.algorithm_options;
+  w.I32(a.sizes_xi);
+  w.I32(a.posd_delay);
+  w.I32(a.random_s_samples);
+  w.U64(a.random_s_seed);
+  w.F64(a.band_fraction);
+  w.Str(a.rls_policy_path);
+  w.I32(spec.k);
+  w.I32(spec.min_size);
+  w.U8(FilterTag(spec.filter));
+  w.U8(spec.prune ? 1 : 0);
+  w.F64(spec.deadline_ms);
+  w.U32(static_cast<uint32_t>(spec.points.size()));
+  for (const geo::Point& p : spec.points) {
+    w.F64(p.x);
+    w.F64(p.y);
+    w.F64(p.t);
+  }
+  return w.Take();
+}
+
+util::Result<WireQuery> DecodeQuery(std::span<const uint8_t> payload) {
+  Reader r(payload);
+  uint8_t version = r.U8();
+  if (r.ok() && version != kWireVersion) {
+    return util::Status::InvalidArgument(
+        "QUERY frame version " + std::to_string(version) + ", expected " +
+        std::to_string(kWireVersion));
+  }
+  WireQuery q;
+  q.client_id = r.Str();
+  q.spec.measure = r.Str();
+  similarity::MeasureOptions& m = q.spec.measure_options;
+  m.cdtw_band_fraction = r.F64();
+  m.edr_eps = r.F64();
+  m.lcss_eps = r.F64();
+  m.erp_gap.x = r.F64();
+  m.erp_gap.y = r.F64();
+  m.erp_gap.t = r.F64();
+  q.spec.algorithm = r.Str();
+  algo::SearchOptions& a = q.spec.algorithm_options;
+  a.sizes_xi = r.I32();
+  a.posd_delay = r.I32();
+  a.random_s_samples = r.I32();
+  a.random_s_seed = r.U64();
+  a.band_fraction = r.F64();
+  a.rls_policy_path = r.Str();
+  q.spec.k = r.I32();
+  q.spec.min_size = r.I32();
+  uint8_t filter_tag = r.U8();
+  if (r.ok() && !FilterFromTag(filter_tag, &q.spec.filter)) {
+    return util::Status::InvalidArgument(
+        "QUERY frame filter tag " + std::to_string(filter_tag) +
+        " out of range");
+  }
+  q.spec.prune = r.U8() != 0;
+  q.spec.deadline_ms = r.F64();
+  uint32_t npoints = r.U32();
+  if (!r.Fits(npoints, 24)) {
+    return util::Status::InvalidArgument("QUERY frame truncated");
+  }
+  q.points.reserve(npoints);
+  for (uint32_t i = 0; i < npoints; ++i) {
+    double x = r.F64();
+    double y = r.F64();
+    double t = r.F64();
+    q.points.emplace_back(x, y, t);
+  }
+  if (!r.AtEnd()) {
+    return util::Status::InvalidArgument(
+        r.ok() ? "QUERY frame has trailing bytes" : "QUERY frame truncated");
+  }
+  q.spec.points = std::span<const geo::Point>(q.points);
+  return q;
+}
+
+// --- report -----------------------------------------------------------------
+
+std::vector<uint8_t> EncodeReport(const engine::QueryReport& report) {
+  Writer w;
+  w.U8(kWireVersion);
+  w.U8(static_cast<uint8_t>(report.status.code()));
+  w.Str(report.status.message());
+  w.U32(static_cast<uint32_t>(report.results.size()));
+  for (const engine::TopKEntry& e : report.results) {
+    w.I64(e.trajectory_id);
+    w.I64(e.range.start);
+    w.I64(e.range.end);
+    w.F64(e.distance);
+  }
+  w.I64(report.trajectories_scanned);
+  w.I64(report.trajectories_pruned);
+  w.I64(report.lb_skipped);
+  w.I64(report.dp_abandoned);
+  w.F64(report.seconds);
+  w.F64(report.queue_seconds);
+  w.U8(static_cast<uint8_t>(report.filter_used));
+  w.F64(report.planned_selectivity);
+  w.Str(report.plan_reason);
+  return w.Take();
+}
+
+util::Result<engine::QueryReport> DecodeReport(
+    std::span<const uint8_t> payload) {
+  Reader r(payload);
+  uint8_t version = r.U8();
+  if (r.ok() && version != kWireVersion) {
+    return util::Status::InvalidArgument(
+        "REPORT frame version " + std::to_string(version) + ", expected " +
+        std::to_string(kWireVersion));
+  }
+  engine::QueryReport report;
+  uint8_t code = r.U8();
+  std::string message = r.Str();
+  if (r.ok() && code > kMaxStatusCode) {
+    return util::Status::InvalidArgument(
+        "REPORT frame status code " + std::to_string(code) + " out of range");
+  }
+  report.status =
+      util::Status(static_cast<util::StatusCode>(code), std::move(message));
+  uint32_t nresults = r.U32();
+  if (!r.Fits(nresults, 32)) {
+    return util::Status::InvalidArgument("REPORT frame truncated");
+  }
+  report.results.reserve(nresults);
+  for (uint32_t i = 0; i < nresults; ++i) {
+    engine::TopKEntry e;
+    e.trajectory_id = r.I64();
+    int64_t start = r.I64();
+    int64_t end = r.I64();
+    e.range = geo::SubRange(start, end);
+    e.distance = r.F64();
+    report.results.push_back(e);
+  }
+  report.trajectories_scanned = r.I64();
+  report.trajectories_pruned = r.I64();
+  report.lb_skipped = r.I64();
+  report.dp_abandoned = r.I64();
+  report.seconds = r.F64();
+  report.queue_seconds = r.F64();
+  uint8_t filter = r.U8();
+  if (r.ok() &&
+      filter > static_cast<uint8_t>(engine::PruningFilter::kInvertedGrid)) {
+    return util::Status::InvalidArgument(
+        "REPORT frame filter " + std::to_string(filter) + " out of range");
+  }
+  report.filter_used = static_cast<engine::PruningFilter>(filter);
+  report.planned_selectivity = r.F64();
+  report.plan_reason = InternPlanReason(r.Str());
+  if (!r.AtEnd()) {
+    return util::Status::InvalidArgument(
+        r.ok() ? "REPORT frame has trailing bytes" : "REPORT frame truncated");
+  }
+  return report;
+}
+
+// --- error ------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeError(const util::Status& status) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(status.code()));
+  w.Str(status.message());
+  return w.Take();
+}
+
+util::Status DecodeError(std::span<const uint8_t> payload) {
+  Reader r(payload);
+  uint8_t code = r.U8();
+  std::string message = r.Str();
+  if (!r.AtEnd() || code > kMaxStatusCode) {
+    return util::Status::InvalidArgument("malformed ERROR frame");
+  }
+  return util::Status(static_cast<util::StatusCode>(code),
+                      std::move(message));
+}
+
+// --- framed socket I/O ------------------------------------------------------
+
+namespace {
+
+util::Status WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IOError(std::string("socket write: ") +
+                                   std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+/// Reads exactly len bytes. eof_ok: a clean close before the FIRST byte
+/// returns false with OK status (frame-boundary EOF); a close mid-buffer
+/// is always an error.
+util::Result<bool> ReadAll(int fd, uint8_t* data, size_t len, bool eof_ok) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::read(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return util::Status::IOError("socket read timed out");
+      }
+      return util::Status::IOError(std::string("socket read: ") +
+                                   std::strerror(errno));
+    }
+    if (n == 0) {
+      if (off == 0 && eof_ok) return false;
+      return util::Status::IOError("connection closed mid-frame");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Status WriteFrame(int fd, FrameType type,
+                        std::span<const uint8_t> payload) {
+  // One contiguous buffer per frame: a single write() keeps small frames
+  // in one TCP segment without needing TCP_NODELAY gymnastics.
+  std::vector<uint8_t> buf;
+  buf.reserve(5 + payload.size());
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) buf.push_back(uint8_t(len >> (8 * i)));
+  buf.push_back(static_cast<uint8_t>(type));
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return WriteAll(fd, buf.data(), buf.size());
+}
+
+util::Result<std::optional<Frame>> ReadFrame(int fd, size_t max_payload) {
+  uint8_t header[5];
+  auto got = ReadAll(fd, header, sizeof(header), /*eof_ok=*/true);
+  if (!got.ok()) return got.status();
+  if (!*got) return std::optional<Frame>();  // clean peer close
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= uint32_t(header[i]) << (8 * i);
+  if (len > max_payload) {
+    return util::Status::IOError(
+        "frame payload of " + std::to_string(len) + " bytes exceeds cap of " +
+        std::to_string(max_payload));
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(header[4]);
+  frame.payload.resize(len);
+  if (len > 0) {
+    auto body = ReadAll(fd, frame.payload.data(), len, /*eof_ok=*/false);
+    if (!body.ok()) return body.status();
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace simsub::net

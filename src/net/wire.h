@@ -1,0 +1,120 @@
+// Canonical wire form of the serving API (the network half of the
+// QuerySpec contract): a little-endian, length-prefixed binary framing
+// with explicit encode/decode for service::QuerySpec and
+// engine::QueryReport. No external serialization dependency — the codec
+// is ~300 lines of explicit field writes, which doubles as the protocol
+// specification.
+//
+// Frame layout (everything little-endian):
+//
+//   u32 payload_length | u8 frame_type | payload bytes
+//
+// Scalars inside payloads: u8/u32/u64 little-endian; i32/i64 as their
+// two's-complement bit patterns; f64 as the IEEE-754 bit pattern in a u64
+// (bit-exact round-trip — the protocol never formats floats as text).
+// Strings: u32 byte length + raw bytes (UTF-8 by convention, not
+// enforced). Point arrays: u32 count + count * (f64 x, f64 y, f64 t).
+//
+// A QuerySpec round-trips 1:1 through EncodeQuery/DecodeQuery with two
+// deliberate exceptions, both raw pointers that cannot cross a process
+// boundary: `cancel` (deadline_ms is the wire-level cancellation control;
+// closing the connection abandons the response but not the execution) and
+// `algorithm_options.rls_policy` (EncodeQuery refuses it — name a policy
+// file via rls_policy_path instead).
+#ifndef SIMSUB_NET_WIRE_H_
+#define SIMSUB_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "geo/point.h"
+#include "service/query_spec.h"
+#include "util/status.h"
+
+namespace simsub::net {
+
+/// Protocol version, first payload byte of every QUERY and REPORT frame.
+/// Decoders reject frames from a different version instead of guessing.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Frame type tag (the byte after the length prefix).
+enum class FrameType : uint8_t {
+  kQuery = 1,      ///< client -> server: one encoded QuerySpec
+  kReport = 2,     ///< server -> client: the encoded QueryReport answer
+  kStatz = 3,      ///< client -> server: stats dump request (empty payload)
+  kStatzText = 4,  ///< server -> client: plain-text "name value" lines
+  kError = 5,      ///< either direction: u8 status code + string message;
+                   ///< the sender closes the connection after writing it
+};
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// Default cap on a frame's payload (refuse before allocating): a million
+/// query points encode to ~24 MB, so 64 MB covers any sane request with
+/// headroom while bounding what a hostile peer can make us allocate.
+inline constexpr size_t kMaxFramePayload = 64u << 20;
+
+/// A decoded query request: the spec plus the point storage it views
+/// (spec.points spans `points`). Movable but not copyable — a copy would
+/// leave the new spec viewing the old object's storage.
+struct WireQuery {
+  std::string client_id;
+  std::vector<geo::Point> points;
+  service::QuerySpec spec;
+
+  WireQuery() = default;
+  WireQuery(WireQuery&&) = default;
+  WireQuery& operator=(WireQuery&&) = default;
+  WireQuery(const WireQuery&) = delete;
+  WireQuery& operator=(const WireQuery&) = delete;
+};
+
+/// Encodes a QUERY payload. `client_id` identifies the caller for
+/// per-client quotas (empty = anonymous, all anonymous callers share one
+/// bucket). Fails with InvalidArgument when the spec carries an in-memory
+/// rls_policy pointer (unserializable; use rls_policy_path).
+[[nodiscard]] util::Result<std::vector<uint8_t>> EncodeQuery(
+    const service::QuerySpec& spec, const std::string& client_id);
+
+/// Decodes a QUERY payload; the result owns its point storage.
+[[nodiscard]] util::Result<WireQuery> DecodeQuery(
+    std::span<const uint8_t> payload);
+
+/// Encodes a REPORT payload (infallible: every report is representable).
+std::vector<uint8_t> EncodeReport(const engine::QueryReport& report);
+
+/// Decodes a REPORT payload. plan_reason strings are interned into a
+/// bounded process-lifetime table (the field is a `const char*` with
+/// static-storage semantics); past the table cap they decode as "".
+[[nodiscard]] util::Result<engine::QueryReport> DecodeReport(
+    std::span<const uint8_t> payload);
+
+/// Encodes an ERROR payload from a (non-OK) status.
+std::vector<uint8_t> EncodeError(const util::Status& status);
+
+/// Decodes an ERROR payload back into the status it carried. A payload
+/// that does not parse decodes as InvalidArgument("malformed ERROR
+/// frame") — still a faithful "the conversation failed" answer.
+[[nodiscard]] util::Status DecodeError(std::span<const uint8_t> payload);
+
+/// Writes one frame to a connected socket, looping over partial writes.
+[[nodiscard]] util::Status WriteFrame(int fd, FrameType type,
+                                      std::span<const uint8_t> payload);
+
+/// Reads one frame from a connected socket. Returns nullopt on a clean
+/// peer close at a frame boundary; IOError on truncation mid-frame, read
+/// errors/timeouts, or a length prefix above `max_payload`.
+[[nodiscard]] util::Result<std::optional<Frame>> ReadFrame(
+    int fd, size_t max_payload = kMaxFramePayload);
+
+}  // namespace simsub::net
+
+#endif  // SIMSUB_NET_WIRE_H_

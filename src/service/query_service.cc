@@ -172,7 +172,8 @@ size_t QueryService::resolved_cache_size() const {
 
 engine::QueryReport QueryService::ExecuteSpec(
     const QuerySpec& spec, const Resolved& resolved,
-    similarity::EvaluatorCache* scratch) {
+    similarity::EvaluatorCache* scratch,
+    std::chrono::steady_clock::time_point deadline) {
   PlanDecision plan;
   if (spec.filter.has_value()) {
     plan.filter = *spec.filter;
@@ -188,7 +189,8 @@ engine::QueryReport QueryService::ExecuteSpec(
     // enumeration has no lower-bound cascade (see QuerySpec::prune).
     report = engine_.QueryTopKSubtrajectories(spec.points, *resolved.measure,
                                               spec.k, plan.filter,
-                                              spec.min_size, spec.cancel);
+                                              spec.min_size, spec.cancel,
+                                              deadline);
   } else {
     const algo::SubtrajectorySearch* search = resolved.search.get();
     std::unique_ptr<algo::SubtrajectorySearch> fresh;
@@ -208,6 +210,7 @@ engine::QueryReport QueryService::ExecuteSpec(
     eo.scratch = scratch;
     eo.prune = options_.prune && spec.prune;
     eo.cancel = spec.cancel;
+    eo.deadline = deadline;
     report = engine_.Query(spec.points, *search, eo);
   }
   report.planned_selectivity = plan.estimated_selectivity;
@@ -227,8 +230,20 @@ engine::QueryReport QueryService::ServeSpec(
     stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
     return report;
   }
-  if (spec.deadline_ms > 0.0 &&
-      report.queue_seconds * 1e3 > spec.deadline_ms) {
+  // Absolute deadline anchored at submit time. It is enforced in two
+  // places: here (the request expired while queued — cheapest possible
+  // refusal) and inside the engine scan via ExecuteSpec (the request
+  // started on time but ran long — stops at per-trajectory granularity
+  // with partial results). Both come back as DeadlineExceeded.
+  auto deadline = std::chrono::steady_clock::time_point::max();
+  if (spec.deadline_ms > 0.0) {
+    deadline =
+        submitted + std::chrono::duration_cast<std::chrono::steady_clock::
+                                                   duration>(
+                        std::chrono::duration<double, std::milli>(
+                            spec.deadline_ms));
+  }
+  if (started >= deadline) {
     report.status = util::Status::DeadlineExceeded(
         "deadline expired after " + std::to_string(report.queue_seconds * 1e3) +
         " ms in queue (deadline " + std::to_string(spec.deadline_ms) + " ms)");
@@ -275,10 +290,10 @@ engine::QueryReport QueryService::ServeSpec(
   if ((*resolved)->topk_mode) {
     // The topk-sub engine path takes no evaluator cache: skip the lease
     // (and its lock round-trip / possible allocation on foreign threads).
-    report = ExecuteSpec(spec, **resolved, nullptr);
+    report = ExecuteSpec(spec, **resolved, nullptr, deadline);
   } else {
     ScratchLease lease(*this);
-    report = ExecuteSpec(spec, **resolved, &lease.get());
+    report = ExecuteSpec(spec, **resolved, &lease.get(), deadline);
   }
   report.queue_seconds = queue_seconds;
 
@@ -301,11 +316,15 @@ engine::QueryReport QueryService::ServeSpec(
   return report;
 }
 
-std::future<engine::QueryReport> QueryService::Submit(const QuerySpec& spec) {
+std::future<engine::QueryReport> QueryService::Submit(QuerySpec spec) {
   auto promise = std::make_shared<std::promise<engine::QueryReport>>();
   std::future<engine::QueryReport> future = promise->get_future();
   auto submitted = std::chrono::steady_clock::now();
-  pool_->Submit([this, promise, submitted, spec]() {
+  // Move the spec all the way through to the worker: the old
+  // by-const-reference signature copied it twice (parameter copy + lambda
+  // capture), and a spec carries strings plus the points span — measurable
+  // allocation on the hot submit path.
+  pool_->Submit([this, promise, submitted, spec = std::move(spec)]() {
     try {
       promise->set_value(ServeSpec(spec, submitted));
     } catch (...) {

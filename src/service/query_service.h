@@ -140,8 +140,9 @@ class QueryService {
   /// Cancelled. `spec.points`, `spec.cancel` (when set) and
   /// `spec.algorithm_options.rls_policy` (when set — it is a raw pointer
   /// read on the worker at resolve time, not deep-copied) must outlive the
-  /// future's resolution; the rest of the spec is copied.
-  std::future<engine::QueryReport> Submit(const QuerySpec& spec);
+  /// future's resolution; the rest of the spec is taken by value and moved
+  /// through to the worker (pass a temporary and nothing is copied).
+  std::future<engine::QueryReport> Submit(QuerySpec spec);
 
   /// Submits every spec and returns their futures in order (futures[i]
   /// answers specs[i]). Results are bit-identical to calling RunOne on each
@@ -224,10 +225,14 @@ class QueryService {
       std::chrono::steady_clock::time_point submitted);
 
   /// `scratch` may be null only in topk_mode (whose engine path takes no
-  /// evaluator cache); the other paths require it.
-  engine::QueryReport ExecuteSpec(const QuerySpec& spec,
-                                  const Resolved& resolved,
-                                  similarity::EvaluatorCache* scratch);
+  /// evaluator cache); the other paths require it. `deadline` is the
+  /// absolute execution deadline derived from spec.deadline_ms (anchored at
+  /// submit time; time_point::max() when the spec sets none) and is
+  /// enforced inside the engine scan, not just in the queue.
+  engine::QueryReport ExecuteSpec(
+      const QuerySpec& spec, const Resolved& resolved,
+      similarity::EvaluatorCache* scratch,
+      std::chrono::steady_clock::time_point deadline);
 
   engine::QueryReport Execute(const BatchQuery& query,
                               const algo::SubtrajectorySearch& search,

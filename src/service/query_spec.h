@@ -57,10 +57,13 @@ struct QuerySpec {
   /// lower-bound cascade to toggle.
   bool prune = true;
 
-  /// Relative deadline in milliseconds, measured from Submit(). A request
-  /// still queued when it expires is answered with a DeadlineExceeded
-  /// report instead of running. 0 = no deadline. Execution that already
-  /// started is not interrupted (use `cancel` for that).
+  /// Relative deadline in milliseconds, measured from Submit(). Enforced
+  /// end-to-end: a request still queued when it expires is answered with a
+  /// DeadlineExceeded report instead of running, and a request that starts
+  /// on time but runs past the deadline stops mid-scan at per-trajectory
+  /// granularity, returning DeadlineExceeded with the partial results
+  /// accumulated so far (see engine::QueryOptions::deadline). 0 = no
+  /// deadline.
   double deadline_ms = 0.0;
 
   /// Caller-owned cooperative cancellation flag, checked before execution

@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kCancelled,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name for a status code ("OK", "IOError"...).
@@ -67,6 +68,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

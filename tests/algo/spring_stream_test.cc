@@ -94,6 +94,58 @@ TEST(SpringStreamTest, ResetClearsState) {
   EXPECT_GT(stream.best_distance(), 0.0);
 }
 
+TEST(SpringStreamTest, ResetDiscardsStaleMatchStarts) {
+  // Regression: Reset() used to keep the s_/s_prev_ match-start columns,
+  // so the first matches after a reset could report start positions from
+  // the PREVIOUS stream. Feed a decoy prefix whose best match starts deep
+  // into the stream, reset, and replay a fresh match: the reported range
+  // must be in the new stream's coordinates and agree with batch SPRING.
+  auto query = Line({1, 2, 3});
+  SpringStream stream(query);
+  for (double x : {9.0, 9.0, 9.0, 9.0, 1.0, 2.0, 3.0}) {
+    stream.Push(Point(x, 0));
+  }
+  EXPECT_EQ(stream.best_range(), geo::SubRange(4, 6));
+
+  stream.Reset();
+  std::vector<Point> fresh = Line({1, 2, 3, 7});
+  for (const Point& p : fresh) stream.Push(p);
+  SpringSearch batch;
+  auto r = batch.Search(fresh, query);
+  EXPECT_DOUBLE_EQ(stream.best_distance(), r.distance);
+  EXPECT_EQ(stream.best_range(), r.best);
+  EXPECT_EQ(stream.best_range(), geo::SubRange(0, 2));
+}
+
+TEST(SpringStreamTest, StartPositionSeatsRangesInStreamCoordinates) {
+  // A monitor resuming past 2^31 points must report unwrapped 64-bit
+  // positions offset by its checkpoint.
+  constexpr int64_t kOrigin = 3'000'000'000LL;  // > INT32_MAX
+  auto query = Line({1, 2});
+  SpringStream stream(query, kOrigin);
+  stream.Push(Point(9, 0));
+  stream.Push(Point(1, 0));
+  stream.Push(Point(2, 0));
+  EXPECT_EQ(stream.size(), 3);
+  EXPECT_DOUBLE_EQ(stream.best_distance(), 0.0);
+  EXPECT_EQ(stream.best_range(), geo::SubRange(kOrigin + 1, kOrigin + 2));
+  EXPECT_EQ(stream.current_tail_range(),
+            geo::SubRange(kOrigin + 1, kOrigin + 2));
+}
+
+TEST(SpringStreamTest, ResetRestartsAtStartPosition) {
+  constexpr int64_t kOrigin = 5'000'000'000LL;
+  auto query = Line({4});
+  SpringStream stream(query, kOrigin);
+  stream.Push(Point(4, 0));
+  EXPECT_EQ(stream.best_range(), geo::SubRange(kOrigin, kOrigin));
+  stream.Reset();
+  EXPECT_EQ(stream.size(), 0);
+  stream.Push(Point(4, 0));
+  EXPECT_EQ(stream.size(), 1);
+  EXPECT_EQ(stream.best_range(), geo::SubRange(kOrigin, kOrigin));
+}
+
 TEST(SpringStreamTest, CountsPushedPoints) {
   auto query = Line({0});
   SpringStream stream(query);

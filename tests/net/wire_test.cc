@@ -1,0 +1,291 @@
+// Wire codec contract (net/wire.h): a QuerySpec round-trips 1:1 with every
+// field at a non-default value, reports round-trip bit-exact, and malformed
+// or hostile payloads decode to errors instead of crashes or allocations.
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "geo/point.h"
+#include "rl/trainer.h"
+#include "service/query_spec.h"
+
+namespace simsub::net {
+namespace {
+
+std::vector<geo::Point> TestPoints() {
+  return {geo::Point(-8.61, 41.14, 0.0), geo::Point(-8.62, 41.15, 15.0),
+          geo::Point(-8.63, 41.16, 30.0)};
+}
+
+/// A spec with EVERY wire-carried field moved off its default, so a missed
+/// field in either direction of the codec fails the comparison.
+service::QuerySpec FullSpec(const std::vector<geo::Point>& points) {
+  service::QuerySpec spec;
+  spec.points = points;
+  spec.measure = "edr";
+  spec.measure_options.cdtw_band_fraction = 0.25;
+  spec.measure_options.edr_eps = 42.5;
+  spec.measure_options.lcss_eps = 17.25;
+  spec.measure_options.erp_gap = geo::Point(1.5, -2.5);
+  spec.algorithm = "sizes";
+  spec.algorithm_options.sizes_xi = 9;
+  spec.algorithm_options.posd_delay = 3;
+  spec.algorithm_options.random_s_samples = 77;
+  spec.algorithm_options.random_s_seed = 0xdeadbeefcafeULL;
+  spec.algorithm_options.band_fraction = 0.5;
+  spec.algorithm_options.rls_policy_path = "policies/p.bin";
+  spec.k = 7;
+  spec.min_size = 4;
+  spec.filter = engine::PruningFilter::kRTree;
+  spec.prune = false;
+  spec.deadline_ms = 1234.5;
+  return spec;
+}
+
+TEST(WireQueryTest, RoundTripsEveryFieldOneToOne) {
+  auto points = TestPoints();
+  service::QuerySpec spec = FullSpec(points);
+
+  auto encoded = EncodeQuery(spec, "client-7");
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  auto decoded = DecodeQuery(*encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  EXPECT_EQ(decoded->client_id, "client-7");
+  ASSERT_EQ(decoded->points.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(decoded->points[i].x, points[i].x);
+    EXPECT_EQ(decoded->points[i].y, points[i].y);
+    EXPECT_EQ(decoded->points[i].t, points[i].t);
+  }
+  // spec.points must view the decoded object's own storage.
+  EXPECT_EQ(decoded->spec.points.data(), decoded->points.data());
+
+  const service::QuerySpec& out = decoded->spec;
+  EXPECT_EQ(out.measure, spec.measure);
+  EXPECT_EQ(out.measure_options.cdtw_band_fraction,
+            spec.measure_options.cdtw_band_fraction);
+  EXPECT_EQ(out.measure_options.edr_eps, spec.measure_options.edr_eps);
+  EXPECT_EQ(out.measure_options.lcss_eps, spec.measure_options.lcss_eps);
+  EXPECT_EQ(out.measure_options.erp_gap.x, spec.measure_options.erp_gap.x);
+  EXPECT_EQ(out.measure_options.erp_gap.y, spec.measure_options.erp_gap.y);
+  EXPECT_EQ(out.algorithm, spec.algorithm);
+  EXPECT_EQ(out.algorithm_options.sizes_xi, spec.algorithm_options.sizes_xi);
+  EXPECT_EQ(out.algorithm_options.posd_delay,
+            spec.algorithm_options.posd_delay);
+  EXPECT_EQ(out.algorithm_options.random_s_samples,
+            spec.algorithm_options.random_s_samples);
+  EXPECT_EQ(out.algorithm_options.random_s_seed,
+            spec.algorithm_options.random_s_seed);
+  EXPECT_EQ(out.algorithm_options.band_fraction,
+            spec.algorithm_options.band_fraction);
+  EXPECT_EQ(out.algorithm_options.rls_policy_path,
+            spec.algorithm_options.rls_policy_path);
+  EXPECT_EQ(out.algorithm_options.rls_policy, nullptr);
+  EXPECT_EQ(out.k, spec.k);
+  EXPECT_EQ(out.min_size, spec.min_size);
+  ASSERT_TRUE(out.filter.has_value());
+  EXPECT_EQ(*out.filter, *spec.filter);
+  EXPECT_EQ(out.prune, spec.prune);
+  EXPECT_EQ(out.deadline_ms, spec.deadline_ms);
+  EXPECT_EQ(out.cancel, nullptr);
+}
+
+TEST(WireQueryTest, AutoFilterAndAnonymousClientRoundTrip) {
+  auto points = TestPoints();
+  service::QuerySpec spec;
+  spec.points = points;  // everything else default, filter = nullopt
+
+  auto encoded = EncodeQuery(spec, "");
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeQuery(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->client_id.empty());
+  EXPECT_FALSE(decoded->spec.filter.has_value());
+  EXPECT_TRUE(decoded->spec.prune);
+  EXPECT_EQ(decoded->spec.deadline_ms, 0.0);
+}
+
+TEST(WireQueryTest, RefusesInMemoryRlsPolicy) {
+  auto points = TestPoints();
+  rl::TrainedPolicy policy;
+  service::QuerySpec spec;
+  spec.points = points;
+  spec.algorithm_options.rls_policy = &policy;
+
+  auto encoded = EncodeQuery(spec, "c");
+  ASSERT_FALSE(encoded.ok());
+  EXPECT_EQ(encoded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(WireQueryTest, RejectsWrongVersion) {
+  auto points = TestPoints();
+  service::QuerySpec spec;
+  spec.points = points;
+  auto encoded = EncodeQuery(spec, "c");
+  ASSERT_TRUE(encoded.ok());
+  (*encoded)[0] = kWireVersion + 1;
+  auto decoded = DecodeQuery(*encoded);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WireQueryTest, EveryTruncationFailsCleanly) {
+  auto points = TestPoints();
+  service::QuerySpec spec = FullSpec(points);
+  auto encoded = EncodeQuery(spec, "client");
+  ASSERT_TRUE(encoded.ok());
+  for (size_t len = 0; len < encoded->size(); ++len) {
+    auto decoded =
+        DecodeQuery(std::span<const uint8_t>(encoded->data(), len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(WireQueryTest, HostilePointCountIsRefusedBeforeAllocating) {
+  auto points = TestPoints();
+  service::QuerySpec spec;
+  spec.points = points;
+  auto encoded = EncodeQuery(spec, "");
+  ASSERT_TRUE(encoded.ok());
+  // The point count is the last u32 before the 24-byte point records.
+  size_t count_at = encoded->size() - points.size() * 24 - 4;
+  uint32_t huge = 0xffffffffu;
+  std::memcpy(encoded->data() + count_at, &huge, sizeof(huge));
+  auto decoded = DecodeQuery(*encoded);
+  EXPECT_FALSE(decoded.ok());
+}
+
+engine::QueryReport FullReport() {
+  engine::QueryReport report;
+  report.results.push_back(
+      {42, geo::SubRange(3'000'000'000LL, 3'000'000'127LL), 0.1});
+  report.results.push_back({7, geo::SubRange(0, 5), 2.5000000000000004});
+  report.trajectories_scanned = 1000;
+  report.trajectories_pruned = 9000;
+  report.lb_skipped = 123;
+  report.dp_abandoned = 45;
+  report.seconds = 0.125;
+  report.queue_seconds = 0.0625;
+  report.status = util::Status::DeadlineExceeded("query deadline expired");
+  report.filter_used = engine::PruningFilter::kInvertedGrid;
+  report.planned_selectivity = 0.375;
+  report.plan_reason = "selective query window";
+  return report;
+}
+
+TEST(WireReportTest, RoundTripsBitExact) {
+  engine::QueryReport report = FullReport();
+  std::vector<uint8_t> encoded = EncodeReport(report);
+  auto decoded = DecodeReport(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  ASSERT_EQ(decoded->results.size(), report.results.size());
+  for (size_t i = 0; i < report.results.size(); ++i) {
+    EXPECT_EQ(decoded->results[i].trajectory_id,
+              report.results[i].trajectory_id);
+    EXPECT_EQ(decoded->results[i].range, report.results[i].range);
+    EXPECT_EQ(decoded->results[i].distance, report.results[i].distance);
+  }
+  EXPECT_EQ(decoded->trajectories_scanned, report.trajectories_scanned);
+  EXPECT_EQ(decoded->trajectories_pruned, report.trajectories_pruned);
+  EXPECT_EQ(decoded->lb_skipped, report.lb_skipped);
+  EXPECT_EQ(decoded->dp_abandoned, report.dp_abandoned);
+  EXPECT_EQ(decoded->seconds, report.seconds);
+  EXPECT_EQ(decoded->queue_seconds, report.queue_seconds);
+  EXPECT_EQ(decoded->status.code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded->status.message(), "query deadline expired");
+  EXPECT_EQ(decoded->filter_used, report.filter_used);
+  EXPECT_EQ(decoded->planned_selectivity, report.planned_selectivity);
+  ASSERT_NE(decoded->plan_reason, nullptr);
+  EXPECT_STREQ(decoded->plan_reason, report.plan_reason);
+}
+
+TEST(WireReportTest, InternedPlanReasonIsStableAcrossDecodes) {
+  engine::QueryReport report = FullReport();
+  std::vector<uint8_t> encoded = EncodeReport(report);
+  auto first = DecodeReport(encoded);
+  auto second = DecodeReport(encoded);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Same interned pointer: the table deduplicates, so repeated decodes of
+  // the same reason cannot grow memory.
+  EXPECT_EQ(first->plan_reason, second->plan_reason);
+}
+
+TEST(WireReportTest, TruncationsFailCleanly) {
+  std::vector<uint8_t> encoded = EncodeReport(FullReport());
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    auto decoded =
+        DecodeReport(std::span<const uint8_t>(encoded.data(), len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(WireErrorTest, RoundTripsAndToleratesGarbage) {
+  util::Status status = util::Status::ResourceExhausted("too many clients");
+  std::vector<uint8_t> payload = EncodeError(status);
+  util::Status decoded = DecodeError(payload);
+  EXPECT_EQ(decoded.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded.message(), "too many clients");
+
+  util::Status garbage = DecodeError(std::vector<uint8_t>{0x01});
+  EXPECT_FALSE(garbage.ok());
+}
+
+TEST(WireFrameTest, WriteThenReadOverSocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(WriteFrame(fds[0], FrameType::kQuery, payload).ok());
+
+  auto frame = ReadFrame(fds[1]);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->type, FrameType::kQuery);
+  EXPECT_EQ((*frame)->payload, payload);
+
+  // Clean close at a frame boundary decodes as nullopt, not an error.
+  ::close(fds[0]);
+  auto eof = ReadFrame(fds[1]);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof->has_value());
+  ::close(fds[1]);
+}
+
+TEST(WireFrameTest, OversizedLengthPrefixIsRefused) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::vector<uint8_t> payload(64, 0xab);
+  ASSERT_TRUE(WriteFrame(fds[0], FrameType::kQuery, payload).ok());
+  auto frame = ReadFrame(fds[1], /*max_payload=*/16);
+  EXPECT_FALSE(frame.ok());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireFrameTest, TruncationMidFrameIsAnError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Length prefix promises 100 bytes; deliver 3 and close.
+  uint32_t len = 100;
+  uint8_t header[5];
+  std::memcpy(header, &len, 4);
+  header[4] = static_cast<uint8_t>(FrameType::kQuery);
+  ASSERT_EQ(::send(fds[0], header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  uint8_t partial[3] = {9, 9, 9};
+  ASSERT_EQ(::send(fds[0], partial, sizeof(partial), 0), 3);
+  ::close(fds[0]);
+  auto frame = ReadFrame(fds[1]);
+  EXPECT_FALSE(frame.ok());
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace simsub::net

@@ -27,6 +27,14 @@ TEST(StatusTest, FactoryCodesAreDistinct) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ResourceExhaustedFormatsItsName) {
+  Status s = Status::ResourceExhausted("in-flight window full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "ResourceExhausted: in-flight window full");
 }
 
 TEST(StatusTest, Equality) {

@@ -13,7 +13,10 @@ suite. Currently gated:
   * "kernels"        (bench_kernels): SoA kernel speedups + the
                      pruned==unpruned engine identity;
   * "service_mixed"  (bench_service_mixed): mixed-spec async-vs-sequential
-                     speedup + the async==sequential identity.
+                     speedup + the async==sequential identity;
+  * "loadgen"        (bench_loadgen): overload shed fraction + the
+                     remote==local, shedding-engaged, and p99-within-
+                     deadline bits from the open-loop socket bench.
 The baseline and every fresh run must come from the same suite; mixing
 suites is rejected, as is a quick/full workload mismatch.
 
@@ -70,6 +73,26 @@ SUITES = {
         "identities": [
             (("identical_to_sequential",),
              "async results identical to sequential"),
+        ],
+    },
+    # Open-loop socket serving (bench_loadgen). Deliberately dimensionless:
+    # at 2x-capacity offered load a working admission controller must shed
+    # >= ~half the requests (a broken one sheds none and the ratio craters),
+    # and the served p99 staying inside the deadline is the bounded-tail
+    # property the shedding exists to provide — both hold on any runner
+    # speed, unlike absolute-latency ratios.
+    "loadgen": {
+        "ratios": [
+            (("overload_shed_ratio",),
+             "overload shed fraction (admission control engaged)"),
+        ],
+        "identities": [
+            (("identical_to_local",),
+             "remote results identical to in-process service"),
+            (("overload_shed_occurred",),
+             "2x-capacity overload produced load shedding"),
+            (("overload_p99_within_deadline",),
+             "served p99 under overload stays inside the deadline"),
         ],
     },
 }

@@ -27,7 +27,7 @@
 #include <memory>
 #include <optional>
 #include <string>
-
+#include <utility>
 #include <vector>
 
 #include "algo/registry.h"
@@ -36,6 +36,7 @@
 #include "data/snapshot.h"
 #include "data/workload.h"
 #include "engine/engine.h"
+#include "net/client.h"
 #include "rl/policy_io.h"
 #include "rl/trainer.h"
 #include "service/query_service.h"
@@ -52,6 +53,22 @@ using namespace simsub;
 int Fail(const util::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Splits "host:port" (dotted-quad host) for --connect flags.
+util::Result<std::pair<std::string, int>> ParseHostPort(
+    const std::string& addr) {
+  size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size()) {
+    return util::Status::InvalidArgument("expected host:port, got " + addr);
+  }
+  int port = 0;
+  try {
+    port = std::stoi(addr.substr(colon + 1));
+  } catch (...) {
+    return util::Status::InvalidArgument("unparseable port in " + addr);
+  }
+  return std::make_pair(addr.substr(0, colon), port);
 }
 
 int RunGenerate(int argc, char** argv) {
@@ -183,6 +200,8 @@ int RunQuery(int argc, char** argv) {
   int64_t batch_seed = 7;
   double deadline_ms = 0.0;
   std::string plan = "auto";
+  std::string connect;
+  std::string client_id = "cli";
   util::FlagSet flags("simsub_cli query: top-k similar subtrajectory search");
   flags.AddString("data", &data_path, "database CSV");
   flags.AddString("snapshot", &snapshot_path,
@@ -215,7 +234,18 @@ int RunQuery(int argc, char** argv) {
                   "(0 = none)");
   flags.AddString("plan", &plan,
                   "pruning filter for --batch: auto | none | rtree | grid");
+  flags.AddString("connect", &connect,
+                  "serve the query remotely through a running simsub_server "
+                  "at host:port; --data/--snapshot supplies only the query "
+                  "trajectory, the server's database answers");
+  flags.AddString("client_id", &client_id,
+                  "client identity for the server's per-client quotas "
+                  "(with --connect)");
   if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+  if (!connect.empty() && batch) {
+    return Fail(util::Status::InvalidArgument(
+        "--connect serves one query per call; --batch is local-only"));
+  }
 
   auto kind = data::DatasetKindFromName(kind_name);
   if (!kind.ok()) return Fail(kind.status());
@@ -349,7 +379,9 @@ int RunQuery(int argc, char** argv) {
   algo::SearchOptions search_options;
   search_options.rls_policy_path = policy_path;
   std::unique_ptr<algo::SubtrajectorySearch> search;
-  if (algo_name != "topk-sub") {
+  // Remote mode resolves the algorithm (and reads any rls_policy_path)
+  // server-side; only the local path needs a search instance here.
+  if (connect.empty() && algo_name != "topk-sub") {
     auto made = algo::MakeSearch(algo_name, measure->get(), search_options);
     if (!made.ok()) return Fail(made.status());
     search = std::move(*made);
@@ -379,6 +411,40 @@ int RunQuery(int argc, char** argv) {
                                          std::to_string(query_id)));
     }
     query_copy = *query;
+  }
+
+  if (!connect.empty()) {
+    auto host_port = ParseHostPort(connect);
+    if (!host_port.ok()) return Fail(host_port.status());
+    auto client = net::Client::Connect(host_port->first, host_port->second,
+                                       {.client_id = client_id});
+    if (!client.ok()) return Fail(client.status());
+    service::QuerySpec spec;
+    spec.points = query_copy.View();
+    spec.measure = measure_name;
+    spec.algorithm = algo_name;
+    spec.algorithm_options.rls_policy_path = policy_path;
+    spec.k = topk;
+    spec.prune = prune;
+    spec.deadline_ms = deadline_ms;
+    auto report = client->Query(spec);
+    if (!report.ok()) return Fail(report.status());
+    if (!report->status.ok()) return Fail(report->status);
+    std::printf(
+        "%s/%s via %s: %.1f ms exec + %.1f ms queued (plan=%s, %lld "
+        "scanned, %lld pruned)\n",
+        algo_name.c_str(), measure_name.c_str(), connect.c_str(),
+        report->seconds * 1e3, report->queue_seconds * 1e3,
+        engine::PruningFilterName(report->filter_used),
+        static_cast<long long>(report->trajectories_scanned),
+        static_cast<long long>(report->trajectories_pruned));
+    for (const auto& hit : report->results) {
+      std::printf("  trajectory %6lld  range [%4lld, %4lld]  distance %.3f\n",
+                  static_cast<long long>(hit.trajectory_id),
+                  static_cast<long long>(hit.range.start),
+                  static_cast<long long>(hit.range.end), hit.distance);
+    }
+    return 0;
   }
 
   std::optional<engine::SimSubEngine> engine_storage;
@@ -416,10 +482,27 @@ int RunQuery(int argc, char** argv) {
       static_cast<long long>(report.lb_skipped),
       static_cast<long long>(report.dp_abandoned));
   for (const auto& hit : report.results) {
-    std::printf("  trajectory %6lld  range [%4d, %4d]  distance %.3f\n",
-                static_cast<long long>(hit.trajectory_id), hit.range.start,
-                hit.range.end, hit.distance);
+    std::printf("  trajectory %6lld  range [%4lld, %4lld]  distance %.3f\n",
+                static_cast<long long>(hit.trajectory_id),
+                static_cast<long long>(hit.range.start),
+                static_cast<long long>(hit.range.end), hit.distance);
   }
+  return 0;
+}
+
+int RunStatz(int argc, char** argv) {
+  std::string connect = "127.0.0.1:7447";
+  util::FlagSet flags(
+      "simsub_cli statz: dump a running simsub_server's statistics");
+  flags.AddString("connect", &connect, "server address (host:port)");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+  auto host_port = ParseHostPort(connect);
+  if (!host_port.ok()) return Fail(host_port.status());
+  auto client = net::Client::Connect(host_port->first, host_port->second);
+  if (!client.ok()) return Fail(client.status());
+  auto statz = client->Statz();
+  if (!statz.ok()) return Fail(statz.status());
+  std::fputs(statz->c_str(), stdout);
   return 0;
 }
 
@@ -432,6 +515,8 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "  ingest    convert a CSV dataset into a binary columnar snapshot\n"
                "  train     train an RLS/RLS-Skip policy on a dataset\n"
                "  query     run a top-k similar subtrajectory search\n"
+               "            (--connect=host:port serves it via simsub_server)\n"
+               "  statz     dump a running simsub_server's statistics\n"
                "\n"
                "run '%s <subcommand> --help' for the subcommand's flags\n",
                argv0, argv0);
@@ -456,6 +541,7 @@ int main(int argc, char** argv) {
   if (subcommand == "ingest") return RunIngest(sub_argc, sub_argv);
   if (subcommand == "train") return RunTrain(sub_argc, sub_argv);
   if (subcommand == "query") return RunQuery(sub_argc, sub_argv);
+  if (subcommand == "statz") return RunStatz(sub_argc, sub_argv);
   std::fprintf(stderr, "unknown subcommand: %s\n", subcommand.c_str());
   PrintUsage(stderr, argv[0]);
   return 1;
