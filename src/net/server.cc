@@ -90,7 +90,7 @@ util::Status Server::Start() {
     return status;
   }
   port_ = ntohs(bound.sin_port);
-  listen_fd_ = fd;
+  listen_fd_.store(fd, std::memory_order_release);
   stop_.store(false, std::memory_order_release);
   draining_.store(false, std::memory_order_release);
   accept_pool_ = std::make_unique<util::ThreadPool>(1);
@@ -104,19 +104,34 @@ util::Status Server::Start() {
 }
 
 void Server::AcceptLoop() {
+  // Safe to read the fd unsynchronized in the loop: Drain() and Stop()
+  // both join this loop (WaitAll on the accept pool) before CloseListener.
+  const int listen_fd = listen_fd_.load(std::memory_order_acquire);
   while (!stop_.load(std::memory_order_acquire) &&
          !draining_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
+    pollfd pfd{listen_fd, POLLIN, 0};
     int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;  // listener gone (Stop() closed it)
     }
     if (ready == 0) continue;
-    int conn = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    int conn = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
     if (conn < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Transient resource exhaustion — fd or memory pressure under a
+        // connection flood is exactly the overload this server sheds, so
+        // it must not kill the accept loop. Back off one poll interval
+        // (lets handlers release fds) and keep accepting.
+        SIMSUB_LOG(Warning) << "accept: " << std::strerror(errno)
+                            << "; backing off " << options_.poll_interval_ms
+                            << "ms";
+        ::poll(nullptr, 0, options_.poll_interval_ms);
+        continue;
+      }
+      break;  // fatal (e.g. EBADF: Stop() closed the listener)
     }
     timeval tv{};
     tv.tv_sec = options_.read_timeout_ms / 1000;
@@ -257,7 +272,14 @@ void Server::HandleConnection(int fd) {
 }
 
 bool Server::Drain(std::chrono::milliseconds timeout) {
+  if (!serving_.load(std::memory_order_acquire)) return true;
   draining_.store(true, std::memory_order_release);
+  // Join the accept loop (it exits within one poll tick of draining_),
+  // then close the listener right away: new connections get refused
+  // immediately instead of completing the handshake into the kernel
+  // backlog and hanging there for the whole drain window.
+  accept_pool_->WaitAll();
+  CloseListener();
   auto deadline = std::chrono::steady_clock::now() + timeout;
   while (active_connections_.load(std::memory_order_acquire) > 0 &&
          std::chrono::steady_clock::now() < deadline) {
@@ -275,10 +297,12 @@ void Server::Stop() {
   // from multiple threads: the pools stay alive until the destructor.
   accept_pool_->WaitAll();
   handler_pool_->WaitAll();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  CloseListener();
+}
+
+void Server::CloseListener() {
+  int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
 }
 
 ServerStats Server::stats() const {

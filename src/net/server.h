@@ -111,8 +111,10 @@ class Server {
   /// True between a successful Start() and Stop().
   bool serving() const { return serving_.load(std::memory_order_acquire); }
 
-  /// Graceful drain (the SIGTERM path): stop accepting, let every live
-  /// connection finish its current request, then stop. Returns true if
+  /// Graceful drain (the SIGTERM path): close the listener (new
+  /// connections are refused immediately, not parked in the backlog), let
+  /// every live connection finish its current request, then stop. Returns
+  /// true if
   /// all connections closed within `timeout`; false if Stop() had to cut
   /// stragglers off at the poll boundary.
   bool Drain(std::chrono::milliseconds timeout);
@@ -148,13 +150,16 @@ class Server {
 
   void AcceptLoop();
   void HandleConnection(int fd);
+  /// Closes the listening socket exactly once (atomic fd handoff), so
+  /// Drain() and Stop() can both reach it without a double close.
+  void CloseListener();
   /// Refills and debits `client_id`'s bucket; true admits the query.
   bool AdmitQuota(const std::string& client_id) SIMSUB_EXCLUDES(quota_mu_);
   int ResolvedMaxInflight() const;
 
   service::QueryService& service_;
   ServerOptions options_;
-  int listen_fd_ = -1;
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> serving_{false};
   std::atomic<bool> stop_{false};

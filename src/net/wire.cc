@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <bit>
@@ -138,6 +139,21 @@ bool FilterFromTag(uint8_t tag,
 
 constexpr uint8_t kMaxStatusCode =
     static_cast<uint8_t>(util::StatusCode::kResourceExhausted);
+
+/// Lenient status decode: a code past the last one this build knows means
+/// a newer peer appended to StatusCode without a kWireVersion bump. That
+/// must not fail the whole frame (same-version peers would silently lose
+/// compatibility the moment the enum grows), so unknown codes map to
+/// kInternal with the original code and message preserved.
+util::Status StatusFromWire(uint8_t code, std::string message) {
+  if (code > kMaxStatusCode) {
+    return util::Status::Internal("unknown wire status code " +
+                                  std::to_string(code) +
+                                  (message.empty() ? "" : ": " + message));
+  }
+  return util::Status(static_cast<util::StatusCode>(code),
+                      std::move(message));
+}
 
 /// QueryReport::plan_reason is a `const char*` with static-storage
 /// semantics (the planner points it at string literals). A decoded report
@@ -294,12 +310,7 @@ util::Result<engine::QueryReport> DecodeReport(
   engine::QueryReport report;
   uint8_t code = r.U8();
   std::string message = r.Str();
-  if (r.ok() && code > kMaxStatusCode) {
-    return util::Status::InvalidArgument(
-        "REPORT frame status code " + std::to_string(code) + " out of range");
-  }
-  report.status =
-      util::Status(static_cast<util::StatusCode>(code), std::move(message));
+  report.status = StatusFromWire(code, std::move(message));
   uint32_t nresults = r.U32();
   if (!r.Fits(nresults, 32)) {
     return util::Status::InvalidArgument("REPORT frame truncated");
@@ -349,11 +360,10 @@ util::Status DecodeError(std::span<const uint8_t> payload) {
   Reader r(payload);
   uint8_t code = r.U8();
   std::string message = r.Str();
-  if (!r.AtEnd() || code > kMaxStatusCode) {
+  if (!r.AtEnd()) {
     return util::Status::InvalidArgument("malformed ERROR frame");
   }
-  return util::Status(static_cast<util::StatusCode>(code),
-                      std::move(message));
+  return StatusFromWire(code, std::move(message));
 }
 
 // --- framed socket I/O ------------------------------------------------------
@@ -363,9 +373,14 @@ namespace {
 util::Status WriteAll(int fd, const uint8_t* data, size_t len) {
   size_t off = 0;
   while (off < len) {
-    ssize_t n = ::write(fd, data + off, len - off);
+    // MSG_NOSIGNAL: a peer that closed mid-exchange must surface as EPIPE
+    // (an IOError the caller handles), not as SIGPIPE killing the process.
+    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return util::Status::IOError("socket write: peer closed connection");
+      }
       return util::Status::IOError(std::string("socket write: ") +
                                    std::strerror(errno));
     }

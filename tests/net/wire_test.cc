@@ -218,6 +218,19 @@ TEST(WireReportTest, InternedPlanReasonIsStableAcrossDecodes) {
   EXPECT_EQ(first->plan_reason, second->plan_reason);
 }
 
+TEST(WireReportTest, UnknownStatusCodeDecodesLeniently) {
+  // A newer peer may append StatusCode values this build does not know;
+  // the frame must still decode (as kInternal, message preserved) rather
+  // than fail — the version byte alone cannot catch enum growth.
+  std::vector<uint8_t> encoded = EncodeReport(FullReport());
+  encoded[1] = 0xEE;  // status-code byte follows the version byte
+  auto decoded = DecodeReport(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->status.code(), util::StatusCode::kInternal);
+  EXPECT_NE(decoded->status.message().find("query deadline expired"),
+            std::string::npos);
+}
+
 TEST(WireReportTest, TruncationsFailCleanly) {
   std::vector<uint8_t> encoded = EncodeReport(FullReport());
   for (size_t len = 0; len < encoded.size(); ++len) {
