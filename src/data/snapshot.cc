@@ -1,19 +1,14 @@
 #include "data/snapshot.h"
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <cstddef>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <type_traits>
 #include <utility>
 
-#ifndef _WIN32
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
-#endif
-
+#include "util/io.h"
 #include "util/logging.h"
 
 namespace simsub::data {
@@ -139,79 +134,50 @@ util::Status DecodeHeader(const unsigned char* data, const std::string& path,
   return util::Status::OK();
 }
 
-// ---- Read-side file backing: mmap or a heap buffer. ------------------------
+// ---- Read-side file backing: mmap or a heap buffer (via util/io). ----------
 
 class FileBacking {
  public:
-  ~FileBacking() {
-#ifndef _WIN32
-    if (map_ != nullptr) ::munmap(map_, map_size_);
-#endif
-  }
-
   static util::Result<std::shared_ptr<FileBacking>> Open(
       const std::string& path, bool use_mmap) {
     auto backing = std::shared_ptr<FileBacking>(new FileBacking());
-#ifndef _WIN32
     if (use_mmap) {
-      int fd = ::open(path.c_str(), O_RDONLY);
-      if (fd < 0) {
-        return util::Status::IOError("cannot open snapshot: " + path);
+      auto map = util::io::MapFileReadOnly(path);
+      if (!map.ok()) {
+        if (map.status().code() == util::StatusCode::kInvalidArgument) {
+          // Empty file: report it as the truncation it is.
+          return util::Status::InvalidArgument(
+              "truncated snapshot (empty file): " + path);
+        }
+        return map.status();
       }
-      struct stat st;
-      if (::fstat(fd, &st) != 0) {
-        ::close(fd);
-        return util::Status::IOError("cannot stat snapshot: " + path);
-      }
-      size_t size = static_cast<size_t>(st.st_size);
-      if (size == 0) {
-        ::close(fd);
-        return util::Status::InvalidArgument("truncated snapshot (empty file): " +
-                                             path);
-      }
-      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-      ::close(fd);
-      if (map == MAP_FAILED) {
-        return util::Status::IOError("mmap failed for snapshot: " + path);
-      }
-      backing->map_ = map;
-      backing->map_size_ = size;
+      backing->map_ = std::move(map).value();
       return backing;
     }
-#else
-    (void)use_mmap;
-#endif
-    // Buffered fallback: read the whole file into the heap.
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    if (!in) return util::Status::IOError("cannot open snapshot: " + path);
-    std::streamsize size = in.tellg();
-    in.seekg(0);
-    backing->buffer_.resize(static_cast<size_t>(size));
-    if (size > 0 &&
-        !in.read(reinterpret_cast<char*>(backing->buffer_.data()), size)) {
-      return util::Status::IOError("cannot read snapshot: " + path);
-    }
+    // Buffered fallback: read the whole file into the heap (aligned for
+    // the word-wide checksum by the allocator).
+    auto bytes = util::io::ReadFileBytes(path);
+    if (!bytes.ok()) return bytes.status();
+    backing->buffer_ = std::move(bytes).value();
     return backing;
   }
 
   const unsigned char* data() const {
-    return map_ != nullptr ? static_cast<const unsigned char*>(map_)
-                           : buffer_.data();
+    return map_ != nullptr ? map_->data() : buffer_.data();
   }
-  size_t size() const { return map_ != nullptr ? map_size_ : buffer_.size(); }
+  size_t size() const { return map_ != nullptr ? map_->size() : buffer_.size(); }
 
  private:
   FileBacking() = default;
-  void* map_ = nullptr;
-  size_t map_size_ = 0;
+  std::shared_ptr<const util::io::MMapping> map_;
   std::vector<unsigned char> buffer_;
 };
 
-bool WriteChunk(std::FILE* f, WordHasher* hasher, const void* data,
-                size_t bytes) {
-  if (bytes == 0) return true;
+util::Status WriteChunk(util::io::File* f, WordHasher* hasher,
+                        const void* data, size_t bytes) {
+  if (bytes == 0) return util::Status::OK();
   hasher->Update(data, bytes);
-  return std::fwrite(data, 1, bytes, f) == bytes;
+  return f->WriteAll(data, bytes);
 }
 
 }  // namespace
@@ -243,29 +209,40 @@ util::Status WriteSnapshot(const Dataset& dataset, const std::string& path) {
   header.total_points = total;
   header.stats = geo::ComputeCorpusStats(mbrs);
 
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return util::Status::IOError("cannot open snapshot for writing: " + path);
-  }
-  auto fail = [&] {
-    std::fclose(f);
-    std::remove(path.c_str());
-    return util::Status::IOError("snapshot write failed: " + path);
+  // Crash-safety protocol: write everything to a temp file next to the
+  // target, fsync it, atomically rename over `path`, then fsync the
+  // directory so the rename itself is durable. An error path removes the
+  // temp file; a *crash* leaves it orphaned for RecoverSnapshotDir to
+  // quarantine — the published `path` is never in a half-written state.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  auto opened = util::io::File::CreateTruncated(tmp);
+  if (!opened.ok()) return opened.status();
+  util::io::File f = std::move(opened).value();
+  auto fail = [&](const util::Status& cause) {
+    (void)f.Close();
+    (void)util::io::RemoveFile(tmp);
+    return util::Status::IOError("snapshot write failed: " + path + " (" +
+                                 cause.message() + ")");
   };
 
   // Header placeholder first (checksum not known yet), payload streamed
   // through the hasher, then the finalized header over the placeholder.
   unsigned char encoded[kHeaderSize];
   EncodeHeader(header, encoded);
-  if (std::fwrite(encoded, 1, kHeaderSize, f) != kHeaderSize) return fail();
+  util::Status st = f.WriteAll(encoded, kHeaderSize);
+  if (!st.ok()) return fail(st);
 
   WordHasher hasher;
-  if (!WriteChunk(f, &hasher, ids.data(), ids.size() * sizeof(int64_t)) ||
-      !WriteChunk(f, &hasher, offsets.data(),
-                  offsets.size() * sizeof(uint64_t)) ||
-      !WriteChunk(f, &hasher, mbrs.data(), mbrs.size() * sizeof(geo::Mbr))) {
-    return fail();
+  st = WriteChunk(&f, &hasher, ids.data(), ids.size() * sizeof(int64_t));
+  if (st.ok()) {
+    st = WriteChunk(&f, &hasher, offsets.data(),
+                    offsets.size() * sizeof(uint64_t));
   }
+  if (st.ok()) {
+    st = WriteChunk(&f, &hasher, mbrs.data(), mbrs.size() * sizeof(geo::Mbr));
+  }
+  if (!st.ok()) return fail(st);
   // Coordinate columns, one pass per column so the file is truly columnar;
   // each trajectory is staged through a small contiguous buffer.
   std::vector<double> column;
@@ -276,24 +253,106 @@ util::Status WriteSnapshot(const Dataset& dataset, const std::string& path) {
       for (const geo::Point& p : t.points()) {
         column.push_back(c == 0 ? p.x : c == 1 ? p.y : p.t);
       }
-      if (!WriteChunk(f, &hasher, column.data(),
-                      column.size() * sizeof(double))) {
-        return fail();
-      }
+      st = WriteChunk(&f, &hasher, column.data(),
+                      column.size() * sizeof(double));
+      if (!st.ok()) return fail(st);
     }
   }
 
   header.payload_checksum = hasher.hash();
   EncodeHeader(header, encoded);
-  if (std::fseek(f, 0, SEEK_SET) != 0 ||
-      std::fwrite(encoded, 1, kHeaderSize, f) != kHeaderSize) {
-    return fail();
+  st = f.SeekTo(0);
+  if (st.ok()) st = f.WriteAll(encoded, kHeaderSize);
+  if (st.ok()) st = f.Sync();
+  if (st.ok()) st = f.Close();
+  if (!st.ok()) return fail(st);
+  st = util::io::RenameFile(tmp, path);
+  if (!st.ok()) return fail(st);
+  return util::io::SyncDir(util::io::DirName(path));
+}
+
+// ---- Recovery. -------------------------------------------------------------
+
+namespace {
+
+/// True for `<anything>.tmp.<digits>` — the temp-file shape WriteSnapshot
+/// uses, left behind only by a writer that died mid-write.
+bool IsOrphanTempName(const std::string& name) {
+  const size_t at = name.rfind(".tmp.");
+  if (at == std::string::npos) return false;
+  const std::string digits = name.substr(at + 5);
+  if (digits.empty()) return false;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
   }
-  if (std::fclose(f) != 0) {
-    std::remove(path.c_str());
-    return util::Status::IOError("snapshot write failed: " + path);
+  return true;
+}
+
+/// First unused `<path>.corrupt[.k]` quarantine name.
+std::string QuarantineName(const std::string& path) {
+  std::string dest = path + ".corrupt";
+  for (int k = 1; ::access(dest.c_str(), F_OK) == 0; ++k) {
+    dest = path + ".corrupt." + std::to_string(k);
   }
-  return util::Status::OK();
+  return dest;
+}
+
+}  // namespace
+
+util::Result<SnapshotRecovery> RecoverSnapshotDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return util::Status::IOError("cannot open snapshot directory: " + dir);
+  }
+  std::vector<std::string> names;
+  for (struct dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+    if (e->d_name[0] == '.') continue;  // ".", "..", dotfiles
+    names.push_back(e->d_name);
+  }
+  ::closedir(d);
+
+  SnapshotRecovery recovery;
+  bool renamed_any = false;
+  for (const std::string& name : names) {
+    if (name.find(".corrupt") != std::string::npos) continue;  // prior run
+    const std::string path = dir + "/" + name;
+    if (IsOrphanTempName(name)) {
+      const std::string dest = QuarantineName(path);
+      SIMSUB_RETURN_IF_ERROR(util::io::RenameFile(path, dest));
+      recovery.quarantined.push_back(dest);
+      renamed_any = true;
+      continue;
+    }
+    // Only files carrying snapshot magic are candidates; everything else
+    // in the directory is none of our business.
+    {
+      auto probe = util::io::File::OpenRead(path);
+      if (!probe.ok()) continue;  // raced away / unreadable: leave it
+      char magic[8] = {};
+      auto size = probe->Size();
+      if (!size.ok() || *size < 8) continue;
+      if (!probe->ReadExact(magic, 8).ok()) continue;
+      if (std::memcmp(magic, kMagic, 8) != 0) continue;
+    }
+    auto opened = CorpusSnapshot::Open(path);
+    if (opened.ok()) {
+      recovery.healthy.push_back(path);
+      continue;
+    }
+    if (opened.status().code() == util::StatusCode::kInvalidArgument) {
+      // Deterministically corrupt (truncation, checksum, bad header):
+      // quarantine so the serve can start on what is left.
+      const std::string dest = QuarantineName(path);
+      SIMSUB_RETURN_IF_ERROR(util::io::RenameFile(path, dest));
+      recovery.quarantined.push_back(dest);
+      renamed_any = true;
+    }
+    // Transient IOError: leave the file alone (quarantine only on proof).
+  }
+  if (renamed_any) {
+    SIMSUB_RETURN_IF_ERROR(util::io::SyncDir(dir));
+  }
+  return recovery;
 }
 
 // ---- Reader. ---------------------------------------------------------------

@@ -54,7 +54,32 @@
 namespace simsub::data {
 
 /// Writes `dataset` as a version-1 snapshot at `path` (overwriting).
+///
+/// Crash-safe: the bytes go to `<path>.tmp.<pid>`, which is fsynced,
+/// atomically renamed over `path`, and made durable with a directory
+/// fsync. A crash at any point leaves either the old `path` intact plus
+/// at most an orphaned temp file (see RecoverSnapshotDir), or the new
+/// snapshot fully published — never a partially written `path`.
 [[nodiscard]] util::Status WriteSnapshot(const Dataset& dataset, const std::string& path);
+
+/// What RecoverSnapshotDir found and did.
+struct SnapshotRecovery {
+  /// Snapshot files that opened clean (checksum verified).
+  std::vector<std::string> healthy;
+  /// Files moved out of the way, with their new `*.corrupt` names:
+  /// orphaned `*.tmp.<pid>` files from a crashed writer, and files with
+  /// snapshot magic that fail to open (truncation, checksum mismatch).
+  std::vector<std::string> quarantined;
+};
+
+/// Startup recovery for a directory of snapshots: quarantines crashed-
+/// writer temp files and corrupt snapshots to `<name>.corrupt` instead of
+/// letting them error a later open or be mistaken for live data. Files
+/// without snapshot magic are left untouched. Must not run concurrently
+/// with a live writer in the same directory (a writer's in-progress temp
+/// file would be quarantined from under it).
+[[nodiscard]] util::Result<SnapshotRecovery> RecoverSnapshotDir(
+    const std::string& dir);
 
 struct SnapshotOpenOptions {
   /// Verify the payload checksum at open (one streaming pass over the file).

@@ -13,6 +13,8 @@
 #include <utility>
 
 #include "net/wire.h"
+#include "util/failpoint.h"
+#include "util/io.h"
 #include "util/logging.h"
 
 namespace simsub::net {
@@ -116,7 +118,19 @@ void Server::AcceptLoop() {
       break;  // listener gone (Stop() closed it)
     }
     if (ready == 0) continue;
-    int conn = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    int conn = -1;
+#if SIMSUB_FAILPOINTS_COMPILED
+    // "net.server.accept": simulate fd exhaustion — the injected failure
+    // takes the same transient-backoff path a real ENFILE flood takes,
+    // and the un-accepted connection stays in the backlog for the next
+    // poll tick.
+    if (!util::FailpointFire("net.server.accept").ok()) {
+      errno = ENFILE;
+    } else
+#endif
+    {
+      conn = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    }
     if (conn < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
@@ -236,6 +250,13 @@ void Server::HandleConnection(int fd) {
       break;
     }
 
+#if SIMSUB_FAILPOINTS_COMPILED
+    // "net.server.handle": latency injection between decode and dispatch
+    // (a delay policy makes this reply late — the client-side read times
+    // out and its retry races the stale reply).
+    (void)util::FailpointFire("net.server.handle");
+#endif
+
     engine::QueryReport report;
     if (!AdmitQuota(query->client_id)) {
       stats_.shed_quota.fetch_add(1, std::memory_order_relaxed);
@@ -263,7 +284,24 @@ void Server::HandleConnection(int fd) {
       stats_.queries_answered.fetch_add(1, std::memory_order_relaxed);
     }
 
-    std::vector<uint8_t> payload = EncodeReport(report);
+    // Echo the query's request_id so the client can match this reply to
+    // the attempt that sent it (and discard replies to abandoned ones).
+    std::vector<uint8_t> payload = EncodeReport(report, query->request_id);
+#if SIMSUB_FAILPOINTS_COMPILED
+    // "net.server.report.truncate": kill the response write mid-frame —
+    // ship the frame header and half the payload, then sever. The client
+    // sees a hard mid-frame truncation and must reconnect and retry.
+    if (!util::FailpointFire("net.server.report.truncate").ok()) {
+      std::vector<uint8_t> half;
+      uint32_t len = static_cast<uint32_t>(payload.size());
+      for (int i = 0; i < 4; ++i) half.push_back(uint8_t(len >> (8 * i)));
+      half.push_back(static_cast<uint8_t>(FrameType::kReport));
+      half.insert(half.end(), payload.begin(),
+                  payload.begin() + payload.size() / 2);
+      (void)util::io::SendAll(fd, half.data(), half.size());
+      break;
+    }
+#endif
     if (!WriteFrame(fd, FrameType::kReport, payload).ok()) break;
     if (draining_.load(std::memory_order_acquire)) break;
   }

@@ -1,14 +1,10 @@
 #include "net/wire.h"
 
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <bit>
-#include <cerrno>
-#include <cstring>
 #include <unordered_set>
 #include <utility>
 
+#include "util/io.h"
 #include "util/thread_annotations.h"
 
 namespace simsub::net {
@@ -178,7 +174,8 @@ const char* InternPlanReason(const std::string& reason) {
 // --- query ------------------------------------------------------------------
 
 util::Result<std::vector<uint8_t>> EncodeQuery(const service::QuerySpec& spec,
-                                               const std::string& client_id) {
+                                               const std::string& client_id,
+                                               uint64_t request_id) {
   if (spec.algorithm_options.rls_policy != nullptr) {
     return util::Status::InvalidArgument(
         "spec.algorithm_options.rls_policy is an in-memory pointer and "
@@ -186,6 +183,7 @@ util::Result<std::vector<uint8_t>> EncodeQuery(const service::QuerySpec& spec,
   }
   Writer w;
   w.U8(kWireVersion);
+  w.U64(request_id);
   w.Str(client_id);
   w.Str(spec.measure);
   const similarity::MeasureOptions& m = spec.measure_options;
@@ -226,6 +224,7 @@ util::Result<WireQuery> DecodeQuery(std::span<const uint8_t> payload) {
         std::to_string(kWireVersion));
   }
   WireQuery q;
+  q.request_id = r.U64();
   q.client_id = r.Str();
   q.spec.measure = r.Str();
   similarity::MeasureOptions& m = q.spec.measure_options;
@@ -274,9 +273,11 @@ util::Result<WireQuery> DecodeQuery(std::span<const uint8_t> payload) {
 
 // --- report -----------------------------------------------------------------
 
-std::vector<uint8_t> EncodeReport(const engine::QueryReport& report) {
+std::vector<uint8_t> EncodeReport(const engine::QueryReport& report,
+                                  uint64_t request_id) {
   Writer w;
   w.U8(kWireVersion);
+  w.U64(request_id);
   w.U8(static_cast<uint8_t>(report.status.code()));
   w.Str(report.status.message());
   w.U32(static_cast<uint32_t>(report.results.size()));
@@ -299,7 +300,7 @@ std::vector<uint8_t> EncodeReport(const engine::QueryReport& report) {
 }
 
 util::Result<engine::QueryReport> DecodeReport(
-    std::span<const uint8_t> payload) {
+    std::span<const uint8_t> payload, uint64_t* request_id) {
   Reader r(payload);
   uint8_t version = r.U8();
   if (r.ok() && version != kWireVersion) {
@@ -307,6 +308,8 @@ util::Result<engine::QueryReport> DecodeReport(
         "REPORT frame version " + std::to_string(version) + ", expected " +
         std::to_string(kWireVersion));
   }
+  uint64_t rid = r.U64();
+  if (request_id != nullptr) *request_id = rid;
   engine::QueryReport report;
   uint8_t code = r.U8();
   std::string message = r.Str();
@@ -367,53 +370,10 @@ util::Status DecodeError(std::span<const uint8_t> payload) {
 }
 
 // --- framed socket I/O ------------------------------------------------------
-
-namespace {
-
-util::Status WriteAll(int fd, const uint8_t* data, size_t len) {
-  size_t off = 0;
-  while (off < len) {
-    // MSG_NOSIGNAL: a peer that closed mid-exchange must surface as EPIPE
-    // (an IOError the caller handles), not as SIGPIPE killing the process.
-    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EPIPE || errno == ECONNRESET) {
-        return util::Status::IOError("socket write: peer closed connection");
-      }
-      return util::Status::IOError(std::string("socket write: ") +
-                                   std::strerror(errno));
-    }
-    off += static_cast<size_t>(n);
-  }
-  return util::Status::OK();
-}
-
-/// Reads exactly len bytes. eof_ok: a clean close before the FIRST byte
-/// returns false with OK status (frame-boundary EOF); a close mid-buffer
-/// is always an error.
-util::Result<bool> ReadAll(int fd, uint8_t* data, size_t len, bool eof_ok) {
-  size_t off = 0;
-  while (off < len) {
-    ssize_t n = ::read(fd, data + off, len - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return util::Status::IOError("socket read timed out");
-      }
-      return util::Status::IOError(std::string("socket read: ") +
-                                   std::strerror(errno));
-    }
-    if (n == 0) {
-      if (off == 0 && eof_ok) return false;
-      return util::Status::IOError("connection closed mid-frame");
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
+//
+// The raw send/recv loops (EINTR retry, SIGPIPE suppression, timeout
+// classification) live in util/io — SendAll/RecvExact — shared with every
+// other syscall wrapper and covered by the io.send/io.recv failpoints.
 
 util::Status WriteFrame(int fd, FrameType type,
                         std::span<const uint8_t> payload) {
@@ -425,12 +385,12 @@ util::Status WriteFrame(int fd, FrameType type,
   for (int i = 0; i < 4; ++i) buf.push_back(uint8_t(len >> (8 * i)));
   buf.push_back(static_cast<uint8_t>(type));
   buf.insert(buf.end(), payload.begin(), payload.end());
-  return WriteAll(fd, buf.data(), buf.size());
+  return util::io::SendAll(fd, buf.data(), buf.size());
 }
 
 util::Result<std::optional<Frame>> ReadFrame(int fd, size_t max_payload) {
   uint8_t header[5];
-  auto got = ReadAll(fd, header, sizeof(header), /*eof_ok=*/true);
+  auto got = util::io::RecvExact(fd, header, sizeof(header), /*eof_ok=*/true);
   if (!got.ok()) return got.status();
   if (!*got) return std::optional<Frame>();  // clean peer close
   uint32_t len = 0;
@@ -444,7 +404,8 @@ util::Result<std::optional<Frame>> ReadFrame(int fd, size_t max_payload) {
   frame.type = static_cast<FrameType>(header[4]);
   frame.payload.resize(len);
   if (len > 0) {
-    auto body = ReadAll(fd, frame.payload.data(), len, /*eof_ok=*/false);
+    auto body =
+        util::io::RecvExact(fd, frame.payload.data(), len, /*eof_ok=*/false);
     if (!body.ok()) return body.status();
   }
   return std::optional<Frame>(std::move(frame));

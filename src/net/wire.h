@@ -39,7 +39,10 @@ namespace simsub::net {
 
 /// Protocol version, first payload byte of every QUERY and REPORT frame.
 /// Decoders reject frames from a different version instead of guessing.
-inline constexpr uint8_t kWireVersion = 1;
+/// v2: QUERY and REPORT carry a u64 request_id after the version byte —
+/// the server echoes the query's id in its report, so a client that
+/// retried can discard a stale reply racing in from the earlier attempt.
+inline constexpr uint8_t kWireVersion = 2;
 
 /// Frame type tag (the byte after the length prefix).
 enum class FrameType : uint8_t {
@@ -67,6 +70,8 @@ inline constexpr size_t kMaxFramePayload = 64u << 20;
 /// leave the new spec viewing the old object's storage.
 struct WireQuery {
   std::string client_id;
+  /// Client-chosen id the server echoes in the REPORT (0 = unset).
+  uint64_t request_id = 0;
   std::vector<geo::Point> points;
   service::QuerySpec spec;
 
@@ -79,23 +84,28 @@ struct WireQuery {
 
 /// Encodes a QUERY payload. `client_id` identifies the caller for
 /// per-client quotas (empty = anonymous, all anonymous callers share one
-/// bucket). Fails with InvalidArgument when the spec carries an in-memory
+/// bucket); `request_id` is echoed in the REPORT (see kWireVersion).
+/// Fails with InvalidArgument when the spec carries an in-memory
 /// rls_policy pointer (unserializable; use rls_policy_path).
 [[nodiscard]] util::Result<std::vector<uint8_t>> EncodeQuery(
-    const service::QuerySpec& spec, const std::string& client_id);
+    const service::QuerySpec& spec, const std::string& client_id,
+    uint64_t request_id = 0);
 
 /// Decodes a QUERY payload; the result owns its point storage.
 [[nodiscard]] util::Result<WireQuery> DecodeQuery(
     std::span<const uint8_t> payload);
 
 /// Encodes a REPORT payload (infallible: every report is representable).
-std::vector<uint8_t> EncodeReport(const engine::QueryReport& report);
+/// `request_id` echoes the query's id back to the caller.
+std::vector<uint8_t> EncodeReport(const engine::QueryReport& report,
+                                  uint64_t request_id = 0);
 
-/// Decodes a REPORT payload. plan_reason strings are interned into a
-/// bounded process-lifetime table (the field is a `const char*` with
+/// Decodes a REPORT payload; `request_id` (optional) receives the echoed
+/// query id. plan_reason strings are interned into a bounded
+/// process-lifetime table (the field is a `const char*` with
 /// static-storage semantics); past the table cap they decode as "".
 [[nodiscard]] util::Result<engine::QueryReport> DecodeReport(
-    std::span<const uint8_t> payload);
+    std::span<const uint8_t> payload, uint64_t* request_id = nullptr);
 
 /// Encodes an ERROR payload from a (non-OK) status.
 std::vector<uint8_t> EncodeError(const util::Status& status);

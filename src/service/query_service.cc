@@ -7,6 +7,7 @@
 
 #include "data/snapshot.h"
 #include "similarity/registry.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/status.h"
 
@@ -106,6 +107,7 @@ void QueryService::ReleaseCallerScratch(similarity::EvaluatorCache* scratch) {
 
 util::Result<std::shared_ptr<const QueryService::Resolved>>
 QueryService::ResolveSpec(const QuerySpec& spec) {
+  SIMSUB_FAILPOINT("service.resolve");
   // An in-memory RLS policy is identified only by its address, which the
   // allocator may hand to a different policy later (ABA): resolve fresh
   // every time instead of risking a stale cache hit. (Path-named policies
@@ -224,6 +226,16 @@ engine::QueryReport QueryService::ServeSpec(
   engine::QueryReport report;
   report.queue_seconds = SecondsSince(submitted, started);
 
+#if SIMSUB_FAILPOINTS_COMPILED
+  // Fault-injection site for the whole submit path: a fired policy refuses
+  // the request with a typed error before any validation or engine work.
+  if (util::Status fp = util::FailpointFire("service.submit"); !fp.ok()) {
+    report.status = std::move(fp);
+    stats_.failed.fetch_add(1, std::memory_order_relaxed);
+    return report;
+  }
+#endif
+
   if (spec.cancel != nullptr &&
       spec.cancel->load(std::memory_order_relaxed)) {
     report.status = util::Status::Cancelled("request cancelled in queue");
@@ -292,6 +304,14 @@ engine::QueryReport QueryService::ServeSpec(
     // (and its lock round-trip / possible allocation on foreign threads).
     report = ExecuteSpec(spec, **resolved, nullptr, deadline);
   } else {
+#if SIMSUB_FAILPOINTS_COMPILED
+    // Simulates scratch-lease acquisition failure (e.g. allocation).
+    if (util::Status fp = util::FailpointFire("service.scratch"); !fp.ok()) {
+      report.status = std::move(fp);
+      stats_.failed.fetch_add(1, std::memory_order_relaxed);
+      return report;
+    }
+#endif
     ScratchLease lease(*this);
     report = ExecuteSpec(spec, **resolved, &lease.get(), deadline);
   }

@@ -1,7 +1,6 @@
 #include "util/csv.h"
 
-#include <fstream>
-#include <sstream>
+#include "util/io.h"
 
 namespace simsub::util {
 
@@ -58,11 +57,21 @@ std::string JoinCsvLine(const std::vector<std::string>& fields, char delim) {
 
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path, char delim) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for reading: " + path);
+  // One whole-file read through util/io (EINTR-safe, failpoint-covered),
+  // then an in-memory line walk.
+  auto content = io::ReadFileToString(path);
+  if (!content.ok()) return content.status();
   std::vector<std::vector<std::string>> rows;
   std::string line;
-  while (std::getline(in, line)) {
+  size_t start = 0;
+  while (start <= content->size()) {
+    size_t end = content->find('\n', start);
+    if (end == std::string::npos) {
+      if (start == content->size()) break;
+      end = content->size();
+    }
+    line.assign(*content, start, end - start);
+    start = end + 1;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     rows.push_back(SplitCsvLine(line, delim));
@@ -73,13 +82,12 @@ Result<std::vector<std::vector<std::string>>> ReadCsvFile(
 Status WriteCsvFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows,
                     char delim) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
+  std::string out;
   for (const auto& row : rows) {
-    out << JoinCsvLine(row, delim) << '\n';
+    out += JoinCsvLine(row, delim);
+    out.push_back('\n');
   }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return io::WriteStringToFile(path, out);
 }
 
 }  // namespace simsub::util

@@ -1,0 +1,298 @@
+#include "util/io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/failpoint.h"
+
+namespace simsub::util::io {
+
+namespace {
+
+constexpr char kTimeoutMessage[] = "socket read timed out";
+
+std::atomic<size_t> g_max_write_slice{0};
+
+util::Status Errno(const std::string& op, const std::string& path) {
+  return util::Status::IOError(op + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// --- File -------------------------------------------------------------------
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);  // best-effort; checked paths use Close()
+}
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+util::Result<File> File::OpenRead(const std::string& path) {
+  SIMSUB_FAILPOINT("io.open");
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("open", path);
+  return File(fd, path);
+}
+
+util::Result<File> File::CreateTruncated(const std::string& path) {
+  SIMSUB_FAILPOINT("io.open");
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("create", path);
+  return File(fd, path);
+}
+
+util::Status File::WriteAll(const void* data, size_t bytes) {
+  if (fd_ < 0) return util::Status::FailedPrecondition("file not open");
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const size_t slice_cap = g_max_write_slice.load(std::memory_order_relaxed);
+  size_t off = 0;
+  while (off < bytes) {
+    // One site evaluation per syscall: an abort policy truncates the file
+    // at exactly the bytes written so far.
+    SIMSUB_FAILPOINT("io.write");
+    size_t want = bytes - off;
+    if (slice_cap > 0 && want > slice_cap) want = slice_cap;
+    ssize_t n = ::write(fd_, p + off, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path_);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+util::Status File::ReadExact(void* data, size_t bytes) {
+  if (fd_ < 0) return util::Status::FailedPrecondition("file not open");
+  SIMSUB_FAILPOINT("io.read");
+  unsigned char* p = static_cast<unsigned char*>(data);
+  size_t off = 0;
+  while (off < bytes) {
+    ssize_t n = ::read(fd_, p + off, bytes - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read", path_);
+    }
+    if (n == 0) {
+      return util::Status::IOError("short read (file truncated?): " + path_);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+util::Status File::SeekTo(int64_t offset) {
+  if (fd_ < 0) return util::Status::FailedPrecondition("file not open");
+  if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    return Errno("seek", path_);
+  }
+  return util::Status::OK();
+}
+
+util::Status File::Sync() {
+  if (fd_ < 0) return util::Status::FailedPrecondition("file not open");
+  SIMSUB_FAILPOINT("io.fsync");
+  int rc;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("fsync", path_);
+  return util::Status::OK();
+}
+
+util::Status File::Close() {
+  if (fd_ < 0) return util::Status::OK();
+  SIMSUB_FAILPOINT("io.close");
+  // POSIX: the fd is gone after close() even on failure (except EINTR on
+  // some systems — Linux guarantees closed), so drop it unconditionally.
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0 && errno != EINTR) return Errno("close", path_);
+  return util::Status::OK();
+}
+
+util::Result<int64_t> File::Size() {
+  if (fd_ < 0) return util::Status::FailedPrecondition("file not open");
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Errno("stat", path_);
+  return static_cast<int64_t>(st.st_size);
+}
+
+// --- path-level operations --------------------------------------------------
+
+util::Status RenameFile(const std::string& from, const std::string& to) {
+  SIMSUB_FAILPOINT("io.rename");
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Errno("rename", from + " -> " + to);
+  }
+  return util::Status::OK();
+}
+
+util::Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("remove", path);
+  }
+  return util::Status::OK();
+}
+
+util::Status SyncDir(const std::string& dir) {
+  SIMSUB_FAILPOINT("io.fsync");
+  int fd;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("open dir", dir);
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  util::Status status =
+      rc != 0 ? Errno("fsync dir", dir) : util::Status::OK();
+  ::close(fd);
+  return status;
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+util::Result<std::vector<unsigned char>> ReadFileBytes(
+    const std::string& path) {
+  auto file = File::OpenRead(path);
+  if (!file.ok()) return file.status();
+  auto size = file->Size();
+  if (!size.ok()) return size.status();
+  std::vector<unsigned char> bytes(static_cast<size_t>(*size));
+  if (*size > 0) {
+    SIMSUB_RETURN_IF_ERROR(file->ReadExact(bytes.data(), bytes.size()));
+  }
+  return bytes;
+}
+
+util::Result<std::string> ReadFileToString(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return std::string(reinterpret_cast<const char*>(bytes->data()),
+                     bytes->size());
+}
+
+util::Status WriteStringToFile(const std::string& path,
+                               const std::string& content, bool sync) {
+  auto file = File::CreateTruncated(path);
+  if (!file.ok()) return file.status();
+  util::Status status = file->WriteAll(content.data(), content.size());
+  if (status.ok() && sync) status = file->Sync();
+  if (status.ok()) status = file->Close();
+  if (!status.ok()) (void)RemoveFile(path);  // no half-written files
+  return status;
+}
+
+// --- mmap -------------------------------------------------------------------
+
+MMapping::~MMapping() {
+  if (map_ != nullptr) ::munmap(map_, size_);
+}
+
+util::Result<std::shared_ptr<const MMapping>> MapFileReadOnly(
+    const std::string& path) {
+  auto file = File::OpenRead(path);
+  if (!file.ok()) return file.status();
+  auto size = file->Size();
+  if (!size.ok()) return size.status();
+  if (*size == 0) {
+    return util::Status::InvalidArgument("cannot map empty file: " + path);
+  }
+  SIMSUB_FAILPOINT("io.mmap");
+  void* map = ::mmap(nullptr, static_cast<size_t>(*size), PROT_READ,
+                     MAP_PRIVATE, file->fd(), 0);
+  if (map == MAP_FAILED) return Errno("mmap", path);
+  return std::shared_ptr<const MMapping>(
+      std::make_shared<MMapping>(map, static_cast<size_t>(*size)));
+}
+
+// --- sockets ----------------------------------------------------------------
+
+util::Status SendAll(int fd, const void* data, size_t bytes) {
+  SIMSUB_FAILPOINT("io.send");
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  size_t off = 0;
+  while (off < bytes) {
+    // MSG_NOSIGNAL: a peer that closed mid-exchange must surface as EPIPE
+    // (an IOError the caller handles), not as SIGPIPE killing the process.
+    ssize_t n = ::send(fd, p + off, bytes - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return util::Status::IOError("socket write: peer closed connection");
+      }
+      return util::Status::IOError(std::string("socket write: ") +
+                                   std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+util::Result<bool> RecvExact(int fd, void* data, size_t bytes, bool eof_ok) {
+  SIMSUB_FAILPOINT("io.recv");
+  unsigned char* p = static_cast<unsigned char*>(data);
+  size_t off = 0;
+  while (off < bytes) {
+    ssize_t n = ::read(fd, p + off, bytes - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return util::Status::IOError(kTimeoutMessage);
+      }
+      return util::Status::IOError(std::string("socket read: ") +
+                                   std::strerror(errno));
+    }
+    if (n == 0) {
+      if (off == 0 && eof_ok) return false;
+      return util::Status::IOError("connection closed mid-frame");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool IsSocketTimeout(const util::Status& status) {
+  return status.code() == util::StatusCode::kIOError &&
+         status.message() == kTimeoutMessage;
+}
+
+void SetMaxWriteSliceForTest(size_t bytes) {
+  g_max_write_slice.store(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace simsub::util::io

@@ -1,0 +1,151 @@
+// The single home of raw POSIX file and socket I/O. Every fallible
+// syscall the project performs — read/write/fsync/rename/mmap on files,
+// send/recv on sockets — routes through these wrappers, which gives three
+// properties in one place:
+//
+//   * EINTR safety: every call loops on signal interruption instead of
+//     surfacing a spurious IOError.
+//   * typed errors: failures come back as util::Status with the path or
+//     fd context attached, never as errno the caller must remember to
+//     read.
+//   * fault injection: each wrapper is a failpoint site (util/failpoint.h
+//     — "io.open", "io.read", "io.write", "io.fsync", "io.close",
+//     "io.rename", "io.mmap", "io.send", "io.recv"), so a chaos test can
+//     fail or crash any I/O boundary on demand.
+//
+// tools/lint.py enforces the routing: raw ::read/::write/::rename/::fsync
+// outside util/io.* and net/ fail the lint gate.
+#ifndef SIMSUB_UTIL_IO_H_
+#define SIMSUB_UTIL_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace simsub::util::io {
+
+/// RAII file descriptor with checked operations. Move-only; the
+/// destructor closes best-effort (use Close() on paths that must observe
+/// the close result — it is where write-back errors surface).
+class File {
+ public:
+  File() = default;
+  ~File();
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  [[nodiscard]] static util::Result<File> OpenRead(const std::string& path);
+  /// Creates (mode 0644) or truncates `path` for writing.
+  [[nodiscard]] static util::Result<File> CreateTruncated(
+      const std::string& path);
+
+  /// Writes all of `bytes`, looping over partial writes and EINTR.
+  [[nodiscard]] util::Status WriteAll(const void* data, size_t bytes);
+  /// Reads exactly `bytes`; a short file is an IOError.
+  [[nodiscard]] util::Status ReadExact(void* data, size_t bytes);
+  [[nodiscard]] util::Status SeekTo(int64_t offset);
+  /// fsync: makes previously written data durable before a rename
+  /// publishes it.
+  [[nodiscard]] util::Status Sync();
+  /// Checked close (idempotent). Write-back errors surface here.
+  [[nodiscard]] util::Status Close();
+  [[nodiscard]] util::Result<int64_t> Size();
+
+  bool open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Atomic within a file system; the publish step of write-tmp-then-rename.
+[[nodiscard]] util::Status RenameFile(const std::string& from,
+                                      const std::string& to);
+
+/// Unlinks `path`; a missing file is OK (remove is used on cleanup paths
+/// where "already gone" is success).
+[[nodiscard]] util::Status RemoveFile(const std::string& path);
+
+/// fsyncs a directory, making completed renames/creates in it durable.
+[[nodiscard]] util::Status SyncDir(const std::string& dir);
+
+/// The directory part of `path` ("." when there is none).
+std::string DirName(const std::string& path);
+
+/// Whole-file read. The byte form returns storage aligned for any scalar
+/// (operator new alignment), which the snapshot reader's word-wide
+/// checksum relies on.
+[[nodiscard]] util::Result<std::vector<unsigned char>> ReadFileBytes(
+    const std::string& path);
+[[nodiscard]] util::Result<std::string> ReadFileToString(
+    const std::string& path);
+
+/// Whole-file write (create/truncate). `sync` fsyncs before closing.
+[[nodiscard]] util::Status WriteStringToFile(const std::string& path,
+                                             const std::string& content,
+                                             bool sync = false);
+
+/// A read-only memory-mapped file; unmaps on destruction. Held by
+/// shared_ptr so zero-copy readers can alias into the mapping and keep it
+/// alive.
+class MMapping {
+ public:
+  /// Takes ownership of an existing mapping; callers use MapFileReadOnly.
+  MMapping(void* map, size_t size) : map_(map), size_(size) {}
+  ~MMapping();
+  MMapping(const MMapping&) = delete;
+  MMapping& operator=(const MMapping&) = delete;
+
+  const unsigned char* data() const {
+    return static_cast<const unsigned char*>(map_);
+  }
+  size_t size() const { return size_; }
+
+ private:
+  void* map_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Maps `path` read-only. An empty file is an InvalidArgument (there is
+/// nothing to map, and callers treat empty as truncated).
+[[nodiscard]] util::Result<std::shared_ptr<const MMapping>> MapFileReadOnly(
+    const std::string& path);
+
+// --- socket I/O (used by net/wire.cc framing) -------------------------------
+
+/// Sends all of `bytes` on a connected socket (MSG_NOSIGNAL; a peer close
+/// surfaces as IOError, never SIGPIPE).
+[[nodiscard]] util::Status SendAll(int fd, const void* data, size_t bytes);
+
+/// Reads exactly `bytes` from a connected socket. eof_ok: a clean close
+/// before the first byte returns false with OK status (frame-boundary
+/// EOF); a close mid-buffer is always an error. A receive-timeout
+/// (SO_RCVTIMEO) surfaces as the status IsSocketTimeout() recognizes.
+[[nodiscard]] util::Result<bool> RecvExact(int fd, void* data, size_t bytes,
+                                           bool eof_ok);
+
+/// True for the typed status RecvExact returns on a receive timeout —
+/// the one transport failure where the connection is still usable (the
+/// reply may merely be late), which the client's retry logic treats
+/// differently from a dead connection.
+bool IsSocketTimeout(const util::Status& status);
+
+/// Test hook: caps how many bytes a single ::write syscall in
+/// File::WriteAll may cover (0 = unlimited). The "io.write" failpoint is
+/// evaluated once per slice, so a small cap gives a crash-sweep
+/// byte-granular truncation points. Not for production use.
+void SetMaxWriteSliceForTest(size_t bytes);
+
+}  // namespace simsub::util::io
+
+#endif  // SIMSUB_UTIL_IO_H_

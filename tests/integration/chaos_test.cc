@@ -1,0 +1,432 @@
+// Chaos suite: drives the full stack — client -> server -> service ->
+// snapshot — under scripted failpoints (util/failpoint.h) and asserts the
+// system degrades into clean typed errors and heals to bit-identical
+// results once the fault clears.
+//
+//   * ChaosSnapshotDeathTest kills the snapshot writer (simulated power
+//     loss, std::_Exit) at EVERY write() boundary plus each fsync and the
+//     rename, then proves the previously published snapshot is untouched
+//     and RecoverSnapshotDir quarantines the wreckage.
+//   * ChaosClientTest injects connect failures, send failures, a
+//     mid-frame reply truncation, and accept-side ENFILE, and proves the
+//     self-healing client returns the same bytes a fault-free run does —
+//     while never retrying past the spec's deadline_ms.
+//
+// gtest runs *DeathTest suites first, so every fork here happens before
+// any test spawns server or pool threads.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "data/snapshot.h"
+#include "engine/engine.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_service.h"
+#include "service/query_spec.h"
+#include "util/failpoint.h"
+#include "util/io.h"
+
+namespace simsub {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool SkipIfCompiledOut() {
+  if (!util::FailpointsCompiledIn()) return true;
+  util::ClearFailpoints();
+  return false;
+}
+
+// --- snapshot crash sweep ---------------------------------------------------
+
+/// Scratch directory dedicated to this suite, so RecoverSnapshotDir sees
+/// only files these tests created.
+std::string ChaosDir() {
+  static const std::string dir = [] {
+    std::string d = (std::filesystem::temp_directory_path() /
+                     ("simsub_chaos_" + std::to_string(::getpid())))
+                        .string();
+    std::filesystem::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+data::Dataset SmallDataset() {
+  return data::GenerateDataset(data::DatasetKind::kPorto, 12, 4242);
+}
+
+int64_t TraceHits(const std::vector<util::FailpointTraceEntry>& trace,
+                  const std::string& site) {
+  for (const auto& e : trace) {
+    if (e.site == site) return e.hits;
+  }
+  return 0;
+}
+
+class ChaosSnapshotDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (SkipIfCompiledOut()) GTEST_SKIP() << "failpoints compiled out";
+    // Small write() slices so the crash sweep hits many byte boundaries.
+    util::io::SetMaxWriteSliceForTest(512);
+  }
+  void TearDown() override {
+    util::io::SetMaxWriteSliceForTest(0);
+    util::ClearFailpoints();
+    util::SetFailpointTrace(false);
+  }
+};
+
+TEST_F(ChaosSnapshotDeathTest, CrashAtEveryWriteBoundaryLeavesOldSnapshot) {
+  const data::Dataset dataset = SmallDataset();
+  const std::string target = ChaosDir() + "/crash_sweep.snap";
+
+  // Publish a good snapshot — traced, to count the fault boundaries of one
+  // full write — then capture its exact bytes: every crashed rewrite below
+  // must leave these bytes untouched.
+  util::SetFailpointTrace(true);
+  ASSERT_TRUE(data::WriteSnapshot(dataset, target).ok());
+  auto trace = util::FailpointTrace();
+  util::SetFailpointTrace(false);
+  auto golden = util::io::ReadFileToString(target);
+  ASSERT_TRUE(golden.ok());
+  const int64_t write_hits = TraceHits(trace, "io.write");
+  const int64_t fsync_hits = TraceHits(trace, "io.fsync");
+  const int64_t rename_hits = TraceHits(trace, "io.rename");
+  ASSERT_GE(write_hits, 10) << "slice cap not in effect?";
+  ASSERT_GE(fsync_hits, 2);  // file fsync + directory fsync
+  ASSERT_EQ(rename_hits, 1);
+
+  // One (site, nth) pair per fault boundary of the whole protocol.
+  std::vector<std::pair<std::string, int64_t>> faults;
+  for (int64_t n = 1; n <= write_hits; ++n) faults.emplace_back("io.write", n);
+  for (int64_t n = 1; n <= fsync_hits; ++n) faults.emplace_back("io.fsync", n);
+  faults.emplace_back("io.rename", 1);
+
+  for (const auto& [site, nth] : faults) {
+    const std::string policy = "abort@nth:" + std::to_string(nth);
+    EXPECT_EXIT(
+        {
+          // Configured inside the child: only the fork simulates the crash.
+          (void)util::SetFailpoint(site, policy);
+          (void)data::WriteSnapshot(dataset, target);
+          // A fault past the last boundary would let the write finish —
+          // then exiting 0 here fails ExitedWithCode below, catching a
+          // sweep that overcounted.
+        },
+        ::testing::ExitedWithCode(util::kFailpointAbortExitCode), "")
+        << site << " nth:" << nth;
+
+    // The published snapshot survived the crash bit for bit...
+    auto after = util::io::ReadFileToString(target);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*after, *golden) << "crash at " << site << " nth:" << nth
+                               << " damaged the published snapshot";
+    // ...and still opens.
+    auto open = data::CorpusSnapshot::Open(target);
+    EXPECT_TRUE(open.ok()) << open.status().ToString();
+  }
+
+  // Every crash before the rename left an orphaned temp file; recovery
+  // quarantines all of them and keeps the healthy snapshot.
+  auto recovered = data::RecoverSnapshotDir(ChaosDir());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_GE(recovered->quarantined.size(), faults.size() - 1);
+  bool target_healthy = false;
+  for (const std::string& h : recovered->healthy) {
+    if (h == target) target_healthy = true;
+  }
+  EXPECT_TRUE(target_healthy);
+  // Idempotent: a second sweep finds nothing left to move.
+  auto again = data::RecoverSnapshotDir(ChaosDir());
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->quarantined.empty());
+
+  // The directory is fully serviceable again: a clean rewrite goes through.
+  ASSERT_TRUE(data::WriteSnapshot(dataset, target).ok());
+  EXPECT_TRUE(data::CorpusSnapshot::Open(target).ok());
+}
+
+TEST_F(ChaosSnapshotDeathTest, TruncatedBytesFromCrashedWriterAreRejected) {
+  // Satellite coverage: CorpusSnapshot::Open against snapshots truncated
+  // at real mid-write byte boundaries — the bytes a crashed writer
+  // actually leaves, not synthetic std::ofstream prefixes.
+  const data::Dataset dataset = SmallDataset();
+  const std::string dir = ChaosDir() + "/truncated";
+  std::filesystem::create_directories(dir);
+  const std::string target = dir + "/victim.snap";
+
+  // nth >= 2: every truncation keeps the placeholder header (written by
+  // the first syscall), so each promoted file carries real snapshot magic
+  // and exercises the past-the-magic validation chain.
+  for (int64_t nth : {2, 3, 5, 8, 13}) {
+    EXPECT_EXIT(
+        {
+          (void)util::SetFailpoint("io.write",
+                                   "abort@nth:" + std::to_string(nth));
+          (void)data::WriteSnapshot(dataset, target);
+        },
+        ::testing::ExitedWithCode(util::kFailpointAbortExitCode), "");
+  }
+
+  // Promote each orphaned temp to a snapshot-named file, as if the crash
+  // had happened after the rename was half-applied by a broken FS: Open
+  // must refuse each one with a typed error, never crash or misread.
+  int promoted = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") == std::string::npos) continue;
+    const std::string as_snap = dir + "/truncated_" +
+                                std::to_string(promoted++) + ".snap";
+    ASSERT_TRUE(util::io::RenameFile(entry.path().string(), as_snap).ok());
+    auto open = data::CorpusSnapshot::Open(as_snap);
+    ASSERT_FALSE(open.ok()) << as_snap << " opened despite truncation";
+    EXPECT_EQ(open.status().code(), util::StatusCode::kInvalidArgument)
+        << open.status().ToString();
+  }
+  EXPECT_GT(promoted, 0) << "no orphaned temp files found to promote";
+
+  // RecoverSnapshotDir classifies them the same way: magic + failed open
+  // -> quarantined.
+  auto recovered = data::RecoverSnapshotDir(dir);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->quarantined.size(), static_cast<size_t>(promoted));
+}
+
+TEST_F(ChaosSnapshotDeathTest, FsyncErrorFailsTheWriteAndRemovesTheTemp) {
+  // A *reported* fsync failure (no crash) must abort the publish: the old
+  // snapshot stays, the temp is cleaned up, and the caller gets IOError.
+  const data::Dataset dataset = SmallDataset();
+  const std::string dir = ChaosDir() + "/fsync_err";
+  std::filesystem::create_directories(dir);
+  const std::string target = dir + "/victim.snap";
+  ASSERT_TRUE(data::WriteSnapshot(dataset, target).ok());
+  auto golden = util::io::ReadFileToString(target);
+  ASSERT_TRUE(golden.ok());
+
+  ASSERT_TRUE(util::SetFailpoint("io.fsync", "error@once").ok());
+  util::Status st = data::WriteSnapshot(dataset, target);
+  util::ClearFailpoints();
+  EXPECT_EQ(st.code(), util::StatusCode::kIOError);
+  EXPECT_NE(st.message().find("snapshot write failed"), std::string::npos);
+
+  auto after = util::io::ReadFileToString(target);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *golden);
+  // The failed write removed its own temp: nothing to quarantine.
+  auto recovered = data::RecoverSnapshotDir(dir);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->quarantined.empty());
+}
+
+// --- self-healing client vs a faulty server ---------------------------------
+
+class ChaosClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (SkipIfCompiledOut()) GTEST_SKIP() << "failpoints compiled out";
+  }
+  void TearDown() override { util::ClearFailpoints(); }
+
+  /// Small service + server on an ephemeral loopback port.
+  void StartServer() {
+    data::Dataset d = data::GenerateDataset(data::DatasetKind::kPorto, 48, 77);
+    query_ = d.trajectories.front();
+    service::ServiceOptions options;
+    options.threads = 2;
+    service_.emplace(engine::SimSubEngine(std::move(d.trajectories)), options);
+    server_.emplace(*service_, net::ServerOptions{});
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  service::QuerySpec Spec(double deadline_ms = 30'000.0) const {
+    service::QuerySpec spec;
+    spec.points = query_.View();
+    spec.measure = "dtw";
+    spec.algorithm = "pss";
+    spec.k = 5;
+    spec.deadline_ms = deadline_ms;
+    return spec;
+  }
+
+  net::ClientOptions FastRetryOptions() const {
+    net::ClientOptions options;
+    options.client_id = "chaos";
+    options.read_timeout_ms = 10'000;
+    options.max_retries = 8;
+    options.backoff_initial_ms = 1;
+    options.backoff_max_ms = 5;
+    options.backoff_seed = 99;
+    return options;
+  }
+
+  /// The fault-free answer every healed run must reproduce bit for bit.
+  engine::QueryReport Baseline() {
+    auto client =
+        net::Client::Connect("127.0.0.1", server_->port(), FastRetryOptions());
+    EXPECT_TRUE(client.ok());
+    auto report = client->Query(Spec());
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->status.ok()) << report->status.ToString();
+    return *report;
+  }
+
+  static void ExpectBitIdentical(const engine::QueryReport& got,
+                                 const engine::QueryReport& want) {
+    ASSERT_EQ(got.results.size(), want.results.size());
+    for (size_t i = 0; i < want.results.size(); ++i) {
+      EXPECT_EQ(got.results[i].trajectory_id, want.results[i].trajectory_id);
+      EXPECT_EQ(got.results[i].range, want.results[i].range);
+      EXPECT_EQ(got.results[i].distance, want.results[i].distance);
+    }
+  }
+
+  geo::Trajectory query_;
+  std::optional<service::QueryService> service_;
+  std::optional<net::Server> server_;
+};
+
+TEST_F(ChaosClientTest, HealsThroughSendAndConnectFailuresBitIdentical) {
+  StartServer();
+  engine::QueryReport want = Baseline();
+
+  auto client =
+      net::Client::Connect("127.0.0.1", server_->port(), FastRetryOptions());
+  ASSERT_TRUE(client.ok());
+  // First send fails, then the reconnect path eats 3 connect failures
+  // before the network "heals".
+  ASSERT_TRUE(
+      util::ConfigureFailpointsFromSpec(
+          "net.client.send=error@once;net.client.connect=error@times:3")
+          .ok());
+  auto report = client->Query(Spec());
+  util::ClearFailpoints();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok()) << report->status.ToString();
+  ExpectBitIdentical(*report, want);
+
+  const net::ClientStats& stats = client->stats();
+  EXPECT_EQ(stats.connect_failures, 3);
+  EXPECT_EQ(stats.reconnects, 1);
+  EXPECT_EQ(stats.retries, 4);  // 1 send failure + 3 connect failures
+}
+
+TEST_F(ChaosClientTest, HealsThroughMidFrameReplyTruncation) {
+  StartServer();
+  engine::QueryReport want = Baseline();
+
+  auto client =
+      net::Client::Connect("127.0.0.1", server_->port(), FastRetryOptions());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(
+      util::SetFailpoint("net.server.report.truncate", "error@once").ok());
+  auto report = client->Query(Spec());
+  util::ClearFailpoints();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok());
+  ExpectBitIdentical(*report, want);
+  EXPECT_EQ(client->stats().reconnects, 1);
+}
+
+TEST_F(ChaosClientTest, ServesThroughInjectedAcceptEnfile) {
+  StartServer();
+  engine::QueryReport want = Baseline();
+
+  // The accept loop eats 2 simulated ENFILE failures; the pending connect
+  // waits in the backlog and is accepted once the fd pressure "clears".
+  ASSERT_TRUE(
+      util::SetFailpoint("net.server.accept", "error@times:2").ok());
+  auto client =
+      net::Client::Connect("127.0.0.1", server_->port(), FastRetryOptions());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto report = client->Query(Spec());
+  util::ClearFailpoints();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok());
+  ExpectBitIdentical(*report, want);
+}
+
+TEST_F(ChaosClientTest, NeverRetriesPastTheDeadline) {
+  StartServer();
+  net::ClientOptions hopeless = FastRetryOptions();
+  hopeless.max_retries = 100;  // budget far beyond what the deadline allows
+  hopeless.backoff_initial_ms = 20;
+  hopeless.backoff_max_ms = 50;
+  auto client = net::Client::Connect("127.0.0.1", server_->port(), hopeless);
+  ASSERT_TRUE(client.ok());
+
+  // Unreachable transport: every send and every reconnect fails, so only
+  // the deadline can end the retry loop.
+  ASSERT_TRUE(util::ConfigureFailpointsFromSpec(
+                  "net.client.send=error;net.client.connect=error")
+                  .ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = client->Query(Spec(/*deadline_ms=*/300.0));
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  util::ClearFailpoints();
+
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::StatusCode::kDeadlineExceeded)
+      << report.status().ToString();
+  // The call came back around the 300ms deadline, not after burning the
+  // 100-retry budget (which would take seconds of backoff).
+  EXPECT_LT(elapsed_ms, 2'000);
+}
+
+TEST_F(ChaosClientTest, DiscardsStaleReplyAfterTimeoutAndHeals) {
+  StartServer();
+  engine::QueryReport want = Baseline();
+
+  net::ClientOptions options = FastRetryOptions();
+  options.read_timeout_ms = 100;  // far below the injected handler delay
+  options.max_retries = 20;
+  auto client = net::Client::Connect("127.0.0.1", server_->port(), options);
+  ASSERT_TRUE(client.ok());
+
+  // The server sits on the first request for 400ms. The client times out,
+  // resends with a fresh request_id on the same connection, and must
+  // discard the eventual stale reply instead of returning it.
+  ASSERT_TRUE(
+      util::SetFailpoint("net.server.handle", "delay:400@once").ok());
+  auto report = client->Query(Spec());
+  util::ClearFailpoints();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok());
+  ExpectBitIdentical(*report, want);
+  EXPECT_GE(client->stats().stale_frames_discarded, 1);
+  EXPECT_EQ(client->stats().reconnects, 0) << "timeout must not reconnect";
+}
+
+TEST_F(ChaosClientTest, ServiceFailpointsSurfaceAsTypedReportStatuses) {
+  StartServer();
+  auto client =
+      net::Client::Connect("127.0.0.1", server_->port(), FastRetryOptions());
+  ASSERT_TRUE(client.ok());
+
+  for (const char* site : {"service.submit", "service.scratch"}) {
+    ASSERT_TRUE(util::SetFailpoint(site, "error@once").ok());
+    auto report = client->Query(Spec());
+    ASSERT_TRUE(report.ok()) << site << ": " << report.status().ToString();
+    EXPECT_EQ(report->status.code(), util::StatusCode::kIOError) << site;
+    EXPECT_NE(report->status.message().find(site), std::string::npos);
+    // The fault cleared (@once): the very next request is served.
+    auto healed = client->Query(Spec());
+    ASSERT_TRUE(healed.ok());
+    EXPECT_TRUE(healed->status.ok()) << site;
+  }
+  util::ClearFailpoints();
+}
+
+}  // namespace
+}  // namespace simsub

@@ -97,6 +97,35 @@ TEST(WireQueryTest, RoundTripsEveryFieldOneToOne) {
   EXPECT_EQ(out.cancel, nullptr);
 }
 
+TEST(WireQueryTest, RequestIdRoundTripsInBothDirections) {
+  auto points = TestPoints();
+  service::QuerySpec spec;
+  spec.points = points;
+
+  // QUERY carries it...
+  auto encoded = EncodeQuery(spec, "rid-client", 0x1122334455667788ULL);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeQuery(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, 0x1122334455667788ULL);
+
+  // ...and REPORT echoes it; decoding without asking for it still works.
+  engine::QueryReport report;
+  std::vector<uint8_t> reply = EncodeReport(report, 0x1122334455667788ULL);
+  uint64_t echoed = 0;
+  auto back = DecodeReport(reply, &echoed);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(echoed, 0x1122334455667788ULL);
+  EXPECT_TRUE(DecodeReport(reply).ok());
+
+  // Omitting the id encodes the documented "unset" value.
+  auto anonymous = EncodeQuery(spec, "");
+  ASSERT_TRUE(anonymous.ok());
+  auto anon_decoded = DecodeQuery(*anonymous);
+  ASSERT_TRUE(anon_decoded.ok());
+  EXPECT_EQ(anon_decoded->request_id, 0u);
+}
+
 TEST(WireQueryTest, AutoFilterAndAnonymousClientRoundTrip) {
   auto points = TestPoints();
   service::QuerySpec spec;
@@ -223,7 +252,7 @@ TEST(WireReportTest, UnknownStatusCodeDecodesLeniently) {
   // the frame must still decode (as kInternal, message preserved) rather
   // than fail — the version byte alone cannot catch enum growth.
   std::vector<uint8_t> encoded = EncodeReport(FullReport());
-  encoded[1] = 0xEE;  // status-code byte follows the version byte
+  encoded[9] = 0xEE;  // status-code byte follows version (u8) + request_id (u64)
   auto decoded = DecodeReport(encoded);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded->status.code(), util::StatusCode::kInternal);

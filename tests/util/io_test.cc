@@ -1,0 +1,161 @@
+// util/io contract: checked POSIX wrappers (File, rename/remove/sync,
+// mmap, whole-file helpers) behave as documented on both the success and
+// the failure paths, including under injected failpoints.
+#include "util/io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace simsub::util::io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Removes the file on scope exit so failures do not leak temp files.
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) {}
+  ~TempFile() { (void)RemoveFile(path); }
+  std::string path;
+};
+
+TEST(IoFileTest, WriteReadRoundTrip) {
+  TempFile tmp(TempPath("io_test_roundtrip.bin"));
+  const std::string payload = "hello, checked io\n";
+  {
+    auto f = File::CreateTruncated(tmp.path);
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    ASSERT_TRUE(f->WriteAll(payload.data(), payload.size()).ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  auto f = File::OpenRead(tmp.path);
+  ASSERT_TRUE(f.ok());
+  auto size = f->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(static_cast<size_t>(*size), payload.size());
+  std::string read(payload.size(), '\0');
+  ASSERT_TRUE(f->ReadExact(read.data(), read.size()).ok());
+  EXPECT_EQ(read, payload);
+  // Reading past EOF is a typed error, not garbage.
+  char extra;
+  Status st = f->ReadExact(&extra, 1);
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("truncated"), std::string::npos);
+}
+
+TEST(IoFileTest, OpenMissingFileFails) {
+  auto f = File::OpenRead(TempPath("io_test_does_not_exist.bin"));
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kIOError);
+}
+
+TEST(IoFileTest, CloseIsIdempotentAndOperationsAfterCloseFail) {
+  TempFile tmp(TempPath("io_test_close.bin"));
+  auto f = File::CreateTruncated(tmp.path);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Close().ok());
+  EXPECT_TRUE(f->Close().ok());
+  EXPECT_EQ(f->WriteAll("x", 1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IoPathTest, RenameRemoveAndDirName) {
+  TempFile from(TempPath("io_test_rename_from.bin"));
+  TempFile to(TempPath("io_test_rename_to.bin"));
+  ASSERT_TRUE(WriteStringToFile(from.path, "payload").ok());
+  ASSERT_TRUE(RenameFile(from.path, to.path).ok());
+  EXPECT_FALSE(File::OpenRead(from.path).ok());
+  auto content = ReadFileToString(to.path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "payload");
+
+  // Removing a missing file is OK (idempotent cleanup).
+  EXPECT_TRUE(RemoveFile(from.path).ok());
+  EXPECT_TRUE(SyncDir(DirName(to.path)).ok());
+
+  EXPECT_EQ(DirName("/a/b/c.bin"), "/a/b");
+  EXPECT_EQ(DirName("/c.bin"), "/");
+  EXPECT_EQ(DirName("c.bin"), ".");
+}
+
+TEST(IoMMapTest, MapsFileContentAndRejectsEmptyFiles) {
+  TempFile tmp(TempPath("io_test_mmap.bin"));
+  ASSERT_TRUE(WriteStringToFile(tmp.path, "mapped bytes").ok());
+  auto map = MapFileReadOnly(tmp.path);
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_EQ((*map)->size(), 12u);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>((*map)->data()), 12),
+            "mapped bytes");
+
+  TempFile empty(TempPath("io_test_mmap_empty.bin"));
+  ASSERT_TRUE(WriteStringToFile(empty.path, "").ok());
+  auto bad = MapFileReadOnly(empty.path);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IoFailpointTest, WriteSliceCapMakesIoWritePerSyscall) {
+  if (!FailpointsCompiledIn()) {
+    GTEST_SKIP() << "built with SIMSUB_FAILPOINTS_ENABLED=OFF";
+  }
+  ClearFailpoints();
+  SetMaxWriteSliceForTest(4);
+  TempFile tmp(TempPath("io_test_slice.bin"));
+  // 10 bytes at 4 per slice = 3 write() calls; fail the 3rd and the file
+  // holds exactly the first two slices.
+  ASSERT_TRUE(SetFailpoint("io.write", "error@nth:3").ok());
+  {
+    auto f = File::CreateTruncated(tmp.path);
+    ASSERT_TRUE(f.ok());
+    Status st = f->WriteAll("0123456789", 10);
+    EXPECT_EQ(st.code(), StatusCode::kIOError);
+    EXPECT_NE(st.message().find("failpoint"), std::string::npos);
+  }
+  ClearFailpoints();
+  SetMaxWriteSliceForTest(0);
+  auto content = ReadFileToString(tmp.path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "01234567");
+}
+
+TEST(IoFailpointTest, WriteStringToFileRemovesThePartialFileOnFailure) {
+  if (!FailpointsCompiledIn()) {
+    GTEST_SKIP() << "built with SIMSUB_FAILPOINTS_ENABLED=OFF";
+  }
+  ClearFailpoints();
+  const std::string path = TempPath("io_test_no_partial.bin");
+  ASSERT_TRUE(SetFailpoint("io.write", "error").ok());
+  EXPECT_FALSE(WriteStringToFile(path, "doomed").ok());
+  ClearFailpoints();
+  EXPECT_FALSE(File::OpenRead(path).ok()) << "partial file left behind";
+}
+
+TEST(IoFailpointTest, FsyncFailureSurfacesFromSync) {
+  if (!FailpointsCompiledIn()) {
+    GTEST_SKIP() << "built with SIMSUB_FAILPOINTS_ENABLED=OFF";
+  }
+  ClearFailpoints();
+  TempFile tmp(TempPath("io_test_fsync.bin"));
+  auto f = File::CreateTruncated(tmp.path);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(SetFailpoint("io.fsync", "error@once").ok());
+  EXPECT_EQ(f->Sync().code(), StatusCode::kIOError);
+  EXPECT_TRUE(f->Sync().ok());  // @once: the retry goes through
+  ClearFailpoints();
+}
+
+TEST(IoSocketTest, TimeoutStatusIsRecognizable) {
+  EXPECT_TRUE(IsSocketTimeout(Status::IOError("socket read timed out")));
+  EXPECT_FALSE(IsSocketTimeout(Status::IOError("connection closed mid-frame")));
+  EXPECT_FALSE(IsSocketTimeout(Status::DeadlineExceeded("socket read timed out")));
+}
+
+}  // namespace
+}  // namespace simsub::util::io

@@ -51,7 +51,9 @@ import sys
 
 # Per-suite gate definition. "ratios" are (json path, human label) pairs,
 # all "bigger is better"; "identities" are boolean paths that must be true
-# in every fresh run.
+# in every fresh run; "ceilings" are (json path, human label, max) triples —
+# absolute smaller-is-better bounds that must hold in EVERY fresh run (a
+# count-like metric whose healthy value is ~0 has no ratio to compare).
 SUITES = {
     "kernels": {
         "ratios": [
@@ -94,6 +96,13 @@ SUITES = {
             (("overload_p99_within_deadline",),
              "served p99 under overload stays inside the deadline"),
         ],
+        # A healthy loopback run needs ~no transport retries; a client that
+        # quietly chews through its retry budget (flaky framing, broken
+        # reconnect) shows up here long before it breaks a ratio.
+        "ceilings": [
+            (("retries_per_request",),
+             "client transport retries per request", 0.1),
+        ],
     },
 }
 
@@ -130,6 +139,13 @@ def merge_best(suite, fresh_docs):
                     parent[path[-1]] = False
                 # else: merged lacks the section entirely; check() reports
                 # the missing identity as its own failure.
+        for path, _, _ in suite.get("ceilings", []):
+            # Worst (largest) value across runs: a ceiling must hold in
+            # every run, and checking the max once is the same test.
+            a = lookup(merged, path)
+            b = lookup(doc, path)
+            if a is not None and b is not None and b > a:
+                lookup(merged, path[:-1])[path[-1]] = b
     return merged
 
 
@@ -180,6 +196,17 @@ def check(baseline, fresh, threshold):
             failures.append(
                 f"{'.'.join(path)} is not true in every fresh run — "
                 f"{label} was violated")
+    for path, label, limit in suite.get("ceilings", []):
+        value = lookup(fresh, path)
+        if value is None:
+            failures.append(f"fresh results are missing {'.'.join(path)}")
+            continue
+        ok = value <= limit
+        print(f"{label:<40} {'<=':>9}{limit:>8.2f} {value:>8.2f}   "
+              f"{'ok' if ok else 'EXCEEDED'}")
+        if not ok:
+            failures.append(
+                f"{label} exceeded its ceiling: {value:.3f} > {limit:.3f}")
     return failures
 
 
@@ -214,6 +241,16 @@ def self_test(baseline, threshold):
         print("self-test FAILED: violated identity bit was not caught")
         return 1
 
+    ceilings = suite.get("ceilings", [])
+    if ceilings:
+        exceeded = copy.deepcopy(baseline)
+        for path, _, limit in ceilings:
+            lookup(exceeded, path[:-1])[path[-1]] = 2.0 * limit + 1.0
+        print("\npushing every ceiling metric past its limit:")
+        if len(check(baseline, exceeded, threshold)) != len(ceilings):
+            print("self-test FAILED: exceeded ceiling was not caught")
+            return 1
+
     mismatched = copy.deepcopy(baseline)
     mismatched["config"]["quick"] = not mismatched["config"].get("quick")
     if not check(baseline, mismatched, threshold):
@@ -221,7 +258,8 @@ def self_test(baseline, threshold):
         return 1
     print(f"\nself-test OK ({suite_name}): identical copy passes, injected "
           f"regression trips all {len(suite['ratios'])} ratios, broken "
-          "identity and config mismatch rejected")
+          f"identity, exceeded ceiling ({len(ceilings)}), and config "
+          "mismatch rejected")
     return 0
 
 

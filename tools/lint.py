@@ -27,6 +27,12 @@ Four rules, each encoding a contract an earlier PR established:
                fallible outcome is a bug; the attribute turns it into a
                compiler warning at every call site.
 
+  raw-io       No raw write()/read()/rename()/fsync() calls outside
+               util/io.* and net/ — file and socket I/O goes through the
+               checked util::io wrappers (PR 8's contract) so every byte
+               crosses the failpoint sites and EINTR loops exactly once.
+               A raw call is a hole in the fault-injection coverage.
+
 Scope: src/ only (tests may spawn raw threads to provoke races; benches may
 time whatever they like). Comments and string literals are stripped before
 matching, so documentation may mention the banned spellings freely.
@@ -178,7 +184,32 @@ def check_nodiscard(rel, text):
     return out
 
 
-RULES = (check_thread, check_min_list, check_determinism, check_nodiscard)
+# --- rule: raw-io -----------------------------------------------------------
+
+# ::write( / std::rename( / bare write( — but not member calls (f.write(,
+# r->read() or qualified names from other scopes (Writer::write().
+RAW_IO_RE = re.compile(
+    r"(?<![\w.>:])(?:std::|::)?(write|read|rename|fsync)\s*\(")
+RAW_IO_EXEMPT = ("src/util/io.", "src/net/")
+
+
+def check_raw_io(rel, text):
+    posix = rel.replace(os.sep, "/")
+    if posix.startswith(RAW_IO_EXEMPT):
+        return []
+    out = []
+    for match in RAW_IO_RE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        out.append(finding(
+            rel, line, "raw-io",
+            f"raw {match.group(1)}() outside util/io.* — route file and "
+            "socket I/O through util::io (PR 8 contract) so failpoint "
+            "sites and EINTR handling cover it"))
+    return out
+
+
+RULES = (check_thread, check_min_list, check_determinism, check_nodiscard,
+         check_raw_io)
 
 
 def lint_tree(root):
@@ -227,12 +258,24 @@ long Seed() {
 }
 // time( and rand( in a comment must not trip
 """),
-    ("nodiscard", "src/util/io.h", """
+    ("nodiscard", "src/util/flags.h", """
 namespace simsub::util {
 Status WriteThing(const char* path);  // violation: no [[nodiscard]]
 [[nodiscard]] Status WriteOther(const char* path);  // ok
 const Status& last_status();  // ok: reference accessor
 }
+"""),
+    ("raw-io", "src/data/exporter.cc", """
+#include <unistd.h>
+void Dump(int fd, const void* p, unsigned n) {
+  ::write(fd, p, n);  // violation
+}
+void Fine(Buffer& buf, Reader* r) {
+  buf.write("x", 1);     // ok: member call
+  r->read();             // ok: member call
+  Codec::rename("a");    // ok: scoped name from another class
+}
+// ::fsync( in a comment must not trip
 """),
 ]
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include <poll.h>
+#include <unistd.h>
 
 #include "data/dataset.h"
 #include "data/generator.h"
@@ -34,6 +35,7 @@
 #include "service/query_service.h"
 #include "service/query_spec.h"
 #include "util/flags.h"
+#include "util/io.h"
 
 namespace {
 
@@ -120,6 +122,7 @@ int main(int argc, char** argv) {
   double quota_qps = 0.0;
   double quota_burst = 0.0;
   int drain_ms = 10'000;
+  std::string pid_file;
   bool smoke = false;
 
   util::FlagSet flags(
@@ -145,6 +148,9 @@ int main(int argc, char** argv) {
   flags.AddDouble("quota_burst", &quota_burst,
                   "per-client token bucket depth (0 = same as rate)");
   flags.AddInt("drain_ms", &drain_ms, "graceful drain budget on SIGTERM");
+  flags.AddString("pid_file", &pid_file,
+                  "write the server pid here once listening; removed on a "
+                  "clean drain (for process supervisors)");
   flags.AddBool("smoke", &smoke,
                 "loopback self-test: generate a small database, serve it on "
                 "an ephemeral port, verify the wire stack, exit");
@@ -170,6 +176,18 @@ int main(int argc, char** argv) {
     service.emplace(engine::SimSubEngine(std::move(dataset.trajectories)),
                     service_options);
   } else if (!snapshot_path.empty()) {
+    // Sweep the snapshot directory first: a writer that crashed mid-write
+    // leaves orphaned temp files (and possibly a corrupt snapshot) behind;
+    // quarantine them instead of tripping over them.
+    auto recovered = data::RecoverSnapshotDir(util::io::DirName(snapshot_path));
+    if (recovered.ok()) {
+      for (const std::string& q : recovered->quarantined) {
+        std::fprintf(stderr, "snapshot recovery: quarantined %s\n", q.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "snapshot recovery skipped: %s\n",
+                   recovered.status().ToString().c_str());
+    }
     auto snapshot = data::CorpusSnapshot::Open(snapshot_path);
     if (!snapshot.ok()) return Fail(snapshot.status());
     service.emplace(**snapshot, service_options);
@@ -201,6 +219,16 @@ int main(int argc, char** argv) {
               service->pool().size(), max_inflight);
   std::fflush(stdout);
 
+  // Written only after the listening socket is live, so a supervisor that
+  // sees the file can immediately signal the pid it names.
+  if (!pid_file.empty()) {
+    if (auto st = util::io::WriteStringToFile(
+            pid_file, std::to_string(static_cast<long long>(::getpid())) + "\n");
+        !st.ok()) {
+      return Fail(st);
+    }
+  }
+
   if (smoke) return RunSmoke(*service, server, first_query);
 
   // Serve until SIGTERM/SIGINT, then drain gracefully: stop accepting,
@@ -217,5 +245,8 @@ int main(int argc, char** argv) {
   bool drained = server.Drain(std::chrono::milliseconds(drain_ms));
   std::printf("%s\n%s", drained ? "drained clean" : "drain timed out",
               server.StatzText().c_str());
+  if (drained && !pid_file.empty()) {
+    if (auto st = util::io::RemoveFile(pid_file); !st.ok()) return Fail(st);
+  }
   return 0;
 }
