@@ -2,7 +2,7 @@
 // two-pass kernels (geo/soa.h), and the engine's top-k scan with the
 // lower-bound pruning cascade on vs off.
 //
-// Three tiers are measured:
+// Four tiers are measured:
 //   1. distance-row primitives — the sqrt-per-element row fill that
 //      dominates every DP evaluator, AoS scalar vs SoA vectorized;
 //   2. the DTW evaluator — the pre-SoA per-cell implementation (replicated
@@ -11,7 +11,15 @@
 //   3. end-to-end engine top-k — SimSubEngine::Query with
 //      QueryOptions::prune off vs on (1 thread and hardware threads),
 //      asserting the results are bit-identical and reporting the prune
-//      counters (lb_skipped, dp_abandoned).
+//      counters (lb_skipped, dp_abandoned);
+//   4. multi-query batching — the same pruned workload through one
+//      SimSubEngine::QueryBatch tiled scan (single-threaded, so the
+//      reported qps_per_core is literally queries per second per core),
+//      asserting bit-identity against the one-at-a-time reports.
+//
+// The SoA kernels dispatch through the runtime ISA tiers
+// (geo/simd_dispatch.h); the selected tier is recorded in the JSON config
+// as "isa", and check_bench.py refuses to compare runs across tiers.
 //
 // Emits machine-readable BENCH_kernels.json (see bench/README.md for the
 // schema); exits non-zero if pruned and unpruned engine results differ.
@@ -28,6 +36,7 @@
 #include "data/generator.h"
 #include "data/workload.h"
 #include "engine/engine.h"
+#include "geo/simd_dispatch.h"
 #include "geo/soa.h"
 #include "similarity/dtw.h"
 #include "util/flags.h"
@@ -146,8 +155,8 @@ int main(int argc, char** argv) {
                      "SoA kernel + pruning-cascade perf baseline",
                      "query_len=" + std::to_string(query_len) +
                          " trajectories=" + std::to_string(trajectories) +
-                         " queries=" + std::to_string(queries) +
-                         (quick ? " (quick)" : ""));
+                         " queries=" + std::to_string(queries) + " isa=" +
+                         geo::ActiveIsaName() + (quick ? " (quick)" : ""));
 
   util::Rng rng(20260730);
   std::vector<geo::Point> query = RandomPoints(rng, query_len, 5000.0);
@@ -290,6 +299,49 @@ int main(int argc, char** argv) {
               static_cast<long long>(lb_skipped),
               static_cast<long long>(dp_abandoned), identical ? "yes" : "NO");
 
+  // ---- Tier 4: multi-query batched scan. -----------------------------------
+  // The tier-3 pruned single-thread loop is the sequential baseline; the
+  // batched side pushes the whole workload through one QueryBatch tiled
+  // scan, also single-threaded, so the speedup isolates the cache-tiling
+  // effect (each trajectory searched against every query while hot) and
+  // qps_per_core is exactly queries / seconds on one core.
+  std::vector<engine::BatchedQueryView> views;
+  views.reserve(workload.size());
+  for (const auto& pair : workload) {
+    engine::BatchedQueryView v;
+    v.points = pair.query.View();
+    v.k = k;
+    views.push_back(v);
+  }
+  double batched_s = 0.0;
+  std::vector<engine::QueryReport> batched_reports;
+  {
+    util::Stopwatch timer;
+    engine::BatchQueryOptions bo;
+    bo.threads = 1;
+    bo.prune = true;
+    batched_reports = engine.QueryBatch(views, exact, bo);
+    batched_s = timer.ElapsedSeconds();
+  }
+  bool batched_identical = true;
+  for (size_t i = 0; i < pruned_reports.size() && batched_identical; ++i) {
+    const auto& a = pruned_reports[i].results;
+    const auto& b = batched_reports[i].results;
+    batched_identical = a.size() == b.size();
+    for (size_t j = 0; batched_identical && j < a.size(); ++j) {
+      batched_identical = a[j].trajectory_id == b[j].trajectory_id &&
+                          a[j].range == b[j].range &&
+                          a[j].distance == b[j].distance;
+    }
+  }
+  double batched_speedup = batched_s > 0 ? pruned_s / batched_s : 0.0;
+  double qps_per_core =
+      batched_s > 0 ? static_cast<double>(workload.size()) / batched_s : 0.0;
+  std::printf("batched top-%d: sequential %7.1f ms | batched %7.1f ms "
+              "(%.2fx) | %.2f qps/core | batched==sequential: %s\n",
+              k, pruned_s * 1e3, batched_s * 1e3, batched_speedup,
+              qps_per_core, batched_identical ? "yes" : "NO");
+
   std::FILE* json = std::fopen(out.c_str(), "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
@@ -300,7 +352,8 @@ int main(int argc, char** argv) {
       "{\n"
       "  \"bench\": \"kernels\",\n"
       "  \"config\": {\"query_len\": %d, \"stream_len\": %d, "
-      "\"trajectories\": %d, \"queries\": %d, \"k\": %d, \"quick\": %s},\n"
+      "\"trajectories\": %d, \"queries\": %d, \"k\": %d, \"quick\": %s, "
+      "\"isa\": \"%s\"},\n"
       "  \"distance_row\": {\"scalar_ns_per_elem\": %.3f, "
       "\"soa_ns_per_elem\": %.3f, \"speedup\": %.3f},\n"
       "  \"squared_distance_row\": {\"scalar_ns_per_elem\": %.3f, "
@@ -312,22 +365,31 @@ int main(int argc, char** argv) {
       "\"mt_threads\": %d, \"speedup\": %.3f, \"speedup_mt\": %.3f,\n"
       "                  \"lb_skipped\": %lld, \"dp_abandoned\": %lld, "
       "\"pruned_identical_to_unpruned\": %s},\n"
+      "  \"batched\": {\"sequential_seconds\": %.6f, "
+      "\"batched_seconds\": %.6f, \"speedup\": %.3f, "
+      "\"qps_per_core\": %.3f, \"identical_to_sequential\": %s},\n"
       "  \"checksum\": %.6e\n"
       "}\n",
       query_len, stream_len, trajectories, queries, k,
-      quick ? "true" : "false", dist_row.scalar_ns, dist_row.soa_ns,
-      dist_row.speedup(), sq_row.scalar_ns, sq_row.soa_ns, sq_row.speedup(),
-      dtw_stream.scalar_ns, dtw_stream.soa_ns, dtw_stream.speedup(),
-      unpruned_s, pruned_s, pruned_mt_s, hw, engine_speedup,
-      engine_speedup_mt, static_cast<long long>(lb_skipped),
+      quick ? "true" : "false", geo::ActiveIsaName(), dist_row.scalar_ns,
+      dist_row.soa_ns, dist_row.speedup(), sq_row.scalar_ns, sq_row.soa_ns,
+      sq_row.speedup(), dtw_stream.scalar_ns, dtw_stream.soa_ns,
+      dtw_stream.speedup(), unpruned_s, pruned_s, pruned_mt_s, hw,
+      engine_speedup, engine_speedup_mt, static_cast<long long>(lb_skipped),
       static_cast<long long>(dp_abandoned), identical ? "true" : "false",
-      checksum);
+      pruned_s, batched_s, batched_speedup, qps_per_core,
+      batched_identical ? "true" : "false", checksum);
   std::fclose(json);
   std::printf("wrote %s\n", out.c_str());
 
   if (!identical) {
     std::fprintf(stderr,
                  "FAIL: pruned top-k differs from unpruned results\n");
+    return 1;
+  }
+  if (!batched_identical) {
+    std::fprintf(stderr,
+                 "FAIL: batched top-k differs from sequential results\n");
     return 1;
   }
   std::printf("OK\n");

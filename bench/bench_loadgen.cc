@@ -39,6 +39,7 @@
 #include "data/generator.h"
 #include "data/workload.h"
 #include "engine/engine.h"
+#include "geo/simd_dispatch.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "service/query_service.h"
@@ -377,10 +378,10 @@ int main(int argc, char** argv) {
                "  \"bench\": \"loadgen\",\n"
                "  \"config\": {\"trajectories\": %d, \"clients\": %d, "
                "\"threads\": %d, \"k\": %d, \"phase_seconds\": %.2f, "
-               "\"deadline_ms\": %.1f, \"quick\": %s},\n"
+               "\"deadline_ms\": %.1f, \"quick\": %s, \"isa\": \"%s\"},\n"
                "  \"capacity_qps\": %.2f,\n",
                trajectories, clients, threads, k, phase_seconds, deadline_ms,
-               quick ? "true" : "false", capacity_qps);
+               quick ? "true" : "false", simsub::geo::ActiveIsaName(), capacity_qps);
   phase_json("underload", underload);
   phase_json("overload", overload);
   std::fprintf(json,

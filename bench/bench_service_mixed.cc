@@ -23,6 +23,7 @@
 #include "data/generator.h"
 #include "data/workload.h"
 #include "engine/engine.h"
+#include "geo/simd_dispatch.h"
 #include "service/query_service.h"
 #include "service/query_spec.h"
 #include "util/flags.h"
@@ -164,7 +165,7 @@ int main(int argc, char** argv) {
       "{\n"
       "  \"bench\": \"service_mixed\",\n"
       "  \"config\": {\"trajectories\": %d, \"queries\": %d, \"k\": %d, "
-      "\"pool_threads\": %d, \"quick\": %s},\n"
+      "\"pool_threads\": %d, \"quick\": %s, \"isa\": \"%s\"},\n"
       "  \"sequential\": {\"seconds\": %.6f, \"qps\": %.2f},\n"
       "  \"async\": {\"seconds\": %.6f, \"qps\": %.2f, "
       "\"exec_p50_ms\": %.3f, \"exec_p99_ms\": %.3f, "
@@ -174,7 +175,8 @@ int main(int argc, char** argv) {
       "  \"identical_to_sequential\": %s\n"
       "}\n",
       trajectories, static_cast<int>(n), k, service.pool().size(),
-      quick ? "true" : "false", sequential_seconds, sequential_qps,
+      quick ? "true" : "false", simsub::geo::ActiveIsaName(),
+      sequential_seconds, sequential_qps,
       async_seconds, async_qps, exec_p50, exec_p99, queue_p50, queue_p99,
       speedup, static_cast<long long>(stats.spec_cache_hits),
       static_cast<long long>(stats.spec_cache_misses),

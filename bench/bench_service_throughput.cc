@@ -25,6 +25,7 @@
 #include "data/generator.h"
 #include "data/workload.h"
 #include "engine/engine.h"
+#include "geo/simd_dispatch.h"
 #include "service/query_service.h"
 #include "similarity/registry.h"
 #include "util/stats.h"
@@ -173,7 +174,8 @@ int main(int argc, char** argv) {
                "{\n"
                "  \"bench\": \"service_throughput\",\n"
                "  \"config\": {\"trajectories\": %d, \"queries\": %d, "
-               "\"k\": %d, \"measure\": \"%s\", \"pool_threads\": %d},\n"
+               "\"k\": %d, \"measure\": \"%s\", \"pool_threads\": %d, "
+               "\"isa\": \"%s\"},\n"
                "  \"baseline\": {\"seconds\": %.6f, \"qps\": %.2f},\n"
                "  \"service\": {\"seconds\": %.6f, \"qps\": %.2f, "
                "\"p50_ms\": %.3f, \"p99_ms\": %.3f},\n"
@@ -186,7 +188,8 @@ int main(int argc, char** argv) {
                "  \"top1_matches_full_scan\": %d\n"
                "}\n",
                trajectories, static_cast<int>(n), k, measure_name.c_str(),
-               service.pool().size(), baseline_seconds, baseline_qps,
+               service.pool().size(), simsub::geo::ActiveIsaName(),
+               baseline_seconds, baseline_qps,
                batch_seconds, batch_qps, p50, p99, speedup,
                static_cast<long long>(stats.plans_none),
                static_cast<long long>(stats.plans_rtree),

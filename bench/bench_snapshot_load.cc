@@ -26,6 +26,7 @@
 #include "data/snapshot.h"
 #include "data/workload.h"
 #include "engine/engine.h"
+#include "geo/simd_dispatch.h"
 #include "similarity/dtw.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
@@ -208,7 +209,7 @@ int main(int argc, char** argv) {
       "{\n"
       "  \"bench\": \"snapshot_load\",\n"
       "  \"config\": {\"trajectories\": %d, \"kind\": \"%s\", "
-      "\"queries\": %d, \"k\": %d, \"quick\": %s},\n"
+      "\"queries\": %d, \"k\": %d, \"quick\": %s, \"isa\": \"%s\"},\n"
       "  \"files\": {\"csv_bytes\": %lld, \"snapshot_bytes\": %lld},\n"
       "  \"load\": {\"csv_load_seconds\": %.6f, "
       "\"open_verified_seconds\": %.6f, \"open_unverified_seconds\": %.6f, "
@@ -220,7 +221,8 @@ int main(int argc, char** argv) {
       "\"identical_results\": %s}\n"
       "}\n",
       trajectories, kind_name.c_str(), static_cast<int>(workload.size()), k,
-      quick ? "true" : "false", static_cast<long long>(csv_bytes),
+      quick ? "true" : "false", simsub::geo::ActiveIsaName(),
+      static_cast<long long>(csv_bytes),
       static_cast<long long>(snap_bytes), csv_load_s, open_verified_s,
       open_unverified_s, open_buffered_s, speedup_verified,
       speedup_unverified, csv_ready_s, snap_ready_s, speedup_ready,

@@ -1,8 +1,6 @@
 #include "geo/soa.h"
 
-#include <cmath>
-#include <limits>
-
+#include "geo/simd_dispatch.h"
 #include "util/logging.h"
 
 namespace simsub::geo {
@@ -16,44 +14,33 @@ void FlatPoints::Assign(std::span<const Point> pts) {
   }
 }
 
+// The public primitives are thin forwarding wrappers: the loop bodies live
+// in geo/soa_kernels.inc, compiled once per ISA tier, and ActiveKernels()
+// resolves the tier once per process (see geo/simd_dispatch.h).
+
 void DistanceRow(const Point& p, PointsView q, double* out) {
-  const double px = p.x;
-  const double py = p.y;
-  const double* qx = q.x;
-  const double* qy = q.y;
-  for (size_t j = 0; j < q.size; ++j) {
-    double dx = px - qx[j];
-    double dy = py - qy[j];
-    out[j] = std::sqrt(dx * dx + dy * dy);
-  }
+  ActiveKernels().distance_row(p.x, p.y, q.x, q.y, q.size, out);
 }
 
 void SquaredDistanceRow(const Point& p, PointsView q, double* out) {
-  const double px = p.x;
-  const double py = p.y;
-  const double* qx = q.x;
-  const double* qy = q.y;
-  for (size_t j = 0; j < q.size; ++j) {
-    double dx = px - qx[j];
-    double dy = py - qy[j];
-    out[j] = dx * dx + dy * dy;
-  }
+  ActiveKernels().squared_distance_row(p.x, p.y, q.x, q.y, q.size, out);
 }
 
 double MinSquaredDistance(const Point& p, PointsView q) {
   SIMSUB_CHECK(!q.empty());
-  const double px = p.x;
-  const double py = p.y;
-  const double* qx = q.x;
-  const double* qy = q.y;
-  double best = std::numeric_limits<double>::infinity();
-  for (size_t j = 0; j < q.size; ++j) {
-    double dx = px - qx[j];
-    double dy = py - qy[j];
-    double d = dx * dx + dy * dy;
-    best = d < best ? d : best;
-  }
-  return best;
+  return ActiveKernels().min_squared_distance(p.x, p.y, q.x, q.y, q.size);
+}
+
+double DtwStartRow(const Point& p, PointsView q, double* row) {
+  SIMSUB_CHECK(!q.empty());
+  return ActiveKernels().dtw_start_row(p.x, p.y, q.x, q.y, q.size, row);
+}
+
+double DtwExtendRow(const Point& p, PointsView q, const double* prev,
+                    double* out, double* row_min) {
+  SIMSUB_CHECK(!q.empty());
+  return ActiveKernels().dtw_extend_row(p.x, p.y, q.x, q.y, q.size, prev, out,
+                                        row_min);
 }
 
 }  // namespace simsub::geo

@@ -75,6 +75,12 @@ class FlatPoints {
   std::vector<double> y_;
 };
 
+// The row and DP-row primitives below dispatch through the runtime ISA
+// tier selected by geo/simd_dispatch.h (baseline / AVX2 / AVX-512 function
+// pointers, SIMSUB_ISA override): a generic Release build runs the widest
+// kernel codegen the machine supports without -march=native. All tiers are
+// bit-identical (see the simd_dispatch.h contract).
+
 /// out[j] = Euclidean distance from p to (q.x[j], q.y[j]) for all j.
 /// Identical arithmetic to geo::Distance(p, q_j) per element.
 void DistanceRow(const Point& p, PointsView q, double* out);
@@ -87,6 +93,21 @@ void SquaredDistanceRow(const Point& p, PointsView q, double* out);
 /// Minimum over j of SquaredDistance(p, q_j). Vectorized min-reduction used
 /// by the engine's nearest-endpoint lower bound. Requires !q.empty().
 double MinSquaredDistance(const Point& p, PointsView q);
+
+/// DTW DP rows (the latency-bound sweeps of similarity/dtw.cc, hoisted here
+/// so they compile once per ISA tier instead of once with generic flags).
+/// DtwStartRow fills row[j] = sum_{k<=j} d(p, q_k) and returns row[m-1];
+/// the row minimum is row[0] (prefix sums are non-decreasing).
+/// Requires !q.empty().
+double DtwStartRow(const Point& p, PointsView q, double* row);
+
+/// DtwExtendRow fills out[j] = d(p, q_j) + min(prev[j-1], prev[j],
+/// out[j-1]) (with the j == 0 edge case prev[0] + d), writes the row
+/// minimum — the evaluator's non-decreasing early-abandoning lower bound —
+/// to *row_min, and returns out[m-1]. `prev` and `out` must not alias.
+/// Requires !q.empty().
+double DtwExtendRow(const Point& p, PointsView q, const double* prev,
+                    double* out, double* row_min);
 
 /// Scalar AoS reference implementations (kept for the kernel-equivalence
 /// tests and as the bench baseline; they mirror the pre-SoA evaluator code

@@ -1,0 +1,8 @@
+// AVX2 kernel tier: the shared kernel bodies compiled with -mavx2 (and
+// -ffp-contract=off — -mavx2 alone brings no FMA, but the flag pins it
+// against flag drift; see geo/CMakeLists.txt). Selected at runtime only
+// when __builtin_cpu_supports("avx2"), so the wider instructions never
+// reach a CPU that lacks them. On non-x86 targets CMake adds no ISA flag
+// and this TU compiles identically to the baseline (and is never selected).
+#define SIMSUB_ISA_NAMESPACE isa_avx2
+#include "geo/soa_kernels.inc"

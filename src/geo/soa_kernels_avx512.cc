@@ -1,0 +1,7 @@
+// AVX-512 kernel tier: the shared kernel bodies compiled with -mavx512f
+// (zmm sqrt/add/min; -ffp-contract=off keeps FMA contraction off so values
+// stay bit-identical to the baseline tier). Selected at runtime only when
+// __builtin_cpu_supports("avx512f"). On non-x86 targets CMake adds no ISA
+// flag and this TU compiles identically to the baseline (never selected).
+#define SIMSUB_ISA_NAMESPACE isa_avx512
+#include "geo/soa_kernels.inc"

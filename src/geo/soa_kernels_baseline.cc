@@ -1,0 +1,6 @@
+// Baseline kernel tier: the shared kernel bodies compiled with the
+// project's generic flags only (plus -ffp-contract=off, see CMakeLists) —
+// SSE2 codegen on x86-64, whatever the base ABI provides elsewhere. Always
+// selectable; the floor every other tier must match bit-for-bit.
+#define SIMSUB_ISA_NAMESPACE isa_baseline
+#include "geo/soa_kernels.inc"

@@ -43,6 +43,15 @@ std::string SpecKey(const QuerySpec& spec) {
   return spec.measure + buf + spec.algorithm + "|" + a.rls_policy_path;
 }
 
+/// Whether a spec can ride a SubmitBatch tile. Excluded: "topk-sub" (no
+/// subtrajectory search — the engine path differs), "random-s" (a fresh
+/// search per execution, not shareable across a tile), and in-memory RLS
+/// policies (never cached, so tile-mates cannot share the resolution).
+bool BatchableSpec(const QuerySpec& spec) {
+  return spec.algorithm != "topk-sub" && spec.algorithm != "random-s" &&
+         spec.algorithm_options.rls_policy == nullptr;
+}
+
 }  // namespace
 
 /// Scratch for the calling thread: a pool worker uses its own slot (no
@@ -220,47 +229,45 @@ engine::QueryReport QueryService::ExecuteSpec(
   return report;
 }
 
-engine::QueryReport QueryService::ServeSpec(
-    const QuerySpec& spec, std::chrono::steady_clock::time_point submitted) {
-  auto started = std::chrono::steady_clock::now();
-  engine::QueryReport report;
-  report.queue_seconds = SecondsSince(submitted, started);
-
+std::shared_ptr<const QueryService::Resolved> QueryService::PreflightSpec(
+    const QuerySpec& spec, std::chrono::steady_clock::time_point submitted,
+    std::chrono::steady_clock::time_point started, engine::QueryReport* report,
+    std::chrono::steady_clock::time_point* deadline) {
 #if SIMSUB_FAILPOINTS_COMPILED
   // Fault-injection site for the whole submit path: a fired policy refuses
   // the request with a typed error before any validation or engine work.
   if (util::Status fp = util::FailpointFire("service.submit"); !fp.ok()) {
-    report.status = std::move(fp);
+    report->status = std::move(fp);
     stats_.failed.fetch_add(1, std::memory_order_relaxed);
-    return report;
+    return nullptr;
   }
 #endif
 
   if (spec.cancel != nullptr &&
       spec.cancel->load(std::memory_order_relaxed)) {
-    report.status = util::Status::Cancelled("request cancelled in queue");
+    report->status = util::Status::Cancelled("request cancelled in queue");
     stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
-    return report;
+    return nullptr;
   }
   // Absolute deadline anchored at submit time. It is enforced in two
   // places: here (the request expired while queued — cheapest possible
   // refusal) and inside the engine scan via ExecuteSpec (the request
   // started on time but ran long — stops at per-trajectory granularity
   // with partial results). Both come back as DeadlineExceeded.
-  auto deadline = std::chrono::steady_clock::time_point::max();
   if (spec.deadline_ms > 0.0) {
-    deadline =
+    *deadline =
         submitted + std::chrono::duration_cast<std::chrono::steady_clock::
                                                    duration>(
                         std::chrono::duration<double, std::milli>(
                             spec.deadline_ms));
   }
-  if (started >= deadline) {
-    report.status = util::Status::DeadlineExceeded(
-        "deadline expired after " + std::to_string(report.queue_seconds * 1e3) +
-        " ms in queue (deadline " + std::to_string(spec.deadline_ms) + " ms)");
+  if (started >= *deadline) {
+    report->status = util::Status::DeadlineExceeded(
+        "deadline expired after " +
+        std::to_string(report->queue_seconds * 1e3) + " ms in queue (deadline " +
+        std::to_string(spec.deadline_ms) + " ms)");
     stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
-    return report;
+    return nullptr;
   }
 
   util::Status invalid;
@@ -286,23 +293,54 @@ engine::QueryReport QueryService::ServeSpec(
         "(ServiceOptions::build_inverted_grid)");
   }
   if (!invalid.ok()) {
-    report.status = std::move(invalid);
+    report->status = std::move(invalid);
     stats_.rejected.fetch_add(1, std::memory_order_relaxed);
-    return report;
+    return nullptr;
   }
 
   auto resolved = ResolveSpec(spec);
   if (!resolved.ok()) {
-    report.status = resolved.status();
+    report->status = resolved.status();
     stats_.rejected.fetch_add(1, std::memory_order_relaxed);
-    return report;
+    return nullptr;
   }
+  return *resolved;
+}
+
+void QueryService::CountOutcome(const engine::QueryReport& report) {
+  if (report.status.ok()) {
+    stats_.queries_served.fetch_add(1, std::memory_order_relaxed);
+    CountReport(report);
+    return;
+  }
+  switch (report.status.code()) {
+    case util::StatusCode::kCancelled:
+      stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case util::StatusCode::kDeadlineExceeded:
+      stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      stats_.failed.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+engine::QueryReport QueryService::ServeSpec(
+    const QuerySpec& spec, std::chrono::steady_clock::time_point submitted) {
+  auto started = std::chrono::steady_clock::now();
+  engine::QueryReport report;
+  report.queue_seconds = SecondsSince(submitted, started);
+
+  auto deadline = std::chrono::steady_clock::time_point::max();
+  auto resolved = PreflightSpec(spec, submitted, started, &report, &deadline);
+  if (resolved == nullptr) return report;
 
   double queue_seconds = report.queue_seconds;
-  if ((*resolved)->topk_mode) {
+  if (resolved->topk_mode) {
     // The topk-sub engine path takes no evaluator cache: skip the lease
     // (and its lock round-trip / possible allocation on foreign threads).
-    report = ExecuteSpec(spec, **resolved, nullptr, deadline);
+    report = ExecuteSpec(spec, *resolved, nullptr, deadline);
   } else {
 #if SIMSUB_FAILPOINTS_COMPILED
     // Simulates scratch-lease acquisition failure (e.g. allocation).
@@ -313,27 +351,92 @@ engine::QueryReport QueryService::ServeSpec(
     }
 #endif
     ScratchLease lease(*this);
-    report = ExecuteSpec(spec, **resolved, &lease.get(), deadline);
+    report = ExecuteSpec(spec, *resolved, &lease.get(), deadline);
   }
   report.queue_seconds = queue_seconds;
+  CountOutcome(report);
+  return report;
+}
 
-  if (report.status.ok()) {
-    stats_.queries_served.fetch_add(1, std::memory_order_relaxed);
-    CountReport(report);
-  } else {
-    switch (report.status.code()) {
-      case util::StatusCode::kCancelled:
-        stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case util::StatusCode::kDeadlineExceeded:
-        stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
-        break;
-      default:
+void QueryService::ServeTile(
+    const std::vector<QuerySpec>& specs,
+    std::vector<std::promise<engine::QueryReport>>& promises,
+    std::chrono::steady_clock::time_point submitted) {
+  const size_t n = specs.size();
+  auto started = std::chrono::steady_clock::now();
+  std::vector<engine::QueryReport> reports(n);
+  std::vector<std::chrono::steady_clock::time_point> deadlines(
+      n, std::chrono::steady_clock::time_point::max());
+  std::shared_ptr<const Resolved> resolved;
+  std::vector<size_t> live;  // tile members that passed preflight
+  live.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    reports[i].queue_seconds = SecondsSince(submitted, started);
+    auto r =
+        PreflightSpec(specs[i], submitted, started, &reports[i], &deadlines[i]);
+    if (r == nullptr) continue;  // refusal recorded in reports[i]
+    // Tile members share one resolution key, so every successful preflight
+    // yields the same cached entry (or an identical construction).
+    resolved = std::move(r);
+    live.push_back(i);
+  }
+
+  bool executed = false;
+#if SIMSUB_FAILPOINTS_COMPILED
+  if (!live.empty()) {
+    // Same scratch-lease fault-injection site as ServeSpec, failing the
+    // whole tile (one lease serves it).
+    if (util::Status fp = util::FailpointFire("service.scratch"); !fp.ok()) {
+      for (size_t i : live) {
+        reports[i].status = fp;
         stats_.failed.fetch_add(1, std::memory_order_relaxed);
-        break;
+      }
+      executed = true;
     }
   }
-  return report;
+#endif
+  if (!live.empty() && !executed) {
+    SIMSUB_CHECK(resolved->search != nullptr);  // grouping excludes the rest
+    // Per-query planning (the planner is a pure function of query and
+    // database statistics, so planning here matches the one-spec path).
+    std::vector<PlanDecision> plans(live.size());
+    std::vector<engine::BatchedQueryView> views(live.size());
+    for (size_t j = 0; j < live.size(); ++j) {
+      const QuerySpec& spec = specs[live[j]];
+      if (spec.filter.has_value()) {
+        plans[j].filter = *spec.filter;
+        plans[j].estimated_selectivity = -1.0;
+        plans[j].reason = "explicit filter";
+      } else {
+        plans[j] = planner_.Plan(spec.points, options_.index_margin);
+      }
+      views[j].points = spec.points;
+      views[j].k = spec.k;
+      views[j].filter = plans[j].filter;
+      views[j].cancel = spec.cancel;
+      views[j].deadline = deadlines[live[j]];
+    }
+    engine::BatchQueryOptions bo;
+    bo.index_margin = options_.index_margin;
+    bo.threads = 1;  // tiles parallelize across workers, not within
+    bo.prune = options_.prune && specs[live[0]].prune;  // grouping invariant
+    ScratchLease lease(*this);
+    bo.scratch = &lease.get();
+    std::vector<engine::QueryReport> batch =
+        engine_.QueryBatch(views, *resolved->search, bo);
+    for (size_t j = 0; j < live.size(); ++j) {
+      const size_t i = live[j];
+      double queue_seconds = reports[i].queue_seconds;
+      reports[i] = std::move(batch[j]);
+      reports[i].queue_seconds = queue_seconds;
+      reports[i].planned_selectivity = plans[j].estimated_selectivity;
+      reports[i].plan_reason = plans[j].reason;
+      CountOutcome(reports[i]);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    promises[i].set_value(std::move(reports[i]));
+  }
 }
 
 std::future<engine::QueryReport> QueryService::Submit(QuerySpec spec) {
@@ -356,9 +459,60 @@ std::future<engine::QueryReport> QueryService::Submit(QuerySpec spec) {
 
 std::vector<std::future<engine::QueryReport>> QueryService::SubmitBatch(
     std::span<const QuerySpec> specs) {
-  std::vector<std::future<engine::QueryReport>> futures;
-  futures.reserve(specs.size());
-  for (const QuerySpec& spec : specs) futures.push_back(Submit(spec));
+  std::vector<std::future<engine::QueryReport>> futures(specs.size());
+  auto submitted = std::chrono::steady_clock::now();
+  // Group batchable specs by resolution key + prune flag: each group shares
+  // one resolved search, so its queries can ride a multi-query tiled engine
+  // scan. Everything else (topk-sub, random-s, in-memory RLS policies —
+  // see BatchableSpec) goes through the one-spec path, as do singleton
+  // tiles, where batching buys nothing.
+  const bool tiling = options_.batch_tile > 1;
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (tiling && BatchableSpec(specs[i])) {
+      groups[SpecKey(specs[i]) + (specs[i].prune ? "#p1" : "#p0")]
+          .push_back(i);
+    } else {
+      futures[i] = Submit(specs[i]);
+    }
+  }
+  const size_t tile_size = static_cast<size_t>(options_.batch_tile);
+  struct Tile {
+    std::vector<QuerySpec> specs;
+    std::vector<std::promise<engine::QueryReport>> promises;
+  };
+  for (auto& [key, members] : groups) {
+    for (size_t lo = 0; lo < members.size(); lo += tile_size) {
+      const size_t hi = std::min(members.size(), lo + tile_size);
+      if (hi - lo == 1) {
+        futures[members[lo]] = Submit(specs[members[lo]]);
+        continue;
+      }
+      // Specs are copied into the tile exactly as Submit copies its spec:
+      // the caller's points spans / cancel flags stay borrowed.
+      auto tile = std::make_shared<Tile>();
+      tile->specs.reserve(hi - lo);
+      tile->promises.resize(hi - lo);
+      for (size_t m = lo; m < hi; ++m) {
+        tile->specs.push_back(specs[members[m]]);
+        futures[members[m]] = tile->promises[m - lo].get_future();
+      }
+      pool_->Submit([this, tile, submitted] {
+        try {
+          ServeTile(tile->specs, tile->promises, submitted);
+        } catch (...) {
+          // Propagate through every still-unset promise (a throw mid-tile
+          // leaves the already-fulfilled ones alone).
+          for (auto& p : tile->promises) {
+            try {
+              p.set_exception(std::current_exception());
+            } catch (const std::future_error&) {
+            }
+          }
+        }
+      });
+    }
+  }
   stats_.batches_served.fetch_add(1, std::memory_order_relaxed);
   return futures;
 }

@@ -1,7 +1,6 @@
 #include "similarity/dtw.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 
 #include "geo/soa.h"
@@ -16,15 +15,17 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// Maintains one DP row D[cur][0..m-1] where D[r][j] is the DTW distance
 /// between the current subtrajectory T[i..i+r] and query[0..j].
 ///
-/// The sweep reads the query through its SoA copy (unit-stride x[]/y[]
+/// The sweeps live in geo::DtwStartRow / geo::DtwExtendRow — the shared
+/// per-ISA kernel bodies behind the runtime dispatch (geo/simd_dispatch.h)
+/// — which read the query through its SoA copy (unit-stride x[]/y[]
 /// instead of the 24-byte-strided AoS Points) with the distance computed
-/// inline: the recurrence's scratch[j-1] dependence makes the row
-/// latency-bound (min+add per cell), so the sqrt sits OFF the carried path
-/// and is hidden by out-of-order execution — measurably faster than a
-/// separate vectorized DistanceRow pass, whose extra row of loads/stores
-/// cannot be hidden (see bench_kernels). The sweep tracks the row minimum,
-/// which is non-decreasing from row to row (every cell adds a nonnegative
-/// distance to a min over previous cells), so it lower-bounds every future
+/// inline: the recurrence's out[j-1] dependence makes the row latency-bound
+/// (min+add per cell), so the sqrt sits OFF the carried path and is hidden
+/// by out-of-order execution — measurably faster than a separate vectorized
+/// DistanceRow pass, whose extra row of loads/stores cannot be hidden (see
+/// bench_kernels). The kernels track the row minimum, which is
+/// non-decreasing from row to row (every cell adds a nonnegative distance
+/// to a min over previous cells), so it lower-bounds every future
 /// extension — the ExtensionLowerBound() early-abandoning hook.
 class DtwEvaluator : public PrefixEvaluator {
  public:
@@ -35,48 +36,21 @@ class DtwEvaluator : public PrefixEvaluator {
 
   double Start(const geo::Point& p) override {
     length_ = 1;
-    const geo::PointsView q = qsoa_.View();
-    const double px = p.x;
-    const double py = p.y;
     // First row: D[1][j] = sum_{k<=j} d(p, q_k)  (Equation 1, i = 1 case).
-    double acc = 0.0;
-    for (size_t j = 0; j < q.size; ++j) {
-      double dx = px - q.x[j];
-      double dy = py - q.y[j];
-      acc += std::sqrt(dx * dx + dy * dy);
-      row_[j] = acc;
-    }
+    double last = geo::DtwStartRow(p, qsoa_.View(), row_.data());
     row_min_ = row_[0];  // prefix sums are non-decreasing
-    return row_.back();
+    return last;
   }
 
   double Extend(const geo::Point& p) override {
     SIMSUB_DCHECK_GT(length_, 0) << "Extend() before Start()";
     ++length_;
-    const geo::PointsView q = qsoa_.View();
-    const double px = p.x;
-    const double py = p.y;
-    // D[r][0] = D[r-1][0] + d(p, q_0)  (Equation 1, j = 1 case).
-    double dx = px - q.x[0];
-    double dy = py - q.y[0];
-    double up = row_[0];
-    double cur = up + std::sqrt(dx * dx + dy * dy);
-    scratch_[0] = cur;
-    double row_min = cur;
-    for (size_t j = 1; j < q.size; ++j) {
-      dx = px - q.x[j];
-      dy = py - q.y[j];
-      double d = std::sqrt(dx * dx + dy * dy);
-      double diag = up;  // row_[j - 1]
-      up = row_[j];
-      double best = std::min(std::min(diag, up), cur);
-      cur = d + best;
-      scratch_[j] = cur;
-      row_min = cur < row_min ? cur : row_min;
-    }
+    // D[r][j] = d(p, q_j) + min(D[r-1][j-1], D[r-1][j], D[r][j-1])
+    // (Equation 1), with D[r][0] = D[r-1][0] + d(p, q_0) as the j = 1 case.
+    double last = geo::DtwExtendRow(p, qsoa_.View(), row_.data(),
+                                    scratch_.data(), &row_min_);
     row_.swap(scratch_);
-    row_min_ = row_min;
-    return row_.back();
+    return last;
   }
 
   double Current() const override { return length_ > 0 ? row_.back() : kInf; }

@@ -1,0 +1,175 @@
+// The runtime ISA dispatch contract (geo/simd_dispatch.h): every tier the
+// CPU supports — baseline, AVX2, AVX-512 — must be BIT-IDENTICAL on all
+// five kernels, the tier ladder must clamp overrides to what the CPU
+// supports, and the public soa.h wrappers must route through the active
+// tier. Every EXPECT_EQ on a double below is an exact comparison on
+// purpose: the CI isa-matrix leg runs the whole test suite under each
+// SIMSUB_ISA override and relies on these exact equalities holding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geo/simd_dispatch.h"
+#include "geo/soa.h"
+#include "util/random.h"
+
+namespace simsub::geo {
+namespace {
+
+std::vector<Point> RandomPoints(util::Rng& rng, int n, double extent) {
+  std::vector<Point> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.emplace_back(rng.Uniform(-extent, extent), rng.Uniform(-extent, extent));
+  }
+  return pts;
+}
+
+/// Every tier this process may legally dispatch to.
+std::vector<IsaTier> SupportedTiers() {
+  std::vector<IsaTier> tiers = {IsaTier::kBaseline};
+  if (BestSupportedIsa() >= IsaTier::kAvx2) tiers.push_back(IsaTier::kAvx2);
+  if (BestSupportedIsa() >= IsaTier::kAvx512) tiers.push_back(IsaTier::kAvx512);
+  return tiers;
+}
+
+TEST(SimdDispatchTest, TierNamesRoundTrip) {
+  for (IsaTier tier : {IsaTier::kBaseline, IsaTier::kAvx2, IsaTier::kAvx512}) {
+    IsaTier parsed;
+    ASSERT_TRUE(ParseIsaName(IsaTierName(tier), &parsed)) << IsaTierName(tier);
+    EXPECT_EQ(parsed, tier);
+  }
+  IsaTier parsed;
+  EXPECT_FALSE(ParseIsaName("sse9", &parsed));
+  EXPECT_FALSE(ParseIsaName("", &parsed));
+  EXPECT_FALSE(ParseIsaName("AVX2", &parsed));  // names are lowercase
+}
+
+TEST(SimdDispatchTest, ResolveClampsAndDefaults) {
+  const IsaTier best = BestSupportedIsa();
+  EXPECT_EQ(ResolveIsa(nullptr, best), best);
+  EXPECT_EQ(ResolveIsa("", best), best);
+  EXPECT_EQ(ResolveIsa("bogus", best), best);
+  // A requested tier at or below `best` is honored; one above is clamped.
+  EXPECT_EQ(ResolveIsa("baseline", best), IsaTier::kBaseline);
+  EXPECT_EQ(ResolveIsa("avx512", IsaTier::kAvx2), IsaTier::kAvx2);
+  EXPECT_EQ(ResolveIsa("avx2", IsaTier::kBaseline), IsaTier::kBaseline);
+  for (IsaTier tier : SupportedTiers()) {
+    EXPECT_EQ(ResolveIsa(IsaTierName(tier), best), tier);
+  }
+}
+
+TEST(SimdDispatchTest, ActiveIsaIsSupported) {
+  EXPECT_LE(ActiveIsa(), BestSupportedIsa());
+  IsaTier parsed;
+  ASSERT_TRUE(ParseIsaName(ActiveIsaName(), &parsed));
+  EXPECT_EQ(parsed, ActiveIsa());
+}
+
+// Row kernels: every supported tier must match the baseline tier bit for
+// bit (and the baseline must match the scalar AoS reference, which ties
+// the whole ladder to the pre-SoA arithmetic).
+TEST(SimdDispatchTest, RowKernelsBitIdenticalAcrossTiers) {
+  util::Rng rng(11);
+  for (int n : {1, 2, 3, 7, 8, 9, 31, 64, 257}) {
+    std::vector<Point> q = RandomPoints(rng, n, 1000.0);
+    FlatPoints soa(q);
+    const PointsView v = soa.View();
+    std::vector<double> base(q.size()), got(q.size()), scalar(q.size());
+    for (int trial = 0; trial < 5; ++trial) {
+      Point p(rng.Uniform(-1000.0, 1000.0), rng.Uniform(-1000.0, 1000.0));
+      const SoaKernels& b = KernelsFor(IsaTier::kBaseline);
+      b.distance_row(p.x, p.y, v.x, v.y, v.size, base.data());
+      DistanceRowScalar(p, q, scalar.data());
+      for (size_t j = 0; j < q.size(); ++j) EXPECT_EQ(base[j], scalar[j]);
+      for (IsaTier tier : SupportedTiers()) {
+        const SoaKernels& k = KernelsFor(tier);
+        k.distance_row(p.x, p.y, v.x, v.y, v.size, got.data());
+        for (size_t j = 0; j < q.size(); ++j) {
+          EXPECT_EQ(got[j], base[j]) << IsaTierName(tier) << " n=" << n;
+        }
+        k.squared_distance_row(p.x, p.y, v.x, v.y, v.size, got.data());
+        b.squared_distance_row(p.x, p.y, v.x, v.y, v.size, base.data());
+        for (size_t j = 0; j < q.size(); ++j) {
+          EXPECT_EQ(got[j], base[j]) << IsaTierName(tier) << " n=" << n;
+        }
+        EXPECT_EQ(k.min_squared_distance(p.x, p.y, v.x, v.y, v.size),
+                  b.min_squared_distance(p.x, p.y, v.x, v.y, v.size))
+            << IsaTierName(tier) << " n=" << n;
+        // Redo distance_row into base for the next tier comparison.
+        b.distance_row(p.x, p.y, v.x, v.y, v.size, base.data());
+      }
+    }
+  }
+}
+
+// DTW DP rows: a multi-row recurrence chain must stay bit-identical across
+// tiers — this is the carried-dependency case where any reassociation or
+// FMA contraction would show up immediately.
+TEST(SimdDispatchTest, DtwRowsBitIdenticalAcrossTiers) {
+  util::Rng rng(12);
+  for (int m : {1, 2, 5, 33, 128}) {
+    std::vector<Point> q = RandomPoints(rng, m, 500.0);
+    std::vector<Point> data = RandomPoints(rng, 40, 500.0);
+    FlatPoints soa(q);
+    const PointsView v = soa.View();
+    const SoaKernels& b = KernelsFor(IsaTier::kBaseline);
+    for (IsaTier tier : SupportedTiers()) {
+      const SoaKernels& k = KernelsFor(tier);
+      std::vector<double> brow(q.size()), bout(q.size());
+      std::vector<double> krow(q.size()), kout(q.size());
+      double blast = b.dtw_start_row(data[0].x, data[0].y, v.x, v.y, v.size,
+                                     brow.data());
+      double klast = k.dtw_start_row(data[0].x, data[0].y, v.x, v.y, v.size,
+                                     krow.data());
+      EXPECT_EQ(klast, blast) << IsaTierName(tier);
+      for (size_t j = 0; j < q.size(); ++j) EXPECT_EQ(krow[j], brow[j]);
+      for (size_t i = 1; i < data.size(); ++i) {
+        double bmin = 0.0, kmin = 0.0;
+        blast = b.dtw_extend_row(data[i].x, data[i].y, v.x, v.y, v.size,
+                                 brow.data(), bout.data(), &bmin);
+        klast = k.dtw_extend_row(data[i].x, data[i].y, v.x, v.y, v.size,
+                                 krow.data(), kout.data(), &kmin);
+        EXPECT_EQ(klast, blast) << IsaTierName(tier) << " i=" << i;
+        EXPECT_EQ(kmin, bmin) << IsaTierName(tier) << " i=" << i;
+        for (size_t j = 0; j < q.size(); ++j) {
+          EXPECT_EQ(kout[j], bout[j]) << IsaTierName(tier) << " i=" << i;
+        }
+        brow.swap(bout);
+        krow.swap(kout);
+      }
+    }
+  }
+}
+
+// The public soa.h wrappers must produce exactly the active tier's values
+// (i.e. they actually route through the dispatch table).
+TEST(SimdDispatchTest, WrappersMatchActiveTier) {
+  util::Rng rng(13);
+  std::vector<Point> q = RandomPoints(rng, 51, 800.0);
+  FlatPoints soa(q);
+  const PointsView v = soa.View();
+  const SoaKernels& active = ActiveKernels();
+  Point p(rng.Uniform(-800.0, 800.0), rng.Uniform(-800.0, 800.0));
+  std::vector<double> got(q.size()), want(q.size());
+  DistanceRow(p, v, got.data());
+  active.distance_row(p.x, p.y, v.x, v.y, v.size, want.data());
+  for (size_t j = 0; j < q.size(); ++j) EXPECT_EQ(got[j], want[j]);
+  EXPECT_EQ(MinSquaredDistance(p, v),
+            active.min_squared_distance(p.x, p.y, v.x, v.y, v.size));
+  double got_min = 0.0, want_min = 0.0;
+  std::vector<double> prev(q.size());
+  double last = DtwStartRow(p, v, prev.data());
+  EXPECT_EQ(last,
+            active.dtw_start_row(p.x, p.y, v.x, v.y, v.size, want.data()));
+  for (size_t j = 0; j < q.size(); ++j) EXPECT_EQ(prev[j], want[j]);
+  std::vector<double> out(q.size());
+  last = DtwExtendRow(p, v, prev.data(), out.data(), &got_min);
+  EXPECT_EQ(last, active.dtw_extend_row(p.x, p.y, v.x, v.y, v.size,
+                                        prev.data(), want.data(), &want_min));
+  EXPECT_EQ(got_min, want_min);
+  for (size_t j = 0; j < q.size(); ++j) EXPECT_EQ(out[j], want[j]);
+}
+
+}  // namespace
+}  // namespace simsub::geo

@@ -18,7 +18,10 @@ suite. Currently gated:
                      remote==local, shedding-engaged, and p99-within-
                      deadline bits from the open-loop socket bench.
 The baseline and every fresh run must come from the same suite; mixing
-suites is rejected, as is a quick/full workload mismatch.
+suites is rejected, as is a quick/full workload mismatch or a SIMSUB_ISA
+dispatch-tier mismatch (config.isa): kernel ratios measured under one SIMD
+tier are not comparable to another, so CI pins SIMSUB_ISA=avx2 for its bench
+runs and the checked-in baselines record the tier they were measured under.
 
 Noise handling:
   * the baseline and the fresh runs must use the same workload config
@@ -62,10 +65,16 @@ SUITES = {
              "squared distance row SoA speedup"),
             (("dtw_extend", "speedup"), "DTW extend SoA speedup"),
             (("engine_topk", "speedup"), "engine top-k pruning speedup"),
+            # batched/sequential seconds from the same run, i.e. the
+            # batched-vs-one-at-a-time qps-per-core ratio — portable across
+            # runner speeds like every other gated ratio.
+            (("batched", "speedup"), "multi-query batched qps/core ratio"),
         ],
         "identities": [
             (("engine_topk", "pruned_identical_to_unpruned"),
              "pruned results identical to unpruned"),
+            (("batched", "identical_to_sequential"),
+             "batched results identical to sequential"),
         ],
     },
     "service_mixed": {
@@ -172,6 +181,15 @@ def check(baseline, fresh, threshold):
             f"quick={fresh_quick} — quick and full workloads have different "
             "expected ratios; gate against the matching baseline file")
         return failures
+    base_isa = lookup(baseline, ("config", "isa"))
+    fresh_isa = lookup(fresh, ("config", "isa"))
+    if base_isa != fresh_isa:
+        failures.append(
+            f"config mismatch: baseline isa={base_isa}, fresh "
+            f"isa={fresh_isa} — kernel ratios are only comparable within one "
+            "SIMSUB dispatch tier; pin SIMSUB_ISA (CI pins avx2) or "
+            "regenerate the baseline on the new tier")
+        return failures
     print(f"suite: {base_suite}")
     print(f"{'ratio':<40} {'baseline':>9} {'fresh':>9} {'rel':>7}  verdict")
     for path, label in suite["ratios"]:
@@ -256,10 +274,17 @@ def self_test(baseline, threshold):
     if not check(baseline, mismatched, threshold):
         print("self-test FAILED: config mismatch was not rejected")
         return 1
+
+    wrong_isa = copy.deepcopy(baseline)
+    wrong_isa["config"]["isa"] = (
+        "baseline" if wrong_isa["config"].get("isa") != "baseline" else "avx2")
+    if not check(baseline, wrong_isa, threshold):
+        print("self-test FAILED: ISA tier mismatch was not rejected")
+        return 1
     print(f"\nself-test OK ({suite_name}): identical copy passes, injected "
           f"regression trips all {len(suite['ratios'])} ratios, broken "
-          f"identity, exceeded ceiling ({len(ceilings)}), and config "
-          "mismatch rejected")
+          f"identity, exceeded ceiling ({len(ceilings)}), config mismatch "
+          "and ISA mismatch rejected")
     return 0
 
 

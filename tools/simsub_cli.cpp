@@ -24,6 +24,7 @@
 // worker pool, reused evaluator scratch), and prints throughput plus
 // queueing vs execution tail latency.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
@@ -36,6 +37,7 @@
 #include "data/snapshot.h"
 #include "data/workload.h"
 #include "engine/engine.h"
+#include "geo/simd_dispatch.h"
 #include "net/client.h"
 #include "rl/policy_io.h"
 #include "rl/trainer.h"
@@ -506,6 +508,23 @@ int RunStatz(int argc, char** argv) {
   return 0;
 }
 
+// Prints the SIMD dispatch decision for this host: which ISA tier the
+// kernels will run under, and the best tier the CPU supports. Lets CI and
+// operators confirm a SIMSUB_ISA override (or its clamping) without running
+// a query.
+int RunIsa(int argc, char** argv) {
+  util::FlagSet flags(
+      "simsub_cli isa: print the runtime SIMD kernel dispatch decision");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+  const char* override_env = std::getenv("SIMSUB_ISA");
+  std::printf("active:    %s\n", geo::ActiveIsaName());
+  std::printf("supported: %s\n", geo::IsaTierName(geo::BestSupportedIsa()));
+  std::printf("override:  %s\n",
+              override_env != nullptr && override_env[0] != '\0' ? override_env
+                                                                 : "(none)");
+  return 0;
+}
+
 void PrintUsage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
                "usage: %s <subcommand> [flags]\n"
@@ -517,6 +536,7 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "  query     run a top-k similar subtrajectory search\n"
                "            (--connect=host:port serves it via simsub_server)\n"
                "  statz     dump a running simsub_server's statistics\n"
+               "  isa       print the runtime SIMD kernel dispatch decision\n"
                "\n"
                "run '%s <subcommand> --help' for the subcommand's flags\n",
                argv0, argv0);
@@ -542,6 +562,7 @@ int main(int argc, char** argv) {
   if (subcommand == "train") return RunTrain(sub_argc, sub_argv);
   if (subcommand == "query") return RunQuery(sub_argc, sub_argv);
   if (subcommand == "statz") return RunStatz(sub_argc, sub_argv);
+  if (subcommand == "isa") return RunIsa(sub_argc, sub_argv);
   std::fprintf(stderr, "unknown subcommand: %s\n", subcommand.c_str());
   PrintUsage(stderr, argv[0]);
   return 1;
