@@ -1,0 +1,18 @@
+#include <string_view>
+
+#include "data/dataset.h"
+#include "fuzz/harness.h"
+
+namespace simsub::fuzz {
+
+void FuzzCsv(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto dataset =
+      data::LoadCsvFromString(text, "<fuzz>", "fuzz", data::DatasetKind::kPorto);
+  if (!dataset.ok()) return;
+  // Accepted text must yield a dataset whose aggregate walks are safe.
+  (void)dataset->TotalPoints();
+  (void)dataset->Extent();
+}
+
+}  // namespace simsub::fuzz

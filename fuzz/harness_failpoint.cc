@@ -1,0 +1,21 @@
+#include <string>
+
+#include "fuzz/harness.h"
+#include "util/failpoint.h"
+
+namespace simsub::fuzz {
+
+void FuzzFailpoint(const uint8_t* data, size_t size) {
+  if (!util::FailpointsCompiledIn()) return;
+  // The spec reaches the parser via getenv, so embedded NULs cannot occur
+  // in production — but the std::string overload tolerates them, and the
+  // parser must too.
+  std::string spec(reinterpret_cast<const char*>(data), size);
+  (void)util::ConfigureFailpointsFromSpec(spec);
+  // Parsing only registers policies; nothing fires without a site being
+  // hit. Clear so state cannot leak into the next input (or the test
+  // process outliving this call).
+  util::ClearFailpoints();
+}
+
+}  // namespace simsub::fuzz

@@ -1,0 +1,106 @@
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "fuzz/harness.h"
+#include "geo/point.h"
+#include "similarity/registry.h"
+
+namespace simsub::fuzz {
+
+namespace {
+
+/// Little structured-input reader: fields come off the fuzz bytes in
+/// order, zero-filled past the end (like the wire Reader, minus the
+/// failure tracking — a short input is a valid, shorter test).
+class Bytes {
+ public:
+  Bytes(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t U8() {
+    if (pos_ >= size_) return 0;
+    return data_[pos_++];
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(U8()) << (8 * i);
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U64()); }
+  double F64() {
+    uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str(size_t max_len) {
+    const size_t len = U8() % (max_len + 1);
+    std::string s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i) s.push_back(static_cast<char>(U8()));
+    return s;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Name selection: mostly real registry names (so fuzzing reaches the
+/// per-name validation), occasionally a raw fuzzed string (so the
+/// unknown-name path stays covered too).
+std::string PickName(Bytes& in, const std::vector<std::string>& names) {
+  const uint8_t sel = in.U8();
+  if ((sel & 0x7) == 0x7) return in.Str(12);
+  return names[sel % names.size()];
+}
+
+}  // namespace
+
+void FuzzResolve(const uint8_t* data, size_t size) {
+  Bytes in(data, size);
+
+  similarity::MeasureOptions mopts;
+  mopts.cdtw_band_fraction = in.F64();
+  mopts.edr_eps = in.F64();
+  mopts.lcss_eps = in.F64();
+  mopts.erp_gap = geo::Point(in.F64(), in.F64(), in.F64());
+  const std::string measure_name =
+      PickName(in, similarity::BuiltinMeasureNames());
+
+  // Every field above is attacker-reachable through a QUERY frame, so
+  // resolution must answer with a typed status — a SIMSUB_CHECK abort
+  // here is a remote kill switch.
+  auto measure = similarity::MakeMeasure(measure_name, mopts);
+  if (!measure.ok()) return;
+
+  algo::SearchOptions aopts;
+  aopts.sizes_xi = in.I32();
+  aopts.posd_delay = in.I32();
+  aopts.random_s_samples = in.I32();
+  aopts.random_s_seed = in.U64();
+  aopts.band_fraction = in.F64();
+  // rls_policy_path stays empty: a fuzzed path would turn the harness
+  // into a filesystem probe (and the load failure tells us nothing about
+  // this decode surface). The missing-policy rejection is still covered.
+  const std::string algo_name = PickName(in, algo::BuiltinSearchNames());
+  auto search = algo::MakeSearch(algo_name, measure->get(), aopts);
+  if (!search.ok()) return;
+
+  // A resolved measure must also survive first contact with a query: the
+  // evaluator constructors consume the validated options (band sizing,
+  // epsilon thresholds), so drive one a few steps.
+  const geo::Point q[3] = {geo::Point(in.F64(), in.F64()),
+                           geo::Point(in.F64(), in.F64()),
+                           geo::Point(in.F64(), in.F64())};
+  auto eval = (*measure)->NewEvaluator(std::span<const geo::Point>(q, 3));
+  (void)eval->Start(geo::Point(0.0, 0.0));
+  (void)eval->Extend(geo::Point(1.0, 1.0));
+  (void)eval->Current();
+  (void)eval->ExtensionLowerBound();
+}
+
+}  // namespace simsub::fuzz

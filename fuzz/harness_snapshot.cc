@@ -1,0 +1,39 @@
+#include <span>
+
+#include "data/snapshot.h"
+#include "fuzz/harness.h"
+
+namespace simsub::fuzz {
+
+namespace {
+
+void OpenAndTouch(std::span<const uint8_t> bytes, bool verify_checksum) {
+  data::SnapshotOpenOptions options;
+  options.verify_checksum = verify_checksum;
+  auto snapshot = data::CorpusSnapshot::OpenFromBuffer(bytes, options);
+  if (!snapshot.ok()) return;
+  // An accepted snapshot must be fully usable: walk the decoded state so
+  // that validation gaps surface as sanitizer reports here instead of in
+  // some later query. First/last trajectory cover both offset extremes.
+  const data::CorpusSnapshot& s = **snapshot;
+  (void)s.stats();
+  const size_t n = s.trajectory_count();
+  if (n > 0) {
+    (void)s.MaterializeTrajectory(0);
+    (void)s.MaterializeTrajectory(n - 1);
+    (void)s.Soa(n / 2);
+  }
+}
+
+}  // namespace
+
+void FuzzSnapshot(const uint8_t* data, size_t size) {
+  std::span<const uint8_t> bytes(data, size);
+  // The normal open (checksum verified) plus the trusted-file fast path:
+  // skipping the checksum skips corruption *detection*, never memory
+  // safety, so hostile bytes must still come back as a typed status.
+  OpenAndTouch(bytes, /*verify_checksum=*/true);
+  OpenAndTouch(bytes, /*verify_checksum=*/false);
+}
+
+}  // namespace simsub::fuzz

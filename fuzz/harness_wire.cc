@@ -1,0 +1,95 @@
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <span>
+
+#include "fuzz/harness.h"
+#include "net/wire.h"
+#include "util/logging.h"
+
+namespace simsub::fuzz {
+
+namespace {
+
+// Frame-layer cap for the fuzz loop. The production default (64 MB) is a
+// legitimate allocation for a claimed-but-truncated length prefix, which
+// would make every frame-mode input cost a 64 MB resize; a small cap keeps
+// throughput while still exercising both sides of the cap check (any
+// 4-byte prefix above it takes the rejection path).
+constexpr size_t kFuzzFrameCap = 1u << 16;
+
+/// Frame layer: the bytes are a raw socket stream. ReadFrame must either
+/// produce frames, report a clean close, or fail with a typed status —
+/// never crash or allocate past the cap.
+void DriveFrames(std::span<const uint8_t> bytes) {
+  // Bound the stream below the default socket buffer so the single
+  // blocking send below cannot deadlock against the unread peer.
+  if (bytes.size() > kFuzzFrameCap) bytes = bytes.first(kFuzzFrameCap);
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return;
+  (void)::send(fds[0], bytes.data(), bytes.size(), 0);
+  ::shutdown(fds[0], SHUT_WR);
+  for (;;) {
+    auto frame = net::ReadFrame(fds[1], kFuzzFrameCap);
+    if (!frame.ok() || !frame->has_value()) break;
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+
+void FuzzWire(const uint8_t* data, size_t size) {
+  if (size == 0) return;
+  // First byte selects the decoder; the corpus generator prepends it so
+  // each seed lands on the surface it was built for.
+  const uint8_t mode = data[0] & 0x3;
+  std::span<const uint8_t> payload(data + 1, size - 1);
+  switch (mode) {
+    case 0: {
+      auto q = net::DecodeQuery(payload);
+      if (q.ok()) {
+        // The QUERY encoding is canonical: every accepted payload must
+        // re-encode to the exact input bytes. A mismatch means the decoder
+        // accepted a second spelling of some field (the strict prune-byte
+        // rejection exists precisely to keep this true).
+        auto re = net::EncodeQuery(q->spec, q->client_id, q->request_id);
+        SIMSUB_CHECK(re.ok()) << re.status().message();
+        SIMSUB_CHECK(re->size() == payload.size() &&
+                     std::memcmp(re->data(), payload.data(), re->size()) == 0)
+            << "EncodeQuery(DecodeQuery(bytes)) != bytes";
+      }
+      break;
+    }
+    case 1: {
+      // REPORT decode is deliberately lenient (unknown status codes map to
+      // kInternal, plan reasons intern to "" past the table cap), so the
+      // invariant is a fixpoint: one decode-encode round trip must be
+      // stable under a second.
+      uint64_t rid = 0;
+      auto r = net::DecodeReport(payload, &rid);
+      if (r.ok()) {
+        std::vector<uint8_t> first = net::EncodeReport(*r, rid);
+        uint64_t rid2 = 0;
+        auto r2 = net::DecodeReport(first, &rid2);
+        SIMSUB_CHECK(r2.ok()) << r2.status().message();
+        SIMSUB_CHECK(rid2 == rid);
+        SIMSUB_CHECK(net::EncodeReport(*r2, rid2) == first)
+            << "EncodeReport(DecodeReport(.)) is not a fixpoint";
+      }
+      break;
+    }
+    case 2: {
+      // ERROR decode is total: any bytes produce some status.
+      (void)net::DecodeError(payload);
+      break;
+    }
+    default: {
+      DriveFrames(payload);
+      break;
+    }
+  }
+}
+
+}  // namespace simsub::fuzz

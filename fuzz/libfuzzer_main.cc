@@ -1,0 +1,14 @@
+// libFuzzer shim: each fuzz_<name> target compiles this file with
+// SIMSUB_FUZZ_ENTRY defined to one of the entry points in harness.h.
+// Built only under SIMSUB_FUZZ=ON (Clang), where -fsanitize=fuzzer
+// provides main().
+#include "fuzz/harness.h"
+
+#ifndef SIMSUB_FUZZ_ENTRY
+#error "define SIMSUB_FUZZ_ENTRY to a harness entry point (e.g. FuzzWire)"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  simsub::fuzz::SIMSUB_FUZZ_ENTRY(data, size);
+  return 0;
+}

@@ -102,7 +102,10 @@ Result<std::unique_ptr<SubtrajectorySearch>> MakeSearch(
       return Status::InvalidArgument(name + " is DTW-only; requested measure "
                                      "is " + measure->name());
     }
-    if (options.band_fraction <= 0.0 || options.band_fraction > 1.0) {
+    // Negated form so NaN fails too: both `NaN <= 0` and `NaN > 1` are
+    // false, which let a NaN from a hostile wire request through the old
+    // two-sided check and into the band arithmetic.
+    if (!(options.band_fraction > 0.0 && options.band_fraction <= 1.0)) {
       return Status::InvalidArgument(
           name + ": band_fraction must be in (0, 1], got " +
           std::to_string(options.band_fraction));

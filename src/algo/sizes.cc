@@ -1,6 +1,7 @@
 #include "algo/sizes.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <memory>
 
@@ -20,7 +21,11 @@ SearchResult SizeScan(similarity::PrefixEvaluator& eval,
   // Clamp the window so at least one candidate is always admissible, even
   // when the data trajectory is shorter than m - xi.
   const int min_size = std::max(1, std::min(m - xi, n));
-  const int max_size = m + xi;
+  // 64-bit sum clamped to n (no candidate exceeds the data length anyway):
+  // xi comes off the wire as a full-range i32, and `m + xi` in int is UB at
+  // the top of that range.
+  const int max_size =
+      static_cast<int>(std::min<int64_t>(n, static_cast<int64_t>(m) + xi));
   for (int i = 0; i < n; ++i) {
     if (i + min_size > n) break;  // No admissible subtrajectory starts here.
     double d = eval.Start(data[static_cast<size_t>(i)]);
@@ -61,7 +66,11 @@ SearchResult SizeScanBounded(similarity::PrefixEvaluator& eval,
   const int n = static_cast<int>(data.size());
   const int m = static_cast<int>(query.size());
   const int min_size = std::max(1, std::min(m - xi, n));
-  const int max_size = m + xi;
+  // 64-bit sum clamped to n (no candidate exceeds the data length anyway):
+  // xi comes off the wire as a full-range i32, and `m + xi` in int is UB at
+  // the top of that range.
+  const int max_size =
+      static_cast<int>(std::min<int64_t>(n, static_cast<int64_t>(m) + xi));
   for (int i = 0; i < n; ++i) {
     if (i + min_size > n) break;  // No admissible subtrajectory starts here.
     double d = eval.Start(data[static_cast<size_t>(i)]);

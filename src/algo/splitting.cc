@@ -1,6 +1,7 @@
 #include "algo/splitting.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <vector>
@@ -221,7 +222,10 @@ SearchResult PosDSearch::DoSearch(std::span<const geo::Point> data,
       // prefix is the most similar among these D + 1 positions.
       double best_d = pre;
       int best_i = i;
-      int lookahead_end = std::min(n - 1, i + delay_);
+      // 64-bit sum: delay_ is wire-controlled (full-range i32), so
+      // `i + delay_` in int is UB at the top of that range.
+      int lookahead_end = static_cast<int>(
+          std::min<int64_t>(n - 1, static_cast<int64_t>(i) + delay_));
       for (int j = i + 1; j <= lookahead_end; ++j) {
         double d = eval->Extend(data[static_cast<size_t>(j)]);
         ++result.stats.extend_calls;

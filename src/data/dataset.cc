@@ -1,10 +1,10 @@
 #include "data/dataset.h"
 
 #include <charconv>
-#include <fstream>
 #include <map>
 
 #include "util/csv.h"
+#include "util/io.h"
 #include "util/logging.h"
 
 namespace simsub::data {
@@ -73,10 +73,10 @@ util::Status SaveCsv(const Dataset& dataset, const std::string& path) {
   return util::WriteCsvFile(path, rows);
 }
 
-util::Result<Dataset> LoadCsv(const std::string& path, const std::string& name,
-                              DatasetKind kind) {
-  std::ifstream in(path);
-  if (!in) return util::Status::IOError("cannot open for reading: " + path);
+util::Result<Dataset> LoadCsvFromString(std::string_view text,
+                                        const std::string& origin,
+                                        const std::string& name,
+                                        DatasetKind kind) {
   Dataset dataset;
   dataset.name = name;
   dataset.kind = kind;
@@ -85,10 +85,14 @@ util::Result<Dataset> LoadCsv(const std::string& path, const std::string& name,
   std::map<int64_t, size_t> id_to_index;
   geo::Trajectory* last_trajectory = nullptr;
   int64_t last_id = 0;
-  std::string line;
-  int64_t line_no = 0;    // 1-based physical line in the file
+  int64_t line_no = 0;    // 1-based physical line in the text
   bool first_row = true;  // header detection applies to the first data row
-  while (std::getline(in, line)) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string line(text.substr(pos, nl - pos));
+    pos = nl + 1;
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
@@ -98,23 +102,23 @@ util::Result<Dataset> LoadCsv(const std::string& path, const std::string& name,
       if (!row.empty() && row[0] == "trajectory_id") continue;
     }
     if (row.size() != 4) {
-      return RowError(path, line_no,
+      return RowError(origin, line_no,
                       "expected 4 fields (trajectory_id,x,y,t), got " +
                           std::to_string(row.size()));
     }
     int64_t id;
     geo::Point p;
     if (!ParseField(row[0], &id)) {
-      return RowError(path, line_no, "bad trajectory_id '" + row[0] + "'");
+      return RowError(origin, line_no, "bad trajectory_id '" + row[0] + "'");
     }
     if (!ParseField(row[1], &p.x)) {
-      return RowError(path, line_no, "bad x coordinate '" + row[1] + "'");
+      return RowError(origin, line_no, "bad x coordinate '" + row[1] + "'");
     }
     if (!ParseField(row[2], &p.y)) {
-      return RowError(path, line_no, "bad y coordinate '" + row[2] + "'");
+      return RowError(origin, line_no, "bad y coordinate '" + row[2] + "'");
     }
     if (!ParseField(row[3], &p.t)) {
-      return RowError(path, line_no, "bad timestamp '" + row[3] + "'");
+      return RowError(origin, line_no, "bad timestamp '" + row[3] + "'");
     }
     if (last_trajectory == nullptr || id != last_id) {
       auto [it, inserted] =
@@ -128,6 +132,13 @@ util::Result<Dataset> LoadCsv(const std::string& path, const std::string& name,
     last_trajectory->Append(p);
   }
   return dataset;
+}
+
+util::Result<Dataset> LoadCsv(const std::string& path, const std::string& name,
+                              DatasetKind kind) {
+  auto text = util::io::ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return LoadCsvFromString(*text, path, name, kind);
 }
 
 }  // namespace simsub::data

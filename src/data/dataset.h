@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "geo/mbr.h"
@@ -54,6 +55,15 @@ struct Dataset {
 /// coercing bad fields; blank lines and an optional header row are skipped.
 [[nodiscard]] util::Result<Dataset> LoadCsv(const std::string& path, const std::string& name,
                               DatasetKind kind);
+
+/// Parses CSV text already in memory — the same grammar, validation, and
+/// error format as LoadCsv, with `origin` standing in for the path in
+/// error messages. This is the seam the fuzz harness drives: hostile text
+/// in, typed status out, no file system round-trip. LoadCsv delegates
+/// here after reading the file.
+[[nodiscard]] util::Result<Dataset> LoadCsvFromString(
+    std::string_view text, const std::string& origin, const std::string& name,
+    DatasetKind kind);
 
 }  // namespace simsub::data
 

@@ -363,17 +363,37 @@ util::Result<std::shared_ptr<const CorpusSnapshot>> CorpusSnapshot::Open(
   if (!backing.ok()) return backing.status();
   const unsigned char* data = (*backing)->data();
   const size_t size = (*backing)->size();
+  return OpenValidated(data, size, path, options.verify_checksum, *backing);
+}
 
+util::Result<std::shared_ptr<const CorpusSnapshot>>
+CorpusSnapshot::OpenFromBuffer(std::span<const uint8_t> bytes,
+                               const SnapshotOpenOptions& options) {
+  // Copy into allocator-aligned heap storage: the zero-copy section
+  // pointers below are int64/double typed, and the caller's span carries
+  // no alignment (or lifetime) guarantee.
+  auto owned = std::make_shared<std::vector<unsigned char>>(bytes.begin(),
+                                                            bytes.end());
+  const unsigned char* data = owned->data();
+  const size_t size = owned->size();
+  return OpenValidated(data, size, "<buffer>", options.verify_checksum,
+                       std::move(owned));
+}
+
+util::Result<std::shared_ptr<const CorpusSnapshot>>
+CorpusSnapshot::OpenValidated(const unsigned char* data, size_t size,
+                              const std::string& origin, bool verify_checksum,
+                              std::shared_ptr<const void> keep_alive) {
   if (size < kHeaderSize) {
     return util::Status::InvalidArgument(
         "truncated snapshot (" + std::to_string(size) + " bytes, header is " +
-        std::to_string(kHeaderSize) + "): " + path);
+        std::to_string(kHeaderSize) + "): " + origin);
   }
   Header header;
-  SIMSUB_RETURN_IF_ERROR(DecodeHeader(data, path, &header));
+  SIMSUB_RETURN_IF_ERROR(DecodeHeader(data, origin, &header));
   if (header.trajectory_count > kMaxCount || header.total_points > kMaxCount) {
     return util::Status::InvalidArgument(
-        "corrupt snapshot header (implausible counts): " + path);
+        "corrupt snapshot header (implausible counts): " + origin);
   }
   const size_t payload_size =
       PayloadSize(header.trajectory_count, header.total_points);
@@ -381,16 +401,16 @@ util::Result<std::shared_ptr<const CorpusSnapshot>> CorpusSnapshot::Open(
     return util::Status::InvalidArgument(
         "truncated snapshot (expected " +
         std::to_string(kHeaderSize + payload_size) + " bytes, got " +
-        std::to_string(size) + "): " + path);
+        std::to_string(size) + "): " + origin);
   }
 
   const unsigned char* payload = data + kHeaderSize;
-  if (options.verify_checksum) {
+  if (verify_checksum) {
     WordHasher hasher;
     hasher.Update(payload, payload_size);
     if (hasher.hash() != header.payload_checksum) {
       return util::Status::InvalidArgument(
-          "snapshot checksum mismatch (corrupt file): " + path);
+          "snapshot checksum mismatch (corrupt file): " + origin);
     }
   }
 
@@ -407,17 +427,17 @@ util::Result<std::shared_ptr<const CorpusSnapshot>> CorpusSnapshot::Open(
 
   if (offsets[0] != 0 || offsets[count] != header.total_points) {
     return util::Status::InvalidArgument(
-        "corrupt snapshot (bad offsets table): " + path);
+        "corrupt snapshot (bad offsets table): " + origin);
   }
   for (size_t i = 0; i < count; ++i) {
     if (offsets[i] > offsets[i + 1]) {
       return util::Status::InvalidArgument(
-          "corrupt snapshot (non-monotone offsets): " + path);
+          "corrupt snapshot (non-monotone offsets): " + origin);
     }
   }
 
   auto snapshot = std::shared_ptr<CorpusSnapshot>(new CorpusSnapshot());
-  snapshot->mapping_ = *backing;
+  snapshot->mapping_ = keep_alive;
   snapshot->offsets_ = offsets;
   snapshot->t_ = t;
   snapshot->total_points_ = static_cast<int64_t>(total);
@@ -425,7 +445,8 @@ util::Result<std::shared_ptr<const CorpusSnapshot>> CorpusSnapshot::Open(
   snapshot->mbrs_.assign(mbrs, mbrs + count);
   snapshot->stats_ = header.stats;
   snapshot->store_ = std::make_shared<const geo::PointsStore>(
-      geo::PointsStore::FromColumns(x, y, offsets, count, *backing));
+      geo::PointsStore::FromColumns(x, y, offsets, count,
+                                    std::move(keep_alive)));
   return std::shared_ptr<const CorpusSnapshot>(std::move(snapshot));
 }
 
@@ -434,6 +455,8 @@ geo::Trajectory CorpusSnapshot::MaterializeTrajectory(size_t ordinal) const {
   const size_t lo = static_cast<size_t>(offsets_[ordinal]);
   const size_t hi = static_cast<size_t>(offsets_[ordinal + 1]);
   const geo::PointsView all = store_->All();
+  // Offsets were proven monotone at open time, so hi >= lo here.
+  SIMSUB_DCHECK_GE(hi, lo);
   std::vector<geo::Point> points;
   points.reserve(hi - lo);
   for (size_t i = lo; i < hi; ++i) {

@@ -42,6 +42,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,18 @@ class CorpusSnapshot {
   [[nodiscard]] static util::Result<std::shared_ptr<const CorpusSnapshot>> Open(
       const std::string& path, const SnapshotOpenOptions& options = {});
 
+  /// Opens a snapshot from in-memory bytes — the same validation path as
+  /// Open (magic, version, endianness, counts, size, checksum, offsets),
+  /// minus the file system. The bytes are copied into a private
+  /// heap-backed, 8-byte-aligned buffer, so the caller's span may be
+  /// unaligned and may be freed as soon as the call returns. This is the
+  /// entry point the fuzz harness and the corruption tests drive: hostile
+  /// bytes in, typed status out, no temp-file churn.
+  /// `options.use_mmap` is meaningless here and ignored.
+  [[nodiscard]] static util::Result<std::shared_ptr<const CorpusSnapshot>>
+  OpenFromBuffer(std::span<const uint8_t> bytes,
+                 const SnapshotOpenOptions& options = {});
+
   size_t trajectory_count() const { return ids_.size(); }
   int64_t total_points() const { return total_points_; }
 
@@ -141,6 +154,15 @@ class CorpusSnapshot {
 
  private:
   CorpusSnapshot() = default;
+
+  /// The one validation-and-construction path both open routes funnel
+  /// through. `data`/`size` must stay valid for the snapshot's lifetime
+  /// (guaranteed by `keep_alive`), `data` must be 8-byte aligned, and
+  /// `origin` names the byte source for error messages.
+  [[nodiscard]] static util::Result<std::shared_ptr<const CorpusSnapshot>>
+  OpenValidated(const unsigned char* data, size_t size,
+                const std::string& origin, bool verify_checksum,
+                std::shared_ptr<const void> keep_alive);
 
   std::shared_ptr<const geo::PointsStore> store_;
   const uint64_t* offsets_ = nullptr;  // offsets table, into the mapping

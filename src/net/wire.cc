@@ -250,7 +250,16 @@ util::Result<WireQuery> DecodeQuery(std::span<const uint8_t> payload) {
         "QUERY frame filter tag " + std::to_string(filter_tag) +
         " out of range");
   }
-  q.spec.prune = r.U8() != 0;
+  uint8_t prune_tag = r.U8();
+  if (r.ok() && prune_tag > 1) {
+    // Strict bool: anything but 0/1 is rejected so that decode-then-encode
+    // reproduces the input bytes exactly (the fuzz harness asserts this
+    // idempotence; a lenient "!= 0" would normalize 2..255 to 1).
+    return util::Status::InvalidArgument(
+        "QUERY frame prune byte " + std::to_string(prune_tag) +
+        " is not a bool");
+  }
+  q.spec.prune = prune_tag != 0;
   q.spec.deadline_ms = r.F64();
   uint32_t npoints = r.U32();
   if (!r.Fits(npoints, 24)) {

@@ -91,7 +91,14 @@ struct WireQuery {
     const service::QuerySpec& spec, const std::string& client_id,
     uint64_t request_id = 0);
 
-/// Decodes a QUERY payload; the result owns its point storage.
+/// Decodes a QUERY payload; the result owns its point storage. The QUERY
+/// codec is canonical and strict: every tag byte (version, filter kind,
+/// prune flag) has exactly one accepted spelling, trailing bytes are
+/// rejected, and EncodeQuery(DecodeQuery(bytes)) reproduces any accepted
+/// `bytes` exactly. The fuzz harness (fuzz/harness_wire.cc) and the
+/// exhaustive byte-mutation sweep in tests/net/wire_test.cc assert that
+/// round trip, so loosening the decoder without teaching the encoder the
+/// same dialect is a caught regression, not a silent drift.
 [[nodiscard]] util::Result<WireQuery> DecodeQuery(
     std::span<const uint8_t> payload);
 
@@ -104,6 +111,10 @@ std::vector<uint8_t> EncodeReport(const engine::QueryReport& report,
 /// query id. plan_reason strings are interned into a bounded
 /// process-lifetime table (the field is a `const char*` with
 /// static-storage semantics); past the table cap they decode as "".
+/// Unlike QUERY, the REPORT codec is deliberately lenient (unknown
+/// status codes map to kInternal, over-cap plan reasons to ""), so
+/// decode→encode is only a fixpoint after one round trip — the harness
+/// and the byte-sweep test assert that weaker contract.
 [[nodiscard]] util::Result<engine::QueryReport> DecodeReport(
     std::span<const uint8_t> payload, uint64_t* request_id = nullptr);
 

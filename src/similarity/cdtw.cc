@@ -17,8 +17,13 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // Sakoe-Chiba half-width for a query of m points (>= 1 so the diagonal is
 // always admissible).
 int BandFor(double band_fraction, size_t m) {
-  return std::max(
-      1, static_cast<int>(std::ceil(band_fraction * static_cast<double>(m))));
+  // Clamp to m before the int cast: a band of >= m rows is already
+  // unconstrained DTW, and for a huge (but finite, per MakeMeasure's
+  // validation) fraction the unclamped product would overflow the cast.
+  const double rows =
+      std::min(static_cast<double>(m),
+               std::ceil(band_fraction * static_cast<double>(m)));
+  return std::max(1, static_cast<int>(rows));
 }
 
 // Banded kernel over the SoA query copy with the distance computed inline

@@ -1,5 +1,7 @@
 #include "similarity/registry.h"
 
+#include <cmath>
+
 #include "similarity/cdtw.h"
 #include "similarity/dtw.h"
 #include "similarity/edr.h"
@@ -12,6 +14,11 @@ namespace simsub::similarity {
 
 util::Result<std::unique_ptr<SimilarityMeasure>> MakeMeasure(
     const std::string& name, const MeasureOptions& options) {
+  // MeasureOptions arrives from untrusted sources (the wire codec decodes
+  // every f64 bit pattern, including NaN and infinities), and the measure
+  // constructors guard their domains with SIMSUB_CHECK — which aborts the
+  // process. Validate here so a hostile request gets a typed
+  // InvalidArgument instead of taking the server down.
   if (name == "dtw") {
     return std::unique_ptr<SimilarityMeasure>(new DtwMeasure());
   }
@@ -19,16 +26,36 @@ util::Result<std::unique_ptr<SimilarityMeasure>> MakeMeasure(
     return std::unique_ptr<SimilarityMeasure>(new FrechetMeasure());
   }
   if (name == "cdtw") {
-    return std::unique_ptr<SimilarityMeasure>(
-        new CdtwMeasure(options.cdtw_band_fraction));
+    const double f = options.cdtw_band_fraction;
+    if (!(std::isfinite(f) && f > 0.0)) {
+      return util::Status::InvalidArgument(
+          "cdtw: band fraction must be finite and > 0, got " +
+          std::to_string(f));
+    }
+    return std::unique_ptr<SimilarityMeasure>(new CdtwMeasure(f));
   }
   if (name == "erp") {
-    return std::unique_ptr<SimilarityMeasure>(new ErpMeasure(options.erp_gap));
+    const geo::Point& g = options.erp_gap;
+    if (!(std::isfinite(g.x) && std::isfinite(g.y))) {
+      return util::Status::InvalidArgument(
+          "erp: gap point coordinates must be finite");
+    }
+    return std::unique_ptr<SimilarityMeasure>(new ErpMeasure(g));
   }
   if (name == "edr") {
+    if (!(std::isfinite(options.edr_eps) && options.edr_eps >= 0.0)) {
+      return util::Status::InvalidArgument(
+          "edr: eps must be finite and >= 0, got " +
+          std::to_string(options.edr_eps));
+    }
     return std::unique_ptr<SimilarityMeasure>(new EdrMeasure(options.edr_eps));
   }
   if (name == "lcss") {
+    if (!(std::isfinite(options.lcss_eps) && options.lcss_eps >= 0.0)) {
+      return util::Status::InvalidArgument(
+          "lcss: eps must be finite and >= 0, got " +
+          std::to_string(options.lcss_eps));
+    }
     return std::unique_ptr<SimilarityMeasure>(
         new LcssMeasure(options.lcss_eps));
   }

@@ -3,7 +3,9 @@
 #include <poll.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <random>
 #include <unordered_map>
 #include <utility>
@@ -71,12 +73,18 @@ Status ParsePolicy(const std::string& policy, SitePolicy* out) {
     out->action = SitePolicy::Action::kAbort;
   } else if (action.rfind("delay:", 0) == 0) {
     out->action = SitePolicy::Action::kDelay;
+    const char* digits = action.c_str() + 6;
     char* end = nullptr;
-    out->delay_ms =
-        static_cast<int>(std::strtol(action.c_str() + 6, &end, 10));
-    if (end == nullptr || *end != '\0' || out->delay_ms < 0) {
+    errno = 0;
+    const long ms = std::strtol(digits, &end, 10);
+    // end == digits catches the empty operand ("delay:" parsed as 0 before
+    // this guard existed); errno catches a count past LONG_MAX, which
+    // strtol clamps instead of failing.
+    if (end == digits || *end != '\0' || errno == ERANGE || ms < 0 ||
+        ms > std::numeric_limits<int>::max()) {
       return bad("delay wants a non-negative millisecond count");
     }
+    out->delay_ms = static_cast<int>(ms);
   } else {
     return bad("unknown action (want error|abort|delay:<ms>|off)");
   }
@@ -90,22 +98,31 @@ Status ParsePolicy(const std::string& policy, SitePolicy* out) {
     const bool nth = trigger[0] == 'n';
     out->trigger =
         nth ? SitePolicy::Trigger::kNth : SitePolicy::Trigger::kTimes;
+    const char* digits = trigger.c_str() + (nth ? 4 : 6);
     char* end = nullptr;
-    out->n = std::strtoll(trigger.c_str() + (nth ? 4 : 6), &end, 10);
-    if (end == nullptr || *end != '\0' || out->n < 1) {
+    errno = 0;
+    out->n = std::strtoll(digits, &end, 10);
+    if (end == digits || *end != '\0' || errno == ERANGE || out->n < 1) {
       return bad("nth/times wants a count >= 1");
     }
   } else if (trigger.rfind("prob:", 0) == 0) {
     out->trigger = SitePolicy::Trigger::kProb;
+    const char* digits = trigger.c_str() + 5;
     char* end = nullptr;
-    out->p = std::strtod(trigger.c_str() + 5, &end);
+    out->p = std::strtod(digits, &end);
     uint64_t seed = 0x5eedf9001ull;
-    if (end != nullptr && *end == ':') {
+    if (end != digits && end != nullptr && *end == ':') {
+      const char* seed_digits = end + 1;
       char* seed_end = nullptr;
-      seed = std::strtoull(end + 1, &seed_end, 10);
-      end = seed_end;
+      errno = 0;
+      seed = std::strtoull(seed_digits, &seed_end, 10);
+      end = seed_end == seed_digits || errno == ERANGE ? nullptr : seed_end;
     }
-    if (end == nullptr || *end != '\0' || out->p < 0.0 || out->p > 1.0) {
+    // end == digits catches the empty operand ("prob:" parsed as p = 0
+    // before this guard existed); the negated range form rejects NaN,
+    // which the old `p < 0 || p > 1` pair waved through.
+    if (end == digits || end == nullptr || *end != '\0' ||
+        !(out->p >= 0.0 && out->p <= 1.0)) {
       return bad("prob wants <p in [0,1]>[:<seed>]");
     }
     out->rng.seed(seed);

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "data/generator.h"
 #include "rl/trainer.h"
@@ -64,6 +66,21 @@ TEST(SearchRegistryTest, BadParametersAreInvalidArgument) {
             util::StatusCode::kInvalidArgument);
   EXPECT_EQ(MakeSearch("ucr", &kDtw, bad_band).status().code(),
             util::StatusCode::kInvalidArgument);
+
+  // NaN satisfies neither side of a two-sided comparison, so it slipped
+  // through the old `<= 0 || > 1` pair — all of these arrive straight off
+  // the wire and must be typed rejections, not band arithmetic on NaN.
+  for (double hostile : {std::nan(""), -0.5, 2.0,
+                         std::numeric_limits<double>::infinity()}) {
+    SearchOptions opts;
+    opts.band_fraction = hostile;
+    EXPECT_EQ(MakeSearch("spring", &kDtw, opts).status().code(),
+              util::StatusCode::kInvalidArgument)
+        << "band_fraction " << hostile;
+    EXPECT_EQ(MakeSearch("ucr", &kDtw, opts).status().code(),
+              util::StatusCode::kInvalidArgument)
+        << "band_fraction " << hostile;
+  }
 }
 
 TEST(SearchRegistryTest, SpringAndUcrRejectNonDtwMeasures) {

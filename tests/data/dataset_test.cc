@@ -68,6 +68,33 @@ TEST(DatasetTest, LoadMissingFileFails) {
   EXPECT_FALSE(LoadCsv("/no/such/file.csv", "x", DatasetKind::kPorto).ok());
 }
 
+TEST(DatasetTest, LoadCsvFromStringMatchesFileLoad) {
+  const std::string text =
+      "trajectory_id,x,y,t\n"
+      "1,0.5,1.5,0\n"
+      "1,0.75,1.25,1\n"
+      "2,-3.5,4.5,0\n";
+  auto from_string =
+      LoadCsvFromString(text, "<memory>", "porto", DatasetKind::kPorto);
+  ASSERT_TRUE(from_string.ok()) << from_string.status();
+  ASSERT_EQ(from_string->trajectories.size(), 2u);
+  EXPECT_EQ(from_string->trajectories[0].id(), 1);
+  EXPECT_EQ(from_string->trajectories[0].size(), 2);
+  EXPECT_EQ(from_string->trajectories[1].id(), 2);
+  EXPECT_EQ(from_string->TotalPoints(), 3);
+  // Missing trailing newline on the last row must not drop it.
+  auto no_final_newline = LoadCsvFromString("5,1,2,3\n5,4,5,6", "<memory>",
+                                            "porto", DatasetKind::kPorto);
+  ASSERT_TRUE(no_final_newline.ok()) << no_final_newline.status();
+  EXPECT_EQ(no_final_newline->TotalPoints(), 2);
+  // Errors carry the caller's origin label in place of a path.
+  auto bad = LoadCsvFromString("1,2,3\n", "<memory>", "porto",
+                               DatasetKind::kPorto);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("<memory>:1"), std::string::npos)
+      << bad.status();
+}
+
 std::string WriteTempCsv(const std::string& name, const std::string& content) {
   std::string path =
       (std::filesystem::temp_directory_path() / name).string();

@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,18 +35,22 @@ std::vector<char> ReadAll(const std::string& path) {
   return bytes;
 }
 
-void WriteAll(const std::string& path, const std::vector<char>& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  ASSERT_TRUE(out.good());
-}
-
 /// RAII temp file cleanup.
 struct TempFile {
   explicit TempFile(std::string p) : path(std::move(p)) {}
   ~TempFile() { std::remove(path.c_str()); }
   std::string path;
 };
+
+/// Serializes `dataset` and returns the snapshot bytes — the corruption
+/// tests below mutate these in memory and feed them to OpenFromBuffer, so
+/// each corruption class is one buffer edit instead of a file rewrite.
+std::vector<uint8_t> SnapshotBytes(const Dataset& dataset) {
+  TempFile file(TempPath("simsub_snapshot_bytes.snap"));
+  EXPECT_TRUE(WriteSnapshot(dataset, file.path).ok());
+  std::vector<char> raw = ReadAll(file.path);
+  return std::vector<uint8_t>(raw.begin(), raw.end());
+}
 
 TEST(SnapshotTest, RoundTripIsBitExact) {
   for (DatasetKind kind : {DatasetKind::kPorto, DatasetKind::kSports}) {
@@ -155,87 +161,107 @@ TEST(SnapshotTest, MissingFileFails) {
   EXPECT_FALSE(opened.ok());
 }
 
-TEST(SnapshotTest, TruncationIsRejectedAtEveryCut) {
-  Dataset dataset = GenerateDataset(DatasetKind::kPorto, 6, 42);
-  TempFile file(TempPath("simsub_snapshot_trunc.snap"));
+TEST(SnapshotTest, OpenFromBufferMatchesFileOpen) {
+  Dataset dataset = GenerateDataset(DatasetKind::kPorto, 5, 88);
+  TempFile file(TempPath("simsub_snapshot_frombuf.snap"));
   ASSERT_TRUE(WriteSnapshot(dataset, file.path).ok());
-  std::vector<char> bytes = ReadAll(file.path);
+  std::vector<char> raw = ReadAll(file.path);
+  std::vector<uint8_t> bytes(raw.begin(), raw.end());
+
+  auto mapped = CorpusSnapshot::Open(file.path);
+  auto buffered = CorpusSnapshot::OpenFromBuffer(bytes);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  ASSERT_TRUE(buffered.ok()) << buffered.status();
+  ASSERT_EQ((*mapped)->trajectory_count(), (*buffered)->trajectory_count());
+  EXPECT_EQ((*mapped)->total_points(), (*buffered)->total_points());
+  for (size_t i = 0; i < (*mapped)->trajectory_count(); ++i) {
+    geo::Trajectory a = (*mapped)->MaterializeTrajectory(i);
+    geo::Trajectory b = (*buffered)->MaterializeTrajectory(i);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.id(), b.id());
+    for (int j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+}
+
+TEST(SnapshotTest, OpenFromBufferDoesNotBorrowTheCallersBytes) {
+  Dataset dataset = GenerateDataset(DatasetKind::kPorto, 4, 89);
+  std::vector<uint8_t> bytes = SnapshotBytes(dataset);
+  auto opened = CorpusSnapshot::OpenFromBuffer(bytes);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  const double expect_x = (*opened)->Soa(0).x[0];
+  // The documented contract: the span may be clobbered (or freed) as soon
+  // as OpenFromBuffer returns.
+  std::fill(bytes.begin(), bytes.end(), uint8_t{0xAA});
+  bytes.clear();
+  bytes.shrink_to_fit();
+  EXPECT_EQ((*opened)->Soa(0).x[0], expect_x);
+}
+
+TEST(SnapshotTest, TruncationIsRejectedAtEveryCut) {
+  std::vector<uint8_t> bytes =
+      SnapshotBytes(GenerateDataset(DatasetKind::kPorto, 6, 42));
   ASSERT_GT(bytes.size(), 200u);
 
-  TempFile cut(TempPath("simsub_snapshot_cut.snap"));
   for (size_t keep : {size_t{0}, size_t{17}, size_t{95}, size_t{96},
                       bytes.size() / 2, bytes.size() - 1}) {
-    WriteAll(cut.path, std::vector<char>(bytes.begin(),
-                                         bytes.begin() + static_cast<long>(keep)));
-    auto opened = CorpusSnapshot::Open(cut.path);
+    auto opened = CorpusSnapshot::OpenFromBuffer(
+        std::span<const uint8_t>(bytes.data(), keep));
     ASSERT_FALSE(opened.ok()) << "accepted a " << keep << "-byte prefix";
     EXPECT_NE(opened.status().message().find("truncated"), std::string::npos)
         << opened.status();
   }
 
   // Trailing garbage is a size mismatch too, not silently ignored.
-  std::vector<char> padded = bytes;
-  padded.insert(padded.end(), 8, '\0');
-  WriteAll(cut.path, padded);
-  EXPECT_FALSE(CorpusSnapshot::Open(cut.path).ok());
+  std::vector<uint8_t> padded = bytes;
+  padded.insert(padded.end(), 8, uint8_t{0});
+  EXPECT_FALSE(CorpusSnapshot::OpenFromBuffer(padded).ok());
 }
 
 TEST(SnapshotTest, PayloadBitFlipFailsChecksum) {
-  Dataset dataset = GenerateDataset(DatasetKind::kPorto, 6, 43);
-  TempFile file(TempPath("simsub_snapshot_flip.snap"));
-  ASSERT_TRUE(WriteSnapshot(dataset, file.path).ok());
-  std::vector<char> bytes = ReadAll(file.path);
+  std::vector<uint8_t> bytes =
+      SnapshotBytes(GenerateDataset(DatasetKind::kPorto, 6, 43));
   bytes[bytes.size() - 3] ^= 0x20;  // flip one bit deep in the t column
-  WriteAll(file.path, bytes);
 
-  auto opened = CorpusSnapshot::Open(file.path);
+  auto opened = CorpusSnapshot::OpenFromBuffer(bytes);
   ASSERT_FALSE(opened.ok());
   EXPECT_NE(opened.status().message().find("checksum"), std::string::npos)
       << opened.status();
 
-  // Verification is what catches it: an explicit opt-out maps the corrupt
-  // payload without complaint (the documented trust-the-file fast path).
+  // Verification is what catches it: an explicit opt-out accepts the
+  // corrupt payload without complaint (the documented trust-the-file fast
+  // path).
   SnapshotOpenOptions trusting;
   trusting.verify_checksum = false;
-  EXPECT_TRUE(CorpusSnapshot::Open(file.path, trusting).ok());
+  EXPECT_TRUE(CorpusSnapshot::OpenFromBuffer(bytes, trusting).ok());
 }
 
 TEST(SnapshotTest, BadMagicRejected) {
-  Dataset dataset = GenerateDataset(DatasetKind::kPorto, 3, 44);
-  TempFile file(TempPath("simsub_snapshot_magic.snap"));
-  ASSERT_TRUE(WriteSnapshot(dataset, file.path).ok());
-  std::vector<char> bytes = ReadAll(file.path);
+  std::vector<uint8_t> bytes =
+      SnapshotBytes(GenerateDataset(DatasetKind::kPorto, 3, 44));
   bytes[0] = 'X';
-  WriteAll(file.path, bytes);
-  auto opened = CorpusSnapshot::Open(file.path);
+  auto opened = CorpusSnapshot::OpenFromBuffer(bytes);
   ASSERT_FALSE(opened.ok());
   EXPECT_NE(opened.status().message().find("magic"), std::string::npos);
 }
 
 TEST(SnapshotTest, UnsupportedVersionRejected) {
-  Dataset dataset = GenerateDataset(DatasetKind::kPorto, 3, 45);
-  TempFile file(TempPath("simsub_snapshot_version.snap"));
-  ASSERT_TRUE(WriteSnapshot(dataset, file.path).ok());
-  std::vector<char> bytes = ReadAll(file.path);
+  std::vector<uint8_t> bytes =
+      SnapshotBytes(GenerateDataset(DatasetKind::kPorto, 3, 45));
   uint64_t future_version = 999;
   std::memcpy(bytes.data() + 8, &future_version, 8);
-  WriteAll(file.path, bytes);
-  auto opened = CorpusSnapshot::Open(file.path);
+  auto opened = CorpusSnapshot::OpenFromBuffer(bytes);
   ASSERT_FALSE(opened.ok());
   EXPECT_NE(opened.status().message().find("version 999"), std::string::npos)
       << opened.status();
 }
 
 TEST(SnapshotTest, ForeignEndiannessRejected) {
-  Dataset dataset = GenerateDataset(DatasetKind::kPorto, 3, 46);
-  TempFile file(TempPath("simsub_snapshot_endian.snap"));
-  ASSERT_TRUE(WriteSnapshot(dataset, file.path).ok());
-  std::vector<char> bytes = ReadAll(file.path);
+  std::vector<uint8_t> bytes =
+      SnapshotBytes(GenerateDataset(DatasetKind::kPorto, 3, 46));
   // Byte-reverse the endianness marker in place, simulating a snapshot
   // written by a byte-swapped writer.
   for (int i = 0; i < 4; ++i) std::swap(bytes[16 + i], bytes[16 + 7 - i]);
-  WriteAll(file.path, bytes);
-  auto opened = CorpusSnapshot::Open(file.path);
+  auto opened = CorpusSnapshot::OpenFromBuffer(bytes);
   ASSERT_FALSE(opened.ok());
   EXPECT_NE(opened.status().message().find("endian"), std::string::npos)
       << opened.status();
@@ -247,16 +273,13 @@ TEST(SnapshotTest, CorruptOffsetsRejected) {
   Dataset dataset;
   dataset.trajectories.emplace_back(std::vector<geo::Point>{{1, 1, 0}}, 1);
   dataset.trajectories.emplace_back(std::vector<geo::Point>{{2, 2, 0}}, 2);
-  TempFile file(TempPath("simsub_snapshot_offsets.snap"));
-  ASSERT_TRUE(WriteSnapshot(dataset, file.path).ok());
-  std::vector<char> bytes = ReadAll(file.path);
+  std::vector<uint8_t> bytes = SnapshotBytes(dataset);
   const size_t offsets_pos = 96 + 2 * 8;
   uint64_t bad = 5;  // > total_points
   std::memcpy(bytes.data() + offsets_pos + 8, &bad, 8);
-  WriteAll(file.path, bytes);
   SnapshotOpenOptions trusting;  // skip the checksum to reach the validator
   trusting.verify_checksum = false;
-  auto opened = CorpusSnapshot::Open(file.path, trusting);
+  auto opened = CorpusSnapshot::OpenFromBuffer(bytes, trusting);
   ASSERT_FALSE(opened.ok());
   EXPECT_NE(opened.status().message().find("offsets"), std::string::npos)
       << opened.status();

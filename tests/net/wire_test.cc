@@ -269,6 +269,62 @@ TEST(WireReportTest, TruncationsFailCleanly) {
   }
 }
 
+TEST(WireReportTest, EverySingleByteMutationDecodesToAFixpoint) {
+  // Exhaustive single-byte corruption: every position set to every value.
+  // Each mutant must either fail with a typed status or decode to a report
+  // whose re-encoding is stable under one more decode-encode round trip
+  // (REPORT decode is deliberately lenient — unknown status codes and
+  // interned plan reasons do not round-trip byte-exactly, but they must
+  // converge after one trip; see the fuzz wire harness, which asserts the
+  // same invariant on arbitrary bytes).
+  const std::vector<uint8_t> encoded = EncodeReport(FullReport(), 9);
+  std::vector<uint8_t> mutant = encoded;
+  for (size_t pos = 0; pos < encoded.size(); ++pos) {
+    for (int value = 0; value < 256; ++value) {
+      if (uint8_t(value) == encoded[pos]) continue;
+      mutant[pos] = uint8_t(value);
+      uint64_t rid = 0;
+      auto decoded = DecodeReport(mutant, &rid);
+      if (decoded.ok()) {
+        std::vector<uint8_t> first = EncodeReport(*decoded, rid);
+        uint64_t rid2 = 0;
+        auto again = DecodeReport(first, &rid2);
+        ASSERT_TRUE(again.ok())
+            << "re-encoded mutant (pos " << pos << " value " << value
+            << ") failed to decode: " << again.status().ToString();
+        EXPECT_EQ(EncodeReport(*again, rid2), first)
+            << "unstable at pos " << pos << " value " << value;
+      }
+    }
+    mutant[pos] = encoded[pos];
+  }
+}
+
+TEST(WireQueryTest, EverySingleByteMutationReencodesExactly) {
+  // The QUERY codec makes the stronger promise: its encoding is canonical,
+  // so any accepted mutant must re-encode to the mutant's exact bytes.
+  auto points = TestPoints();
+  service::QuerySpec spec = FullSpec(points);
+  auto encoded = EncodeQuery(spec, "client", 11);
+  ASSERT_TRUE(encoded.ok());
+  std::vector<uint8_t> mutant = *encoded;
+  for (size_t pos = 0; pos < encoded->size(); ++pos) {
+    for (int value = 0; value < 256; ++value) {
+      if (uint8_t(value) == (*encoded)[pos]) continue;
+      mutant[pos] = uint8_t(value);
+      auto decoded = DecodeQuery(mutant);
+      if (decoded.ok()) {
+        auto re = EncodeQuery(decoded->spec, decoded->client_id,
+                              decoded->request_id);
+        ASSERT_TRUE(re.ok()) << re.status().ToString();
+        EXPECT_EQ(*re, mutant)
+            << "non-canonical decode at pos " << pos << " value " << value;
+      }
+    }
+    mutant[pos] = (*encoded)[pos];
+  }
+}
+
 TEST(WireErrorTest, RoundTripsAndToleratesGarbage) {
   util::Status status = util::Status::ResourceExhausted("too many clients");
   std::vector<uint8_t> payload = EncodeError(status);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "similarity/dtw.h"
 #include "similarity/frechet.h"
 #include "similarity/registry.h"
@@ -96,6 +99,45 @@ TEST(RegistryTest, RejectsUnknownName) {
   auto m = MakeMeasure("nope");
   ASSERT_FALSE(m.ok());
   EXPECT_EQ(m.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, HostileOptionValuesAreTypedRejections) {
+  // MeasureOptions arrives untrusted over the wire; a value that would
+  // trip a constructor SIMSUB_CHECK must be refused with InvalidArgument
+  // before construction (an abort here is a remote kill switch).
+  for (double bad : {0.0, -1.0, std::nan(""),
+                     std::numeric_limits<double>::infinity()}) {
+    MeasureOptions options;
+    options.cdtw_band_fraction = bad;
+    EXPECT_EQ(MakeMeasure("cdtw", options).status().code(),
+              util::StatusCode::kInvalidArgument)
+        << "cdtw_band_fraction " << bad;
+  }
+  for (double bad : {-1.0, std::nan(""),
+                     std::numeric_limits<double>::infinity()}) {
+    MeasureOptions options;
+    options.edr_eps = bad;
+    EXPECT_EQ(MakeMeasure("edr", options).status().code(),
+              util::StatusCode::kInvalidArgument)
+        << "edr_eps " << bad;
+    MeasureOptions lcss_options;
+    lcss_options.lcss_eps = bad;
+    EXPECT_EQ(MakeMeasure("lcss", lcss_options).status().code(),
+              util::StatusCode::kInvalidArgument)
+        << "lcss_eps " << bad;
+  }
+  MeasureOptions nan_gap;
+  nan_gap.erp_gap = Point(std::nan(""), 0.0);
+  EXPECT_EQ(MakeMeasure("erp", nan_gap).status().code(),
+            util::StatusCode::kInvalidArgument);
+  // Option-free measures ignore hostile option values entirely.
+  MeasureOptions all_bad;
+  all_bad.cdtw_band_fraction = std::nan("");
+  all_bad.edr_eps = -1.0;
+  all_bad.lcss_eps = std::nan("");
+  all_bad.erp_gap = Point(std::nan(""), std::nan(""));
+  EXPECT_TRUE(MakeMeasure("dtw", all_bad).ok());
+  EXPECT_TRUE(MakeMeasure("frechet", all_bad).ok());
 }
 
 TEST(RegistryTest, OptionsArePluggedThrough) {

@@ -136,6 +136,32 @@ TEST_F(FailpointTest, SpecConfiguresManySitesAndRejectsGarbage) {
             StatusCode::kInvalidArgument);
 }
 
+TEST_F(FailpointTest, ParserRejectsMalformedOperands) {
+  // Empty operands used to strtol/strtod to 0 and be accepted silently.
+  for (const char* bad :
+       {"x=delay:", "x=error@nth:", "x=error@times:", "x=error@prob:",
+        // NaN passes `p < 0 || p > 1` (both false); the negated range
+        // check must reject it.
+        "x=error@prob:nan",
+        // Trailing ':' with an empty seed operand.
+        "x=error@prob:0.5:",
+        // Overflow: strtol/strtoll clamp with ERANGE instead of failing.
+        "x=delay:99999999999999999999", "x=error@nth:99999999999999999999",
+        // In-range for long on LP64 but past what int delay_ms can hold.
+        "x=delay:5000000000",
+        // Junk after a valid number.
+        "x=delay:5ms", "x=error@nth:3x"}) {
+    EXPECT_EQ(ConfigureFailpointsFromSpec(bad).code(),
+              StatusCode::kInvalidArgument)
+        << "accepted spec: " << bad;
+  }
+  // Boundary values stay accepted.
+  EXPECT_TRUE(ConfigureFailpointsFromSpec("x=delay:0").ok());
+  EXPECT_TRUE(ConfigureFailpointsFromSpec("x=error@prob:0").ok());
+  EXPECT_TRUE(ConfigureFailpointsFromSpec("x=error@prob:1.0").ok());
+  EXPECT_TRUE(ConfigureFailpointsFromSpec("x=error@prob:0.25:7").ok());
+}
+
 TEST_F(FailpointTest, TraceRecordsFirstHitOrderAndHitCounts) {
   SetFailpointTrace(true);
   ASSERT_TRUE(SetFailpoint("test.t2", "error").ok());

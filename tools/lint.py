@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-invariant linter: repo-specific rules the generic tools can't see.
 
-Four rules, each encoding a contract an earlier PR established:
+Seven rules, each encoding a contract an earlier PR established:
 
   thread       No std::thread (or std::jthread) object use outside
                util/thread_pool.* — all parallelism goes through the
@@ -32,6 +32,25 @@ Four rules, each encoding a contract an earlier PR established:
                checked util::io wrappers (PR 8's contract) so every byte
                crosses the failpoint sites and EINTR loops exactly once.
                A raw call is a hole in the fault-injection coverage.
+
+  decode-cast  No reinterpret_cast to a structured pointer type in src/net/
+               or src/data/ outside the blessed decode helpers (net/wire.cc,
+               data/snapshot.cc). Those two files own the byte-level layout
+               of untrusted input and carry the alignment/size proofs; a
+               cast anywhere else is an unvalidated decode path the fuzzers
+               never see. Casts to byte-ish targets (char*, unsigned char*,
+               uint8_t*, std::byte*) and the sockaddr shims the socket API
+               forces are allowed everywhere.
+
+  decode-bounds
+               Inside the blessed decode helpers themselves, every
+               .resize()/.reserve() whose size is not a literal (or derived
+               from an existing container via .size()/sizeof) must have the
+               sizing value guarded within the preceding dozen lines — a
+               Fits()/if bound check, a SIMSUB_CHECK, or a provenance line
+               showing it came from a container we already own. An attacker
+               controls every length field in a frame or snapshot header;
+               an unguarded resize is a one-frame 64 MB allocation.
 
 Scope: src/ only (tests may spawn raw threads to provoke races; benches may
 time whatever they like). Comments and string literals are stripped before
@@ -208,8 +227,108 @@ def check_raw_io(rel, text):
     return out
 
 
+# --- rule: decode-cast ------------------------------------------------------
+
+DECODE_CAST_RE = re.compile(r"reinterpret_cast\s*<\s*([^>]*?)\s*>")
+DECODE_CAST_DIRS = ("src/net/", "src/data/")
+# wire.cc and snapshot.cc are the blessed byte-layout owners: every cast
+# there sits behind the size/alignment validation the fuzz harnesses hammer.
+DECODE_CAST_BLESSED = ("src/net/wire.cc", "src/data/snapshot.cc")
+# Byte-ish targets are safe in either direction (no layout is being
+# asserted); sockaddr casts are the POSIX socket API's own idiom.
+DECODE_CAST_BYTEISH_RE = re.compile(
+    r"^(?:const\s+)?(?:char|unsigned\s+char|(?:std::)?uint8_t|std::byte)"
+    r"\s*\*$")
+
+
+def check_decode_cast(rel, text):
+    posix = rel.replace(os.sep, "/")
+    if not posix.startswith(DECODE_CAST_DIRS) or posix in DECODE_CAST_BLESSED:
+        return []
+    out = []
+    for match in DECODE_CAST_RE.finditer(text):
+        target = " ".join(match.group(1).split())
+        if DECODE_CAST_BYTEISH_RE.match(target) or "sockaddr" in target:
+            continue
+        line = text.count("\n", 0, match.start()) + 1
+        out.append(finding(
+            rel, line, "decode-cast",
+            f"reinterpret_cast<{target}> outside the blessed decode helpers "
+            "(net/wire.cc, data/snapshot.cc) — structured views of raw "
+            "bytes must go through the validated decode paths the fuzzers "
+            "cover"))
+    return out
+
+
+# --- rule: decode-bounds ----------------------------------------------------
+
+DECODE_BOUNDS_FILES = ("src/net/wire.cc", "src/data/snapshot.cc")
+DECODE_BOUNDS_RE = re.compile(r"\.\s*(resize|reserve)\s*\(")
+DECODE_BOUNDS_WINDOW = 12  # lines of context searched for a guard
+# A sizing arg is self-evidently bounded when it is a numeric literal,
+# derives from a container we already own (.size()/sizeof), or is a
+# zero-argument accessor on *this (no raw input can flow through those).
+DECODE_BOUNDS_LITERAL_RE = re.compile(r"^[\d'uUlLzZ\s+*-]+$")
+DECODE_BOUNDS_ACCESSOR_RE = re.compile(r"^[A-Za-z_]\w*\(\)$")
+DECODE_BOUNDS_SKIP_IDENTS = frozenset((
+    "static_cast", "const_cast", "size_t", "std", "auto", "unsigned",
+    "signed", "long", "int", "short", "char", "uint8_t", "uint16_t",
+    "uint32_t", "uint64_t", "int8_t", "int16_t", "int32_t", "int64_t"))
+DECODE_BOUNDS_GUARD_RE = re.compile(r"Fits\s*\(|\bif\s*\(|CHECK|\.size\s*\(|"
+                                    r"sizeof")
+
+
+def _call_argument(text, open_paren):
+    """Returns the argument text of the call whose '(' is at open_paren."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i]
+    return text[open_paren + 1:]
+
+
+def check_decode_bounds(rel, text):
+    posix = rel.replace(os.sep, "/")
+    if posix not in DECODE_BOUNDS_FILES:
+        return []
+    out = []
+    lines = text.split("\n")
+    for match in DECODE_BOUNDS_RE.finditer(text):
+        arg = _call_argument(text, text.index("(", match.start()))
+        arg = arg.strip()
+        if (not arg or DECODE_BOUNDS_LITERAL_RE.match(arg)
+                or ".size(" in arg.replace(" ", "") or "sizeof" in arg
+                or DECODE_BOUNDS_ACCESSOR_RE.match(arg)):
+            continue
+        idents = [i for i in re.findall(r"[A-Za-z_]\w*", arg)
+                  if i not in DECODE_BOUNDS_SKIP_IDENTS]
+        lineno = text.count("\n", 0, match.start()) + 1
+        ident = idents[0] if idents else None
+        guarded = False
+        if ident is not None:
+            ident_re = re.compile(rf"\b{re.escape(ident)}\b")
+            window = lines[max(0, lineno - 1 - DECODE_BOUNDS_WINDOW):
+                           lineno - 1]
+            guarded = any(ident_re.search(context_line)
+                          and DECODE_BOUNDS_GUARD_RE.search(context_line)
+                          for context_line in window)
+        if not guarded:
+            out.append(finding(
+                rel, lineno, "decode-bounds",
+                f"{match.group(1)}({arg}) sized from "
+                f"'{ident or arg}' with no bound check in the preceding "
+                f"{DECODE_BOUNDS_WINDOW} lines — decode-path lengths are "
+                "attacker-controlled; guard with Fits()/if/SIMSUB_CHECK "
+                "before allocating"))
+    return out
+
+
 RULES = (check_thread, check_min_list, check_determinism, check_nodiscard,
-         check_raw_io)
+         check_raw_io, check_decode_cast, check_decode_bounds)
 
 
 def lint_tree(root):
@@ -276,6 +395,31 @@ void Fine(Buffer& buf, Reader* r) {
   Codec::rename("a");    // ok: scoped name from another class
 }
 // ::fsync( in a comment must not trip
+"""),
+    ("decode-cast", "src/data/columns.cc", """
+const double* Decode(const unsigned char* p) {
+  return reinterpret_cast<const double*>(p);  // violation: structured view
+}
+const char* Bytes(const unsigned char* p) {
+  return reinterpret_cast<const char*>(p);  // ok: byte-ish target
+}
+void Sock(void* a) {
+  auto* sa = reinterpret_cast<struct sockaddr*>(a);  // ok: socket API shim
+  (void)sa;
+}
+"""),
+    ("decode-bounds", "src/net/wire.cc", """
+void DecodeVec(Reader& r, std::vector<int>& v) {
+  uint32_t n = r.U32();
+  v.resize(n);  // violation: wire length allocated with no bound check
+}
+void Guarded(Reader& r, std::vector<int>& v, const std::vector<int>& src) {
+  uint32_t n = r.U32();
+  if (!r.Fits(n, 4)) return;
+  v.reserve(n);               // ok: bounded by Fits just above
+  v.reserve(16);              // ok: literal
+  v.reserve(src.size() + 1);  // ok: derived from a container we own
+}
 """),
 ]
 
